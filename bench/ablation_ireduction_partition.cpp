@@ -1,0 +1,113 @@
+// PSF — ablation: reduction-space partitioning (the paper's scheme) vs
+// naive computation-space (edge) partitioning for irregular reductions.
+//
+// The paper's scheme assigns edges to the owner(s) of their endpoints:
+// cross edges are computed twice, but every rank updates a private slice of
+// the reduction space, so results are simply concatenated. The naive
+// alternative splits edges evenly (no duplicated computation), but every
+// rank may update ANY node, so a full element-wise combine of the node
+// value array is required after the local pass.
+//
+// This bench measures the paper's scheme with the real runtime and models
+// the naive scheme with the same cost model (even compute + tree allreduce
+// of the full reduction array), sweeping node counts on the Moldyn
+// workload.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "pattern/ireduction.h"
+
+namespace psf::bench {
+namespace {
+
+void sum_reduce(void* dst, const void* src) {
+  *static_cast<double*>(dst) += *static_cast<const double*>(src);
+}
+
+void degree_compute(pattern::ReductionObject* obj,
+                    const pattern::EdgeView& edge, const void*, const void*,
+                    const void*) {
+  const double one = 1.0;
+  if (edge.update[0]) obj->insert(edge.node[0], &one);
+  if (edge.update[1]) obj->insert(edge.node[1], &one);
+}
+
+/// Measured per-iteration time of the paper's reduction-space scheme.
+double reduction_space_vtime(const MoldynWorkload& workload, int nodes) {
+  minimpi::World world = make_world(nodes, workload.scales);
+  std::vector<double> steady(static_cast<std::size_t>(nodes), 0.0);
+  world.run([&](minimpi::Communicator& comm) {
+    DeviceConfig config{"", true, 2};
+    pattern::RuntimeEnv env(comm, make_options(workload.scales, config));
+    auto* ir = env.get_IR();
+    ir->set_edge_comp_func(degree_compute);
+    ir->set_node_reduc_func(sum_reduce);
+    std::vector<double> node_data(workload.params.num_nodes, 0.0);
+    ir->set_nodes(node_data.data(), sizeof(double), node_data.size());
+    ir->set_edges(workload.edges.data(), workload.edges.size(), nullptr, 0);
+    ir->configure_value(sizeof(double));
+    double t1 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      PSF_CHECK(ir->start().is_ok());
+      ir->update_nodedata(
+          +[](void*, const void*, const void*) {});
+      if (i == 0) t1 = comm.timeline().now();
+    }
+    steady[static_cast<std::size_t>(comm.rank())] =
+        (comm.timeline().now() - t1) / 2.0;
+  });
+  return *std::max_element(steady.begin(), steady.end());
+}
+
+/// Modeled per-iteration time of naive edge partitioning: even edge split
+/// over all devices of all nodes (no duplication), then a binomial-tree
+/// allreduce of the whole reduction array (every rank may have touched
+/// every node).
+double edge_space_vtime(const MoldynWorkload& workload, int nodes) {
+  const auto preset = timemodel::testbed_preset();
+  const auto rates = timemodel::app_rates("moldyn");
+  const double node_rate =
+      rates.cpu_device_units_per_s(preset.cpu_cores_per_node - 2,
+                                   preset.cpu_parallel_eff) +
+      2.0 * rates.gpu_device_units_per_s(preset.cpu_parallel_eff);
+  const double edges_paper = static_cast<double>(workload.edges.size()) *
+                             workload.scales.workload_scale;
+  const double compute = edges_paper / (node_rate * nodes);
+
+  // Combine: log2(P) rounds, each shipping and reducing the full array.
+  const double array_bytes = static_cast<double>(workload.params.num_nodes) *
+                             sizeof(double) * workload.scales.node_scale;
+  const auto network = timemodel::LinkModel::infiniband();
+  const double rounds = nodes > 1 ? std::ceil(std::log2(nodes)) : 0.0;
+  const double combine =
+      rounds * (network.cost(static_cast<std::size_t>(array_bytes)) +
+                array_bytes / 2.0e10 /* local element-wise reduce */);
+  return compute + combine;
+}
+
+}  // namespace
+}  // namespace psf::bench
+
+int main() {
+  using namespace psf::bench;
+  MoldynWorkload workload;
+
+  print_header(
+      "Ablation — irregular reductions: reduction-space partitioning "
+      "(paper) vs naive edge partitioning + global combine");
+  print_row({"nodes", "reduction-space", "edge-space", "paper wins by"});
+  for (int nodes : kNodeCounts) {
+    const double ours = reduction_space_vtime(workload, nodes);
+    const double naive = edge_space_vtime(workload, nodes);
+    print_row({std::to_string(nodes), fmt(ours * 1e3, 2) + " ms",
+               fmt(naive * 1e3, 2) + " ms", fmt(naive / ours, 2) + "x"});
+  }
+  std::printf(
+      "\nThe paper's scheme duplicates cross-edge computation but avoids\n"
+      "the O(N log P) combine; the naive scheme wins only when the graph\n"
+      "has no locality at all.\n");
+  std::printf("\nablation_ireduction_partition done\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// PSF — ablation microbenchmarks (google-benchmark) for the reduction
+// object: the data structure behind both generalized and irregular
+// reductions. Quantifies the design choices DESIGN.md calls out:
+//   * hash vs dense layout,
+//   * key-contention behaviour of the slot locks,
+//   * shared-memory-arena placement vs owned storage,
+//   * localization (private objects + merge) vs direct concurrent updates,
+//   * serialization round trips (the tree-combine wire format).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "pattern/reduction_object.h"
+#include "support/buffer.h"
+#include "support/rng.h"
+
+namespace {
+
+using psf::pattern::ObjectLayout;
+using psf::pattern::ReductionObject;
+
+void sum_reduce(void* dst, const void* src) {
+  *static_cast<double*>(dst) += *static_cast<const double*>(src);
+}
+
+/// Insert throughput, single thread, by layout and key universe.
+void BM_InsertSingleThread(benchmark::State& state) {
+  const auto layout = static_cast<ObjectLayout>(state.range(0));
+  const auto keys = static_cast<std::uint64_t>(state.range(1));
+  ReductionObject object(layout, keys * 2, sizeof(double), sum_reduce);
+  psf::support::Xoshiro256 rng(1);
+  const double one = 1.0;
+  for (auto _ : state) {
+    object.insert(rng.next_below(keys), &one);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertSingleThread)
+    ->ArgsProduct({{static_cast<long>(ObjectLayout::kHash),
+                    static_cast<long>(ObjectLayout::kDense)},
+                   {16, 1024, 65536}})
+    ->ArgNames({"layout", "keys"});
+
+/// Concurrent insert throughput vs key contention: few distinct keys means
+/// heavy slot-lock contention — the situation reduction localization
+/// (paper III-E) is designed to avoid.
+void BM_InsertContended(benchmark::State& state) {
+  static ReductionObject* object = nullptr;
+  if (state.thread_index() == 0) {
+    object = new ReductionObject(ObjectLayout::kHash,
+                                 static_cast<std::size_t>(state.range(0)) * 2,
+                                 sizeof(double), sum_reduce);
+  }
+  psf::support::Xoshiro256 rng(
+      static_cast<std::uint64_t>(state.thread_index()) + 7);
+  const auto keys = static_cast<std::uint64_t>(state.range(0));
+  const double one = 1.0;
+  for (auto _ : state) {
+    object->insert(rng.next_below(keys), &one);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete object;
+    object = nullptr;
+  }
+}
+BENCHMARK(BM_InsertContended)
+    ->Arg(4)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Threads(4)
+    ->ArgNames({"keys"});
+
+/// Localized reduction: per-thread private objects merged at the end —
+/// the paper's localization strategy — compared against BM_InsertContended.
+void BM_InsertLocalized(benchmark::State& state) {
+  const auto keys = static_cast<std::uint64_t>(state.range(0));
+  psf::support::Xoshiro256 rng(
+      static_cast<std::uint64_t>(state.thread_index()) + 7);
+  ReductionObject local(ObjectLayout::kHash, keys * 2, sizeof(double),
+                        sum_reduce);
+  const double one = 1.0;
+  for (auto _ : state) {
+    local.insert(rng.next_below(keys), &one);
+  }
+  // The final merge is amortized over all inserts; measure it once.
+  ReductionObject global(ObjectLayout::kHash, keys * 2, sizeof(double),
+                         sum_reduce);
+  global.merge_from(local);
+  benchmark::DoNotOptimize(global.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertLocalized)
+    ->Arg(4)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Threads(4)
+    ->ArgNames({"keys"});
+
+/// Arena-placed (simulated GPU shared memory) vs owned storage.
+void BM_ArenaPlacement(benchmark::State& state) {
+  constexpr std::size_t kKeys = 512;
+  const std::size_t bytes =
+      ReductionObject::required_bytes(kKeys, sizeof(double));
+  psf::support::AlignedBuffer arena(bytes);
+  psf::support::Xoshiro256 rng(3);
+  const double one = 1.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::memset(arena.data(), 0, arena.size());
+    state.ResumeTiming();
+    ReductionObject object(ObjectLayout::kHash, kKeys, sizeof(double),
+                           sum_reduce, arena.bytes());
+    for (int i = 0; i < 1000; ++i) {
+      object.insert(rng.next_below(kKeys), &one);
+    }
+    benchmark::DoNotOptimize(object.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ArenaPlacement);
+
+/// Serialize + merge round trip — the global tree-combine wire path.
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const auto keys = static_cast<std::uint64_t>(state.range(0));
+  ReductionObject object(ObjectLayout::kHash, keys * 2, sizeof(double),
+                         sum_reduce);
+  psf::support::Xoshiro256 rng(5);
+  const double one = 1.0;
+  for (std::uint64_t i = 0; i < keys * 4; ++i) {
+    object.insert(rng.next_below(keys), &one);
+  }
+  for (auto _ : state) {
+    const auto blob = object.serialize();
+    ReductionObject copy(ObjectLayout::kHash, keys * 2, sizeof(double),
+                         sum_reduce);
+    copy.merge_serialized(blob);
+    benchmark::DoNotOptimize(copy.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(keys));
+}
+BENCHMARK(BM_SerializeRoundTrip)->Arg(64)->Arg(4096)->ArgNames({"keys"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

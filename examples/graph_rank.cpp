@@ -1,0 +1,55 @@
+// PSF example — PageRank over a synthetic web graph: the irregular
+// reduction pattern applied to directed graph analytics (beyond the
+// paper's scientific workloads). Prints the top-ranked pages.
+//
+//   $ ./graph_rank [nodes] [pages] [links] [iterations]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/pagerank.h"
+
+int main(int argc, char** argv) {
+  psf::apps::pagerank::Params params;
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+  params.num_pages = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096;
+  params.num_links = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 65536;
+  params.iterations = argc > 4 ? std::atoi(argv[4]) : 15;
+
+  const auto links = psf::apps::pagerank::generate_links(params);
+  auto pages = psf::apps::pagerank::initial_pages(params, links);
+
+  std::printf("PageRank: %zu pages, %zu links, %d iterations on %d "
+              "simulated nodes (CPU + 2 GPUs each)\n",
+              params.num_pages, links.size(), params.iterations, nodes);
+
+  psf::minimpi::World world(nodes, psf::timemodel::LinkModel::infiniband());
+  std::vector<psf::apps::pagerank::Result> results(
+      static_cast<std::size_t>(nodes));
+  world.run([&](psf::minimpi::Communicator& comm) {
+    psf::pattern::EnvOptions options;
+    options.app_profile = "moldyn";  // irregular-reduction profile
+    options.use_cpu = true;
+    options.use_gpus = 2;
+    results[static_cast<std::size_t>(comm.rank())] =
+        psf::apps::pagerank::run_framework(comm, options, params, pages,
+                                           links);
+  });
+
+  const auto& result = results[0];
+  std::vector<std::size_t> order(params.num_pages);
+  for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.ranks[a] > result.ranks[b];
+  });
+  std::printf("  top pages:");
+  for (int i = 0; i < 5; ++i) {
+    std::printf(" #%zu(%.5f)", order[static_cast<std::size_t>(i)],
+                result.ranks[order[static_cast<std::size_t>(i)]]);
+  }
+  std::printf("\n  total rank mass   : %.6f\n", result.rank_sum);
+  std::printf("  simulated exec time: %.3f ms\n", result.vtime * 1e3);
+  std::printf("graph_rank OK\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "apps/heat3d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pattern/api.h"
+#include "support/rng.h"
+
+namespace psf::apps::heat3d {
+
+namespace {
+
+// [psf-user-code-begin]
+/// 7-point explicit diffusion update for one cell (paper's Heat3D kernel).
+DEVICE void heat_fp(const void* input, void* output, const int* offset,
+                    const int* size, const void* parameter) {
+  const double alpha = *static_cast<const double*>(parameter);
+  const int z = offset[0];
+  const int y = offset[1];
+  const int x = offset[2];
+  const double center = GET_DOUBLE3(input, size, z, y, x);
+  const double neighbors = GET_DOUBLE3(input, size, z - 1, y, x) +
+                           GET_DOUBLE3(input, size, z + 1, y, x) +
+                           GET_DOUBLE3(input, size, z, y - 1, x) +
+                           GET_DOUBLE3(input, size, z, y + 1, x) +
+                           GET_DOUBLE3(input, size, z, y, x - 1) +
+                           GET_DOUBLE3(input, size, z, y, x + 1);
+  GET_DOUBLE3(output, size, z, y, x) =
+      center + alpha * (neighbors - 6.0 * center);
+// [psf-user-code-end]
+}
+
+double checksum_of(std::span<const double> field) {
+  double sum = 0.0;
+  for (double v : field) sum += v;
+  return sum;
+}
+
+}  // namespace
+
+std::vector<double> generate_field(const Params& params) {
+  support::Xoshiro256 rng(params.seed);
+  std::vector<double> field(params.nx * params.ny * params.nz, 0.0);
+  auto at = [&](std::size_t z, std::size_t y, std::size_t x) -> double& {
+    return field[(z * params.ny + y) * params.nz + x];
+  };
+  // Hot z=0 wall and a few hot spherical spots.
+  for (std::size_t y = 0; y < params.ny; ++y) {
+    for (std::size_t x = 0; x < params.nz; ++x) at(0, y, x) = 100.0;
+  }
+  for (int spot = 0; spot < 6; ++spot) {
+    const std::size_t cz = rng.next_below(params.nx);
+    const std::size_t cy = rng.next_below(params.ny);
+    const std::size_t cx = rng.next_below(params.nz);
+    const double temperature = rng.next_in(200.0, 400.0);
+    const long long radius = 2 + static_cast<long long>(rng.next_below(3));
+    for (long long z = -radius; z <= radius; ++z) {
+      for (long long y = -radius; y <= radius; ++y) {
+        for (long long x = -radius; x <= radius; ++x) {
+          const long long zz = static_cast<long long>(cz) + z;
+          const long long yy = static_cast<long long>(cy) + y;
+          const long long xx = static_cast<long long>(cx) + x;
+          if (zz < 0 || yy < 0 || xx < 0 ||
+              zz >= static_cast<long long>(params.nx) ||
+              yy >= static_cast<long long>(params.ny) ||
+              xx >= static_cast<long long>(params.nz)) {
+            continue;
+          }
+          if (z * z + y * y + x * x <= radius * radius) {
+            at(static_cast<std::size_t>(zz), static_cast<std::size_t>(yy),
+               static_cast<std::size_t>(xx)) = temperature;
+          }
+        }
+      }
+    }
+  }
+  return field;
+}
+
+// [psf-user-code-begin]
+Result run_framework(minimpi::Communicator& comm,
+                     const pattern::EnvOptions& options, const Params& params,
+                     std::span<const double> field) {
+  pattern::RuntimeEnv env(comm, options);
+  PSF_CHECK(env.init().is_ok());
+  auto* st = env.get_ST();
+
+  const double alpha = params.alpha;
+  st->set_stencil_func(heat_fp);
+  st->set_grid(field.data(), sizeof(double),
+               {params.nx, params.ny, params.nz});
+  st->set_halo(1);
+  st->set_parameter(&alpha);
+
+  const double t0 = comm.timeline().now();
+  PSF_CHECK(st->run(params.iterations).is_ok());
+  Result result;
+  result.vtime = comm.timeline().now() - t0;
+  result.steady_vtime = st->stats().last_iteration_vtime;
+
+  result.field.assign(field.size(), 0.0);
+  st->write_back(result.field.data());
+  comm.reduce<double>(result.field, 0, [](double& a, double b) { a += b; });
+  comm.bcast(std::as_writable_bytes(std::span<double>(result.field)), 0);
+  result.checksum = checksum_of(result.field);
+  env.finalize();
+  return result;
+}
+// [psf-user-code-end]
+
+Result run_sequential(const Params& params, std::span<const double> field) {
+  std::vector<double> in(field.begin(), field.end());
+  std::vector<double> out = in;
+  const std::size_t ny = params.ny;
+  const std::size_t nz = params.nz;
+  auto index = [&](std::size_t z, std::size_t y, std::size_t x) {
+    return (z * ny + y) * nz + x;
+  };
+  for (int iteration = 0; iteration < params.iterations; ++iteration) {
+    for (std::size_t z = 1; z + 1 < params.nx; ++z) {
+      for (std::size_t y = 1; y + 1 < ny; ++y) {
+        for (std::size_t x = 1; x + 1 < nz; ++x) {
+          const double center = in[index(z, y, x)];
+          const double neighbors =
+              in[index(z - 1, y, x)] + in[index(z + 1, y, x)] +
+              in[index(z, y - 1, x)] + in[index(z, y + 1, x)] +
+              in[index(z, y, x - 1)] + in[index(z, y, x + 1)];
+          out[index(z, y, x)] =
+              center + params.alpha * (neighbors - 6.0 * center);
+        }
+      }
+    }
+    std::swap(in, out);
+  }
+  Result result;
+  result.field = std::move(in);
+  result.checksum = checksum_of(result.field);
+  const auto rates = timemodel::app_rates("heat3d");
+  result.vtime = static_cast<double>(params.nx * params.ny * params.nz) *
+                 params.iterations / rates.cpu_core_units_per_s;
+  return result;
+}
+
+}  // namespace psf::apps::heat3d

@@ -1,0 +1,46 @@
+// PSF — Pattern Specification Framework
+// Heat3D (paper Section IV-A): 7-point double-precision heat diffusion in a
+// 3-D box with fixed (Dirichlet) boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/communicator.h"
+#include "pattern/runtime_env.h"
+
+namespace psf::apps::heat3d {
+
+struct Params {
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  std::size_t nz = 64;
+  int iterations = 20;
+  double alpha = 0.1;  ///< diffusion coefficient (stable for alpha <= 1/6)
+  std::uint64_t seed = 3;
+};
+
+/// Initial temperature field: cold volume with hot spots and hot walls.
+std::vector<double> generate_field(const Params& params);
+
+struct Result {
+  std::vector<double> field;  ///< final global grid
+  double checksum = 0.0;
+  double vtime = 0.0;
+  /// Post-adaptation per-iteration virtual time (steady state, after the
+  /// profiling iteration repartitioned the devices). Benches extrapolate
+  /// the paper's long runs from this.
+  double steady_vtime = 0.0;
+};
+
+/// Framework implementation (StencilRuntime). Collective.
+Result run_framework(minimpi::Communicator& comm,
+                     const pattern::EnvOptions& options, const Params& params,
+                     std::span<const double> field);
+
+/// Single-core reference.
+Result run_sequential(const Params& params, std::span<const double> field);
+
+}  // namespace psf::apps::heat3d

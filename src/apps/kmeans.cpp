@@ -1,0 +1,179 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "pattern/api.h"
+#include "support/rng.h"
+
+namespace psf::apps::kmeans {
+
+namespace {
+
+// [psf-user-code-begin]
+/// Emit: assign one point to its nearest center and accumulate it there
+/// (the paper's gr_emit_fp for Kmeans).
+DEVICE void kmeans_emit(pattern::ReductionObject* obj, const void* input,
+                        std::size_t /*index*/, const void* parameter) {
+  const auto* param = static_cast<const EmitParameter*>(parameter);
+  const auto* point = static_cast<const float*>(input);
+  int best = 0;
+  double best_dist = 0.0;
+  for (int c = 0; c < param->num_clusters; ++c) {
+    double dist = 0.0;
+    for (int d = 0; d < kDims; ++d) {
+      const double diff =
+          static_cast<double>(point[d]) - param->centers[c * kDims + d];
+      dist += diff * diff;
+    }
+    if (c == 0 || dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  ClusterAccum accum;
+  for (int d = 0; d < kDims; ++d) accum.sum[d] = point[d];
+  accum.count = 1;
+  obj->insert(static_cast<std::uint64_t>(best), &accum);
+}
+
+/// Reduce: element-wise accumulation of cluster sums (gr_reduce_fp).
+DEVICE void kmeans_reduce(void* dst, const void* src) {
+  auto* a = static_cast<ClusterAccum*>(dst);
+  const auto* b = static_cast<const ClusterAccum*>(src);
+  for (int d = 0; d < kDims; ++d) a->sum[d] += b->sum[d];
+  a->count += b->count;
+}
+
+/// Recompute centers from a combined reduction object; clusters that lost
+/// all points keep their previous center.
+void centers_from_reduction(const pattern::ReductionObject& object,
+                            std::vector<double>& centers, int k) {
+  for (int c = 0; c < k; ++c) {
+    ClusterAccum accum;
+    if (object.lookup(static_cast<std::uint64_t>(c), &accum) &&
+        accum.count > 0) {
+      for (int d = 0; d < kDims; ++d) {
+        centers[static_cast<std::size_t>(c) * kDims + d] =
+            accum.sum[d] / accum.count;
+      }
+    }
+  }
+}
+
+}  // namespace
+// [psf-user-code-end]
+
+std::vector<float> generate_points(const Params& params) {
+  support::Xoshiro256 rng(params.seed);
+  // Blob centers spread over a [0, 100)^3 box with unit-ish spread.
+  std::vector<double> blob_centers(
+      static_cast<std::size_t>(params.num_clusters) * kDims);
+  for (auto& coordinate : blob_centers) coordinate = rng.next_in(0.0, 100.0);
+
+  std::vector<float> points(params.num_points * kDims);
+  for (std::size_t p = 0; p < params.num_points; ++p) {
+    const std::size_t blob =
+        rng.next_below(static_cast<std::uint64_t>(params.num_clusters));
+    for (int d = 0; d < kDims; ++d) {
+      points[p * kDims + static_cast<std::size_t>(d)] = static_cast<float>(
+          blob_centers[blob * kDims + static_cast<std::size_t>(d)] +
+          2.0 * rng.next_normal());
+    }
+  }
+  return points;
+}
+
+std::vector<double> initial_centers(const Params& params,
+                                    std::span<const float> points) {
+  std::vector<double> centers(
+      static_cast<std::size_t>(params.num_clusters) * kDims);
+  for (int c = 0; c < params.num_clusters; ++c) {
+    for (int d = 0; d < kDims; ++d) {
+      centers[static_cast<std::size_t>(c) * kDims + static_cast<std::size_t>(d)] =
+          static_cast<double>(
+              points[static_cast<std::size_t>(c) * kDims +
+                     static_cast<std::size_t>(d)]);
+    }
+  }
+  return centers;
+}
+
+// [psf-user-code-begin]
+Result run_framework(minimpi::Communicator& comm,
+                     const pattern::EnvOptions& options, const Params& params,
+                     std::span<const float> points) {
+  pattern::RuntimeEnv env(comm, options);
+  PSF_CHECK(env.init().is_ok());
+  auto* gr = env.get_GR();
+
+  std::vector<double> centers = initial_centers(params, points);
+  EmitParameter parameter{centers.data(), params.num_clusters};
+
+  gr->set_emit_func(kmeans_emit);
+  gr->set_reduce_func(kmeans_reduce);
+  gr->set_input(points.data(), sizeof(float) * kDims, params.num_points);
+  gr->set_parameter(&parameter);
+  gr->configure_object(static_cast<std::size_t>(params.num_clusters) * 2,
+                       sizeof(ClusterAccum));
+
+  const double t0 = comm.timeline().now();
+  for (int iteration = 0; iteration < params.iterations; ++iteration) {
+    PSF_CHECK(gr->start().is_ok());
+    const auto& global = gr->get_global_reduction();
+    centers_from_reduction(global, centers, params.num_clusters);
+  }
+  Result result;
+  result.centers = std::move(centers);
+  result.vtime = comm.timeline().now() - t0;
+  result.steady_vtime = result.vtime / params.iterations;
+  env.finalize();
+  return result;
+}
+// [psf-user-code-end]
+
+Result run_sequential(const Params& params, std::span<const float> points) {
+  std::vector<double> centers = initial_centers(params, points);
+  const std::size_t k = static_cast<std::size_t>(params.num_clusters);
+  for (int iteration = 0; iteration < params.iterations; ++iteration) {
+    std::vector<ClusterAccum> accums(k);
+    for (std::size_t p = 0; p < params.num_points; ++p) {
+      const float* point = points.data() + p * kDims;
+      std::size_t best = 0;
+      double best_dist = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (int d = 0; d < kDims; ++d) {
+          const double diff = static_cast<double>(point[d]) -
+                              centers[c * kDims + static_cast<std::size_t>(d)];
+          dist += diff * diff;
+        }
+        if (c == 0 || dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      for (int d = 0; d < kDims; ++d) {
+        accums[best].sum[d] += static_cast<double>(point[d]);
+      }
+      accums[best].count += 1;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (accums[c].count > 0) {
+        for (int d = 0; d < kDims; ++d) {
+          centers[c * kDims + static_cast<std::size_t>(d)] =
+              accums[c].sum[d] / accums[c].count;
+        }
+      }
+    }
+  }
+  Result result;
+  result.centers = std::move(centers);
+  // Virtual cost of the single-core run, from the same calibration.
+  const auto rates = timemodel::app_rates("kmeans");
+  result.vtime = static_cast<double>(params.num_points) * params.iterations /
+                 rates.cpu_core_units_per_s;
+  return result;
+}
+
+}  // namespace psf::apps::kmeans

@@ -1,0 +1,62 @@
+// PSF — Pattern Specification Framework
+// Kmeans (paper Section IV-A): the generalized-reduction evaluation app.
+// Points are 3-D floats; each iteration assigns points to the nearest of k
+// centers and recomputes the centers from the per-cluster sums.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/communicator.h"
+#include "pattern/runtime_env.h"
+
+namespace psf::apps::kmeans {
+
+inline constexpr int kDims = 3;
+
+struct Params {
+  std::size_t num_points = 100000;
+  int num_clusters = 40;
+  int iterations = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Per-cluster accumulator: the reduction value.
+struct ClusterAccum {
+  double sum[kDims] = {};
+  double count = 0;
+};
+
+/// Parameter block passed through the runtime to the emit function.
+struct EmitParameter {
+  const double* centers = nullptr;
+  int num_clusters = 0;
+};
+
+/// Synthesize `num_points` points drawn from `num_clusters` Gaussian blobs
+/// (the synthetic stand-in for the paper's 200M-point dataset).
+std::vector<float> generate_points(const Params& params);
+
+/// Deterministic initial centers (the first k points).
+std::vector<double> initial_centers(const Params& params,
+                                    std::span<const float> points);
+
+struct Result {
+  std::vector<double> centers;  ///< k * kDims, row per cluster
+  double vtime = 0.0;           ///< virtual seconds for all iterations
+  double steady_vtime = 0.0;    ///< virtual seconds per iteration
+};
+
+/// Framework implementation: call inside a World rank. Collective; every
+/// rank returns the same centers.
+Result run_framework(minimpi::Communicator& comm,
+                     const pattern::EnvOptions& options, const Params& params,
+                     std::span<const float> points);
+
+/// Single-core reference implementation (ground truth for tests and the
+/// speedup baseline).
+Result run_sequential(const Params& params, std::span<const float> points);
+
+}  // namespace psf::apps::kmeans

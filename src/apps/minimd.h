@@ -1,0 +1,70 @@
+// PSF — Pattern Specification Framework
+// MiniMD (paper Section IV-A): the Mantevo molecular-dynamics mini-app.
+// Lennard-Jones force over a cell-built neighbor list (irregular reduction,
+// with the list rebuilt every few steps via reset_edges), velocity-Verlet
+// style integration, and generalized-reduction energy kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/communicator.h"
+#include "pattern/ireduction.h"
+#include "pattern/runtime_env.h"
+
+namespace psf::apps::minimd {
+
+struct Params {
+  std::size_t num_atoms = 4096;
+  /// Lattice cross-section (atoms per side in x and y); 0 = cubic box.
+  /// Benches elongate the box (small side_xy) so a scaled-down system keeps
+  /// the paper's surface-to-volume ratio under 1-D atom decomposition.
+  std::size_t side_xy = 0;
+  double spacing = 1.2;    ///< initial simple-cubic lattice spacing (sigma)
+  double cutoff = 2.5;     ///< LJ force cutoff (sigma)
+  double skin = 0.3;       ///< neighbor-list skin distance
+  int iterations = 10;
+  int rebuild_every = 5;   ///< neighbor-list rebuild period
+  double dt = 5.0e-4;
+  std::uint64_t seed = 11;
+};
+
+struct Atom {
+  double pos[3] = {};
+  double vel[3] = {};
+};
+
+/// Atoms on a simple cubic lattice with small random velocities.
+std::vector<Atom> generate_atoms(const Params& params);
+
+/// Edge length of the cubic domain for `params`.
+double box_edge(const Params& params);
+
+/// Cell-binned neighbor list: pairs (u < v) within cutoff + skin.
+std::vector<pattern::Edge> build_neighbor_list(const Params& params,
+                                               std::span<const Atom> atoms);
+
+struct Result {
+  double kinetic_energy = 0.0;
+  double temperature = 0.0;
+  double position_checksum = 0.0;
+  std::size_t last_edge_count = 0;
+  double vtime = 0.0;
+  /// Post-adaptation per-iteration virtual time (steady state, after the
+  /// profiling iteration repartitioned the devices). Benches extrapolate
+  /// the paper's long runs from this.
+  double steady_vtime = 0.0;
+};
+
+/// Framework implementation. Collective; `atoms` is the mutable global
+/// atom array (the simulated input/checkpoint files).
+Result run_framework(minimpi::Communicator& comm,
+                     const pattern::EnvOptions& options, const Params& params,
+                     std::span<Atom> atoms);
+
+/// Single-core reference with identical physics and rebuild schedule.
+Result run_sequential(const Params& params, std::span<Atom> atoms);
+
+}  // namespace psf::apps::minimd

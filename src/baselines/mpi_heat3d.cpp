@@ -1,0 +1,193 @@
+#include "baselines/mpi_heat3d.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "timemodel/rates.h"
+
+namespace psf::baselines::mpi_heat3d {
+
+// [psf-user-code-begin]
+namespace {
+
+// Hand-written application: explicit (z, y) process grid, explicit strided
+// packing for the y-direction faces, blocking exchange, full-sub-grid
+// compute after the exchange.
+
+std::size_t block_begin(std::size_t total, int parts, int index) {
+  const std::size_t base = total / static_cast<std::size_t>(parts);
+  const std::size_t extra = total % static_cast<std::size_t>(parts);
+  const std::size_t i = static_cast<std::size_t>(index);
+  return i * base + std::min<std::size_t>(i, extra);
+}
+
+struct Decomp {
+  int pz = 1, py = 1;
+  int cz = 0, cy = 0;
+  std::size_t nz = 0, ny = 0, nx = 0;
+  std::size_t off_z = 0, off_y = 0;
+  int up = -1, down = -1, north = -1, south = -1;
+};
+
+Decomp make_decomp(int rank, int size, std::size_t gz, std::size_t gy,
+                   std::size_t gx) {
+  Decomp decomp;
+  int pz = 1;
+  for (int f = 1; f * f <= size; ++f) {
+    if (size % f == 0) pz = f;
+  }
+  int py = size / pz;
+  if (pz < py) std::swap(pz, py);
+  decomp.pz = pz;
+  decomp.py = py;
+  decomp.cz = rank / py;
+  decomp.cy = rank % py;
+  decomp.off_z = block_begin(gz, pz, decomp.cz);
+  decomp.nz = block_begin(gz, pz, decomp.cz + 1) - decomp.off_z;
+  decomp.off_y = block_begin(gy, py, decomp.cy);
+  decomp.ny = block_begin(gy, py, decomp.cy + 1) - decomp.off_y;
+  decomp.nx = gx;
+  decomp.up = decomp.cz > 0 ? rank - py : -1;
+  decomp.down = decomp.cz + 1 < pz ? rank + py : -1;
+  decomp.north = decomp.cy > 0 ? rank - 1 : -1;
+  decomp.south = decomp.cy + 1 < py ? rank + 1 : -1;
+  return decomp;
+}
+
+}  // namespace
+
+Result run(minimpi::Communicator& comm, const apps::heat3d::Params& params,
+           std::span<const double> field, double workload_scale) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const Decomp decomp =
+      make_decomp(rank, size, params.nx, params.ny, params.nz);
+  // Padded local array: (nz+2) x (ny+2) x nx — x is never partitioned, so
+  // only z and y need halos.
+  const std::size_t pz = decomp.nz + 2;
+  const std::size_t py = decomp.ny + 2;
+  const std::size_t px = decomp.nx;
+  auto at = [&](std::size_t z, std::size_t y, std::size_t x) {
+    return (z * py + y) * px + x;
+  };
+
+  std::vector<double> in(pz * py * px, 0.0);
+  for (std::size_t z = 0; z < pz; ++z) {
+    for (std::size_t y = 0; y < py; ++y) {
+      const long long gz = static_cast<long long>(decomp.off_z + z) - 1;
+      const long long gy = static_cast<long long>(decomp.off_y + y) - 1;
+      if (gz < 0 || gz >= static_cast<long long>(params.nx) || gy < 0 ||
+          gy >= static_cast<long long>(params.ny)) {
+        continue;
+      }
+      std::memcpy(&in[at(z, y, 0)],
+                  &field[(static_cast<std::size_t>(gz) * params.ny +
+                          static_cast<std::size_t>(gy)) *
+                         params.nz],
+                  px * sizeof(double));
+    }
+  }
+  std::vector<double> out = in;
+
+  const auto rates = timemodel::app_rates("heat3d");
+  const double t0 = comm.timeline().now();
+  constexpr int kTagZ = 401;
+  constexpr int kTagY = 402;
+  const std::size_t z_plane = py * px;  // contiguous z faces
+  std::vector<double> y_send(pz * px);
+  std::vector<double> y_recv(pz * px);
+
+  for (int iteration = 0; iteration < params.iterations; ++iteration) {
+    // --- z faces: contiguous planes, blocking exchange ------------------
+    if (decomp.up >= 0) {
+      comm.send_span<double>(
+          decomp.up, kTagZ,
+          std::span<const double>(&in[at(1, 0, 0)], z_plane));
+    }
+    if (decomp.down >= 0) {
+      comm.send_span<double>(
+          decomp.down, kTagZ,
+          std::span<const double>(&in[at(decomp.nz, 0, 0)], z_plane));
+      comm.recv_span<double>(
+          decomp.down, kTagZ,
+          std::span<double>(&in[at(decomp.nz + 1, 0, 0)], z_plane));
+    }
+    if (decomp.up >= 0) {
+      comm.recv_span<double>(decomp.up, kTagZ,
+                             std::span<double>(&in[at(0, 0, 0)], z_plane));
+    }
+
+    // --- y faces: strided, explicit pack/unpack over full padded z ------
+    if (decomp.north >= 0) {
+      for (std::size_t z = 0; z < pz; ++z) {
+        std::memcpy(&y_send[z * px], &in[at(z, 1, 0)], px * sizeof(double));
+      }
+      comm.send_span<double>(decomp.north, kTagY, y_send);
+    }
+    if (decomp.south >= 0) {
+      for (std::size_t z = 0; z < pz; ++z) {
+        std::memcpy(&y_send[z * px], &in[at(z, decomp.ny, 0)],
+                    px * sizeof(double));
+      }
+      comm.send_span<double>(decomp.south, kTagY, y_send);
+      comm.recv_span<double>(decomp.south, kTagY, y_recv);
+      for (std::size_t z = 0; z < pz; ++z) {
+        std::memcpy(&in[at(z, decomp.ny + 1, 0)], &y_recv[z * px],
+                    px * sizeof(double));
+      }
+    }
+    if (decomp.north >= 0) {
+      comm.recv_span<double>(decomp.north, kTagY, y_recv);
+      for (std::size_t z = 0; z < pz; ++z) {
+        std::memcpy(&in[at(z, 0, 0)], &y_recv[z * px], px * sizeof(double));
+      }
+    }
+    comm.timeline().advance(static_cast<double>(pz * px) * 8.0 * 4.0 *
+                            workload_scale / 2.0e10);
+
+    // --- compute the whole sub-grid after the exchange ------------------
+    for (std::size_t z = 1; z <= decomp.nz; ++z) {
+      for (std::size_t y = 1; y <= decomp.ny; ++y) {
+        for (std::size_t x = 0; x < px; ++x) {
+          const std::size_t gz = decomp.off_z + z - 1;
+          const std::size_t gy = decomp.off_y + y - 1;
+          if (gz == 0 || gz + 1 >= params.nx || gy == 0 ||
+              gy + 1 >= params.ny || x == 0 || x + 1 >= px) {
+            out[at(z, y, x)] = in[at(z, y, x)];  // fixed boundary
+          } else {
+            const double center = in[at(z, y, x)];
+            const double neighbors = in[at(z - 1, y, x)] +
+                                     in[at(z + 1, y, x)] +
+                                     in[at(z, y - 1, x)] +
+                                     in[at(z, y + 1, x)] +
+                                     in[at(z, y, x - 1)] +
+                                     in[at(z, y, x + 1)];
+            out[at(z, y, x)] =
+                center + params.alpha * (neighbors - 6.0 * center);
+          }
+        }
+      }
+    }
+    comm.timeline().advance(static_cast<double>(decomp.nz * decomp.ny * px) *
+                            workload_scale / rates.cpu_core_units_per_s);
+    std::swap(in, out);
+  }
+
+  Result result;
+  result.vtime = comm.timeline().now() - t0;
+  result.field.assign(params.nx * params.ny * params.nz, 0.0);
+  for (std::size_t z = 0; z < decomp.nz; ++z) {
+    for (std::size_t y = 0; y < decomp.ny; ++y) {
+      std::memcpy(&result.field[((decomp.off_z + z) * params.ny +
+                                 decomp.off_y + y) *
+                                params.nz],
+                  &in[at(z + 1, y + 1, 0)], px * sizeof(double));
+    }
+  }
+  comm.reduce<double>(result.field, 0, [](double& a, double b) { a += b; });
+  comm.bcast(std::as_writable_bytes(std::span<double>(result.field)), 0);
+  return result;
+}
+// [psf-user-code-end]
+
+}  // namespace psf::baselines::mpi_heat3d

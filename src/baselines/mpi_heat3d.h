@@ -1,0 +1,24 @@
+// PSF — hand-written MPI Heat3D baseline.
+// Models the widely distributed MPI heat-equation code the paper compares
+// against: one MPI process per core, 2-D (z, y) decomposition, blocking
+// halo exchange, compute after exchange (no overlap), CPU only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/heat3d.h"
+#include "minimpi/communicator.h"
+
+namespace psf::baselines::mpi_heat3d {
+
+struct Result {
+  std::vector<double> field;  ///< assembled global result
+  double vtime = 0.0;
+};
+
+/// Run inside a World whose size is (nodes x cores-per-node). Collective.
+Result run(minimpi::Communicator& comm, const apps::heat3d::Params& params,
+           std::span<const double> field, double workload_scale = 1.0);
+
+}  // namespace psf::baselines::mpi_heat3d

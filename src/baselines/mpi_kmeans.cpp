@@ -1,0 +1,121 @@
+#include "baselines/mpi_kmeans.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "timemodel/rates.h"
+
+namespace psf::baselines::mpi_kmeans {
+
+// [psf-user-code-begin]
+namespace {
+
+// Everything below is the hand-written application: explicit partitioning,
+// explicit local accumulation buffers, explicit global combination.
+
+struct LocalSums {
+  std::vector<double> sums;    // k * 3
+  std::vector<double> counts;  // k
+};
+
+void assign_and_accumulate(const float* points, std::size_t begin,
+                           std::size_t end, const std::vector<double>& centers,
+                           int k, LocalSums* local) {
+  for (std::size_t p = begin; p < end; ++p) {
+    const float* point = points + p * 3;
+    int best = 0;
+    double best_dist = 0.0;
+    for (int c = 0; c < k; ++c) {
+      double dist = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        const double diff =
+            static_cast<double>(point[d]) - centers[c * 3 + d];
+        dist += diff * diff;
+      }
+      if (c == 0 || dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    for (int d = 0; d < 3; ++d) {
+      local->sums[static_cast<std::size_t>(best) * 3 +
+                  static_cast<std::size_t>(d)] +=
+          static_cast<double>(point[d]);
+    }
+    local->counts[static_cast<std::size_t>(best)] += 1.0;
+  }
+}
+
+}  // namespace
+
+Result run(minimpi::Communicator& comm, const apps::kmeans::Params& params,
+           std::span<const float> points, double workload_scale) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const int k = params.num_clusters;
+
+  // Manual block partition of the input points.
+  const std::size_t total = params.num_points;
+  const std::size_t base = total / static_cast<std::size_t>(size);
+  const std::size_t extra = total % static_cast<std::size_t>(size);
+  const std::size_t my_begin =
+      static_cast<std::size_t>(rank) * base +
+      std::min<std::size_t>(static_cast<std::size_t>(rank), extra);
+  const std::size_t my_count =
+      base + (static_cast<std::size_t>(rank) < extra ? 1 : 0);
+
+  // Initial centers: the first k points, computed locally by every rank.
+  std::vector<double> centers(static_cast<std::size_t>(k) * 3);
+  for (int c = 0; c < k; ++c) {
+    for (int d = 0; d < 3; ++d) {
+      centers[static_cast<std::size_t>(c) * 3 + static_cast<std::size_t>(d)] =
+          static_cast<double>(
+              points[static_cast<std::size_t>(c) * 3 +
+                     static_cast<std::size_t>(d)]);
+    }
+  }
+
+  const auto rates = timemodel::app_rates("kmeans");
+  const double t0 = comm.timeline().now();
+
+  for (int iteration = 0; iteration < params.iterations; ++iteration) {
+    LocalSums local;
+    local.sums.assign(static_cast<std::size_t>(k) * 3, 0.0);
+    local.counts.assign(static_cast<std::size_t>(k), 0.0);
+    assign_and_accumulate(points.data(), my_begin, my_begin + my_count,
+                          centers, k, &local);
+    comm.timeline().advance(static_cast<double>(my_count) * workload_scale /
+                            rates.cpu_core_units_per_s);
+
+    // Pack sums and counts into one buffer for a single Allreduce, the way
+    // the distributed kernel does it.
+    std::vector<double> packed(static_cast<std::size_t>(k) * 4);
+    std::memcpy(packed.data(), local.sums.data(),
+                local.sums.size() * sizeof(double));
+    std::memcpy(packed.data() + static_cast<std::size_t>(k) * 3,
+                local.counts.data(), local.counts.size() * sizeof(double));
+    comm.allreduce<double>(packed, [](double& a, double b) { a += b; });
+
+    for (int c = 0; c < k; ++c) {
+      const double count = packed[static_cast<std::size_t>(k) * 3 +
+                                  static_cast<std::size_t>(c)];
+      if (count > 0.0) {
+        for (int d = 0; d < 3; ++d) {
+          centers[static_cast<std::size_t>(c) * 3 +
+                  static_cast<std::size_t>(d)] =
+              packed[static_cast<std::size_t>(c) * 3 +
+                     static_cast<std::size_t>(d)] /
+              count;
+        }
+      }
+    }
+  }
+
+  Result result;
+  result.centers = std::move(centers);
+  result.vtime = comm.timeline().now() - t0;
+  return result;
+}
+// [psf-user-code-end]
+
+}  // namespace psf::baselines::mpi_kmeans

@@ -1,0 +1,26 @@
+// PSF — hand-written MPI Kmeans baseline.
+// Models the widely distributed MPI kernel the paper compares against
+// (one MPI process per CPU core, blocking collectives, CPU only). Written
+// deliberately in classic rank-loop MPI style; the whole implementation is
+// what the application developer must write without the framework.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "minimpi/communicator.h"
+
+namespace psf::baselines::mpi_kmeans {
+
+struct Result {
+  std::vector<double> centers;
+  double vtime = 0.0;
+};
+
+/// Run inside a World whose size is (nodes x cores-per-node). Collective.
+/// `workload_scale` prices the run at paper scale like the framework does.
+Result run(minimpi::Communicator& comm, const apps::kmeans::Params& params,
+           std::span<const float> points, double workload_scale = 1.0);
+
+}  // namespace psf::baselines::mpi_kmeans

@@ -1,0 +1,31 @@
+// PSF — hand-written MPI MiniMD baseline.
+// Models the Mantevo MPI implementation the paper compares against: one
+// process per core, atom (block) decomposition, a blocking allgather of all
+// positions each step (no communication/computation overlap), neighbor
+// lists rebuilt on a fixed schedule, CPU only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/minimd.h"
+#include "minimpi/communicator.h"
+
+namespace psf::baselines::mpi_minimd {
+
+struct Result {
+  double kinetic_energy = 0.0;
+  double temperature = 0.0;
+  double position_checksum = 0.0;
+  std::size_t last_edge_count = 0;
+  double vtime = 0.0;
+};
+
+/// Run inside a World with ONE rank per node: the Mantevo code is
+/// MPI+OpenMP, one process per node with `omp_threads` worker threads.
+/// `atoms` is the shared global array (the simulated input files).
+Result run(minimpi::Communicator& comm, const apps::minimd::Params& params,
+           std::span<apps::minimd::Atom> atoms, double workload_scale = 1.0,
+           int omp_threads = 12);
+
+}  // namespace psf::baselines::mpi_minimd

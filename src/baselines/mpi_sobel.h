@@ -1,0 +1,24 @@
+// PSF — hand-written MPI Sobel baseline.
+// Models the UPC/GWU benchmark-suite style implementation the paper
+// compares against: one MPI process per core, 2-D block decomposition,
+// blocking halo exchange (no overlap, no tiling), CPU only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/sobel.h"
+#include "minimpi/communicator.h"
+
+namespace psf::baselines::mpi_sobel {
+
+struct Result {
+  std::vector<float> image;  ///< assembled global result
+  double vtime = 0.0;
+};
+
+/// Run inside a World whose size is (nodes x cores-per-node). Collective.
+Result run(minimpi::Communicator& comm, const apps::sobel::Params& params,
+           std::span<const float> image, double workload_scale = 1.0);
+
+}  // namespace psf::baselines::mpi_sobel

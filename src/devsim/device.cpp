@@ -1,0 +1,236 @@
+#include "devsim/device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "support/sync.h"
+
+namespace psf::devsim {
+
+namespace {
+/// Host worker threads per device. The simulation host may have few cores;
+/// a small pool still exercises concurrent block execution (atomics, arena
+/// isolation) without oversubscribing the machine.
+constexpr std::size_t kMaxHostWorkers = 4;
+}  // namespace
+
+// --- DeviceBuffer -----------------------------------------------------------
+
+DeviceBuffer::DeviceBuffer(Device* owner, std::size_t bytes)
+    : owner_(owner), storage_(bytes) {}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)),
+      storage_(std::move(other.storage_)) {}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    owner_ = std::exchange(other.owner_, nullptr);
+    storage_ = std::move(other.storage_);
+  }
+  return *this;
+}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+void DeviceBuffer::release() noexcept {
+  if (owner_ != nullptr) {
+    owner_->memory_in_use_ -= storage_.size();
+    owner_ = nullptr;
+  }
+  storage_.resize(0);
+}
+
+// --- Device -----------------------------------------------------------------
+
+Device::Device(DeviceDescriptor descriptor, timemodel::Timeline& host)
+    : descriptor_(descriptor), host_(&host) {
+  PSF_CHECK_MSG(descriptor_.compute_units > 0,
+                "device needs at least one compute unit");
+  const std::size_t workers = std::min<std::size_t>(
+      kMaxHostWorkers, static_cast<std::size_t>(descriptor_.compute_units));
+  pool_ = std::make_unique<support::ThreadPool>(workers);
+}
+
+Device::~Device() = default;
+
+support::StatusOr<DeviceBuffer> Device::alloc(std::size_t bytes) {
+  if (memory_in_use_ + bytes > descriptor_.memory_bytes) {
+    return support::Status::resource_exhausted(
+        descriptor_.name() + ": allocation of " + std::to_string(bytes) +
+        " bytes exceeds capacity (" + std::to_string(memory_in_use_) + "/" +
+        std::to_string(descriptor_.memory_bytes) + " in use)");
+  }
+  memory_in_use_ += bytes;
+  return DeviceBuffer(this, bytes);
+}
+
+std::size_t Device::usable_shared_memory() const noexcept {
+  // Fermi on-chip memory is 64 KB split 48/16 between shared memory and L1
+  // depending on the cache preference (paper Section III-E).
+  if (!is_gpu()) return descriptor_.shared_memory_per_sm;
+  constexpr std::size_t kOnChip = 64 * 1024;
+  return cache_preference_ == CachePreference::kPreferShared
+             ? kOnChip - 16 * 1024
+             : kOnChip - 48 * 1024;
+}
+
+void Device::run_blocks(
+    int num_blocks, std::size_t shared_bytes,
+    const std::function<void(const BlockContext&)>& body) {
+  PSF_CHECK(num_blocks >= 0);
+  if (num_blocks == 0) return;
+  PSF_CHECK_MSG(shared_bytes <= usable_shared_memory(),
+                descriptor_.name() << ": block requests " << shared_bytes
+                                   << " bytes of shared memory, only "
+                                   << usable_shared_memory() << " usable");
+  // Each concurrent worker gets its own arena; blocks reuse arenas as they
+  // are scheduled, exactly like SMs reuse shared memory across blocks.
+  const std::size_t concurrency = pool_->size() + 1;
+  std::vector<support::AlignedBuffer> arenas(concurrency);
+  for (auto& arena : arenas) arena.resize(shared_bytes);
+
+  // Arena checkout stack: at most `concurrency` blocks run at once, so a
+  // popped arena is exclusively owned until the block finishes.
+  support::SpinLock arena_lock;
+  std::vector<std::size_t> free_arenas(concurrency);
+  for (std::size_t i = 0; i < concurrency; ++i) free_arenas[i] = i;
+
+  pool_->parallel_for(
+      static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
+        std::size_t slot;
+        {
+          std::lock_guard<support::SpinLock> guard(arena_lock);
+          PSF_CHECK_MSG(!free_arenas.empty(), "arena pool underflow");
+          slot = free_arenas.back();
+          free_arenas.pop_back();
+        }
+        auto& arena = arenas[slot];
+        if (!arena.empty()) std::memset(arena.data(), 0, arena.size());
+        BlockContext ctx;
+        ctx.block_id = static_cast<int>(block);
+        ctx.num_blocks = num_blocks;
+        ctx.shared = arena.bytes();
+        body(ctx);
+        {
+          std::lock_guard<support::SpinLock> guard(arena_lock);
+          free_arenas.push_back(slot);
+        }
+      });
+}
+
+Stream& Device::stream(int index) {
+  PSF_CHECK(index >= 0 && index < 64);
+  while (static_cast<int>(streams_.size()) <= index) {
+    streams_.push_back(std::make_unique<Stream>(*this, *host_));
+  }
+  return *streams_[static_cast<std::size_t>(index)];
+}
+
+void Device::synchronize_all(timemodel::Timeline& host) {
+  for (auto& stream : streams_) {
+    host.merge(stream->lane_time());
+  }
+}
+
+// --- Stream -----------------------------------------------------------------
+
+double Stream::begin() noexcept {
+  // An async op cannot start before it is enqueued (host time) nor before
+  // the stream's previous op finished (in-order streams).
+  lane_ = std::max(lane_, host_->now());
+  return lane_;
+}
+
+void Stream::copy_h2d(std::span<std::byte> dst,
+                      std::span<const std::byte> src) {
+  PSF_CHECK_MSG(dst.size() >= src.size(), "copy_h2d destination too small");
+  begin();
+  std::memcpy(dst.data(), src.data(), src.size());
+  lane_ += device_->descriptor().h2d_link.cost(src.size());
+}
+
+void Stream::copy_d2h(std::span<std::byte> dst,
+                      std::span<const std::byte> src) {
+  PSF_CHECK_MSG(dst.size() >= src.size(), "copy_d2h destination too small");
+  begin();
+  std::memcpy(dst.data(), src.data(), src.size());
+  lane_ += device_->descriptor().h2d_link.cost(src.size());
+}
+
+void Stream::copy_peer(std::span<std::byte> dst, Stream& peer,
+                       std::span<const std::byte> src,
+                       const timemodel::LinkModel& link) {
+  PSF_CHECK_MSG(dst.size() >= src.size(), "copy_peer destination too small");
+  begin();
+  peer.begin();
+  std::memcpy(dst.data(), src.data(), src.size());
+  // Both endpoints are busy for the duration; bi-directional transfers on
+  // the PCIe bus proceed concurrently (cudaMemcpyPeerAsync semantics).
+  const double done = std::max(lane_, peer.lane_) + link.cost(src.size());
+  lane_ = done;
+  peer.lane_ = done;
+}
+
+void Stream::launch(int num_blocks, std::size_t shared_bytes,
+                    double work_units,
+                    const std::function<void(const BlockContext&)>& body) {
+  begin();
+  device_->run_blocks(num_blocks, shared_bytes, body);
+  lane_ += device_->kernel_cost(work_units);
+}
+
+void Stream::charge(double seconds) {
+  PSF_CHECK(seconds >= 0.0);
+  begin();
+  lane_ += seconds;
+}
+
+void Stream::synchronize() { host_->merge(lane_); }
+
+// --- node factory -----------------------------------------------------------
+
+std::vector<std::unique_ptr<Device>> make_node_devices(
+    const timemodel::ClusterPreset& preset, timemodel::Timeline& host,
+    std::size_t gpu_memory_bytes) {
+  std::vector<std::unique_ptr<Device>> devices;
+  DeviceDescriptor cpu;
+  cpu.type = DeviceType::kCpu;
+  cpu.id = 0;
+  cpu.compute_units = preset.cpu_cores_per_node;
+  cpu.memory_bytes = std::size_t{47} * 1024 * 1024 * 1024;
+  cpu.shared_memory_per_sm = 256 * 1024;  // models per-core L2 working set
+  devices.push_back(std::make_unique<Device>(cpu, host));
+  devices.back()->set_overheads(preset.overheads);
+
+  for (int g = 0; g < preset.gpus_per_node; ++g) {
+    DeviceDescriptor gpu;
+    gpu.type = DeviceType::kGpu;
+    gpu.id = g + 1;
+    gpu.compute_units = 14;  // M2070: 14 SMs
+    gpu.memory_bytes = gpu_memory_bytes;
+    gpu.shared_memory_per_sm = 48 * 1024;
+    gpu.h2d_link = preset.pcie;
+    devices.push_back(std::make_unique<Device>(gpu, host));
+    devices.back()->set_overheads(preset.overheads);
+  }
+  for (int m = 0; m < preset.mics_per_node; ++m) {
+    // Knights-Corner-class coprocessor: many small x86 cores, regular
+    // caches (no SM shared memory), data shipped over PCIe like a GPU.
+    DeviceDescriptor mic;
+    mic.type = DeviceType::kMic;
+    mic.id = preset.gpus_per_node + m + 1;
+    mic.compute_units = 60;
+    mic.memory_bytes = std::size_t{8} * 1024 * 1024 * 1024;
+    mic.shared_memory_per_sm = 512 * 1024;  // per-core L2 working set
+    mic.h2d_link = preset.pcie;
+    devices.push_back(std::make_unique<Device>(mic, host));
+    devices.back()->set_overheads(preset.overheads);
+  }
+  return devices;
+}
+
+}  // namespace psf::devsim

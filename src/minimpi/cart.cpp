@@ -1,0 +1,83 @@
+#include "minimpi/cart.h"
+
+#include <algorithm>
+
+namespace psf::minimpi {
+
+CartComm::CartComm(Communicator& comm, std::vector<int> dims,
+                   std::vector<bool> periodic)
+    : comm_(&comm), dims_(std::move(dims)), periodic_(std::move(periodic)) {
+  PSF_CHECK_MSG(!dims_.empty() && dims_.size() <= 3,
+                "CartComm supports 1-3 dimensions");
+  PSF_CHECK_MSG(periodic_.size() == dims_.size(),
+                "periodic flags must match dims");
+  long long product = 1;
+  for (int d : dims_) {
+    PSF_CHECK_MSG(d > 0, "dimension extents must be positive");
+    product *= d;
+  }
+  PSF_CHECK_MSG(product == comm.size(),
+                "dims product " << product << " != world size "
+                                << comm.size());
+  coords_ = rank_to_coords(comm.rank());
+}
+
+std::vector<int> CartComm::choose_dims(int size, int ndims) {
+  PSF_CHECK(size > 0 && ndims >= 1 && ndims <= 3);
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Greedily peel prime factors (largest first) onto the smallest dimension.
+  std::vector<int> factors;
+  int n = size;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> CartComm::rank_to_coords(int rank) const {
+  PSF_CHECK(rank >= 0 && rank < comm_->size());
+  std::vector<int> coords(dims_.size());
+  int remainder = rank;
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    coords[d] = remainder % dims_[d];
+    remainder /= dims_[d];
+  }
+  return coords;
+}
+
+int CartComm::coords_to_rank(const std::vector<int>& coords) const {
+  PSF_CHECK(coords.size() == dims_.size());
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    PSF_CHECK_MSG(coords[d] >= 0 && coords[d] < dims_[d],
+                  "coordinate " << coords[d] << " out of range for dim " << d);
+    rank = rank * dims_[d] + coords[d];
+  }
+  return rank;
+}
+
+int CartComm::neighbor(int dim, int disp) const {
+  PSF_CHECK(dim >= 0 && dim < ndims());
+  PSF_CHECK_MSG(disp == 1 || disp == -1, "neighbor displacement must be ±1");
+  std::vector<int> coords = coords_;
+  int c = coords[static_cast<std::size_t>(dim)] + disp;
+  const int extent = dims_[static_cast<std::size_t>(dim)];
+  if (c < 0 || c >= extent) {
+    if (!periodic_[static_cast<std::size_t>(dim)]) return kNoNeighbor;
+    c = (c + extent) % extent;
+  }
+  coords[static_cast<std::size_t>(dim)] = c;
+  return coords_to_rank(coords);
+}
+
+}  // namespace psf::minimpi

@@ -1,0 +1,56 @@
+// PSF — Pattern Specification Framework
+// Cartesian process topology for the stencil runtime: maps ranks onto a
+// virtual processor grid (as the paper's stencil runtime expects the user to
+// supply), with coordinate/rank conversion and neighbor shifts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "minimpi/communicator.h"
+#include "support/error.h"
+
+namespace psf::minimpi {
+
+/// Rank of a missing neighbor at a non-periodic boundary.
+inline constexpr int kNoNeighbor = -2;
+
+/// Up to 3-dimensional Cartesian topology over an existing Communicator.
+/// Row-major rank ordering (the last dimension varies fastest).
+class CartComm {
+ public:
+  /// `dims` must multiply to comm.size(). `periodic[d]` wraps dimension d.
+  CartComm(Communicator& comm, std::vector<int> dims,
+           std::vector<bool> periodic);
+
+  /// Pick a balanced factorization of `size` into `ndims` dimensions, most
+  /// populous dimension first (mirrors MPI_Dims_create).
+  static std::vector<int> choose_dims(int size, int ndims);
+
+  [[nodiscard]] Communicator& comm() noexcept { return *comm_; }
+  [[nodiscard]] int ndims() const noexcept {
+    return static_cast<int>(dims_.size());
+  }
+  [[nodiscard]] const std::vector<int>& dims() const noexcept { return dims_; }
+
+  /// Coordinates of this rank.
+  [[nodiscard]] const std::vector<int>& coords() const noexcept {
+    return coords_;
+  }
+
+  [[nodiscard]] std::vector<int> rank_to_coords(int rank) const;
+  [[nodiscard]] int coords_to_rank(const std::vector<int>& coords) const;
+
+  /// Neighbor at displacement `disp` (+1/-1) along `dim`; kNoNeighbor if the
+  /// shift falls off a non-periodic edge.
+  [[nodiscard]] int neighbor(int dim, int disp) const;
+
+ private:
+  Communicator* comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+  std::vector<int> coords_;
+};
+
+}  // namespace psf::minimpi

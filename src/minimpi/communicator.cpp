@@ -1,0 +1,273 @@
+#include "minimpi/communicator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/sync.h"
+
+namespace psf::minimpi {
+
+// Shared state for the virtual-time-aware barrier: a cyclic rendezvous that
+// also computes the max timeline across participants.
+struct World::BarrierState {
+  explicit BarrierState(std::size_t parties) : rendezvous(parties) {}
+
+  support::CyclicBarrier rendezvous;
+  std::mutex mutex;
+  double max_vtime = 0.0;
+};
+
+World::World(int size, timemodel::LinkModel network,
+             timemodel::Overheads overheads)
+    : size_(size), network_(network), overheads_(overheads) {
+  PSF_CHECK_MSG(size > 0, "World needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  timelines_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    timelines_.push_back(std::make_unique<timemodel::Timeline>());
+  }
+  barrier_ = std::make_unique<BarrierState>(static_cast<std::size_t>(size));
+}
+
+World::~World() = default;
+World::World(World&&) noexcept = default;
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(*this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> guard(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Leaked messages indicate a protocol bug in the caller; surface loudly.
+  for (int r = 0; r < size_; ++r) {
+    const std::size_t pending =
+        mailboxes_[static_cast<std::size_t>(r)]->pending();
+    PSF_CHECK_MSG(pending == 0 || first_error != nullptr,
+                  "rank " << r << " finished with " << pending
+                          << " unconsumed messages");
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double World::rank_vtime(int rank) const {
+  PSF_CHECK(rank >= 0 && rank < size_);
+  return timelines_[static_cast<std::size_t>(rank)]->now();
+}
+
+double World::makespan() const {
+  double maximum = 0.0;
+  for (const auto& timeline : timelines_) {
+    maximum = std::max(maximum, timeline->now());
+  }
+  return maximum;
+}
+
+void World::reset_timelines() {
+  for (auto& timeline : timelines_) timeline->reset();
+}
+
+// --- point-to-point ---------------------------------------------------------
+
+void Communicator::deliver(int dest, int tag,
+                           std::span<const std::byte> data) {
+  PSF_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
+  timeline().advance(world_->overheads_.mpi_call_s);
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.payload.assign(data.begin(), data.end());
+  message.arrival_vtime =
+      timeline().now() +
+      world_->network_.cost(static_cast<std::size_t>(
+          static_cast<double>(data.size()) * world_->byte_scale_));
+  mailbox(dest).deposit(std::move(message));
+}
+
+void Communicator::consume(const Message& message) {
+  timeline().advance(world_->overheads_.mpi_call_s);
+  timeline().merge(message.arrival_vtime);
+}
+
+void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
+  deliver(dest, tag, data);
+}
+
+MessageInfo Communicator::recv(int source, int tag,
+                               std::span<std::byte> out) {
+  Message message = mailbox(rank_).retrieve(source, tag);
+  PSF_CHECK_MSG(message.payload.size() <= out.size(),
+                "recv buffer too small: got " << message.payload.size()
+                                              << " bytes, buffer "
+                                              << out.size());
+  std::memcpy(out.data(), message.payload.data(), message.payload.size());
+  consume(message);
+  return {message.source, message.tag, message.payload.size()};
+}
+
+Message Communicator::recv_any(int source, int tag) {
+  Message message = mailbox(rank_).retrieve(source, tag);
+  consume(message);
+  return message;
+}
+
+Request Communicator::isend(int dest, int tag,
+                            std::span<const std::byte> data) {
+  deliver(dest, tag, data);
+  Request request;
+  request.kind_ = Request::Kind::kSendDone;
+  request.info_ = {rank_, tag, data.size()};
+  return request;
+}
+
+Request Communicator::irecv(int source, int tag, std::span<std::byte> out) {
+  Request request;
+  request.kind_ = Request::Kind::kRecvPending;
+  request.source_ = source;
+  request.tag_ = tag;
+  request.out_ = out;
+  return request;
+}
+
+void Communicator::wait(Request& request) {
+  PSF_CHECK_MSG(request.valid(), "wait() on an empty Request");
+  if (request.kind_ == Request::Kind::kRecvPending) {
+    request.info_ = recv(request.source_, request.tag_, request.out_);
+  }
+  request.kind_ = Request::Kind::kNone;
+}
+
+void Communicator::wait_all(std::span<Request> requests) {
+  for (auto& request : requests) {
+    if (request.valid()) wait(request);
+  }
+}
+
+bool Communicator::probe(int source, int tag) {
+  return mailbox(rank_).probe(source, tag);
+}
+
+// --- collectives ------------------------------------------------------------
+
+void Communicator::barrier() {
+  auto& state = *world_->barrier_;
+  {
+    std::lock_guard<std::mutex> guard(state.mutex);
+    state.max_vtime = std::max(state.max_vtime, timeline().now());
+  }
+  state.rendezvous.arrive_and_wait();
+  // All deposits are in; charge a log2(n)-deep latency chain for the
+  // rendezvous itself, then rendezvous again before clearing the max so a
+  // following barrier cannot race with stragglers reading it.
+  const double depth =
+      size() > 1 ? std::ceil(std::log2(static_cast<double>(size()))) : 0.0;
+  double joint;
+  {
+    std::lock_guard<std::mutex> guard(state.mutex);
+    joint = state.max_vtime + depth * world_->network_.latency_s;
+  }
+  timeline().merge(joint);
+  state.rendezvous.arrive_and_wait();
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> guard(state.mutex);
+    state.max_vtime = 0.0;
+  }
+  state.rendezvous.arrive_and_wait();
+}
+
+void Communicator::bcast(std::span<std::byte> data, int root) {
+  // Binomial tree rooted at `root`: relative rank r receives from
+  // r - 2^k (its lowest set bit) and forwards to r + 2^j for all j below.
+  const int n = size();
+  if (n == 1) return;
+  constexpr int kTag = 0x7fff0002;
+  const int rel = (rank_ - root + n) % n;
+  if (rel != 0) {
+    const int lowest = rel & -rel;
+    const int parent_rel = rel - lowest;
+    const int parent = (parent_rel + root) % n;
+    recv(parent, kTag, data);
+  }
+  const int subtree =
+      rel == 0 ? static_cast<int>(std::bit_ceil(static_cast<unsigned>(n)))
+               : (rel & -rel);
+  for (int step = subtree >> 1; step >= 1; step >>= 1) {
+    const int child_rel = rel + step;
+    if (child_rel < n) {
+      send((child_rel + root) % n, kTag, data);
+    }
+  }
+}
+
+void Communicator::reduce_bytes(
+    std::span<std::byte> data, std::size_t elem_size, int root,
+    const std::function<void(std::byte*, const std::byte*)>& combine) {
+  PSF_CHECK_MSG(elem_size > 0 && data.size() % elem_size == 0,
+                "reduce_bytes: buffer not a multiple of element size");
+  const int n = size();
+  if (n == 1) return;
+  constexpr int kTag = 0x7fff0003;
+  const int rel = (rank_ - root + n) % n;
+  std::vector<std::byte> incoming(data.size());
+
+  // Binomial tree combine: at step 2^k, relative ranks that are odd
+  // multiples of 2^k send to (rel - 2^k); even multiples receive+combine.
+  for (int step = 1; step < n; step <<= 1) {
+    if ((rel & step) != 0) {
+      const int parent = ((rel - step) + root) % n;
+      send(parent, kTag, data);
+      return;  // this rank's contribution is merged upstream
+    }
+    const int child_rel = rel + step;
+    if (child_rel < n) {
+      recv((child_rel + root) % n, kTag, incoming);
+      for (std::size_t off = 0; off < data.size(); off += elem_size) {
+        combine(data.data() + off, incoming.data() + off);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::byte>> Communicator::alltoallv(
+    const std::vector<std::vector<std::byte>>& outbound, int tag) {
+  PSF_CHECK_MSG(outbound.size() == static_cast<std::size_t>(size()),
+                "alltoallv needs one outbound buffer per rank");
+  const int n = size();
+  std::vector<std::vector<std::byte>> inbound(
+      static_cast<std::size_t>(n));
+  inbound[static_cast<std::size_t>(rank_)] =
+      outbound[static_cast<std::size_t>(rank_)];
+
+  // Post all sends first (buffered, non-blocking), then receive n-1
+  // messages from distinct sources.
+  for (int offset = 1; offset < n; ++offset) {
+    const int dest = (rank_ + offset) % n;
+    isend(dest, tag, outbound[static_cast<std::size_t>(dest)]);
+  }
+  for (int offset = 1; offset < n; ++offset) {
+    const int source = (rank_ - offset + n) % n;
+    Message message = recv_any(source, tag);
+    inbound[static_cast<std::size_t>(source)] = std::move(message.payload);
+  }
+  return inbound;
+}
+
+}  // namespace psf::minimpi

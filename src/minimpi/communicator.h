@@ -1,0 +1,259 @@
+// PSF — Pattern Specification Framework
+// World and Communicator: the rank-parallel execution environment and its
+// message-passing interface. Mirrors the MPI subset the paper's framework
+// uses: blocking and non-blocking point-to-point, barrier, broadcast,
+// binomial-tree reductions, gather and personalized all-to-all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "minimpi/message.h"
+#include "support/error.h"
+#include "timemodel/link.h"
+#include "timemodel/rates.h"
+#include "timemodel/timeline.h"
+
+namespace psf::minimpi {
+
+class Communicator;
+
+/// A cluster of `size` ranks living in one process. `run` launches one
+/// thread per rank executing `rank_main(comm)` SPMD-style, and joins them.
+/// Virtual time: every rank has a Timeline; the network LinkModel prices
+/// messages; collectives use real message trees so their virtual cost is
+/// emergent.
+class World {
+ public:
+  explicit World(int size,
+                 timemodel::LinkModel network = timemodel::LinkModel::free(),
+                 timemodel::Overheads overheads = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  /// Movable so factory helpers can return a configured World. Only move a
+  /// World with no ranks running. (Defined out of line: BarrierState is
+  /// incomplete here.)
+  World(World&&) noexcept;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Run `rank_main` on every rank. Rethrows the first rank exception after
+  /// all threads have been joined. May be called repeatedly (timelines are
+  /// NOT reset automatically; call reset_timelines() between experiments).
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// Virtual time of a rank (after run() returns).
+  [[nodiscard]] double rank_vtime(int rank) const;
+  /// Max virtual time over all ranks — the experiment's makespan.
+  [[nodiscard]] double makespan() const;
+  void reset_timelines();
+
+  [[nodiscard]] const timemodel::LinkModel& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] const timemodel::Overheads& overheads() const noexcept {
+    return overheads_;
+  }
+
+  /// Multiplier applied to message sizes when pricing network transfers,
+  /// so scaled-down functional payloads are charged at the paper-scale
+  /// workload size (see DESIGN.md §2). Functional delivery is unaffected.
+  void set_byte_scale(double scale) noexcept { byte_scale_ = scale; }
+  [[nodiscard]] double byte_scale() const noexcept { return byte_scale_; }
+
+ private:
+  friend class Communicator;
+
+  struct BarrierState;
+
+  int size_;
+  timemodel::LinkModel network_;
+  timemodel::Overheads overheads_;
+  double byte_scale_ = 1.0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<timemodel::Timeline>> timelines_;
+  std::unique_ptr<BarrierState> barrier_;
+};
+
+/// Handle for a pending non-blocking operation. Obtained from isend/irecv,
+/// completed by Communicator::wait / wait_all.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return kind_ != Kind::kNone; }
+  [[nodiscard]] const MessageInfo& info() const noexcept { return info_; }
+
+ private:
+  friend class Communicator;
+  enum class Kind { kNone, kSendDone, kRecvPending };
+
+  Kind kind_ = Kind::kNone;
+  int source_ = kAnySource;
+  int tag_ = kAnyTag;
+  std::span<std::byte> out_;
+  MessageInfo info_;
+};
+
+/// Per-rank communication endpoint, passed to the rank main function.
+class Communicator {
+ public:
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_->size_; }
+  [[nodiscard]] timemodel::Timeline& timeline() noexcept {
+    return *world_->timelines_[static_cast<std::size_t>(rank_)];
+  }
+  [[nodiscard]] World& world() noexcept { return *world_; }
+
+  // --- point-to-point -----------------------------------------------------
+
+  /// Blocking buffered send (copies `data`).
+  void send(int dest, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive into `out`; the payload must fit. Returns metadata.
+  MessageInfo recv(int source, int tag, std::span<std::byte> out);
+
+  /// Blocking receive of a message of unknown size.
+  Message recv_any(int source, int tag);
+
+  /// Non-blocking send: buffered, completes immediately (MPI_Ibsend-like —
+  /// matches how the paper's runtime posts asynchronous boundary sends).
+  Request isend(int dest, int tag, std::span<const std::byte> data);
+
+  /// Non-blocking receive: matching is deferred to wait().
+  Request irecv(int source, int tag, std::span<std::byte> out);
+
+  /// Complete a pending request.
+  void wait(Request& request);
+  void wait_all(std::span<Request> requests);
+
+  /// True if a matching message is already queued.
+  [[nodiscard]] bool probe(int source, int tag);
+
+  // --- typed convenience ----------------------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_span(int dest, int tag, std::span<const T> data) {
+    send(dest, tag, std::as_bytes(data));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  MessageInfo recv_span(int source, int tag, std::span<T> out) {
+    return recv(source, tag, std::as_writable_bytes(out));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(int dest, int tag, const T& value) {
+    send_span<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T recv_value(int source, int tag) {
+    T value{};
+    recv_span<T>(source, tag, std::span<T>(&value, 1));
+    return value;
+  }
+
+  // --- collectives ----------------------------------------------------------
+
+  /// Synchronize all ranks; virtual time advances to the global maximum plus
+  /// a log2(size) latency term.
+  void barrier();
+
+  /// Broadcast `data` from `root` over a binomial tree.
+  void bcast(std::span<std::byte> data, int root);
+
+  /// In-place element-wise reduction of `data` to `root` over a binomial
+  /// tree ("parallel binary tree order" per the paper). `op(dst, src)`
+  /// combines one element.
+  template <typename T, typename Op>
+    requires std::is_trivially_copyable_v<T>
+  void reduce(std::span<T> data, int root, Op op) {
+    reduce_bytes(std::as_writable_bytes(data), sizeof(T), root,
+                 [&op](std::byte* dst, const std::byte* src) {
+                   op(*reinterpret_cast<T*>(dst),
+                      *reinterpret_cast<const T*>(src));
+                 });
+  }
+
+  /// Reduce-to-all: tree reduce to rank 0 followed by broadcast.
+  template <typename T, typename Op>
+    requires std::is_trivially_copyable_v<T>
+  void allreduce(std::span<T> data, Op op) {
+    reduce<T>(data, 0, op);
+    bcast(std::as_writable_bytes(data), 0);
+  }
+
+  /// Convenience scalar allreduce.
+  template <typename T, typename Op>
+    requires std::is_trivially_copyable_v<T>
+  T allreduce_value(T value, Op op) {
+    allreduce(std::span<T>(&value, 1), op);
+    return value;
+  }
+
+  /// Gather one value per rank to all ranks (small metadata exchanges).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> allgather_value(const T& value);
+
+  /// Personalized all-to-all with per-destination byte buffers. Used by the
+  /// irregular-reduction node-data exchange. `outbound[r]` goes to rank r;
+  /// returns inbound payloads indexed by source rank.
+  std::vector<std::vector<std::byte>> alltoallv(
+      const std::vector<std::vector<std::byte>>& outbound, int tag);
+
+  /// Type-erased tree reduction (implementation detail of reduce<T>).
+  void reduce_bytes(
+      std::span<std::byte> data, std::size_t elem_size, int root,
+      const std::function<void(std::byte*, const std::byte*)>& combine);
+
+ private:
+  Mailbox& mailbox(int rank) {
+    return *world_->mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  void deliver(int dest, int tag, std::span<const std::byte> data);
+  void consume(const Message& message);
+
+  World* world_;
+  int rank_;
+};
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> Communicator::allgather_value(const T& value) {
+  std::vector<T> all(static_cast<std::size_t>(size()));
+  all[static_cast<std::size_t>(rank())] = value;
+  // Ring allgather: size-1 steps, each rank forwards the next slot.
+  constexpr int kTag = 0x7fff0001;
+  const int n = size();
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_slot = (rank() - step + n) % n;
+    const int recv_slot = (rank() - step - 1 + n) % n;
+    const int next = (rank() + 1) % n;
+    const int prev = (rank() - 1 + n) % n;
+    Request rr = irecv(prev, kTag + step,
+                       std::as_writable_bytes(std::span<T>(
+                           &all[static_cast<std::size_t>(recv_slot)], 1)));
+    send_span<T>(next, kTag + step,
+                 std::span<const T>(&all[static_cast<std::size_t>(send_slot)],
+                                    1));
+    wait(rr);
+  }
+  return all;
+}
+
+}  // namespace psf::minimpi

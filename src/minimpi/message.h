@@ -1,0 +1,99 @@
+// PSF — Pattern Specification Framework
+// Message representation and matching queue (mailbox) for minimpi.
+//
+// minimpi is the in-process stand-in for MPI (see DESIGN.md §2): ranks are
+// threads of one process, the transport is shared memory, and every message
+// carries the sender's virtual departure time so the timemodel can charge
+// realistic network costs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::minimpi {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completed-receive metadata (MPI_Status equivalent).
+struct MessageInfo {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// An in-flight buffered message.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  /// Virtual time at which the message arrives at the receiver (departure
+  /// time + link cost), merged into the receiver's timeline on receipt.
+  double arrival_vtime = 0.0;
+};
+
+/// Per-rank inbound message queue with (source, tag) matching. Arrival order
+/// is preserved, which yields the MPI non-overtaking guarantee for messages
+/// on the same (source, tag).
+class Mailbox {
+ public:
+  /// Enqueue a message (called by the sender thread).
+  void deposit(Message message) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a message matching (source, tag) is available and return
+  /// it. Wildcards kAnySource / kAnyTag match anything.
+  Message retrieve(int source, int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (matches(*it, source, tag)) {
+          Message message = std::move(*it);
+          queue_.erase(it);
+          return message;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto& message : queue_) {
+      if (matches(message, source, tag)) return true;
+    }
+    return false;
+  }
+
+  /// Number of queued messages (for tests / leak checks).
+  [[nodiscard]] std::size_t pending() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  static bool matches(const Message& message, int source, int tag) {
+    return (source == kAnySource || message.source == source) &&
+           (tag == kAnyTag || message.tag == tag);
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Message> queue_;
+};
+
+}  // namespace psf::minimpi

@@ -1,0 +1,92 @@
+// PSF — Pattern Specification Framework
+// Umbrella public API header, including the paper's user-facing helpers:
+// the DEVICE function qualifier macro and the grid GET accessors for
+// stencil functions (paper Section II-A).
+//
+// A typical application includes only this header:
+//
+//   #include "pattern/api.h"
+//
+//   DEVICE void my_emit(psf::pattern::ReductionObject* obj,
+//                       const void* input, std::size_t index,
+//                       const void* parameter) { ... }
+//
+//   psf::minimpi::World world(nodes);
+//   world.run([&](psf::minimpi::Communicator& comm) {
+//     psf::pattern::RuntimeEnv env(comm, options);
+//     auto* gr = env.get_GR();
+//     gr->set_emit_func(my_emit);
+//     ...
+//   });
+#pragma once
+
+#include "pattern/greduction.h"
+#include "pattern/ireduction.h"
+#include "pattern/reduction_object.h"
+#include "pattern/runtime_env.h"
+#include "pattern/stencil.h"
+
+/// The system-defined function qualifier the paper requires at the start of
+/// user-defined functions. It expands to the device-specific qualifiers
+/// (__host__ __device__ under nvcc); in the simulator both "sides" share the
+/// host ISA, so it expands to nothing.
+#define DEVICE
+
+namespace psf::pattern {
+
+/// Reference to element (x0) of a 1-D grid of T. `size` is the padded
+/// extents array the runtime passes to the stencil function.
+template <typename T>
+[[nodiscard]] inline const T& get1(const void* buffer, const int* /*size*/,
+                                   int x0) noexcept {
+  return static_cast<const T*>(buffer)[x0];
+}
+template <typename T>
+[[nodiscard]] inline T& get1(void* buffer, const int* /*size*/,
+                             int x0) noexcept {
+  return static_cast<T*>(buffer)[x0];
+}
+
+/// Reference to element (x0, x1) of a 2-D grid (outermost dimension first).
+template <typename T>
+[[nodiscard]] inline const T& get2(const void* buffer, const int* size,
+                                   int x0, int x1) noexcept {
+  return static_cast<const T*>(
+      buffer)[static_cast<std::size_t>(x0) * size[1] + x1];
+}
+template <typename T>
+[[nodiscard]] inline T& get2(void* buffer, const int* size, int x0,
+                             int x1) noexcept {
+  return static_cast<T*>(buffer)[static_cast<std::size_t>(x0) * size[1] + x1];
+}
+
+/// Reference to element (x0, x1, x2) of a 3-D grid.
+template <typename T>
+[[nodiscard]] inline const T& get3(const void* buffer, const int* size,
+                                   int x0, int x1, int x2) noexcept {
+  return static_cast<const T*>(
+      buffer)[(static_cast<std::size_t>(x0) * size[1] + x1) * size[2] + x2];
+}
+template <typename T>
+[[nodiscard]] inline T& get3(void* buffer, const int* size, int x0, int x1,
+                             int x2) noexcept {
+  return static_cast<T*>(
+      buffer)[(static_cast<std::size_t>(x0) * size[1] + x1) * size[2] + x2];
+}
+
+}  // namespace psf::pattern
+
+/// Paper-style macro spellings of the get helpers (GET_FLOAT2(buf, size,
+/// y, x) etc.). Prefer the typed templates in new code.
+#define GET_FLOAT2(buf, size, x0, x1) \
+  (::psf::pattern::get2<float>((buf), (size), (x0), (x1)))
+#define GET_FLOAT3(buf, size, x0, x1, x2) \
+  (::psf::pattern::get3<float>((buf), (size), (x0), (x1), (x2)))
+#define GET_DOUBLE2(buf, size, x0, x1) \
+  (::psf::pattern::get2<double>((buf), (size), (x0), (x1)))
+#define GET_DOUBLE3(buf, size, x0, x1, x2) \
+  (::psf::pattern::get3<double>((buf), (size), (x0), (x1), (x2)))
+#define GET_INT2(buf, size, x0, x1) \
+  (::psf::pattern::get2<int>((buf), (size), (x0), (x1)))
+#define GET_INT3(buf, size, x0, x1, x2) \
+  (::psf::pattern::get3<int>((buf), (size), (x0), (x1), (x2)))

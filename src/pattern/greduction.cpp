@@ -1,0 +1,274 @@
+#include "pattern/greduction.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pattern/partition.h"
+#include "pattern/runtime_env.h"
+#include "support/log.h"
+
+namespace psf::pattern {
+
+namespace {
+
+/// A contiguous range of global unit indices.
+struct UnitRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Sub-ranges covering positions [from, to) of the concatenation of
+/// `ranges` — used to split a device's chunk list across its blocks.
+std::vector<UnitRange> slice_ranges(const std::vector<UnitRange>& ranges,
+                                    std::size_t from, std::size_t to) {
+  std::vector<UnitRange> out;
+  std::size_t offset = 0;
+  for (const auto& range : ranges) {
+    const std::size_t len = range.end - range.begin;
+    const std::size_t lo = std::max(from, offset);
+    const std::size_t hi = std::min(to, offset + len);
+    if (lo < hi) {
+      out.push_back({range.begin + (lo - offset), range.begin + (hi - offset)});
+    }
+    offset += len;
+    if (offset >= to) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+GReductionRuntime::GReductionRuntime(RuntimeEnv& env) : env_(&env) {}
+GReductionRuntime::~GReductionRuntime() = default;
+
+void GReductionRuntime::set_input(const void* data, std::size_t unit_bytes,
+                                  std::size_t num_units) {
+  input_ = static_cast<const std::byte*>(data);
+  unit_bytes_ = unit_bytes;
+  num_units_ = num_units;
+}
+
+void GReductionRuntime::configure_object(std::size_t capacity,
+                                         std::size_t value_size) {
+  object_capacity_ = capacity;
+  value_size_ = value_size;
+}
+
+support::Status GReductionRuntime::validate() const {
+  if (emit_ == nullptr || reduce_ == nullptr) {
+    return support::Status::failed_precondition(
+        "generalized reduction: emit/reduce functions not set");
+  }
+  if (input_ == nullptr || unit_bytes_ == 0) {
+    return support::Status::failed_precondition(
+        "generalized reduction: input not set");
+  }
+  if (object_capacity_ == 0 || value_size_ == 0) {
+    return support::Status::failed_precondition(
+        "generalized reduction: reduction object not configured");
+  }
+  return support::Status::ok();
+}
+
+support::Status GReductionRuntime::start() {
+  PSF_RETURN_IF_ERROR(validate());
+  stats_ = {};
+  have_global_ = false;
+  local_result_ = std::make_unique<ReductionObject>(
+      ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
+
+  auto& comm = env_->comm();
+  const BlockPartition rank_split(num_units_, comm.size());
+  const std::size_t my_begin = rank_split.begin(comm.rank());
+  const std::size_t my_units = rank_split.size(comm.rank());
+
+  // Dynamic chunk scheduling over the node's devices: generalized reductions
+  // stream their input, so GPUs pay (pipelined) per-chunk transfers.
+  // Without reduction localization every update contends on the device-
+  // level object's slot locks in device memory; the calibrated throughput
+  // penalty reflects the paper's motivation for the optimization (III-E).
+  auto specs = env_->device_specs(/*gpu_resident_data=*/false);
+  const auto devices = env_->active_devices();
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    if (!localizes_on(*devices[d])) {
+      specs[d].units_per_s *= kNoLocalizationThroughput;
+    }
+  }
+  const auto schedule = DynamicScheduler::run(
+      specs, my_units, comm.timeline().now(), env_->scheduler_options());
+
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    execute_device_chunks(static_cast<int>(d), my_begin, schedule);
+  }
+
+  stats_.device_units = schedule.device_units;
+  stats_.device_finish = schedule.device_finish;
+  stats_.local_makespan = schedule.makespan;
+  stats_.num_chunks = schedule.chunks.size();
+  if (auto* trace = env_->options().trace) {
+    for (std::size_t d = 0; d < schedule.device_finish.size(); ++d) {
+      trace->record("gr chunks", "compute", comm.rank(),
+                    static_cast<int>(d) + 1, comm.timeline().now(),
+                    schedule.device_finish[d]);
+    }
+  }
+  comm.timeline().merge(schedule.makespan);
+  PSF_LOG(kDebug, "greduction")
+      << "rank " << comm.rank() << ": " << my_units << " units in "
+      << schedule.chunks.size() << " chunks over " << specs.size()
+      << " devices, local makespan " << schedule.makespan;
+  return support::Status::ok();
+}
+
+void GReductionRuntime::execute_device_chunks(int spec_index,
+                                              std::size_t device_begin_unit,
+                                              const ScheduleResult& schedule) {
+  auto devices = env_->active_devices();
+  devsim::Device& device = *devices[static_cast<std::size_t>(spec_index)];
+
+  // Collect this device's chunk ranges in global unit indices.
+  std::vector<UnitRange> ranges;
+  std::size_t total = 0;
+  for (const auto& chunk : schedule.chunks) {
+    if (chunk.device != spec_index) continue;
+    ranges.push_back(
+        {device_begin_unit + chunk.begin, device_begin_unit + chunk.end});
+    total += chunk.end - chunk.begin;
+  }
+  if (total == 0) return;
+
+  // Per-device reduction object (in device memory on GPUs); block-local
+  // results merge into it.
+  ReductionObject device_object(ObjectLayout::kHash, object_capacity_,
+                                value_size_, reduce_);
+
+  // Reduction localization: place block objects in the SM shared-memory
+  // arena when they fit (paper III-E). Multiple sub-objects per block split
+  // the update contention among thread subsets.
+  const std::size_t one_object =
+      ReductionObject::required_bytes(object_capacity_, value_size_);
+  const int objects = sub_objects_for(device);
+  const bool localize = localizes_on(device);
+  stats_.used_shared_memory = stats_.used_shared_memory || localize;
+  const std::size_t arena_bytes =
+      localize ? one_object * static_cast<std::size_t>(objects) : 0;
+
+  const int num_blocks =
+      device.is_gpu() ? device.descriptor().compute_units * 2
+                      : device.descriptor().compute_units;
+  const BlockPartition block_split(total, num_blocks);
+
+  device.run_blocks(num_blocks, arena_bytes, [&](const devsim::BlockContext&
+                                                     ctx) {
+    const std::size_t from = block_split.begin(ctx.block_id);
+    const std::size_t to = block_split.end(ctx.block_id);
+    if (from == to) return;
+    const auto my_ranges = slice_ranges(ranges, from, to);
+
+    if (localize) {
+      // Format the sub-objects over the (zeroed) arena, process, merge.
+      std::vector<ReductionObject> locals;
+      locals.reserve(static_cast<std::size_t>(objects));
+      for (int o = 0; o < objects; ++o) {
+        locals.emplace_back(
+            ObjectLayout::kHash, object_capacity_, value_size_, reduce_,
+            ctx.shared.subspan(static_cast<std::size_t>(o) * one_object,
+                               one_object));
+      }
+      std::size_t position = 0;
+      for (const auto& range : my_ranges) {
+        for (std::size_t u = range.begin; u < range.end; ++u, ++position) {
+          auto& target = locals[position % static_cast<std::size_t>(objects)];
+          emit_(&target, input_ + u * unit_bytes_, u, parameter_);
+        }
+      }
+      for (const auto& local : locals) device_object.merge_from(local);
+    } else {
+      // Object too large for on-chip memory: update the device-level object
+      // directly (slot locks serialize the contention).
+      for (const auto& range : my_ranges) {
+        for (std::size_t u = range.begin; u < range.end; ++u) {
+          emit_(&device_object, input_ + u * unit_bytes_, u, parameter_);
+        }
+      }
+    }
+  });
+
+  local_result_->merge_from(device_object);
+}
+
+int GReductionRuntime::sub_objects_for(const devsim::Device& device) const {
+  if (objects_per_block_ > 0) return objects_per_block_;
+  const std::size_t one_object =
+      ReductionObject::required_bytes(object_capacity_, value_size_);
+  if (one_object == 0) return 1;
+  return std::clamp<int>(
+      static_cast<int>(device.usable_shared_memory() / one_object), 1, 8);
+}
+
+bool GReductionRuntime::localizes_on(const devsim::Device& device) const {
+  if (!env_->options().reduction_localization) return false;
+  const std::size_t one_object =
+      ReductionObject::required_bytes(object_capacity_, value_size_);
+  return one_object * static_cast<std::size_t>(sub_objects_for(device)) <=
+         device.usable_shared_memory();
+}
+
+const ReductionObject& GReductionRuntime::get_local_reduction() const {
+  PSF_CHECK_MSG(local_result_ != nullptr,
+                "get_local_reduction() before start()");
+  return *local_result_;
+}
+
+const ReductionObject& GReductionRuntime::get_global_reduction() {
+  PSF_CHECK_MSG(local_result_ != nullptr,
+                "get_global_reduction() before start()");
+  if (have_global_) return *global_result_;
+
+  auto& comm = env_->comm();
+  const double t0 = comm.timeline().now();
+  global_result_ = std::make_unique<ReductionObject>(
+      ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
+  global_result_->merge_from(*local_result_);
+
+  // Parallel binary tree combine to rank 0 (paper Section III-B), then a
+  // broadcast so the result is valid everywhere.
+  constexpr int kTag = 0x6f0001;
+  const int rank = comm.rank();
+  const int size = comm.size();
+  for (int step = 1; step < size; step <<= 1) {
+    if ((rank & step) != 0) {
+      comm.send(rank - step, kTag, global_result_->serialize());
+      break;
+    }
+    if (rank + step < size) {
+      auto message = comm.recv_any(rank + step, kTag);
+      global_result_->merge_serialized(message.payload);
+    }
+  }
+
+  std::uint64_t blob_bytes = 0;
+  std::vector<std::byte> blob;
+  if (rank == 0) {
+    blob = global_result_->serialize();
+    blob_bytes = blob.size();
+  }
+  comm.bcast(std::as_writable_bytes(std::span<std::uint64_t>(&blob_bytes, 1)),
+             0);
+  blob.resize(blob_bytes);
+  comm.bcast(blob, 0);
+  if (rank != 0) {
+    global_result_->clear();
+    global_result_->merge_serialized(blob);
+  }
+
+  stats_.combine_vtime = comm.timeline().now() - t0;
+  if (auto* trace = env_->options().trace) {
+    trace->record("gr global combine", "comm", comm.rank(), 0, t0,
+                  comm.timeline().now());
+  }
+  have_global_ = true;
+  return *global_result_;
+}
+
+}  // namespace psf::pattern

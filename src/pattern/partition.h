@@ -1,0 +1,124 @@
+// PSF — Pattern Specification Framework
+// Workload partitioning helpers shared by the three pattern runtimes.
+//
+// The framework partitions at three levels (paper Sections II-A, III-C/D):
+// across processes, across devices within a process, and across shared-
+// memory tiles within a device. BlockPartition is the even split used for
+// processes; WeightedPartition realizes the adaptive, profiling-based
+// device split N_i = N * S_i / sum(S).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::pattern {
+
+/// Even block partition of [0, total) into `parts` contiguous ranges; the
+/// first (total % parts) ranges get one extra element.
+class BlockPartition {
+ public:
+  BlockPartition(std::size_t total, int parts)
+      : total_(total), parts_(parts) {
+    PSF_CHECK_MSG(parts > 0, "partition needs at least one part");
+  }
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] int parts() const noexcept { return parts_; }
+
+  [[nodiscard]] std::size_t begin(int part) const {
+    PSF_CHECK(part >= 0 && part <= parts_);
+    const std::size_t p = static_cast<std::size_t>(part);
+    const std::size_t base = total_ / static_cast<std::size_t>(parts_);
+    const std::size_t extra = total_ % static_cast<std::size_t>(parts_);
+    return p * base + (p < extra ? p : extra);
+  }
+
+  [[nodiscard]] std::size_t end(int part) const { return begin(part + 1); }
+
+  [[nodiscard]] std::size_t size(int part) const {
+    return end(part) - begin(part);
+  }
+
+  /// Which part owns element `index`.
+  [[nodiscard]] int owner(std::size_t index) const {
+    PSF_CHECK_MSG(index < total_, "owner() of out-of-range index " << index);
+    const std::size_t base = total_ / static_cast<std::size_t>(parts_);
+    const std::size_t extra = total_ % static_cast<std::size_t>(parts_);
+    const std::size_t fat = (base + 1) * extra;  // elements in the +1 parts
+    if (index < fat) {
+      return static_cast<int>(index / (base + 1));
+    }
+    PSF_CHECK_MSG(base > 0, "more parts than elements leaves empty parts");
+    return static_cast<int>(extra + (index - fat) / base);
+  }
+
+ private:
+  std::size_t total_;
+  int parts_;
+};
+
+/// Contiguous partition of [0, total) proportional to non-negative weights
+/// (at least one positive). Used for the adaptive device split: weight i is
+/// the profiled speed of device i.
+class WeightedPartition {
+ public:
+  WeightedPartition(std::size_t total, const std::vector<double>& weights) {
+    PSF_CHECK_MSG(!weights.empty(), "weighted partition needs weights");
+    const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    PSF_CHECK_MSG(sum > 0.0, "weights must sum to a positive value");
+    bounds_.resize(weights.size() + 1, 0);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      PSF_CHECK_MSG(weights[i] >= 0.0, "negative weight");
+      cumulative += weights[i];
+      bounds_[i + 1] = static_cast<std::size_t>(
+          static_cast<double>(total) * (cumulative / sum) + 0.5);
+      if (bounds_[i + 1] < bounds_[i]) bounds_[i + 1] = bounds_[i];
+      if (bounds_[i + 1] > total) bounds_[i + 1] = total;
+    }
+    bounds_.back() = total;
+    // Rounding may leave bounds non-monotonic at the tail; enforce.
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      if (bounds_[i] < bounds_[i - 1]) bounds_[i] = bounds_[i - 1];
+    }
+  }
+
+  [[nodiscard]] int parts() const noexcept {
+    return static_cast<int>(bounds_.size()) - 1;
+  }
+  [[nodiscard]] std::size_t begin(int part) const {
+    PSF_CHECK(part >= 0 && part < parts());
+    return bounds_[static_cast<std::size_t>(part)];
+  }
+  [[nodiscard]] std::size_t end(int part) const {
+    PSF_CHECK(part >= 0 && part < parts());
+    return bounds_[static_cast<std::size_t>(part) + 1];
+  }
+  [[nodiscard]] std::size_t size(int part) const {
+    return end(part) - begin(part);
+  }
+
+  /// Which part owns element `index` (binary search over bounds).
+  [[nodiscard]] int owner(std::size_t index) const {
+    PSF_CHECK(index < bounds_.back());
+    int lo = 0;
+    int hi = parts() - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (index < end(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<std::size_t> bounds_;
+};
+
+}  // namespace psf::pattern

@@ -1,0 +1,222 @@
+#include "pattern/reduction_object.h"
+
+#include <cstring>
+#include <thread>
+
+namespace psf::pattern {
+
+namespace {
+constexpr std::int64_t kEmpty = -1;
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+}  // namespace
+
+std::size_t ReductionObject::required_bytes(std::size_t capacity,
+                                            std::size_t value_size) {
+  const std::size_t keys_bytes = capacity * sizeof(std::int64_t);
+  const std::size_t locks_bytes = capacity;
+  return align_up(keys_bytes + locks_bytes, 8) + capacity * value_size;
+}
+
+ReductionObject::ReductionObject(ObjectLayout layout, std::size_t capacity,
+                                 std::size_t value_size, ReduceFn reduce)
+    : layout_(layout),
+      capacity_(capacity),
+      value_size_(value_size),
+      reduce_(reduce) {
+  PSF_CHECK_MSG(capacity > 0, "reduction object needs capacity");
+  PSF_CHECK_MSG(value_size > 0, "reduction object needs a value size");
+  PSF_CHECK_MSG(reduce != nullptr, "reduction object needs a reduce function");
+  owned_.resize(required_bytes(capacity, value_size));
+  bind(owned_.bytes());
+}
+
+ReductionObject::ReductionObject(ObjectLayout layout, std::size_t capacity,
+                                 std::size_t value_size, ReduceFn reduce,
+                                 std::span<std::byte> arena)
+    : layout_(layout),
+      capacity_(capacity),
+      value_size_(value_size),
+      reduce_(reduce) {
+  PSF_CHECK_MSG(capacity > 0, "reduction object needs capacity");
+  PSF_CHECK_MSG(reduce != nullptr, "reduction object needs a reduce function");
+  PSF_CHECK_MSG(arena.size() >= required_bytes(capacity, value_size),
+                "arena too small: " << arena.size() << " < "
+                                    << required_bytes(capacity, value_size));
+  bind(arena);
+}
+
+void ReductionObject::bind(std::span<std::byte> storage) {
+  base_ = storage.data();
+  values_offset_ =
+      align_up(capacity_ * sizeof(std::int64_t) + capacity_, 8);
+  clear();
+}
+
+void ReductionObject::clear() {
+  for (std::size_t i = 0; i < capacity_; ++i) keys()[i] = kEmpty;
+  std::memset(locks(), 0, capacity_);
+  std::memset(values(), 0, capacity_ * value_size_);
+}
+
+std::uint64_t ReductionObject::hash_key(std::uint64_t key) noexcept {
+  // splitmix64 finalizer — strong enough to avoid clustering for dense ids.
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  return key ^ (key >> 31);
+}
+
+void ReductionObject::lock_slot(std::size_t slot) const noexcept {
+  std::atomic_ref<std::uint8_t> lock(locks()[slot]);
+  for (;;) {
+    std::uint8_t expected = 0;
+    if (lock.compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
+      return;
+    }
+    while (lock.load(std::memory_order_relaxed) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ReductionObject::unlock_slot(std::size_t slot) const noexcept {
+  std::atomic_ref<std::uint8_t> lock(locks()[slot]);
+  lock.store(0, std::memory_order_release);
+}
+
+bool ReductionObject::insert_impl(std::uint64_t key, const void* value) {
+  PSF_CHECK_MSG(key <= static_cast<std::uint64_t>(INT64_MAX),
+                "keys must fit in 63 bits");
+  if (layout_ == ObjectLayout::kDense) {
+    PSF_CHECK_MSG(key >= key_offset_ && key - key_offset_ < capacity_,
+                  "dense key " << key << " outside [" << key_offset_ << ", "
+                               << key_offset_ + capacity_ << ")");
+    const std::size_t slot = static_cast<std::size_t>(key - key_offset_);
+    lock_slot(slot);
+    if (keys()[slot] == kEmpty) {
+      keys()[slot] = static_cast<std::int64_t>(key);
+      std::memcpy(value_at(slot), value, value_size_);
+    } else {
+      reduce_(value_at(slot), value);
+    }
+    unlock_slot(slot);
+    return true;
+  }
+
+  // Hash layout: linear probing over at most `capacity_` slots.
+  const std::size_t mask_free_probe = capacity_;
+  std::size_t slot = static_cast<std::size_t>(hash_key(key) % capacity_);
+  for (std::size_t probes = 0; probes < mask_free_probe; ++probes) {
+    lock_slot(slot);
+    const std::int64_t stored = keys()[slot];
+    if (stored == kEmpty) {
+      keys()[slot] = static_cast<std::int64_t>(key);
+      std::memcpy(value_at(slot), value, value_size_);
+      unlock_slot(slot);
+      return true;
+    }
+    if (stored == static_cast<std::int64_t>(key)) {
+      reduce_(value_at(slot), value);
+      unlock_slot(slot);
+      return true;
+    }
+    unlock_slot(slot);
+    slot = slot + 1 == capacity_ ? 0 : slot + 1;
+  }
+  return false;  // table full
+}
+
+void ReductionObject::insert(std::uint64_t key, const void* value) {
+  PSF_CHECK_MSG(insert_impl(key, value),
+                "reduction object overflow (capacity " << capacity_
+                                                       << "); size it for the"
+                                                          " key universe");
+}
+
+bool ReductionObject::try_insert(std::uint64_t key, const void* value) {
+  return insert_impl(key, value);
+}
+
+const void* ReductionObject::find(std::uint64_t key) const {
+  if (layout_ == ObjectLayout::kDense) {
+    if (key < key_offset_ || key - key_offset_ >= capacity_) return nullptr;
+    const std::size_t slot = static_cast<std::size_t>(key - key_offset_);
+    return keys()[slot] == kEmpty ? nullptr : value_at(slot);
+  }
+  std::size_t slot = static_cast<std::size_t>(hash_key(key) % capacity_);
+  for (std::size_t probes = 0; probes < capacity_; ++probes) {
+    const std::int64_t stored = keys()[slot];
+    if (stored == kEmpty) return nullptr;
+    if (stored == static_cast<std::int64_t>(key)) return value_at(slot);
+    slot = slot + 1 == capacity_ ? 0 : slot + 1;
+  }
+  return nullptr;
+}
+
+bool ReductionObject::lookup(std::uint64_t key, void* out) const {
+  const void* value = find(key);
+  if (value == nullptr) return false;
+  std::memcpy(out, value, value_size_);
+  return true;
+}
+
+std::size_t ReductionObject::size() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    if (keys()[i] != kEmpty) ++count;
+  }
+  return count;
+}
+
+void ReductionObject::for_each(
+    const std::function<void(std::uint64_t, const void*)>& visit) const {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    if (keys()[i] != kEmpty) {
+      visit(static_cast<std::uint64_t>(keys()[i]), value_at(i));
+    }
+  }
+}
+
+void ReductionObject::merge_from(const ReductionObject& other) {
+  PSF_CHECK_MSG(other.value_size_ == value_size_,
+                "merging reduction objects of different value sizes");
+  other.for_each(
+      [this](std::uint64_t key, const void* value) { insert(key, value); });
+}
+
+std::vector<std::byte> ReductionObject::serialize() const {
+  const std::size_t count = size();
+  const std::size_t entry = sizeof(std::uint64_t) + value_size_;
+  std::vector<std::byte> blob(sizeof(std::uint64_t) + count * entry);
+  std::uint64_t count64 = count;
+  std::memcpy(blob.data(), &count64, sizeof(count64));
+  std::size_t offset = sizeof(count64);
+  for_each([&](std::uint64_t key, const void* value) {
+    std::memcpy(blob.data() + offset, &key, sizeof(key));
+    std::memcpy(blob.data() + offset + sizeof(key), value, value_size_);
+    offset += entry;
+  });
+  PSF_CHECK(offset == blob.size());
+  return blob;
+}
+
+void ReductionObject::merge_serialized(std::span<const std::byte> blob) {
+  PSF_CHECK_MSG(blob.size() >= sizeof(std::uint64_t),
+                "serialized reduction blob truncated");
+  std::uint64_t count = 0;
+  std::memcpy(&count, blob.data(), sizeof(count));
+  const std::size_t entry = sizeof(std::uint64_t) + value_size_;
+  PSF_CHECK_MSG(blob.size() == sizeof(count) + count * entry,
+                "serialized reduction blob has wrong length");
+  std::size_t offset = sizeof(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t key = 0;
+    std::memcpy(&key, blob.data() + offset, sizeof(key));
+    insert(key, blob.data() + offset + sizeof(key));
+    offset += entry;
+  }
+}
+
+}  // namespace psf::pattern

@@ -1,0 +1,116 @@
+#include "pattern/runtime_env.h"
+
+#include <algorithm>
+
+#include "pattern/greduction.h"
+#include "pattern/ireduction.h"
+#include "pattern/stencil.h"
+
+namespace psf::pattern {
+
+RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
+    : comm_(&comm),
+      options_(std::move(options)),
+      rates_(timemodel::app_rates(options_.app_profile)) {
+  PSF_CHECK_MSG(options_.use_cpu || options_.use_gpus > 0 ||
+                    options_.use_mics > 0,
+                "environment must enable at least one device");
+  PSF_CHECK_MSG(options_.use_gpus <= options_.preset.gpus_per_node,
+                "requested " << options_.use_gpus << " GPUs but the node has "
+                             << options_.preset.gpus_per_node);
+  PSF_CHECK_MSG(options_.use_mics <= options_.preset.mics_per_node,
+                "requested " << options_.use_mics << " MICs but the node has "
+                             << options_.preset.mics_per_node);
+  PSF_CHECK_MSG(options_.workload_scale >= 1.0,
+                "workload_scale must be >= 1");
+  devices_ = devsim::make_node_devices(options_.preset, comm_->timeline());
+}
+
+RuntimeEnv::~RuntimeEnv() = default;
+
+support::Status RuntimeEnv::init() { return support::Status::ok(); }
+
+void RuntimeEnv::finalize() {
+  gr_.reset();
+  ir_.reset();
+  st_.reset();
+}
+
+GReductionRuntime* RuntimeEnv::get_GR() {
+  if (!gr_) gr_ = std::make_unique<GReductionRuntime>(*this);
+  return gr_.get();
+}
+
+IReductionRuntime* RuntimeEnv::get_IR() {
+  if (!ir_) ir_ = std::make_unique<IReductionRuntime>(*this);
+  return ir_.get();
+}
+
+StencilRuntime* RuntimeEnv::get_ST() {
+  if (!st_) st_ = std::make_unique<StencilRuntime>(*this);
+  return st_.get();
+}
+
+std::vector<devsim::Device*> RuntimeEnv::active_devices() {
+  std::vector<devsim::Device*> active;
+  if (options_.use_cpu) active.push_back(devices_[0].get());
+  for (int g = 0; g < options_.use_gpus; ++g) {
+    active.push_back(devices_[static_cast<std::size_t>(g) + 1].get());
+  }
+  for (int m = 0; m < options_.use_mics; ++m) {
+    active.push_back(
+        devices_[static_cast<std::size_t>(options_.preset.gpus_per_node) + 1 +
+                 static_cast<std::size_t>(m)]
+            .get());
+  }
+  return active;
+}
+
+std::vector<DeviceSpec> RuntimeEnv::device_specs(
+    bool gpu_resident_data) const {
+  const auto& preset = options_.preset;
+  std::vector<DeviceSpec> specs;
+  if (options_.use_cpu) {
+    DeviceSpec cpu;
+    // Each accelerator's task retrieval and kernel launches are driven by
+    // a dedicated CPU thread (paper III-D), so those cores do not compute.
+    const double compute_cores = std::max(
+        1, preset.cpu_cores_per_node - options_.use_gpus - options_.use_mics);
+    cpu.units_per_s = rates_.cpu_device_units_per_s(
+        compute_cores, preset.cpu_parallel_eff);
+    cpu.is_gpu = false;
+    specs.push_back(cpu);
+  }
+  for (int g = 0; g < options_.use_gpus; ++g) {
+    DeviceSpec gpu;
+    gpu.units_per_s = rates_.gpu_device_units_per_s(preset.cpu_parallel_eff);
+    gpu.is_gpu = true;
+    gpu.bytes_per_unit = gpu_resident_data ? 0.0 : rates_.bytes_per_unit;
+    gpu.copy_bytes_per_s = preset.pcie.bytes_per_s;
+    gpu.copy_latency_s = preset.pcie.latency_s;
+    specs.push_back(gpu);
+  }
+  for (int m = 0; m < options_.use_mics; ++m) {
+    // MIC coprocessors: offload accelerator semantics (data shipped over
+    // PCIe, pipelined copies) at the MIC throughput calibration.
+    DeviceSpec mic;
+    mic.units_per_s = rates_.mic_device_units_per_s(preset.cpu_parallel_eff);
+    mic.is_gpu = true;  // spec-level "discrete accelerator" semantics
+    mic.bytes_per_unit = gpu_resident_data ? 0.0 : rates_.bytes_per_unit;
+    mic.copy_bytes_per_s = preset.pcie.bytes_per_s;
+    mic.copy_latency_s = preset.pcie.latency_s;
+    specs.push_back(mic);
+  }
+  return specs;
+}
+
+DynamicScheduler::Options RuntimeEnv::scheduler_options() const {
+  DynamicScheduler::Options opts;
+  opts.chunk_units = options_.gr_chunk_units;
+  opts.overheads = options_.preset.overheads;
+  opts.overlap_copy = options_.overlap;
+  opts.workload_scale = options_.workload_scale;
+  return opts;
+}
+
+}  // namespace psf::pattern

@@ -1,0 +1,125 @@
+// PSF — Pattern Specification Framework
+// RuntimeEnv: the per-process runtime environment (paper Listing 2,
+// `Runtime_env env; env.init();`). One instance per rank ("node"). It owns
+// the node's simulated devices, carries the calibration profile and the
+// optimization switches, and manufactures pattern runtime instances
+// (get_GR / get_IR / get_ST).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devsim/device.h"
+#include "minimpi/communicator.h"
+#include "pattern/scheduler.h"
+#include "support/error.h"
+#include "timemodel/rates.h"
+#include "timemodel/trace.h"
+
+namespace psf::pattern {
+
+class GReductionRuntime;
+class IReductionRuntime;
+class StencilRuntime;
+
+/// Environment configuration: device selection, optimization toggles and
+/// cost-model calibration.
+struct EnvOptions {
+  /// Hardware/time model of the node (and its cluster links).
+  timemodel::ClusterPreset preset = timemodel::testbed_preset();
+  /// Calibration profile key (see timemodel::app_rates).
+  std::string app_profile = "generic";
+  /// Use the multi-core CPU device for computation.
+  bool use_cpu = true;
+  /// Number of GPUs to use (0..preset.gpus_per_node).
+  int use_gpus = 0;
+  /// Number of MIC coprocessors to use (0..preset.mics_per_node) — the
+  /// paper's future-work extension.
+  int use_mics = 0;
+  /// Overlap communication with computation (paper Sections III-C/D).
+  bool overlap = true;
+  /// Grid tiling for stencils (paper Section III-E).
+  bool tiling = true;
+  /// Shared-memory reduction localization (paper Section III-E).
+  bool reduction_localization = true;
+  /// Price the workload as `workload_scale` times its functional size, so a
+  /// scaled-down run reproduces paper-scale compute/communication ratios.
+  double workload_scale = 1.0;
+  /// Scale for SURFACE quantities (halo planes, remote-node exchanges).
+  /// When a grid is shrunk by k per dimension, volume shrinks by k^3 but
+  /// surfaces only by k^2 — so benches set workload_scale = k^3 and
+  /// comm_scale = k^2 (irregular apps: workload_scale^(2/3)). 0 = use
+  /// workload_scale.
+  double comm_scale = 0.0;
+
+  /// Scale for NODE-DATA quantities in irregular reductions (full device
+  /// copies, result write-back). Synthetic graphs may scale edges and nodes
+  /// differently (degree differs from the paper's dataset); 0 = use
+  /// workload_scale.
+  double node_scale = 0.0;
+
+  [[nodiscard]] double effective_comm_scale() const {
+    return comm_scale > 0.0 ? comm_scale : workload_scale;
+  }
+  [[nodiscard]] double effective_node_scale() const {
+    return node_scale > 0.0 ? node_scale : workload_scale;
+  }
+  /// Generalized-reduction chunk size in units (0 = auto).
+  std::size_t gr_chunk_units = 0;
+
+  /// Optional schedule recorder: when set, the runtimes record virtual-time
+  /// spans (compute per device, exchanges, combines) for Chrome-trace
+  /// export. Not owned; must outlive the environment.
+  timemodel::TraceRecorder* trace = nullptr;
+};
+
+/// Per-rank runtime environment.
+class RuntimeEnv {
+ public:
+  RuntimeEnv(minimpi::Communicator& comm, EnvOptions options);
+  ~RuntimeEnv();
+
+  RuntimeEnv(const RuntimeEnv&) = delete;
+  RuntimeEnv& operator=(const RuntimeEnv&) = delete;
+
+  /// Paper API parity; construction already initializes. Validates options.
+  support::Status init();
+  void finalize();
+
+  /// Pattern runtime factories. Each call returns the same lazily-created
+  /// instance; reconfigure it to reuse across kernels (paper Section II-B).
+  GReductionRuntime* get_GR();
+  IReductionRuntime* get_IR();
+  StencilRuntime* get_ST();
+
+  [[nodiscard]] minimpi::Communicator& comm() noexcept { return *comm_; }
+  [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const timemodel::AppRates& rates() const noexcept {
+    return rates_;
+  }
+
+  /// Devices participating in computation: CPU first (when enabled), then
+  /// the selected GPUs.
+  [[nodiscard]] std::vector<devsim::Device*> active_devices();
+
+  /// Scheduler view of the active devices with calibrated rates. When
+  /// `gpu_resident_data` is true, GPUs are priced without per-unit host
+  /// transfers (data staged on the device across iterations).
+  [[nodiscard]] std::vector<DeviceSpec> device_specs(
+      bool gpu_resident_data) const;
+
+  /// Convenience: the options' scheduler knobs as DynamicScheduler options.
+  [[nodiscard]] DynamicScheduler::Options scheduler_options() const;
+
+ private:
+  minimpi::Communicator* comm_;
+  EnvOptions options_;
+  timemodel::AppRates rates_;
+  std::vector<std::unique_ptr<devsim::Device>> devices_;
+  std::unique_ptr<GReductionRuntime> gr_;
+  std::unique_ptr<IReductionRuntime> ir_;
+  std::unique_ptr<StencilRuntime> st_;
+};
+
+}  // namespace psf::pattern

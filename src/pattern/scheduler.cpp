@@ -1,0 +1,83 @@
+#include "pattern/scheduler.h"
+
+#include <algorithm>
+
+namespace psf::pattern {
+
+double DynamicScheduler::chunk_cost(const DeviceSpec& device, double units,
+                                    const Options& options) {
+  const double scaled = units * options.workload_scale;
+  const double compute = scaled / device.units_per_s;
+  double cost = options.overheads.chunk_acquire_s;
+  if (!device.is_gpu) {
+    return cost + compute;
+  }
+  cost += 2.0 * options.overheads.kernel_launch_s;  // one launch per stream
+  if (device.bytes_per_unit <= 0.0) {
+    return cost + compute;
+  }
+  const double bytes = scaled * device.bytes_per_unit;
+  const double copy =
+      2.0 * device.copy_latency_s + bytes / device.copy_bytes_per_s;
+  if (options.overlap_copy) {
+    // Two pinned-memory blocks pipelined over two streams; in steady state
+    // the copy of block i+1 overlaps the compute of block i (across chunk
+    // boundaries too), so a chunk costs the slower of the two.
+    return cost + std::max(compute, copy);
+  }
+  return cost + copy + compute;
+}
+
+ScheduleResult DynamicScheduler::run(const std::vector<DeviceSpec>& devices,
+                                     std::size_t total_units,
+                                     double start_time,
+                                     const Options& options) {
+  PSF_CHECK_MSG(!devices.empty(), "scheduler needs at least one device");
+  ScheduleResult result;
+  result.device_finish.assign(devices.size(), start_time);
+  result.device_units.assign(devices.size(), 0);
+  if (total_units == 0) {
+    result.makespan = start_time;
+    return result;
+  }
+
+  std::size_t chunk = options.chunk_units;
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, total_units / (16 * devices.size()));
+  }
+
+  std::size_t next = 0;
+  while (next < total_units) {
+    // The device that would free up first grabs the next chunk — the
+    // deterministic equivalent of "devices obtain chunks by pthread
+    // locking" in the paper.
+    std::size_t grab = 0;
+    for (std::size_t i = 1; i < devices.size(); ++i) {
+      if (result.device_finish[i] < result.device_finish[grab]) grab = i;
+    }
+    const std::size_t take = std::min(chunk, total_units - next);
+    result.chunks.push_back({static_cast<int>(grab), next, next + take});
+    result.device_finish[grab] +=
+        chunk_cost(devices[grab], static_cast<double>(take), options);
+    result.device_units[grab] += take;
+    next += take;
+  }
+  result.makespan =
+      *std::max_element(result.device_finish.begin(),
+                        result.device_finish.end());
+  return result;
+}
+
+void AdaptivePartitioner::observe(const std::vector<std::size_t>& units,
+                                  const std::vector<double>& seconds) {
+  PSF_CHECK(units.size() == speeds_.size() &&
+            seconds.size() == speeds_.size());
+  for (std::size_t i = 0; i < speeds_.size(); ++i) {
+    if (units[i] > 0 && seconds[i] > 0.0) {
+      speeds_[i] = static_cast<double>(units[i]) / seconds[i];
+    }
+  }
+  profiled_ = true;
+}
+
+}  // namespace psf::pattern

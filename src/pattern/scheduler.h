@@ -1,0 +1,105 @@
+// PSF — Pattern Specification Framework
+// CPU-GPU workload partitioning (paper Section III-D).
+//
+// Generalized reductions use *dynamic scheduling*: devices obtain task
+// chunks under a lock; a GPU's controlling thread splits each chunk into two
+// pinned-memory blocks and pipelines copy/compute over two streams.
+// DynamicScheduler reproduces that policy as a deterministic virtual-time
+// simulation: the earliest-finishing device grabs the next chunk, paying the
+// lock overhead, transfer and kernel costs from the calibrated model. The
+// resulting assignment drives the functional execution, so load distribution
+// and its imbalance are emergent, not assumed.
+//
+// Irregular reductions and stencils use *adaptive partitioning*: iteration 1
+// splits evenly and profiles device speeds; iteration 2 repartitions
+// proportionally (AdaptivePartitioner).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+#include "timemodel/rates.h"
+
+namespace psf::pattern {
+
+/// One schedulable device as seen by the scheduler.
+struct DeviceSpec {
+  double units_per_s = 1.0;  ///< calibrated compute throughput
+  bool is_gpu = false;
+  /// Bytes copied to the device per work unit (0 for resident data).
+  double bytes_per_unit = 0.0;
+  /// Host<->device bandwidth for the copies (GPU only).
+  double copy_bytes_per_s = 6.0e9;
+  double copy_latency_s = 1.0e-5;
+};
+
+/// One contiguous chunk assigned to a device.
+struct ChunkAssignment {
+  int device = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Result of a scheduling simulation.
+struct ScheduleResult {
+  std::vector<ChunkAssignment> chunks;   ///< in grab order
+  std::vector<double> device_finish;     ///< lane end time per device
+  std::vector<std::size_t> device_units; ///< units processed per device
+  double makespan = 0.0;                 ///< max over device_finish
+};
+
+/// Deterministic simulation of the paper's dynamic chunk scheduler.
+class DynamicScheduler {
+ public:
+  struct Options {
+    std::size_t chunk_units = 0;  ///< 0 = auto (total / (16 * devices))
+    timemodel::Overheads overheads;
+    /// Pipeline GPU copy/compute over two streams (paper's overlapped
+    /// execution for generalized reductions). When false, each chunk pays
+    /// copy + compute serially.
+    bool overlap_copy = true;
+    /// Multiplier applied to unit/byte counts so a scaled-down functional
+    /// run is priced at the paper's workload size.
+    double workload_scale = 1.0;
+  };
+
+  /// Simulate scheduling `total_units` of work over `devices`, all lanes
+  /// starting at `start_time`.
+  static ScheduleResult run(const std::vector<DeviceSpec>& devices,
+                            std::size_t total_units, double start_time,
+                            const Options& options);
+
+  /// Virtual time a device needs for one chunk of `units`, including
+  /// per-chunk overheads and (for GPUs) the two-stream pipelined transfer.
+  static double chunk_cost(const DeviceSpec& device, double units,
+                           const Options& options);
+};
+
+/// Profiling-based adaptive split (irregular reductions and stencils):
+/// iteration 1 runs an even partition; observed per-device times update the
+/// speed estimate; the workload is repartitioned once after the first
+/// iteration, as the paper describes.
+class AdaptivePartitioner {
+ public:
+  explicit AdaptivePartitioner(int num_devices)
+      : speeds_(static_cast<std::size_t>(num_devices), 1.0) {}
+
+  /// Record iteration results: device i processed `units[i]` in `time[i]`.
+  void observe(const std::vector<std::size_t>& units,
+               const std::vector<double>& seconds);
+
+  /// Current speed estimates (units/s), uniform before any observation.
+  [[nodiscard]] const std::vector<double>& speeds() const noexcept {
+    return speeds_;
+  }
+
+  /// True once at least one observation has been recorded.
+  [[nodiscard]] bool profiled() const noexcept { return profiled_; }
+
+ private:
+  std::vector<double> speeds_;
+  bool profiled_ = false;
+};
+
+}  // namespace psf::pattern

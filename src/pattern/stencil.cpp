@@ -1,0 +1,595 @@
+#include "pattern/stencil.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "pattern/partition.h"
+#include "pattern/runtime_env.h"
+#include "support/log.h"
+#include "timemodel/timeline.h"
+
+namespace psf::pattern {
+
+namespace {
+constexpr int kHaloTagBase = 0x5c0010;  ///< + 2*dim + direction
+constexpr double kHostCopyBw = 2.0e10;  ///< multithreaded pack bandwidth
+}  // namespace
+
+StencilRuntime::StencilRuntime(RuntimeEnv& env) : env_(&env) {}
+StencilRuntime::~StencilRuntime() = default;
+
+void StencilRuntime::set_grid(const void* global_grid, std::size_t elem_bytes,
+                              const std::vector<std::size_t>& dims) {
+  global_grid_ = static_cast<const std::byte*>(global_grid);
+  elem_bytes_ = elem_bytes;
+  global_dims_ = dims;
+  ready_ = false;
+}
+
+support::Status StencilRuntime::validate() const {
+  if (stencil_ == nullptr) {
+    return support::Status::failed_precondition(
+        "stencil: stencil function not set");
+  }
+  if (global_grid_ == nullptr || elem_bytes_ == 0) {
+    return support::Status::failed_precondition("stencil: grid not set");
+  }
+  if (global_dims_.empty() || global_dims_.size() > kMaxDims) {
+    return support::Status::invalid_argument(
+        "stencil: grid must have 1-3 dimensions");
+  }
+  if (halo_ < 1) {
+    return support::Status::invalid_argument(
+        "stencil: halo width must be >= 1");
+  }
+  return support::Status::ok();
+}
+
+void StencilRuntime::setup() {
+  auto& comm = env_->comm();
+  ndims_ = static_cast<int>(global_dims_.size());
+
+  std::vector<int> topo = topology_;
+  if (topo.empty()) {
+    topo = minimpi::CartComm::choose_dims(comm.size(), ndims_);
+  }
+  PSF_CHECK_MSG(static_cast<int>(topo.size()) == ndims_,
+                "topology rank must equal grid dimensionality");
+  std::vector<bool> periodic(static_cast<std::size_t>(ndims_), false);
+  if (!periodic_.empty()) {
+    PSF_CHECK_MSG(periodic_.size() == static_cast<std::size_t>(ndims_),
+                  "periodic flags must match grid dimensionality");
+    periodic = periodic_;
+  }
+  for (int d = 0; d < ndims_; ++d) {
+    wrap_[static_cast<std::size_t>(d)] = periodic[static_cast<std::size_t>(d)];
+  }
+  cart_ = std::make_unique<minimpi::CartComm>(comm, topo, periodic);
+
+  local_ext_.assign(static_cast<std::size_t>(ndims_), 0);
+  global_off_.assign(static_cast<std::size_t>(ndims_), 0);
+  ext3_ = {1, 1, 1};
+  padded_ = {1, 1, 1};
+  halo3_ = {0, 0, 0};
+  goff3_ = {0, 0, 0};
+  neighbor_lo_ = {minimpi::kNoNeighbor, minimpi::kNoNeighbor,
+                  minimpi::kNoNeighbor};
+  neighbor_hi_ = {minimpi::kNoNeighbor, minimpi::kNoNeighbor,
+                  minimpi::kNoNeighbor};
+
+  for (int d = 0; d < ndims_; ++d) {
+    const BlockPartition split(global_dims_[static_cast<std::size_t>(d)],
+                               topo[static_cast<std::size_t>(d)]);
+    const int coord = cart_->coords()[static_cast<std::size_t>(d)];
+    local_ext_[static_cast<std::size_t>(d)] = split.size(coord);
+    global_off_[static_cast<std::size_t>(d)] = split.begin(coord);
+    PSF_CHECK_MSG(split.size(coord) >= static_cast<std::size_t>(halo_),
+                  "sub-grid extent smaller than the halo width; use fewer "
+                  "processes or a smaller halo");
+    ext3_[static_cast<std::size_t>(d)] = split.size(coord);
+    goff3_[static_cast<std::size_t>(d)] = split.begin(coord);
+    halo3_[static_cast<std::size_t>(d)] = halo_;
+    padded_[static_cast<std::size_t>(d)] =
+        split.size(coord) + 2 * static_cast<std::size_t>(halo_);
+    neighbor_lo_[static_cast<std::size_t>(d)] = cart_->neighbor(d, -1);
+    neighbor_hi_[static_cast<std::size_t>(d)] = cart_->neighbor(d, +1);
+  }
+
+  const std::size_t cells = padded_[0] * padded_[1] * padded_[2];
+  in_.resize(cells * elem_bytes_);
+  out_.resize(cells * elem_bytes_);
+
+  // Scatter: copy every padded cell whose global image exists. This also
+  // seeds halos (refreshed by exchanges) and the fixed global border.
+  for (std::size_t c0 = 0; c0 < padded_[0]; ++c0) {
+    for (std::size_t c1 = 0; c1 < padded_[1]; ++c1) {
+      // Walk dim 2 as a contiguous run where possible.
+      long long g0 = static_cast<long long>(goff3_[0] + c0) - halo3_[0];
+      long long g1 = static_cast<long long>(goff3_[1] + c1) - halo3_[1];
+      const long long dim0 =
+          ndims_ >= 1 ? static_cast<long long>(global_dims_[0]) : 1;
+      const long long dim1 =
+          ndims_ >= 2 ? static_cast<long long>(global_dims_[1]) : 1;
+      const long long dim2 =
+          ndims_ >= 3 ? static_cast<long long>(global_dims_[2]) : 1;
+      if (wrap_[0]) g0 = ((g0 % dim0) + dim0) % dim0;
+      if (wrap_[1]) g1 = ((g1 % dim1) + dim1) % dim1;
+      if (g0 < 0 || g0 >= dim0 || g1 < 0 || g1 >= dim1) continue;
+      // Walk dim 2 cell by cell when it wraps, as a run otherwise.
+      if (wrap_[2]) {
+        for (std::size_t c2 = 0; c2 < padded_[2]; ++c2) {
+          long long g2 =
+              static_cast<long long>(goff3_[2] + c2) - halo3_[2];
+          g2 = ((g2 % dim2) + dim2) % dim2;
+          const std::size_t src =
+              ((static_cast<std::size_t>(g0) * static_cast<std::size_t>(dim1) +
+                static_cast<std::size_t>(g1)) *
+                   static_cast<std::size_t>(dim2) +
+               static_cast<std::size_t>(g2)) *
+              elem_bytes_;
+          const std::size_t dst =
+              ((c0 * padded_[1] + c1) * padded_[2] + c2) * elem_bytes_;
+          std::memcpy(in_.data() + dst, global_grid_ + src, elem_bytes_);
+        }
+        continue;
+      }
+      const long long g2_first = static_cast<long long>(goff3_[2]) - halo3_[2];
+      const long long lo = std::max<long long>(0, -g2_first);
+      const long long hi = std::min<long long>(
+          static_cast<long long>(padded_[2]), dim2 - g2_first);
+      if (lo >= hi) continue;
+      const std::size_t src =
+          ((static_cast<std::size_t>(g0) * static_cast<std::size_t>(dim1) +
+            static_cast<std::size_t>(g1)) *
+               static_cast<std::size_t>(dim2) +
+           static_cast<std::size_t>(g2_first + lo)) *
+          elem_bytes_;
+      const std::size_t dst =
+          ((c0 * padded_[1] + c1) * padded_[2] + static_cast<std::size_t>(lo)) *
+          elem_bytes_;
+      std::memcpy(in_.data() + dst, global_grid_ + src,
+                  static_cast<std::size_t>(hi - lo) * elem_bytes_);
+    }
+  }
+  std::memcpy(out_.data(), in_.data(), in_.size());
+
+  const int num_devices = static_cast<int>(env_->active_devices().size());
+  partitioner_ = AdaptivePartitioner(num_devices);
+  const WeightedPartition rows(ext3_[0], partitioner_.speeds());
+  device_row_bounds_.assign(static_cast<std::size_t>(num_devices) + 1, 0);
+  for (int d = 0; d < num_devices; ++d) {
+    device_row_bounds_[static_cast<std::size_t>(d)] = rows.begin(d);
+  }
+  device_row_bounds_.back() = ext3_[0];
+  stats_ = {};
+  stats_.device_split.assign(static_cast<std::size_t>(num_devices),
+                             1.0 / num_devices);
+
+  // GPUs prefer L1 for stencils (paper III-E).
+  for (auto* device : env_->active_devices()) {
+    if (device->is_gpu()) {
+      device->set_cache_preference(devsim::CachePreference::kPreferL1);
+    }
+  }
+
+  // Count cell classes once (geometry is fixed between repartitions).
+  stats_.inner_cells = 0;
+  stats_.boundary_cells = 0;
+  for (std::size_t c0 = static_cast<std::size_t>(halo3_[0]);
+       c0 < static_cast<std::size_t>(halo3_[0]) + ext3_[0]; ++c0) {
+    for (std::size_t c1 = static_cast<std::size_t>(halo3_[1]);
+         c1 < static_cast<std::size_t>(halo3_[1]) + ext3_[1]; ++c1) {
+      for (std::size_t c2 = static_cast<std::size_t>(halo3_[2]);
+           c2 < static_cast<std::size_t>(halo3_[2]) + ext3_[2]; ++c2) {
+        const std::array<int, kMaxDims> c = {static_cast<int>(c0),
+                                             static_cast<int>(c1),
+                                             static_cast<int>(c2)};
+        if (is_boundary_cell(c)) {
+          ++stats_.boundary_cells;
+        } else {
+          ++stats_.inner_cells;
+        }
+      }
+    }
+  }
+
+  PSF_LOG(kDebug, "stencil")
+      << "rank " << comm.rank() << ": sub-grid " << ext3_[0] << "x"
+      << ext3_[1] << "x" << ext3_[2] << " at (" << goff3_[0] << ","
+      << goff3_[1] << "," << goff3_[2] << "), " << stats_.inner_cells
+      << " inner / " << stats_.boundary_cells << " boundary cells";
+  ready_ = true;
+}
+
+bool StencilRuntime::is_boundary_cell(
+    const std::array<int, kMaxDims>& c) const noexcept {
+  for (int d = 0; d < ndims_; ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    const int h = halo3_[dd];
+    if (neighbor_lo_[dd] != minimpi::kNoNeighbor && c[d] < 2 * h) return true;
+    if (neighbor_hi_[dd] != minimpi::kNoNeighbor &&
+        c[d] >= static_cast<int>(ext3_[dd])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void StencilRuntime::pack_box(const std::array<int, kMaxDims>& lo,
+                              const std::array<int, kMaxDims>& hi,
+                              std::byte* dst) const {
+  std::size_t offset = 0;
+  for (int c0 = lo[0]; c0 < hi[0]; ++c0) {
+    for (int c1 = lo[1]; c1 < hi[1]; ++c1) {
+      const std::size_t run = static_cast<std::size_t>(hi[2] - lo[2]);
+      const std::array<int, kMaxDims> c = {c0, c1, lo[2]};
+      std::memcpy(dst + offset, in_.data() + padded_index(c) * elem_bytes_,
+                  run * elem_bytes_);
+      offset += run * elem_bytes_;
+    }
+  }
+}
+
+void StencilRuntime::unpack_box(const std::array<int, kMaxDims>& lo,
+                                const std::array<int, kMaxDims>& hi,
+                                const std::byte* src) {
+  std::size_t offset = 0;
+  for (int c0 = lo[0]; c0 < hi[0]; ++c0) {
+    for (int c1 = lo[1]; c1 < hi[1]; ++c1) {
+      const std::size_t run = static_cast<std::size_t>(hi[2] - lo[2]);
+      const std::array<int, kMaxDims> c = {c0, c1, lo[2]};
+      std::memcpy(in_.data() + padded_index(c) * elem_bytes_, src + offset,
+                  run * elem_bytes_);
+      offset += run * elem_bytes_;
+    }
+  }
+}
+
+std::size_t StencilRuntime::exchange_dim(int dim) {
+  auto& comm = env_->comm();
+  const std::size_t dd = static_cast<std::size_t>(dim);
+  const int h = halo3_[dd];
+  if (h == 0) return 0;
+  const int lo_rank = neighbor_lo_[dd];
+  const int hi_rank = neighbor_hi_[dd];
+  if (lo_rank == minimpi::kNoNeighbor && hi_rank == minimpi::kNoNeighbor) {
+    return 0;
+  }
+  // Halo planes are surface quantities: price with the comm scale.
+  const double scale = env_->options().effective_comm_scale();
+  const bool any_gpu = env_->options().use_gpus > 0;
+  const auto& overheads = env_->options().preset.overheads;
+
+  // Face boxes span the FULL padded extent of the other dimensions so that
+  // corner halo values propagate through the dimension-by-dimension sweep.
+  auto face = [&](bool low, bool halo_region, std::array<int, kMaxDims>& lo,
+                  std::array<int, kMaxDims>& hi) {
+    for (int d = 0; d < kMaxDims; ++d) {
+      lo[static_cast<std::size_t>(d)] = 0;
+      hi[static_cast<std::size_t>(d)] =
+          static_cast<int>(padded_[static_cast<std::size_t>(d)]);
+    }
+    const int extent = static_cast<int>(ext3_[dd]);
+    if (halo_region) {
+      lo[dd] = low ? 0 : extent + h;
+      hi[dd] = low ? h : extent + 2 * h;
+    } else {
+      lo[dd] = low ? h : extent;
+      hi[dd] = low ? 2 * h : extent + h;
+    }
+  };
+
+  auto box_bytes = [&](const std::array<int, kMaxDims>& lo,
+                       const std::array<int, kMaxDims>& hi) {
+    return static_cast<std::size_t>(hi[0] - lo[0]) *
+           static_cast<std::size_t>(hi[1] - lo[1]) *
+           static_cast<std::size_t>(hi[2] - lo[2]) * elem_bytes_;
+  };
+
+  const int tag_lo = kHaloTagBase + 2 * dim;      // data travelling downward
+  const int tag_hi = kHaloTagBase + 2 * dim + 1;  // data travelling upward
+  std::size_t sent = 0;
+
+  std::array<int, kMaxDims> lo{};
+  std::array<int, kMaxDims> hi{};
+  std::vector<std::byte> send_low;
+  std::vector<std::byte> send_high;
+
+  // Step 1-2: pack the (possibly non-contiguous) boundary strips. GPUs pack
+  // through a zero-copy kernel into a host-mapped buffer.
+  if (lo_rank != minimpi::kNoNeighbor) {
+    face(/*low=*/true, /*halo_region=*/false, lo, hi);
+    send_low.resize(box_bytes(lo, hi));
+    pack_box(lo, hi, send_low.data());
+    comm.timeline().advance(
+        (any_gpu ? overheads.kernel_launch_s : 0.0) +
+        static_cast<double>(send_low.size()) * scale / kHostCopyBw);
+    comm.isend(lo_rank, tag_lo, send_low);
+    sent += send_low.size();
+  }
+  if (hi_rank != minimpi::kNoNeighbor) {
+    face(/*low=*/false, /*halo_region=*/false, lo, hi);
+    send_high.resize(box_bytes(lo, hi));
+    pack_box(lo, hi, send_high.data());
+    comm.timeline().advance(
+        (any_gpu ? overheads.kernel_launch_s : 0.0) +
+        static_cast<double>(send_high.size()) * scale / kHostCopyBw);
+    comm.isend(hi_rank, tag_hi, send_high);
+    sent += send_high.size();
+  }
+
+  // Steps 4-5: receive and unpack into the halo regions (for GPUs via the
+  // host-mapped buffer and an unpack kernel).
+  const auto& pcie = env_->options().preset.pcie;
+  if (lo_rank != minimpi::kNoNeighbor) {
+    auto message = comm.recv_any(lo_rank, tag_hi);
+    face(/*low=*/true, /*halo_region=*/true, lo, hi);
+    PSF_CHECK_MSG(message.payload.size() == box_bytes(lo, hi),
+                  "halo size mismatch on dim " << dim);
+    unpack_box(lo, hi, message.payload.data());
+    comm.timeline().advance(
+        static_cast<double>(message.payload.size()) * scale / kHostCopyBw +
+        (any_gpu ? overheads.kernel_launch_s +
+                       pcie.cost(static_cast<std::size_t>(
+                           static_cast<double>(message.payload.size()) *
+                           scale))
+                 : 0.0));
+  }
+  if (hi_rank != minimpi::kNoNeighbor) {
+    auto message = comm.recv_any(hi_rank, tag_lo);
+    face(/*low=*/false, /*halo_region=*/true, lo, hi);
+    PSF_CHECK_MSG(message.payload.size() == box_bytes(lo, hi),
+                  "halo size mismatch on dim " << dim);
+    unpack_box(lo, hi, message.payload.data());
+    comm.timeline().advance(
+        static_cast<double>(message.payload.size()) * scale / kHostCopyBw +
+        (any_gpu ? overheads.kernel_launch_s +
+                       pcie.cost(static_cast<std::size_t>(
+                           static_cast<double>(message.payload.size()) *
+                           scale))
+                 : 0.0));
+  }
+  return sent;
+}
+
+void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
+                                  std::size_t row_end, bool want_inner) {
+  if (row_begin >= row_end) return;
+  auto devices = env_->active_devices();
+  devsim::Device& device = *devices[static_cast<std::size_t>(device_index)];
+
+  const int blocks = device.descriptor().compute_units;
+  const BlockPartition split(row_end - row_begin, blocks);
+  const std::byte* in = in_.data();
+  std::byte* out = out_.data();
+
+  device.run_blocks(blocks, 0, [&](const devsim::BlockContext& ctx) {
+    int offset_user[kMaxDims];
+    int size_user[kMaxDims];
+    for (int d = 0; d < ndims_; ++d) {
+      size_user[d] = static_cast<int>(padded_[static_cast<std::size_t>(d)]);
+    }
+    for (std::size_t row = row_begin + split.begin(ctx.block_id);
+         row < row_begin + split.end(ctx.block_id); ++row) {
+      const int c0 = static_cast<int>(row) + halo3_[0];
+      for (int c1 = halo3_[1]; c1 < static_cast<int>(ext3_[1]) + halo3_[1];
+           ++c1) {
+        for (int c2 = halo3_[2]; c2 < static_cast<int>(ext3_[2]) + halo3_[2];
+             ++c2) {
+          const std::array<int, kMaxDims> c = {c0, c1, c2};
+          // Fixed global border: copy through on the boundary pass.
+          // Periodic dimensions wrap instead and have no fixed cells.
+          bool fixed = false;
+          for (int d = 0; d < ndims_; ++d) {
+            const std::size_t dd = static_cast<std::size_t>(d);
+            if (wrap_[dd]) continue;
+            const long long g = static_cast<long long>(goff3_[dd]) + c[d] -
+                                halo3_[dd];
+            if (g < halo_ ||
+                g >= static_cast<long long>(global_dims_[dd]) - halo_) {
+              fixed = true;
+              break;
+            }
+          }
+          if (fixed) {
+            if (!want_inner) {
+              std::memcpy(out + padded_index(c) * elem_bytes_,
+                          in + padded_index(c) * elem_bytes_, elem_bytes_);
+            }
+            continue;
+          }
+          if (is_boundary_cell(c) == want_inner) continue;
+          offset_user[0] = c[0];
+          if (ndims_ >= 2) offset_user[1] = c[1];
+          if (ndims_ >= 3) offset_user[2] = c[2];
+          stencil_(in, out, offset_user, size_user, parameter_);
+        }
+      }
+    }
+  });
+}
+
+support::Status StencilRuntime::start() {
+  PSF_RETURN_IF_ERROR(validate());
+  if (!ready_) setup();
+
+  auto& comm = env_->comm();
+  const auto devices = env_->active_devices();
+  const auto specs = env_->device_specs(/*gpu_resident_data=*/true);
+  const double scale = env_->options().workload_scale;
+  const auto& overheads = env_->options().preset.overheads;
+  const bool tiling = env_->options().tiling;
+  const double t0 = comm.timeline().now();
+
+  iteration_device_seconds_.assign(devices.size(), 0.0);
+
+  // Per-device cell tallies for pricing (geometry-derived; the functional
+  // pass computes exactly these cells).
+  const double interior_plane =
+      static_cast<double>(ext3_[1]) * static_cast<double>(ext3_[2]);
+  const double total_cells = static_cast<double>(stats_.inner_cells) +
+                             static_cast<double>(stats_.boundary_cells);
+  const double boundary_fraction =
+      total_cells > 0.0
+          ? static_cast<double>(stats_.boundary_cells) / total_cells
+          : 0.0;
+
+  auto price_pass = [&](timemodel::LaneSet& lanes, bool inner_pass) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const double rows = static_cast<double>(device_row_bounds_[d + 1] -
+                                              device_row_bounds_[d]);
+      if (rows == 0.0) continue;
+      double cells = rows * interior_plane;
+      cells *= inner_pass ? (1.0 - boundary_fraction) : boundary_fraction;
+      double rate = specs[d].units_per_s;
+      double launches = devices[d]->is_accelerator()
+                            ? overheads.kernel_launch_s
+                            : overheads.thread_fork_s;
+      if (!tiling) {
+        // Without tiling both device kinds lose neighbor-reuse locality
+        // (CPU cache lines, GPU L1 under PreferL1), and each boundary
+        // plane needs its own kernel launch (paper III-E).
+        rate /= 1.2;
+        if (!inner_pass && devices[d]->is_gpu()) {
+          launches *= static_cast<double>(2 * ndims_);
+        }
+      }
+      lanes.advance(d, launches + cells * scale / rate);
+      iteration_device_seconds_[d] += launches + cells * scale / rate;
+    }
+  };
+
+  const bool overlap = env_->options().overlap;
+  std::size_t halo_bytes = 0;
+  double exchange_end = comm.timeline().now();
+
+  if (overlap) {
+    // Steps 1-3: pack, asynchronous exchange, inner tiles concurrently.
+    const double fork = comm.timeline().now();
+    for (int d = 0; d < ndims_; ++d) halo_bytes += exchange_dim(d);
+    exchange_end = comm.timeline().now();
+    stats_.last_exchange_vtime = exchange_end - fork;
+
+    timemodel::LaneSet lanes(devices.size(), fork);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      compute_rows(static_cast<int>(d), device_row_bounds_[d],
+                   device_row_bounds_[d + 1], /*want_inner=*/true);
+    }
+    price_pass(lanes, /*inner_pass=*/true);
+    if (auto* trace = env_->options().trace) {
+      trace->record("halo exchange", "comm", comm.rank(), 0, fork,
+                    exchange_end);
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        trace->record("inner tiles", "compute", comm.rank(),
+                      static_cast<int>(d) + 1, fork, lanes.time(d));
+      }
+    }
+    lanes.join(comm.timeline());
+  } else {
+    const double ex0 = comm.timeline().now();
+    for (int d = 0; d < ndims_; ++d) halo_bytes += exchange_dim(d);
+    exchange_end = comm.timeline().now();
+    stats_.last_exchange_vtime = exchange_end - ex0;
+
+    timemodel::LaneSet lanes(devices.size(), comm.timeline().now());
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      compute_rows(static_cast<int>(d), device_row_bounds_[d],
+                   device_row_bounds_[d + 1], /*want_inner=*/true);
+    }
+    price_pass(lanes, /*inner_pass=*/true);
+    lanes.join(comm.timeline());
+  }
+
+  // Step 6: inter-device boundary exchange (CPU<->GPU over PCIe, GPU<->GPU
+  // via peer copies). Functionally the devices share the local sub-grid;
+  // the transfers are priced here.
+  if (devices.size() > 1) {
+    const std::size_t plane_bytes = static_cast<std::size_t>(
+        static_cast<double>(ext3_[1] * ext3_[2] *
+                            static_cast<std::size_t>(halo_) * elem_bytes_) *
+        env_->options().effective_comm_scale());
+    double cost = 0.0;
+    for (std::size_t d = 0; d + 1 < devices.size(); ++d) {
+      const bool gpu_pair =
+          devices[d]->is_gpu() && devices[d + 1]->is_gpu();
+      const auto& link = gpu_pair ? env_->options().preset.peer
+                                  : env_->options().preset.pcie;
+      cost = std::max(cost, link.cost(plane_bytes));
+    }
+    comm.timeline().advance(cost);
+  }
+
+  // Step 7: boundary tiles (grouped into one launch when tiling is on).
+  {
+    const double fork = comm.timeline().now();
+    timemodel::LaneSet lanes(devices.size(), fork);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      compute_rows(static_cast<int>(d), device_row_bounds_[d],
+                   device_row_bounds_[d + 1], /*want_inner=*/false);
+    }
+    price_pass(lanes, /*inner_pass=*/false);
+    if (auto* trace = env_->options().trace) {
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        trace->record("boundary tiles", "compute", comm.rank(),
+                      static_cast<int>(d) + 1, fork, lanes.time(d));
+      }
+    }
+    lanes.join(comm.timeline());
+  }
+
+  std::swap(in_, out_);
+  ++stats_.iterations;
+  stats_.halo_bytes_sent = halo_bytes;
+  stats_.device_seconds = iteration_device_seconds_;
+  stats_.last_iteration_vtime = comm.timeline().now() - t0;
+
+  // Adaptive repartition along the highest dimension after iteration 1.
+  if (stats_.iterations == 1 && devices.size() > 1) {
+    std::vector<std::size_t> rows(devices.size());
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      rows[d] = device_row_bounds_[d + 1] - device_row_bounds_[d];
+    }
+    partitioner_.observe(rows, iteration_device_seconds_);
+    const WeightedPartition split(ext3_[0], partitioner_.speeds());
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      device_row_bounds_[d] = split.begin(static_cast<int>(d));
+    }
+    device_row_bounds_.back() = ext3_[0];
+    const double sum = std::accumulate(partitioner_.speeds().begin(),
+                                       partitioner_.speeds().end(), 0.0);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      stats_.device_split[d] = partitioner_.speeds()[d] / sum;
+    }
+  }
+  return support::Status::ok();
+}
+
+support::Status StencilRuntime::run(int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    PSF_RETURN_IF_ERROR(start());
+  }
+  return support::Status::ok();
+}
+
+void StencilRuntime::write_back(void* global_out) const {
+  PSF_CHECK_MSG(ready_, "write_back() before any start()");
+  std::byte* out = static_cast<std::byte*>(global_out);
+  const std::size_t dim1 =
+      ndims_ >= 2 ? global_dims_[1] : 1;
+  const std::size_t dim2 = ndims_ >= 3 ? global_dims_[2] : 1;
+  for (std::size_t c0 = 0; c0 < ext3_[0]; ++c0) {
+    for (std::size_t c1 = 0; c1 < ext3_[1]; ++c1) {
+      const std::array<int, kMaxDims> local = {
+          static_cast<int>(c0) + halo3_[0], static_cast<int>(c1) + halo3_[1],
+          halo3_[2]};
+      const std::size_t src = padded_index(local) * elem_bytes_;
+      const std::size_t dst =
+          (((goff3_[0] + c0) * dim1 + (goff3_[1] + c1)) * dim2 + goff3_[2]) *
+          elem_bytes_;
+      std::memcpy(out + dst, in_.data() + src, ext3_[2] * elem_bytes_);
+    }
+  }
+}
+
+}  // namespace psf::pattern

@@ -1,0 +1,171 @@
+// PSF — Pattern Specification Framework
+// Stencil runtime (paper Sections II-A, III-C/D/E).
+//
+// The global structured grid is decomposed over a virtual processor
+// Cartesian topology; each rank holds its sub-grid plus halo regions. Per
+// iteration the runtime packs (possibly non-contiguous) boundary planes,
+// exchanges them asynchronously with neighbor ranks, computes inner tiles
+// concurrently with the exchange, unpacks halos, exchanges device-device
+// boundaries, and finally processes the grouped boundary tiles. The device
+// split along the highest dimension adapts to profiled speeds; GPU devices
+// run with the PreferL1 cache configuration.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "minimpi/cart.h"
+#include "pattern/scheduler.h"
+#include "support/buffer.h"
+#include "support/error.h"
+
+namespace psf::pattern {
+
+class RuntimeEnv;
+
+/// User-defined stencil function (Table I): computes ONE output element.
+/// `offset` is the element's coordinate in the local padded grid (outermost
+/// dimension first), `size` the padded extents; index `input`/`output` with
+/// the get helpers in pattern/api.h.
+using StencilFn = void (*)(const void* input, void* output, const int* offset,
+                           const int* size, const void* parameter);
+
+/// Stencil pattern runtime. Obtain from RuntimeEnv::get_ST().
+class StencilRuntime {
+ public:
+  explicit StencilRuntime(RuntimeEnv& env);
+  ~StencilRuntime();
+
+  StencilRuntime(const StencilRuntime&) = delete;
+  StencilRuntime& operator=(const StencilRuntime&) = delete;
+
+  // --- configuration --------------------------------------------------------
+
+  void set_stencil_func(StencilFn fn) { stencil_ = fn; }
+
+  /// Global grid: `ndims` extents (outermost first), elements of
+  /// `elem_bytes`. The runtime scatters sub-grids from this array; elements
+  /// within `halo` of the global border are fixed (copied through).
+  void set_grid(const void* global_grid, std::size_t elem_bytes,
+                const std::vector<std::size_t>& dims);
+
+  /// Stencil radius (halo width); default 1.
+  void set_halo(int halo) { halo_ = halo; }
+
+  /// Virtual processor topology (one extent per grid dimension, product ==
+  /// number of ranks). Empty = choose automatically.
+  void set_topology(const std::vector<int>& dims) { topology_ = dims; }
+
+  /// Periodic boundaries per dimension (default: none). Periodic dimensions
+  /// wrap their halo exchange around the global domain and have no fixed
+  /// border cells.
+  void set_periodic(const std::vector<bool>& periodic) {
+    periodic_ = periodic;
+    ready_ = false;
+  }
+
+  void set_parameter(const void* parameter) { parameter_ = parameter; }
+
+  // --- execution --------------------------------------------------------------
+
+  /// One stencil sweep over the local sub-grid (halo exchange + compute +
+  /// buffer swap). Collective call.
+  support::Status start();
+
+  /// Run `iterations` sweeps.
+  support::Status run(int iterations);
+
+  /// Distributed write-back: each rank copies its interior into the global
+  /// output array (same extents as the input grid).
+  void write_back(void* global_out) const;
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<std::size_t>& local_extents() const {
+    return local_ext_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& global_offset() const {
+    return global_off_;
+  }
+
+  struct Stats {
+    std::size_t inner_cells = 0;
+    std::size_t boundary_cells = 0;
+    std::size_t halo_bytes_sent = 0;     ///< per iteration, this rank
+    double last_exchange_vtime = 0.0;
+    double last_iteration_vtime = 0.0;
+    std::vector<double> device_seconds;  ///< per-device busy time (last iter)
+    std::vector<double> device_split;    ///< adaptive share per device
+    int iterations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr int kMaxDims = 3;
+
+  support::Status validate() const;
+  void setup();  ///< decomposition, allocation, scatter
+
+  [[nodiscard]] std::size_t padded_index(const std::array<int, kMaxDims>& c)
+      const noexcept {
+    return (static_cast<std::size_t>(c[0]) * padded_[1] +
+            static_cast<std::size_t>(c[1])) *
+               padded_[2] +
+           static_cast<std::size_t>(c[2]);
+  }
+
+  /// Copy a padded-grid box to/from a contiguous buffer.
+  void pack_box(const std::array<int, kMaxDims>& lo,
+                const std::array<int, kMaxDims>& hi, std::byte* out) const;
+  void unpack_box(const std::array<int, kMaxDims>& lo,
+                  const std::array<int, kMaxDims>& hi, const std::byte* in);
+
+  /// Halo exchange for one dimension (both directions); returns bytes sent.
+  std::size_t exchange_dim(int dim);
+
+  /// Apply the stencil to all cells in rows [row_begin, row_end) of dim 0,
+  /// where each cell is classified inner/boundary; `want_inner` selects
+  /// which class to compute this pass.
+  void compute_rows(int device_index, std::size_t row_begin,
+                    std::size_t row_end, bool want_inner);
+
+  /// True if the cell needs halo data (lies within `halo_` of a face that
+  /// has a neighbor rank).
+  [[nodiscard]] bool is_boundary_cell(const std::array<int, kMaxDims>& c)
+      const noexcept;
+
+  RuntimeEnv* env_;
+  StencilFn stencil_ = nullptr;
+  const std::byte* global_grid_ = nullptr;
+  std::size_t elem_bytes_ = 0;
+  std::vector<std::size_t> global_dims_;
+  std::vector<int> topology_;
+  std::vector<bool> periodic_;
+  int halo_ = 1;
+  const void* parameter_ = nullptr;
+
+  bool ready_ = false;
+  int ndims_ = 0;
+  std::unique_ptr<minimpi::CartComm> cart_;
+  std::vector<std::size_t> local_ext_;   ///< interior extents (user dims)
+  std::vector<std::size_t> global_off_;  ///< interior origin in global grid
+  // Internal always-3D representation (unused dims have extent 1, halo 0).
+  std::array<std::size_t, kMaxDims> ext3_ = {1, 1, 1};
+  std::array<std::size_t, kMaxDims> padded_ = {1, 1, 1};
+  std::array<int, kMaxDims> halo3_ = {0, 0, 0};
+  std::array<std::size_t, kMaxDims> goff3_ = {0, 0, 0};
+  std::array<int, kMaxDims> neighbor_lo_ = {-2, -2, -2};
+  std::array<int, kMaxDims> neighbor_hi_ = {-2, -2, -2};
+  std::array<bool, kMaxDims> wrap_ = {false, false, false};
+  support::AlignedBuffer in_;
+  support::AlignedBuffer out_;
+
+  AdaptivePartitioner partitioner_{1};
+  std::vector<std::size_t> device_row_bounds_;  ///< interior row split
+  std::vector<double> iteration_device_seconds_;
+  Stats stats_;
+};
+
+}  // namespace psf::pattern

@@ -1,0 +1,103 @@
+// PSF — Pattern Specification Framework
+// Aligned, uninitialized byte buffers. Used for simulated device memory,
+// pinned host staging buffers and message payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "support/error.h"
+
+namespace psf::support {
+
+/// Owning, cache-line-aligned raw byte buffer. Contents start zeroed.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t size_bytes) { resize(size_bytes); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocate to `size_bytes`; contents are zeroed (not preserved).
+  void resize(std::size_t size_bytes) {
+    release();
+    if (size_bytes == 0) return;
+    data_ = static_cast<std::byte*>(
+        ::operator new(size_bytes, std::align_val_t{kAlignment}));
+    std::memset(data_, 0, size_bytes);
+    size_ = size_bytes;
+  }
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::span<std::byte> bytes() noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+  /// Typed view of the buffer; the element count is size()/sizeof(T).
+  template <typename T>
+  [[nodiscard]] std::span<T> as() noexcept {
+    return {reinterpret_cast<T*>(data_), size_ / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> as() const noexcept {
+    return {reinterpret_cast<const T*>(data_), size_ / sizeof(T)};
+  }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Copy `count` bytes between spans with bounds checking.
+inline void copy_bytes(std::span<std::byte> dst, std::size_t dst_offset,
+                       std::span<const std::byte> src, std::size_t src_offset,
+                       std::size_t count) {
+  PSF_CHECK_MSG(dst_offset + count <= dst.size(),
+                "copy_bytes dst overflow: " << dst_offset << "+" << count
+                                            << " > " << dst.size());
+  PSF_CHECK_MSG(src_offset + count <= src.size(),
+                "copy_bytes src overflow: " << src_offset << "+" << count
+                                            << " > " << src.size());
+  std::memcpy(dst.data() + dst_offset, src.data() + src_offset, count);
+}
+
+}  // namespace psf::support

@@ -1,0 +1,172 @@
+// PSF — Pattern Specification Framework
+// Error handling utilities: Status, StatusOr and checked assertions.
+//
+// The framework is a runtime system; internal invariant violations terminate
+// loudly (PSF_CHECK), while user-facing configuration errors are reported
+// through Status / StatusOr so applications can recover.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace psf::support {
+
+/// Error categories used across the framework.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< bad user-supplied configuration
+  kFailedPrecondition,///< API invoked in the wrong state (e.g. start() before
+                      ///< user functions are set)
+  kOutOfRange,        ///< index/extent outside the valid domain
+  kResourceExhausted, ///< simulated device memory or buffer space exhausted
+  kUnimplemented,     ///< feature not supported by this runtime
+  kInternal,          ///< framework bug surfaced as recoverable error
+};
+
+/// Human-readable name for an ErrorCode.
+constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Lightweight status value: an ErrorCode plus a message.
+/// A default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status invalid_argument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {ErrorCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {ErrorCode::kOutOfRange, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {ErrorCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status unimplemented(std::string msg) {
+    return {ErrorCode::kUnimplemented, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string out{support::to_string(code_)};
+    out += ": ";
+    out += message_;
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Minimal expected-like wrapper: either a value of T or an error Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    check_has_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    check_has_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    check_has_value();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void check_has_value() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "psf: StatusOr accessed without value: %s\n",
+                   status_.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& extra) {
+  std::fprintf(stderr, "psf: CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace psf::support
+
+/// Hard invariant check. Always enabled — the framework is a runtime whose
+/// internal corruption must never propagate into user results silently.
+#define PSF_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::psf::support::detail::check_failed(__FILE__, __LINE__, #expr, {});  \
+    }                                                                       \
+  } while (0)
+
+/// Hard invariant check with streamed context message.
+#define PSF_CHECK_MSG(expr, ...)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream psf_check_oss_;                                    \
+      psf_check_oss_ << __VA_ARGS__;                                        \
+      ::psf::support::detail::check_failed(__FILE__, __LINE__, #expr,       \
+                                           psf_check_oss_.str());           \
+    }                                                                       \
+  } while (0)
+
+/// Propagate a non-OK Status from the current function.
+#define PSF_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::psf::support::Status psf_status_ = (expr);    \
+    if (!psf_status_.is_ok()) return psf_status_;   \
+  } while (0)

@@ -1,0 +1,142 @@
+#include "support/loc.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace psf::support {
+
+
+LocReport count_loc(std::string_view source) {
+  LocReport report;
+  bool in_block_comment = false;
+
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string_view line =
+        source.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                         : eol - pos);
+    if (eol == std::string_view::npos && line.empty() && pos == source.size()) {
+      break;  // no trailing partial line
+    }
+    ++report.total_lines;
+
+    // Classify: walk the line tracking block comments; a line counts as code
+    // if any non-comment, non-whitespace character appears on it.
+    bool has_code = false;
+    bool has_comment = in_block_comment;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        const std::size_t end = line.find("*/", i);
+        has_comment = true;
+        if (end == std::string_view::npos) {
+          i = line.size();
+        } else {
+          in_block_comment = false;
+          i = end + 2;
+        }
+        continue;
+      }
+      if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '/') {
+        has_comment = true;
+        break;  // rest of line is a comment
+      }
+      if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '*') {
+        in_block_comment = true;
+        has_comment = true;
+        i += 2;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(line[i]))) has_code = true;
+      ++i;
+    }
+
+    if (has_code) {
+      ++report.code_lines;
+    } else if (has_comment) {
+      ++report.comment_lines;
+    } else {
+      ++report.blank_lines;
+    }
+
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return report;
+}
+
+LocReport count_loc_between_markers(std::string_view source,
+                                    std::string_view begin_marker,
+                                    std::string_view end_marker) {
+  LocReport total;
+  std::size_t cursor = 0;
+  for (;;) {
+    const std::size_t begin = source.find(begin_marker, cursor);
+    if (begin == std::string_view::npos) break;
+    const std::size_t region_start = source.find('\n', begin);
+    if (region_start == std::string_view::npos) break;
+    std::size_t end = source.find(end_marker, region_start);
+    if (end == std::string_view::npos) end = source.size();
+    // Trim back to the start of the end-marker line.
+    std::size_t region_end = source.rfind('\n', end);
+    if (region_end == std::string_view::npos || region_end < region_start) {
+      region_end = end;
+    }
+    const LocReport region = count_loc(
+        source.substr(region_start + 1, region_end - region_start - 1));
+    total.total_lines += region.total_lines;
+    total.blank_lines += region.blank_lines;
+    total.comment_lines += region.comment_lines;
+    total.code_lines += region.code_lines;
+    cursor = end + end_marker.size();
+    if (cursor >= source.size()) break;
+  }
+  return total;
+}
+
+LocReport count_loc_files_between_markers(
+    const std::vector<std::string>& paths, std::string_view begin_marker,
+    std::string_view end_marker, std::vector<std::string>* missing) {
+  LocReport total;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      if (missing != nullptr) missing->push_back(path);
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string text = contents.str();
+    const LocReport one =
+        count_loc_between_markers(text, begin_marker, end_marker);
+    total.total_lines += one.total_lines;
+    total.blank_lines += one.blank_lines;
+    total.comment_lines += one.comment_lines;
+    total.code_lines += one.code_lines;
+  }
+  return total;
+}
+
+LocReport count_loc_files(const std::vector<std::string>& paths,
+                          std::vector<std::string>* missing) {
+  LocReport total;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      if (missing != nullptr) missing->push_back(path);
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const LocReport one = count_loc(contents.str());
+    total.total_lines += one.total_lines;
+    total.blank_lines += one.blank_lines;
+    total.comment_lines += one.comment_lines;
+    total.code_lines += one.code_lines;
+  }
+  return total;
+}
+
+}  // namespace psf::support

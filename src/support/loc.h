@@ -1,0 +1,41 @@
+// PSF — Pattern Specification Framework
+// Source lines-of-code counter used by the Figure 6 (code size) experiment.
+// Counts non-blank, non-comment lines, the same metric the paper's "code
+// size" comparison uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psf::support {
+
+struct LocReport {
+  std::size_t total_lines = 0;    ///< physical lines
+  std::size_t blank_lines = 0;    ///< whitespace-only
+  std::size_t comment_lines = 0;  ///< //-only or inside /* */ blocks
+  std::size_t code_lines = 0;     ///< everything else
+};
+
+/// Count LoC in a C/C++ source string.
+LocReport count_loc(std::string_view source);
+
+/// Count LoC summed over a list of files. Missing files are counted as zero
+/// and recorded in `missing` when non-null.
+LocReport count_loc_files(const std::vector<std::string>& paths,
+                          std::vector<std::string>* missing = nullptr);
+
+/// Count LoC only inside marker-delimited regions, e.g. between lines
+/// containing "[psf-user-code-begin]" and "[psf-user-code-end]". Used by
+/// the Figure 6 experiment to measure exactly the code an application
+/// developer writes in each style (framework vs hand-written MPI).
+LocReport count_loc_between_markers(std::string_view source,
+                                    std::string_view begin_marker,
+                                    std::string_view end_marker);
+
+/// Marker-region LoC summed over files.
+LocReport count_loc_files_between_markers(
+    const std::vector<std::string>& paths, std::string_view begin_marker,
+    std::string_view end_marker, std::vector<std::string>* missing = nullptr);
+
+}  // namespace psf::support

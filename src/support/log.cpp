@@ -1,0 +1,69 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace psf::support {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("PSF_LOG_LEVEL")) {
+      return Log::parse_level(env);
+    }
+    return LogLevel::kWarn;
+  }();
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+constexpr const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() noexcept {
+  return level_storage().load(std::memory_order_relaxed);
+}
+
+void Log::set_level(LogLevel level) noexcept {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel Log::parse_level(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "trace") return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  std::lock_guard<std::mutex> guard(sink_mutex());
+  std::fprintf(stderr, "[psf:%s] %.*s: %.*s\n", level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace psf::support

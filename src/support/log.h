@@ -1,0 +1,66 @@
+// PSF — Pattern Specification Framework
+// Minimal leveled logger. Thread-safe, writes to stderr. Controlled by
+// PSF_LOG_LEVEL (env var or set_level): error < warn < info < debug < trace.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace psf::support {
+
+enum class LogLevel : std::uint8_t {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global logger configuration and sink.
+class Log {
+ public:
+  /// Current threshold; messages above it are dropped.
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Parse "error"/"warn"/"info"/"debug"/"trace" (case-insensitive).
+  static LogLevel parse_level(std::string_view text) noexcept;
+
+  /// Emit one line (already formatted) at `level`.
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace psf::support
+
+/// Streamed logging, e.g. PSF_LOG(kInfo, "stencil") << "halo bytes=" << n;
+#define PSF_LOG(level_enum, component)                                        \
+  if (::psf::support::LogLevel::level_enum > ::psf::support::Log::level()) {  \
+  } else                                                                      \
+    ::psf::support::detail::LogLine(::psf::support::LogLevel::level_enum,     \
+                                    (component))

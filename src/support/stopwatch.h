@@ -1,0 +1,27 @@
+// PSF — Pattern Specification Framework
+// Wall-clock stopwatch (host time). Virtual/simulated time lives in
+// timemodel; this is for real measurements and test timeouts.
+#pragma once
+
+#include <chrono>
+
+namespace psf::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace psf::support

@@ -1,0 +1,110 @@
+// PSF — Pattern Specification Framework
+// Synchronization primitives used by the simulated devices and runtimes:
+// a TTAS spin lock (models GPU-style fine-grained locking of reduction-object
+// slots), a reusable cyclic barrier (models __syncthreads / per-SM barriers),
+// and a one-shot latch.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "support/error.h"
+
+namespace psf::support {
+
+/// Test-and-test-and-set spin lock. Used for short critical sections such as
+/// concurrent hash-slot updates, mirroring the paper's "locking (implemented
+/// as atomic operations)" for reduction objects.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Reusable cyclic barrier for a fixed set of participants. Models both
+/// block-level synchronization inside a simulated GPU kernel and the
+/// process-level barrier in the mini message-passing layer.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties) {
+    PSF_CHECK_MSG(parties > 0, "barrier needs at least one participant");
+  }
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Block until all parties arrive; returns the generation index that just
+  /// completed (useful for tests asserting rendezvous rounds).
+  std::size_t arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return my_generation;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+    return my_generation;
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// One-shot countdown latch.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down(std::size_t n = 1) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    PSF_CHECK_MSG(count_ >= n, "latch count underflow");
+    count_ -= n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  [[nodiscard]] bool try_wait() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return count_ == 0;
+  }
+
+ private:
+  std::size_t count_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace psf::support

@@ -1,0 +1,95 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+
+namespace psf::support {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    PSF_CHECK_MSG(!shutting_down_, "submit() on a shut-down ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Shared work state: every participant pulls the next index; a failure
+  // on any participant stops the others at their next pull. The calling
+  // thread participates, so the pool works even with zero workers.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+  };
+  auto state = std::make_shared<State>();
+  auto run = [state, count, &body] {
+    for (;;) {
+      if (state->failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+  std::vector<std::future<void>> futures;
+  const std::size_t helpers = threads_.size() < count ? threads_.size()
+                                                      : count - 1;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) futures.push_back(submit(run));
+
+  // Every participant must finish before we return (the body reference
+  // dies with this frame); the first exception wins and is rethrown.
+  std::exception_ptr first_error;
+  try {
+    run();
+  } catch (...) {
+    first_error = std::current_exception();
+    state->failed.store(true, std::memory_order_relaxed);
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      state->failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace psf::support

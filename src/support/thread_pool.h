@@ -1,0 +1,49 @@
+// PSF — Pattern Specification Framework
+// Fixed-size thread pool with a parallel_for helper. The simulated GPU's
+// SM executors and the per-node CPU worker threads are built on this.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::support {
+
+/// A fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for completion/exception propagation.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run `body(i)` for i in [0, count) across the pool and wait for all.
+  /// The calling thread also participates, so a pool of N threads yields
+  /// N+1-way concurrency for the duration of the call.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace psf::support

@@ -1,0 +1,39 @@
+// PSF — Pattern Specification Framework
+// Communication link cost models: latency + bandwidth (alpha-beta model).
+// Instances describe the cluster interconnect (InfiniBand-class) and the
+// intra-node PCIe bus of the simulated testbed.
+#pragma once
+
+#include <cstddef>
+
+#include "support/error.h"
+
+namespace psf::timemodel {
+
+/// alpha-beta link: transferring n bytes costs latency + n / bandwidth.
+struct LinkModel {
+  double latency_s = 0.0;        ///< per-message latency (alpha)
+  double bytes_per_s = 1.0e12;   ///< sustained bandwidth (1/beta)
+
+  [[nodiscard]] double cost(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bytes_per_s;
+  }
+
+  /// A free link (zero cost) — used to disable timing in unit tests.
+  static constexpr LinkModel free() noexcept { return {0.0, 1.0e18}; }
+
+  /// InfiniBand-class network as on the paper's testbed (MVAPICH2 1.7 on a
+  /// 2011-era 32-node cluster): ~3 microseconds latency, ~1.5 GB/s
+  /// effective point-to-point bandwidth including protocol overheads.
+  static constexpr LinkModel infiniband() noexcept {
+    return {3.0e-6, 1.5e9};
+  }
+
+  /// PCIe 2.0 x16 host<->device: ~10 microseconds per transfer, ~6 GB/s.
+  static constexpr LinkModel pcie() noexcept { return {1.0e-5, 6.0e9}; }
+
+  /// Peer-to-peer GPU<->GPU over PCIe (cudaMemcpyPeerAsync-class).
+  static constexpr LinkModel pcie_peer() noexcept { return {1.2e-5, 5.0e9}; }
+};
+
+}  // namespace psf::timemodel

@@ -1,0 +1,46 @@
+#include "timemodel/rates.h"
+
+namespace psf::timemodel {
+
+AppRates app_rates(std::string_view app) {
+  // cpu_core_units_per_s values are plausible single-core throughputs for
+  // each kernel; gpu_vs_cpu12 ratios are taken from the paper's reported
+  // single-node measurements (Section IV-C / Table II):
+  //   Kmeans 2.69, Moldyn 1.50, MiniMD 1.70, Sobel 2.24, Heat3D 2.40.
+  if (app == "kmeans") {
+    // 40 centers x 3 dims distance evaluations per point.
+    return {.cpu_core_units_per_s = 4.0e6,
+            .gpu_vs_cpu12 = 2.69,
+            .bytes_per_unit = 12.0};  // 3 floats per point streamed to GPU
+  }
+  if (app == "moldyn") {
+    // Lennard-Jones force per edge (pairwise interaction).
+    return {.cpu_core_units_per_s = 2.0e7,
+            .gpu_vs_cpu12 = 1.50,
+            .bytes_per_unit = 0.0};  // edges resident on device
+  }
+  if (app == "minimd") {
+    return {.cpu_core_units_per_s = 1.6e7,
+            .gpu_vs_cpu12 = 1.70,
+            .bytes_per_unit = 0.0};
+  }
+  if (app == "sobel") {
+    // 9-point single-precision convolution per pixel.
+    return {.cpu_core_units_per_s = 1.0e8,
+            .gpu_vs_cpu12 = 2.24,
+            .bytes_per_unit = 0.0};  // grid resident on device
+  }
+  if (app == "heat3d") {
+    // 7-point double-precision stencil per cell.
+    return {.cpu_core_units_per_s = 8.0e7,
+            .gpu_vs_cpu12 = 2.40,
+            .bytes_per_unit = 0.0};
+  }
+  return {.cpu_core_units_per_s = 1.0e7,
+          .gpu_vs_cpu12 = 2.0,
+          .bytes_per_unit = 0.0};
+}
+
+ClusterPreset testbed_preset() { return {}; }
+
+}  // namespace psf::timemodel

@@ -1,0 +1,81 @@
+// PSF — Pattern Specification Framework
+// Calibration of the virtual-time cost model.
+//
+// The paper reports *relative* device performance per application (Table II:
+// the "perfect" CPU+kGPU speedup is 1 + k * r where r is the measured
+// GPU / 12-core-CPU ratio). We calibrate device throughputs from those
+// published ratios; everything downstream (scaling curves, actual-vs-perfect
+// gaps, overlap benefits) is an emergent output of the simulated schedule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "timemodel/link.h"
+
+namespace psf::timemodel {
+
+/// Throughput calibration for one application kernel.
+struct AppRates {
+  /// Work units (points / edges / grid elements) per second on ONE CPU core.
+  double cpu_core_units_per_s = 1.0e7;
+  /// Ratio of one GPU to the full 12-core CPU device (paper Table II).
+  double gpu_vs_cpu12 = 2.0;
+  /// Ratio of one MIC coprocessor to the full 12-core CPU device (the
+  /// paper's future-work extension; Knights-Corner-era estimates).
+  double mic_vs_cpu12 = 1.3;
+  /// Bytes of input streamed to the GPU per work unit (drives PCIe cost for
+  /// the single-pass generalized reductions).
+  double bytes_per_unit = 0.0;
+
+  /// Units/s of the whole multi-core CPU device.
+  [[nodiscard]] double cpu_device_units_per_s(double cores,
+                                              double parallel_eff) const {
+    return cpu_core_units_per_s * cores * parallel_eff;
+  }
+  /// Units/s of one GPU device, relative to a 12-core CPU.
+  [[nodiscard]] double gpu_device_units_per_s(double parallel_eff) const {
+    return cpu_core_units_per_s * 12.0 * parallel_eff * gpu_vs_cpu12;
+  }
+  /// Units/s of one MIC device, relative to a 12-core CPU.
+  [[nodiscard]] double mic_device_units_per_s(double parallel_eff) const {
+    return cpu_core_units_per_s * 12.0 * parallel_eff * mic_vs_cpu12;
+  }
+};
+
+/// Fixed per-operation overheads of the runtime, in seconds.
+struct Overheads {
+  double chunk_acquire_s = 2.0e-6;   ///< dynamic-scheduler lock per chunk
+  double kernel_launch_s = 8.0e-6;   ///< GPU kernel launch
+  double thread_fork_s = 4.0e-6;     ///< waking the CPU worker team
+  double mpi_call_s = 5.0e-7;        ///< posting a send/recv
+};
+
+/// Description of the simulated testbed (paper Section IV: 32 nodes, each a
+/// 12-core Xeon 5650 + 2 NVIDIA M2070).
+struct ClusterPreset {
+  int num_nodes = 32;
+  int cpu_cores_per_node = 12;
+  int gpus_per_node = 2;
+  /// MIC coprocessors per node (0 on the paper's testbed; the extension
+  /// benches use 2).
+  int mics_per_node = 0;
+  /// Multi-thread scaling efficiency of the CPU device (12 cores behave like
+  /// ~11 independent cores).
+  double cpu_parallel_eff = 11.0 / 12.0;
+  LinkModel network = LinkModel::infiniband();
+  LinkModel pcie = LinkModel::pcie();
+  LinkModel peer = LinkModel::pcie_peer();
+  Overheads overheads;
+};
+
+/// Per-application calibration presets. `app` is one of
+/// "kmeans", "moldyn", "minimd", "sobel", "heat3d"; unknown names fall back
+/// to a generic profile.
+AppRates app_rates(std::string_view app);
+
+/// The default simulated testbed.
+ClusterPreset testbed_preset();
+
+}  // namespace psf::timemodel

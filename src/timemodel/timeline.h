@@ -1,0 +1,110 @@
+// PSF — Pattern Specification Framework
+// Virtual time primitives.
+//
+// The evaluation hardware of the original paper (32 nodes x 12-core Xeon +
+// 2 Fermi GPUs) is simulated: every rank ("node") carries a Timeline whose
+// value is the rank's virtual wall-clock. Compute chunks, memory copies and
+// messages advance it according to the cost model; concurrent activities are
+// modelled with Lanes that later merge (max). See DESIGN.md §2.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::timemodel {
+
+/// Monotonic virtual clock for one rank. Thread-safe: the owning rank thread
+/// advances it, while message deliveries from peer ranks merge into it.
+class Timeline {
+ public:
+  Timeline() = default;
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] double now() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Advance by `seconds` (serial work on this rank).
+  void advance(double seconds) noexcept {
+    PSF_CHECK_MSG(seconds >= 0.0, "negative time advance " << seconds);
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + seconds,
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Merge with an external event time: now = max(now, t). Used when a
+  /// message sent at virtual time `t` is consumed by this rank.
+  void merge(double t) noexcept {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (cur < t && !now_.compare_exchange_weak(cur, t,
+                                                  std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Reset to zero (between experiments).
+  void reset() noexcept { now_.store(0.0, std::memory_order_release); }
+
+ private:
+  std::atomic<double> now_{0.0};
+};
+
+/// A lane is an independent concurrent activity (a device, a communication
+/// channel) forked from a Timeline. Work is accumulated on lanes; `join`
+/// merges the maximum lane end time back into the parent.
+class LaneSet {
+ public:
+  /// Fork `count` lanes all starting at `start`.
+  LaneSet(std::size_t count, double start) : lanes_(count, start) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return lanes_.size(); }
+
+  [[nodiscard]] double time(std::size_t lane) const {
+    PSF_CHECK(lane < lanes_.size());
+    return lanes_[lane];
+  }
+
+  void advance(std::size_t lane, double seconds) {
+    PSF_CHECK(lane < lanes_.size());
+    PSF_CHECK_MSG(seconds >= 0.0, "negative lane advance " << seconds);
+    lanes_[lane] += seconds;
+  }
+
+  void set_time(std::size_t lane, double t) {
+    PSF_CHECK(lane < lanes_.size());
+    lanes_[lane] = t;
+  }
+
+  /// Earliest-finishing lane — the next device to grab a chunk in dynamic
+  /// scheduling.
+  [[nodiscard]] std::size_t argmin() const {
+    PSF_CHECK(!lanes_.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < lanes_.size(); ++i) {
+      if (lanes_[i] < lanes_[best]) best = i;
+    }
+    return best;
+  }
+
+  /// Latest lane end time — the join point of the fork.
+  [[nodiscard]] double max_time() const {
+    PSF_CHECK(!lanes_.empty());
+    return *std::max_element(lanes_.begin(), lanes_.end());
+  }
+
+  /// Merge all lanes into the parent timeline and return the join time.
+  double join(Timeline& parent) const {
+    const double t = max_time();
+    parent.merge(t);
+    return t;
+  }
+
+ private:
+  std::vector<double> lanes_;
+};
+
+}  // namespace psf::timemodel

@@ -1,0 +1,63 @@
+#include "timemodel/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace psf::timemodel {
+
+namespace {
+
+/// Minimal JSON string escaping (names are framework-generated, but user
+/// kernels may carry arbitrary labels).
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json() const {
+  const auto snapshot = spans();
+  std::ostringstream json;
+  json << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : snapshot) {
+    if (!first) json << ",";
+    first = false;
+    // Complete ("X") events with microsecond virtual timestamps.
+    json << "{\"name\":\"" << escape(span.name) << "\",\"cat\":\""
+         << escape(span.category) << "\",\"ph\":\"X\",\"pid\":" << span.rank
+         << ",\"tid\":" << span.lane << ",\"ts\":" << span.begin * 1e6
+         << ",\"dur\":" << (span.end - span.begin) * 1e6 << "}";
+  }
+  json << "],\"displayTimeUnit\":\"ms\"}";
+  return json.str();
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace psf::timemodel

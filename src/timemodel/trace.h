@@ -1,0 +1,68 @@
+// PSF — Pattern Specification Framework
+// Schedule tracing: runtimes record named virtual-time spans per execution
+// lane (rank, device, communication); the recorder exports Chrome trace
+// JSON (chrome://tracing / Perfetto) for visual inspection of overlap,
+// imbalance and adaptive repartitioning.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::timemodel {
+
+/// One recorded span on a lane, in virtual seconds.
+struct TraceSpan {
+  std::string name;      ///< e.g. "CF edges", "halo exchange"
+  std::string category;  ///< "compute", "comm", "copy", ...
+  int rank = 0;          ///< process id (trace pid)
+  int lane = 0;          ///< device/channel within the rank (trace tid)
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Thread-safe collector of trace spans. Attach one to EnvOptions::trace to
+/// capture a run; nullptr (the default) disables recording entirely.
+class TraceRecorder {
+ public:
+  /// Record a span; no-op when end < begin is corrected to a point event.
+  void record(std::string name, std::string category, int rank, int lane,
+              double begin, double end) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    spans_.push_back({std::move(name), std::move(category), rank, lane,
+                      begin, std::max(begin, end)});
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return spans_.size();
+  }
+
+  /// Snapshot of all spans recorded so far.
+  [[nodiscard]] std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return spans_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    spans_.clear();
+  }
+
+  /// Serialize as Chrome trace-event JSON (microsecond timestamps). Load
+  /// the result in chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to a file; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace psf::timemodel

@@ -1,0 +1,119 @@
+// PSF — determinism tests: identical configurations must produce
+// bit-identical virtual times and results across repeated runs. The whole
+// reproduction methodology rests on this (schedules are simulated, not
+// raced), so it is pinned by tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/heat3d.h"
+#include "apps/kmeans.h"
+#include "apps/moldyn.h"
+
+namespace psf::apps {
+namespace {
+
+pattern::EnvOptions hybrid_options(const std::string& profile) {
+  pattern::EnvOptions options;
+  options.app_profile = profile;
+  options.use_cpu = true;
+  options.use_gpus = 2;
+  options.workload_scale = 100.0;
+  return options;
+}
+
+TEST(Determinism, KmeansVirtualTimeIsExactlyReproducible) {
+  kmeans::Params params;
+  params.num_points = 8000;
+  params.num_clusters = 16;
+  params.iterations = 2;
+  const auto points = kmeans::generate_points(params);
+
+  auto run_once = [&] {
+    minimpi::World world(4);
+    std::vector<double> vtimes(4, 0.0);
+    std::vector<double> first_center(4, 0.0);
+    world.run([&](minimpi::Communicator& comm) {
+      const auto result = kmeans::run_framework(
+          comm, hybrid_options("kmeans"), params, points);
+      vtimes[static_cast<std::size_t>(comm.rank())] = result.vtime;
+      first_center[static_cast<std::size_t>(comm.rank())] =
+          result.centers[0];
+    });
+    return std::pair{vtimes, first_center};
+  };
+
+  const auto [vtimes_a, centers_a] = run_once();
+  const auto [vtimes_b, centers_b] = run_once();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(vtimes_a[static_cast<std::size_t>(r)],
+                     vtimes_b[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    // Concurrent reduction-object updates make the FP summation order
+    // nondeterministic; values agree to rounding, not bitwise.
+    EXPECT_NEAR(centers_a[static_cast<std::size_t>(r)],
+                centers_b[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(Determinism, MoldynVirtualTimeIsExactlyReproducible) {
+  moldyn::Params params;
+  params.num_nodes = 1024;
+  params.num_edges = 8192;
+  params.iterations = 3;
+  const auto edges = moldyn::generate_edges(params);
+
+  auto run_once = [&] {
+    auto molecules = moldyn::generate_molecules(params);
+    minimpi::World world(3);
+    std::vector<double> vtimes(3, 0.0);
+    double checksum = 0.0;
+    world.run([&](minimpi::Communicator& comm) {
+      const auto result = moldyn::run_framework(
+          comm, hybrid_options("moldyn"), params, molecules, edges);
+      vtimes[static_cast<std::size_t>(comm.rank())] = result.vtime;
+      if (comm.rank() == 0) checksum = result.position_checksum;
+    });
+    return std::pair{vtimes, checksum};
+  };
+
+  const auto [vtimes_a, checksum_a] = run_once();
+  const auto [vtimes_b, checksum_b] = run_once();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(vtimes_a[static_cast<std::size_t>(r)],
+                     vtimes_b[static_cast<std::size_t>(r)]);
+  }
+  // The physics agrees to rounding (thread interleaving permutes the FP
+  // reduction order within a node's accumulator).
+  EXPECT_NEAR(checksum_a, checksum_b, 1e-6 * std::abs(checksum_a));
+}
+
+TEST(Determinism, Heat3dStencilBitIdenticalAcrossRuns) {
+  heat3d::Params params;
+  params.nx = params.ny = params.nz = 16;
+  params.iterations = 4;
+  const auto field = heat3d::generate_field(params);
+
+  auto run_once = [&] {
+    minimpi::World world(4);
+    heat3d::Result result;
+    world.run([&](minimpi::Communicator& comm) {
+      auto local = heat3d::run_framework(comm, hybrid_options("heat3d"),
+                                         params, field);
+      if (comm.rank() == 0) result = std::move(local);
+    });
+    return result;
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.vtime, b.vtime);
+  ASSERT_EQ(a.field.size(), b.field.size());
+  for (std::size_t i = 0; i < a.field.size(); ++i) {
+    ASSERT_EQ(a.field[i], b.field[i]) << "cell " << i;  // bit-identical
+  }
+}
+
+}  // namespace
+}  // namespace psf::apps

@@ -1,0 +1,282 @@
+// PSF — tests for the device simulator: memory capacity accounting, block
+// execution with shared-memory arenas, streams and virtual-time lanes, peer
+// copies, cache preferences and the node factory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "devsim/device.h"
+#include "timemodel/timeline.h"
+
+namespace psf::devsim {
+namespace {
+
+DeviceDescriptor small_gpu() {
+  DeviceDescriptor gpu;
+  gpu.type = DeviceType::kGpu;
+  gpu.id = 1;
+  gpu.compute_units = 4;
+  gpu.memory_bytes = 1 << 20;  // 1 MB for capacity tests
+  gpu.shared_memory_per_sm = 48 * 1024;
+  return gpu;
+}
+
+TEST(DeviceMemory, AllocWithinCapacity) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  auto buffer = device.alloc(512 * 1024);
+  ASSERT_TRUE(buffer.is_ok());
+  EXPECT_EQ(device.memory_in_use(), 512u * 1024);
+  EXPECT_EQ(buffer.value().size(), 512u * 1024);
+}
+
+TEST(DeviceMemory, ExhaustionReturnsError) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  auto first = device.alloc(900 * 1024);
+  ASSERT_TRUE(first.is_ok());
+  auto second = device.alloc(200 * 1024);
+  EXPECT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(),
+            support::ErrorCode::kResourceExhausted);
+}
+
+TEST(DeviceMemory, FreeOnDestruction) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  {
+    auto buffer = device.alloc(256 * 1024);
+    ASSERT_TRUE(buffer.is_ok());
+    EXPECT_GT(device.memory_in_use(), 0u);
+  }
+  EXPECT_EQ(device.memory_in_use(), 0u);
+}
+
+TEST(DeviceMemory, MoveKeepsSingleAccounting) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  auto buffer = device.alloc(1024);
+  ASSERT_TRUE(buffer.is_ok());
+  DeviceBuffer moved = std::move(buffer).value();
+  DeviceBuffer moved_again = std::move(moved);
+  EXPECT_EQ(device.memory_in_use(), 1024u);
+  moved_again = DeviceBuffer();
+  EXPECT_EQ(device.memory_in_use(), 0u);
+}
+
+TEST(CachePreference, SharedMemorySplit) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  EXPECT_EQ(device.cache_preference(), CachePreference::kPreferShared);
+  EXPECT_EQ(device.usable_shared_memory(), 48u * 1024);
+  device.set_cache_preference(CachePreference::kPreferL1);
+  EXPECT_EQ(device.usable_shared_memory(), 16u * 1024);
+}
+
+TEST(RunBlocks, VisitsEveryBlockOnce) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  std::vector<std::atomic<int>> hits(100);
+  device.run_blocks(100, 0, [&](const BlockContext& ctx) {
+    EXPECT_EQ(ctx.num_blocks, 100);
+    hits[static_cast<std::size_t>(ctx.block_id)].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(RunBlocks, ArenaIsZeroedAndPrivate) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  std::atomic<bool> dirty{false};
+  device.run_blocks(64, 1024, [&](const BlockContext& ctx) {
+    ASSERT_EQ(ctx.shared.size(), 1024u);
+    for (std::byte b : ctx.shared) {
+      if (b != std::byte{0}) dirty = true;
+    }
+    // Scribble: if arenas were shared between concurrent blocks, another
+    // block would observe non-zero contents above.
+    std::memset(ctx.shared.data(), 0xAB, ctx.shared.size());
+  });
+  EXPECT_FALSE(dirty.load());
+}
+
+TEST(RunBlocks, SharedMemoryOverflowAborts) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  EXPECT_DEATH(device.run_blocks(1, 128 * 1024, [](const BlockContext&) {}),
+               "shared memory");
+}
+
+TEST(RunBlocks, DeviceAtomicsAreCoherent) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  double sum = 0.0;
+  device.run_blocks(200, 0, [&](const BlockContext&) {
+    atomic_add(&sum, 1.0);
+  });
+  EXPECT_DOUBLE_EQ(sum, 200.0);
+}
+
+TEST(Stream, CopiesAreFunctionalAndPriced) {
+  timemodel::Timeline host;
+  DeviceDescriptor gpu = small_gpu();
+  gpu.h2d_link = {0.0, 1.0e6};  // 1 MB/s for easy numbers
+  Device device(gpu, host);
+  auto dev_buffer = device.alloc(1 << 20);
+  ASSERT_TRUE(dev_buffer.is_ok());
+  std::vector<std::byte> host_data(1 << 20, std::byte{7});
+
+  Stream& stream = device.stream(0);
+  stream.copy_h2d(dev_buffer.value().bytes(), host_data);
+  EXPECT_EQ(dev_buffer.value().bytes()[12345], std::byte{7});
+  EXPECT_NEAR(stream.lane_time(), 1.048576, 1e-6);
+  EXPECT_DOUBLE_EQ(host.now(), 0.0);  // async: host not blocked
+  stream.synchronize();
+  EXPECT_NEAR(host.now(), 1.048576, 1e-6);
+}
+
+TEST(Stream, InOrderWithinStream) {
+  timemodel::Timeline host;
+  DeviceDescriptor gpu = small_gpu();
+  gpu.h2d_link = {0.0, 1.0e6};
+  Device device(gpu, host);
+  Stream& stream = device.stream(0);
+  std::vector<std::byte> a(1 << 20), b(1 << 20);
+  stream.copy_h2d(a, b);
+  stream.copy_h2d(a, b);
+  EXPECT_NEAR(stream.lane_time(), 2.097152, 1e-6);  // serial on one stream
+}
+
+TEST(Stream, TwoStreamsOverlap) {
+  timemodel::Timeline host;
+  DeviceDescriptor gpu = small_gpu();
+  gpu.h2d_link = {0.0, 1.0e6};
+  Device device(gpu, host);
+  std::vector<std::byte> a(1 << 20), b(1 << 20);
+  device.stream(0).copy_h2d(a, b);
+  device.stream(1).copy_h2d(a, b);
+  // Both lanes end near 1s — concurrent, not serialized.
+  EXPECT_NEAR(device.stream(0).lane_time(), 1.048576, 1e-6);
+  EXPECT_NEAR(device.stream(1).lane_time(), 1.048576, 1e-6);
+  device.synchronize_all(host);
+  EXPECT_NEAR(host.now(), 1.048576, 1e-6);
+}
+
+TEST(Stream, OpsStartNoEarlierThanHostNow) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  Stream& stream = device.stream(0);
+  host.advance(5.0);
+  stream.charge(1.0);
+  EXPECT_DOUBLE_EQ(stream.lane_time(), 6.0);
+}
+
+TEST(Stream, PeerCopyAdvancesBothLanes) {
+  timemodel::Timeline host;
+  Device a(small_gpu(), host);
+  Device b(small_gpu(), host);
+  std::vector<std::byte> src(1 << 20, std::byte{3});
+  std::vector<std::byte> dst(1 << 20);
+  a.stream(0).copy_peer(dst, b.stream(0), src,
+                        timemodel::LinkModel{0.0, 1.0e6});
+  EXPECT_EQ(dst[999], std::byte{3});
+  EXPECT_NEAR(a.stream(0).lane_time(), 1.048576, 1e-6);
+  EXPECT_NEAR(b.stream(0).lane_time(), 1.048576, 1e-6);
+}
+
+TEST(Stream, KernelLaunchRunsBlocksAndCharges) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  device.set_compute_rate(1.0e6);
+  std::atomic<int> blocks{0};
+  device.stream(0).launch(10, 0, 500000.0,
+                          [&](const BlockContext&) { blocks.fetch_add(1); });
+  EXPECT_EQ(blocks.load(), 10);
+  EXPECT_NEAR(device.stream(0).lane_time(), 0.5, 0.01);
+}
+
+TEST(KernelCost, IncludesLaunchOverhead) {
+  timemodel::Timeline host;
+  Device device(small_gpu(), host);
+  device.set_compute_rate(1.0e9);
+  timemodel::Overheads overheads;
+  overheads.kernel_launch_s = 1.0e-3;
+  device.set_overheads(overheads);
+  EXPECT_NEAR(device.kernel_cost(0.0), 1.0e-3, 1e-9);
+  EXPECT_NEAR(device.kernel_cost(1.0e9), 1.0 + 1.0e-3, 1e-6);
+}
+
+TEST(NodeFactory, BuildsTestbedNode) {
+  timemodel::Timeline host;
+  const auto preset = timemodel::testbed_preset();
+  auto devices = make_node_devices(preset, host);
+  ASSERT_EQ(devices.size(), 3u);  // CPU + 2 GPUs
+  EXPECT_EQ(devices[0]->type(), DeviceType::kCpu);
+  EXPECT_EQ(devices[0]->descriptor().compute_units, 12);
+  EXPECT_TRUE(devices[1]->is_gpu());
+  EXPECT_TRUE(devices[2]->is_gpu());
+  EXPECT_EQ(devices[1]->descriptor().shared_memory_per_sm, 48u * 1024);
+}
+
+TEST(PinnedBuffer, TypedAccess) {
+  PinnedBuffer pinned(16 * sizeof(float));
+  auto view = pinned.as<float>();
+  view[0] = 3.5f;
+  EXPECT_EQ(pinned.as<float>()[0], 3.5f);
+  EXPECT_EQ(pinned.size(), 16 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace psf::devsim
+
+namespace psf::devsim {
+namespace {
+
+TEST(Event, CrossStreamDependency) {
+  timemodel::Timeline host;
+  DeviceDescriptor gpu;
+  gpu.type = DeviceType::kGpu;
+  gpu.compute_units = 2;
+  Device device(gpu, host);
+  Stream& producer = device.stream(0);
+  Stream& consumer = device.stream(1);
+
+  producer.charge(2.0);
+  Event event;
+  producer.record(event);
+  producer.charge(5.0);  // later producer work is NOT waited on
+
+  consumer.charge(0.5);
+  consumer.wait(event);  // must reach at least t=2
+  EXPECT_DOUBLE_EQ(consumer.lane_time(), 2.0);
+  consumer.charge(1.0);
+  EXPECT_DOUBLE_EQ(consumer.lane_time(), 3.0);
+  EXPECT_DOUBLE_EQ(producer.lane_time(), 7.0);
+}
+
+TEST(Event, HostSynchronize) {
+  timemodel::Timeline host;
+  DeviceDescriptor gpu;
+  gpu.type = DeviceType::kGpu;
+  gpu.compute_units = 1;
+  Device device(gpu, host);
+  Stream& stream = device.stream(0);
+  stream.charge(3.0);
+  Event event;
+  stream.record(event);
+  EXPECT_TRUE(event.recorded());
+  event.synchronize(host);
+  EXPECT_DOUBLE_EQ(host.now(), 3.0);
+}
+
+TEST(Event, UnrecordedEventDies) {
+  timemodel::Timeline host;
+  Event event;
+  EXPECT_DEATH(event.synchronize(host), "unrecorded");
+}
+
+}  // namespace
+}  // namespace psf::devsim

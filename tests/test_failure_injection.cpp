@@ -1,0 +1,217 @@
+// PSF — failure-injection and error-path tests: misconfiguration must be
+// reported through Status or stopped by hard checks, never silently
+// corrupt results.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "minimpi/cart.h"
+#include "pattern/api.h"
+
+namespace psf {
+namespace {
+
+using pattern::EnvOptions;
+using pattern::RuntimeEnv;
+
+EnvOptions cpu_options() {
+  EnvOptions options;
+  options.use_cpu = true;
+  return options;
+}
+
+void dummy_emit(pattern::ReductionObject*, const void*, std::size_t,
+                const void*) {}
+void dummy_reduce(void*, const void*) {}
+void dummy_edge(pattern::ReductionObject*, const pattern::EdgeView&,
+                const void*, const void*, const void*) {}
+void dummy_stencil(const void*, void*, const int*, const int*, const void*) {}
+
+// --- configuration status errors ---------------------------------------------
+
+TEST(FailureInjection, GrMissingPiecesReportedIndividually) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* gr = env.get_GR();
+    EXPECT_EQ(gr->start().code(), support::ErrorCode::kFailedPrecondition);
+
+    gr->set_emit_func(dummy_emit);
+    gr->set_reduce_func(dummy_reduce);
+    EXPECT_EQ(gr->start().code(), support::ErrorCode::kFailedPrecondition);
+
+    const std::vector<int> data(10, 0);
+    gr->set_input(data.data(), sizeof(int), data.size());
+    EXPECT_EQ(gr->start().code(),
+              support::ErrorCode::kFailedPrecondition);  // no object yet
+
+    gr->configure_object(8, sizeof(double));
+    EXPECT_TRUE(gr->start().is_ok());
+  });
+}
+
+TEST(FailureInjection, IrMissingPiecesReported) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* ir = env.get_IR();
+    EXPECT_EQ(ir->start().code(), support::ErrorCode::kFailedPrecondition);
+    ir->set_edge_comp_func(dummy_edge);
+    ir->set_node_reduc_func(dummy_reduce);
+    EXPECT_EQ(ir->start().code(), support::ErrorCode::kFailedPrecondition);
+    std::vector<double> nodes(4, 0.0);
+    ir->set_nodes(nodes.data(), sizeof(double), nodes.size());
+    EXPECT_EQ(ir->start().code(), support::ErrorCode::kFailedPrecondition);
+    const std::vector<pattern::Edge> edges{{0, 1}};
+    ir->set_edges(edges.data(), edges.size(), nullptr, 0);
+    EXPECT_EQ(ir->start().code(),
+              support::ErrorCode::kFailedPrecondition);  // no value size
+    ir->configure_value(sizeof(double));
+    EXPECT_TRUE(ir->start().is_ok());
+  });
+}
+
+TEST(FailureInjection, StencilRejectsFourDimensions) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(dummy_stencil);
+    const std::vector<double> grid(16, 0.0);
+    st->set_grid(grid.data(), sizeof(double), {2, 2, 2, 2});
+    EXPECT_EQ(st->start().code(), support::ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(FailureInjection, StencilTopologyMustMatchWorld) {
+  minimpi::World world(3);
+  const std::vector<double> grid(64, 0.0);
+  EXPECT_DEATH(world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(dummy_stencil);
+    st->set_grid(grid.data(), sizeof(double), {8, 8});
+    st->set_topology({2, 2});  // 4 != 3 ranks
+    (void)st->start();
+  }),
+               "dims product");
+}
+
+// --- hard checks on corrupt inputs ---------------------------------------------
+
+TEST(FailureInjection, IrEdgeOutOfRangeDies) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* ir = env.get_IR();
+    ir->set_edge_comp_func(dummy_edge);
+    ir->set_node_reduc_func(dummy_reduce);
+    std::vector<double> nodes(4, 0.0);
+    ir->set_nodes(nodes.data(), sizeof(double), nodes.size());
+    const std::vector<pattern::Edge> edges{{0, 99}};  // node 99 of 4
+    ir->set_edges(edges.data(), edges.size(), nullptr, 0);
+    ir->configure_value(sizeof(double));
+    EXPECT_DEATH((void)ir->start(), "outside the graph");
+  });
+}
+
+TEST(FailureInjection, RecvBufferTooSmallDies) {
+  minimpi::World world(2);
+  EXPECT_DEATH(world.run([](minimpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data(8, 1);
+      comm.send_span<int>(1, 1, data);
+    } else {
+      std::vector<int> tiny(2);
+      comm.recv_span<int>(0, 1, tiny);
+    }
+  }),
+               "buffer too small");
+}
+
+TEST(FailureInjection, CartDimsMismatchDies) {
+  minimpi::World world(4);
+  EXPECT_DEATH(world.run([](minimpi::Communicator& comm) {
+    minimpi::CartComm cart(comm, {3, 2}, {false, false});
+  }),
+               "dims product");
+}
+
+TEST(FailureInjection, ReductionObjectOverflowDies) {
+  pattern::ReductionObject object(
+      pattern::ObjectLayout::kHash, 2, sizeof(double),
+      +[](void* d, const void* s) {
+        *static_cast<double*>(d) += *static_cast<const double*>(s);
+      });
+  const double value = 1.0;
+  object.insert(10, &value);
+  object.insert(20, &value);
+  EXPECT_DEATH(object.insert(30, &value), "overflow");
+}
+
+TEST(FailureInjection, DenseKeyOutsideWindowDies) {
+  pattern::ReductionObject object(
+      pattern::ObjectLayout::kDense, 4, sizeof(double),
+      +[](void*, const void*) {});
+  object.set_key_offset(10);
+  const double value = 1.0;
+  EXPECT_DEATH(object.insert(3, &value), "outside");
+}
+
+TEST(FailureInjection, SerializedBlobTruncationDies) {
+  pattern::ReductionObject object(
+      pattern::ObjectLayout::kHash, 8, sizeof(double),
+      +[](void* d, const void* s) {
+        *static_cast<double*>(d) += *static_cast<const double*>(s);
+      });
+  const double value = 2.0;
+  object.insert(1, &value);
+  auto blob = object.serialize();
+  blob.pop_back();  // corrupt
+  pattern::ReductionObject copy(
+      pattern::ObjectLayout::kHash, 8, sizeof(double),
+      +[](void* d, const void* s) {
+        *static_cast<double*>(d) += *static_cast<const double*>(s);
+      });
+  EXPECT_DEATH(copy.merge_serialized(blob), "wrong length");
+}
+
+// --- resource exhaustion ----------------------------------------------------------
+
+TEST(FailureInjection, DeviceMemoryExhaustionIsStatusNotCrash) {
+  timemodel::Timeline host;
+  devsim::DeviceDescriptor tiny;
+  tiny.type = devsim::DeviceType::kGpu;
+  tiny.memory_bytes = 1024;
+  tiny.compute_units = 1;
+  devsim::Device device(tiny, host);
+  auto ok = device.alloc(512);
+  ASSERT_TRUE(ok.is_ok());
+  auto fail = device.alloc(1024);
+  ASSERT_FALSE(fail.is_ok());
+  EXPECT_EQ(fail.status().code(), support::ErrorCode::kResourceExhausted);
+  // Message names the device and the shortfall.
+  EXPECT_NE(fail.status().message().find("gpu"), std::string::npos);
+}
+
+TEST(FailureInjection, WorldDetectsLeakedMessages) {
+  // A rank that sends a message nobody receives must be reported.
+  minimpi::World world(2);
+  EXPECT_DEATH(world.run([](minimpi::Communicator& comm) {
+    if (comm.rank() == 0) comm.send_value<int>(1, 5, 1);
+    // rank 1 never receives
+  }),
+               "unconsumed");
+}
+
+TEST(FailureInjection, WaitOnEmptyRequestDies) {
+  minimpi::World world(1);
+  EXPECT_DEATH(world.run([](minimpi::Communicator& comm) {
+    minimpi::Request request;
+    comm.wait(request);
+  }),
+               "empty Request");
+}
+
+}  // namespace
+}  // namespace psf

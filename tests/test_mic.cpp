@@ -1,0 +1,167 @@
+// PSF — tests for the MIC coprocessor extension (the paper's Section VI
+// future work): device construction, environment wiring, correctness and
+// adaptive balancing on three-way heterogeneous nodes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "apps/heat3d.h"
+#include "apps/kmeans.h"
+#include "pattern/api.h"
+
+namespace psf::pattern {
+namespace {
+
+timemodel::ClusterPreset mic_preset() {
+  auto preset = timemodel::testbed_preset();
+  preset.mics_per_node = 2;
+  return preset;
+}
+
+TEST(MicDevice, NodeFactoryBuildsMics) {
+  timemodel::Timeline host;
+  auto devices = devsim::make_node_devices(mic_preset(), host);
+  ASSERT_EQ(devices.size(), 5u);  // CPU + 2 GPU + 2 MIC
+  EXPECT_EQ(devices[3]->type(), devsim::DeviceType::kMic);
+  EXPECT_EQ(devices[4]->type(), devsim::DeviceType::kMic);
+  EXPECT_FALSE(devices[3]->is_gpu());
+  EXPECT_TRUE(devices[3]->is_accelerator());
+  EXPECT_FALSE(devices[0]->is_accelerator());
+  EXPECT_EQ(devices[3]->descriptor().compute_units, 60);
+  EXPECT_EQ(devices[3]->descriptor().name(), "mic3");
+}
+
+TEST(MicDevice, RunsBlocksLikeAnyDevice) {
+  timemodel::Timeline host;
+  auto devices = devsim::make_node_devices(mic_preset(), host);
+  std::atomic<int> blocks{0};
+  devices[3]->run_blocks(30, 4096, [&](const devsim::BlockContext& ctx) {
+    EXPECT_EQ(ctx.shared.size(), 4096u);
+    blocks.fetch_add(1);
+  });
+  EXPECT_EQ(blocks.load(), 30);
+}
+
+TEST(MicEnv, RejectsMoreMicsThanPresent) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    EnvOptions options;
+    options.use_cpu = true;
+    options.use_mics = 1;  // preset has 0 by default
+    EXPECT_DEATH(RuntimeEnv env(comm, options), "MICs");
+  });
+}
+
+TEST(MicEnv, ActiveDevicesIncludeMics) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    EnvOptions options;
+    options.preset = mic_preset();
+    options.use_cpu = true;
+    options.use_gpus = 1;
+    options.use_mics = 2;
+    RuntimeEnv env(comm, options);
+    const auto devices = env.active_devices();
+    ASSERT_EQ(devices.size(), 4u);
+    EXPECT_EQ(devices[0]->type(), devsim::DeviceType::kCpu);
+    EXPECT_EQ(devices[1]->type(), devsim::DeviceType::kGpu);
+    EXPECT_EQ(devices[2]->type(), devsim::DeviceType::kMic);
+    EXPECT_EQ(devices[3]->type(), devsim::DeviceType::kMic);
+    const auto specs = env.device_specs(true);
+    ASSERT_EQ(specs.size(), 4u);
+    // MIC throughput sits between the CPU and this profile's GPU.
+    EXPECT_GT(specs[2].units_per_s, specs[0].units_per_s);
+  });
+}
+
+TEST(MicCorrectness, KmeansMatchesSequentialOnMicMixes) {
+  apps::kmeans::Params params;
+  params.num_points = 4000;
+  params.num_clusters = 8;
+  params.iterations = 2;
+  const auto points = apps::kmeans::generate_points(params);
+  const auto reference = apps::kmeans::run_sequential(params, points);
+
+  for (auto [gpus, mics] : {std::pair{0, 1}, std::pair{0, 2},
+                            std::pair{2, 2}}) {
+    minimpi::World world(2);
+    std::vector<apps::kmeans::Result> results(2);
+    world.run([&](minimpi::Communicator& comm) {
+      EnvOptions options;
+      options.preset = mic_preset();
+      options.app_profile = "kmeans";
+      options.use_cpu = true;
+      options.use_gpus = gpus;
+      options.use_mics = mics;
+      results[static_cast<std::size_t>(comm.rank())] =
+          apps::kmeans::run_framework(comm, options, params, points);
+    });
+    for (const auto& result : results) {
+      for (std::size_t i = 0; i < reference.centers.size(); ++i) {
+        EXPECT_NEAR(result.centers[i], reference.centers[i], 1e-6);
+      }
+    }
+  }
+}
+
+TEST(MicCorrectness, Heat3dMatchesSequentialWithMics) {
+  apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 12;
+  params.iterations = 3;
+  const auto field = apps::heat3d::generate_field(params);
+  const auto reference = apps::heat3d::run_sequential(params, field);
+
+  minimpi::World world(2);
+  std::vector<apps::heat3d::Result> results(2);
+  world.run([&](minimpi::Communicator& comm) {
+    EnvOptions options;
+    options.preset = mic_preset();
+    options.app_profile = "heat3d";
+    options.use_cpu = true;
+    options.use_gpus = 2;
+    options.use_mics = 2;
+    results[static_cast<std::size_t>(comm.rank())] =
+        apps::heat3d::run_framework(comm, options, params, field);
+  });
+  for (const auto& result : results) {
+    for (std::size_t i = 0; i < reference.field.size(); ++i) {
+      ASSERT_NEAR(result.field[i], reference.field[i], 1e-10);
+    }
+  }
+}
+
+TEST(MicPerformance, MicsAddThroughput) {
+  apps::kmeans::Params params;
+  params.num_points = 20000;
+  params.num_clusters = 16;
+  params.iterations = 1;
+  const auto points = apps::kmeans::generate_points(params);
+
+  auto measure = [&](int mics) {
+    minimpi::World world(1);
+    double vtime = 0.0;
+    world.run([&](minimpi::Communicator& comm) {
+      EnvOptions options;
+      options.preset = mic_preset();
+      options.app_profile = "kmeans";
+      options.use_cpu = true;
+      options.use_mics = mics;
+      options.workload_scale = 10000.0;  // overheads negligible
+      RuntimeEnv env(comm, options);
+      vtime = apps::kmeans::run_framework(comm, options, params, points)
+                  .vtime;
+    });
+    return vtime;
+  };
+  const double cpu_only = measure(0);
+  const double with_one = measure(1);
+  const double with_two = measure(2);
+  EXPECT_LT(with_one, cpu_only);
+  EXPECT_LT(with_two, with_one);
+  // A MIC at 1.3x a 12-core CPU should roughly double throughput.
+  EXPECT_NEAR(cpu_only / with_one, 2.2, 0.5);
+}
+
+}  // namespace
+}  // namespace psf::pattern

@@ -1,0 +1,413 @@
+// PSF — tests for minimpi: point-to-point semantics, wildcards, ordering,
+// non-blocking requests, collectives, virtual-time pricing and Cartesian
+// topologies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/cart.h"
+#include "minimpi/communicator.h"
+
+namespace psf::minimpi {
+namespace {
+
+TEST(World, RunsEveryRank) {
+  World world(5);
+  std::atomic<int> mask{0};
+  world.run([&](Communicator& comm) { mask.fetch_or(1 << comm.rank()); });
+  EXPECT_EQ(mask.load(), 0b11111);
+}
+
+TEST(World, RethrowsRankException) {
+  World world(3);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 died");
+    // other ranks finish normally
+  }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, SendRecvValue) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 7, 42);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 42);
+    }
+  });
+}
+
+TEST(PointToPoint, SpanRoundTrip) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    std::vector<double> data{1.0, 2.0, 3.0};
+    if (comm.rank() == 0) {
+      comm.send_span<double>(1, 1, data);
+    } else {
+      std::vector<double> out(3);
+      const MessageInfo info = comm.recv_span<double>(0, 1, out);
+      EXPECT_EQ(info.source, 0);
+      EXPECT_EQ(info.bytes, 3 * sizeof(double));
+      EXPECT_EQ(out, data);
+    }
+  });
+}
+
+TEST(PointToPoint, WildcardSourceAndTag) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(0, 100 + comm.rank(), comm.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        Message message = comm.recv_any(kAnySource, kAnyTag);
+        int value = 0;
+        std::memcpy(&value, message.payload.data(), sizeof(value));
+        EXPECT_EQ(message.tag, 100 + message.source);
+        sum += value;
+      }
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(PointToPoint, NonOvertakingSameSourceTag) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    constexpr int kCount = 50;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) comm.send_value<int>(1, 3, i);
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, TagSelectivity) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 111);
+      comm.send_value<int>(1, 2, 222);
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not arrival.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(NonBlocking, IsendIrecvWait) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data{5, 6, 7};
+      Request request = comm.isend(1, 9, std::as_bytes(std::span(data)));
+      comm.wait(request);
+      EXPECT_FALSE(request.valid());
+    } else {
+      std::vector<int> out(3);
+      Request request =
+          comm.irecv(0, 9, std::as_writable_bytes(std::span(out)));
+      comm.wait(request);
+      EXPECT_EQ(out, (std::vector<int>{5, 6, 7}));
+    }
+  });
+}
+
+TEST(NonBlocking, WaitAll) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> a(1), b(1);
+      std::array<Request, 2> requests = {
+          comm.irecv(1, 4, std::as_writable_bytes(std::span(a))),
+          comm.irecv(2, 4, std::as_writable_bytes(std::span(b)))};
+      comm.wait_all(requests);
+      EXPECT_EQ(a[0] + b[0], 3);
+    } else {
+      comm.send_value<int>(0, 4, comm.rank());
+    }
+  });
+}
+
+TEST(Collectives, Barrier) {
+  World world(4);
+  std::atomic<int> phase_counter{0};
+  world.run([&](Communicator& comm) {
+    phase_counter.fetch_add(1);
+    comm.barrier();
+    // Everyone arrived before anyone proceeds.
+    EXPECT_EQ(phase_counter.load(), 4);
+    comm.barrier();
+  });
+}
+
+TEST(Collectives, BcastFromEveryRoot) {
+  for (int root = 0; root < 4; ++root) {
+    World world(4);
+    world.run([root](Communicator& comm) {
+      std::vector<int> data(5, comm.rank() == root ? 17 : 0);
+      comm.bcast(std::as_writable_bytes(std::span(data)), root);
+      for (int value : data) EXPECT_EQ(value, 17);
+    });
+  }
+}
+
+TEST(Collectives, ReduceSumToRoot) {
+  World world(5);
+  world.run([](Communicator& comm) {
+    std::vector<long> data{static_cast<long>(comm.rank()),
+                           static_cast<long>(comm.rank() * 10)};
+    comm.reduce<long>(data, 0, [](long& a, long b) { a += b; });
+    if (comm.rank() == 0) {
+      EXPECT_EQ(data[0], 0 + 1 + 2 + 3 + 4);
+      EXPECT_EQ(data[1], 10 * (0 + 1 + 2 + 3 + 4));
+    }
+  });
+}
+
+TEST(Collectives, ReduceNonCommutativeOrderIndependentOp) {
+  World world(7);
+  world.run([](Communicator& comm) {
+    long value = 1L << comm.rank();
+    comm.reduce(std::span<long>(&value, 1), 3,
+                [](long& a, long b) { a |= b; });
+    if (comm.rank() == 3) {
+      EXPECT_EQ(value, 0b1111111);
+    }
+  });
+}
+
+TEST(Collectives, AllreduceMax) {
+  World world(6);
+  world.run([](Communicator& comm) {
+    const int result = comm.allreduce_value<int>(
+        comm.rank() * comm.rank(),
+        [](int& a, int b) { a = std::max(a, b); });
+    EXPECT_EQ(result, 25);
+  });
+}
+
+TEST(Collectives, AllgatherValue) {
+  World world(5);
+  world.run([](Communicator& comm) {
+    const auto all = comm.allgather_value<int>(comm.rank() + 100);
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                                          r + 100);
+  });
+}
+
+TEST(Collectives, AlltoallvRoundTrip) {
+  World world(4);
+  world.run([](Communicator& comm) {
+    std::vector<std::vector<std::byte>> outbound(4);
+    for (int p = 0; p < 4; ++p) {
+      // rank r sends p bytes of value r to rank p
+      outbound[static_cast<std::size_t>(p)].assign(
+          static_cast<std::size_t>(p), std::byte(comm.rank()));
+    }
+    const auto inbound = comm.alltoallv(outbound, 55);
+    ASSERT_EQ(inbound.size(), 4u);
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_EQ(inbound[static_cast<std::size_t>(p)].size(),
+                static_cast<std::size_t>(comm.rank()));
+      for (std::byte b : inbound[static_cast<std::size_t>(p)]) {
+        EXPECT_EQ(b, std::byte(p));
+      }
+    }
+  });
+}
+
+TEST(VirtualTime, MessageChargesLinkCost) {
+  // 1 MB over a 1 MB/s link costs ~1 virtual second at the receiver.
+  World world(2, timemodel::LinkModel{0.0, 1.0e6});
+  world.run([](Communicator& comm) {
+    std::vector<std::byte> payload(1 << 20);
+    if (comm.rank() == 0) {
+      comm.send(1, 0, payload);
+    } else {
+      comm.recv(0, 0, payload);
+      EXPECT_NEAR(comm.timeline().now(), 1.048576, 0.01);
+    }
+  });
+  EXPECT_NEAR(world.rank_vtime(1), 1.048576, 0.01);
+  EXPECT_LT(world.rank_vtime(0), 0.01);
+  EXPECT_NEAR(world.makespan(), 1.048576, 0.01);
+}
+
+TEST(VirtualTime, ByteScaleMultipliesCost) {
+  World world(2, timemodel::LinkModel{0.0, 1.0e6});
+  world.set_byte_scale(8.0);
+  world.run([](Communicator& comm) {
+    std::vector<std::byte> payload(1 << 17);  // 128 KB, priced as 1 MB
+    if (comm.rank() == 0) {
+      comm.send(1, 0, payload);
+    } else {
+      comm.recv(0, 0, payload);
+    }
+  });
+  EXPECT_NEAR(world.rank_vtime(1), 1.048576, 0.01);
+}
+
+TEST(VirtualTime, OverlapThroughIrecv) {
+  // The receiver does 2 virtual seconds of local work while a 1-second
+  // message is in flight: the overlapped total is ~2s, not ~3s.
+  World world(2, timemodel::LinkModel{0.0, 1.0e6});
+  world.run([](Communicator& comm) {
+    std::vector<std::byte> payload(1 << 20);
+    if (comm.rank() == 0) {
+      comm.send(1, 0, payload);
+    } else {
+      Request request = comm.irecv(0, 0, payload);
+      comm.timeline().advance(2.0);  // local compute overlapping transfer
+      comm.wait(request);
+      EXPECT_NEAR(comm.timeline().now(), 2.0, 0.01);
+    }
+  });
+}
+
+TEST(VirtualTime, BarrierSynchronizesTimelines) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    comm.timeline().advance(comm.rank() == 2 ? 5.0 : 1.0);
+    comm.barrier();
+    EXPECT_GE(comm.timeline().now(), 5.0);
+  });
+}
+
+TEST(World, TimelineResetBetweenExperiments) {
+  World world(2);
+  world.run([](Communicator& comm) { comm.timeline().advance(1.0); });
+  EXPECT_GT(world.makespan(), 0.0);
+  world.reset_timelines();
+  EXPECT_DOUBLE_EQ(world.makespan(), 0.0);
+}
+
+// --- Cartesian topology ---------------------------------------------------------
+
+TEST(Cart, ChooseDimsBalances) {
+  EXPECT_EQ(CartComm::choose_dims(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(CartComm::choose_dims(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(CartComm::choose_dims(1, 2), (std::vector<int>{1, 1}));
+  EXPECT_EQ(CartComm::choose_dims(7, 2), (std::vector<int>{7, 1}));
+}
+
+TEST(Cart, CoordsRoundTrip) {
+  World world(6);
+  world.run([](Communicator& comm) {
+    CartComm cart(comm, {2, 3}, {false, false});
+    const auto coords = cart.coords();
+    EXPECT_EQ(cart.coords_to_rank(coords), comm.rank());
+    EXPECT_EQ(cart.rank_to_coords(comm.rank()), coords);
+  });
+}
+
+TEST(Cart, NeighborsNonPeriodic) {
+  World world(4);
+  world.run([](Communicator& comm) {
+    CartComm cart(comm, {4}, {false});
+    const int lo = cart.neighbor(0, -1);
+    const int hi = cart.neighbor(0, +1);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(lo, kNoNeighbor);
+    }
+    if (comm.rank() == 3) {
+      EXPECT_EQ(hi, kNoNeighbor);
+    }
+    if (comm.rank() == 1) {
+      EXPECT_EQ(lo, 0);
+      EXPECT_EQ(hi, 2);
+    }
+  });
+}
+
+TEST(Cart, NeighborsPeriodicWrap) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    CartComm cart(comm, {3}, {true});
+    if (comm.rank() == 0) {
+      EXPECT_EQ(cart.neighbor(0, -1), 2);
+    }
+    if (comm.rank() == 2) {
+      EXPECT_EQ(cart.neighbor(0, +1), 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace psf::minimpi
+
+namespace psf::minimpi {
+namespace {
+
+TEST(Mailbox, FifoPerSourceTag) {
+  Mailbox mailbox;
+  for (int i = 0; i < 5; ++i) {
+    Message message;
+    message.source = 1;
+    message.tag = 7;
+    message.payload.assign(1, std::byte(i));
+    mailbox.deposit(std::move(message));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const Message got = mailbox.retrieve(1, 7);
+    EXPECT_EQ(got.payload[0], std::byte(i));
+  }
+  EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+TEST(Mailbox, WildcardSkipsNonMatching) {
+  Mailbox mailbox;
+  Message a;
+  a.source = 2;
+  a.tag = 9;
+  mailbox.deposit(std::move(a));
+  Message b;
+  b.source = 3;
+  b.tag = 4;
+  mailbox.deposit(std::move(b));
+  EXPECT_FALSE(mailbox.probe(5, kAnyTag));
+  EXPECT_TRUE(mailbox.probe(kAnySource, 4));
+  const Message got = mailbox.retrieve(kAnySource, 4);
+  EXPECT_EQ(got.source, 3);
+  EXPECT_EQ(mailbox.pending(), 1u);
+  const Message rest = mailbox.retrieve(kAnySource, kAnyTag);
+  EXPECT_EQ(rest.source, 2);
+}
+
+TEST(PointToPoint, ProbeSeesQueuedMessage) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 3, 5);
+      comm.barrier();
+    } else {
+      comm.barrier();  // ensure the message is queued before probing
+      EXPECT_TRUE(comm.probe(0, 3));
+      EXPECT_FALSE(comm.probe(0, 99));
+      EXPECT_EQ(comm.recv_value<int>(0, 3), 5);
+    }
+  });
+}
+
+TEST(PointToPoint, SendToSelf) {
+  World world(1);
+  world.run([](Communicator& comm) {
+    comm.send_value<int>(0, 8, 123);
+    EXPECT_EQ(comm.recv_value<int>(0, 8), 123);
+  });
+}
+
+}  // namespace
+}  // namespace psf::minimpi

@@ -1,0 +1,248 @@
+// PSF — tests for workload partitioning and scheduling: block/weighted
+// partitions, the virtual-time dynamic chunk scheduler and the adaptive
+// profiler.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pattern/partition.h"
+#include "pattern/scheduler.h"
+
+namespace psf::pattern {
+namespace {
+
+// --- BlockPartition ----------------------------------------------------------
+
+TEST(BlockPartition, EvenSplit) {
+  BlockPartition split(100, 4);
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(split.size(p), 25u);
+  EXPECT_EQ(split.begin(0), 0u);
+  EXPECT_EQ(split.end(3), 100u);
+}
+
+TEST(BlockPartition, RemainderGoesToFirstParts) {
+  BlockPartition split(10, 3);
+  EXPECT_EQ(split.size(0), 4u);
+  EXPECT_EQ(split.size(1), 3u);
+  EXPECT_EQ(split.size(2), 3u);
+  EXPECT_EQ(split.end(2), 10u);
+}
+
+TEST(BlockPartition, RangesAreContiguous) {
+  BlockPartition split(97, 7);
+  std::size_t cursor = 0;
+  for (int p = 0; p < 7; ++p) {
+    EXPECT_EQ(split.begin(p), cursor);
+    cursor = split.end(p);
+  }
+  EXPECT_EQ(cursor, 97u);
+}
+
+TEST(BlockPartition, OwnerMatchesRanges) {
+  BlockPartition split(57, 5);
+  for (std::size_t i = 0; i < 57; ++i) {
+    const int owner = split.owner(i);
+    EXPECT_GE(i, split.begin(owner));
+    EXPECT_LT(i, split.end(owner));
+  }
+}
+
+TEST(BlockPartition, MorePartsThanElements) {
+  BlockPartition split(3, 5);
+  EXPECT_EQ(split.size(0), 1u);
+  EXPECT_EQ(split.size(3), 0u);
+  EXPECT_EQ(split.owner(2), 2);
+}
+
+// --- WeightedPartition ---------------------------------------------------------
+
+TEST(WeightedPartition, ProportionalSplit) {
+  WeightedPartition split(100, {1.0, 3.0});
+  EXPECT_EQ(split.size(0), 25u);
+  EXPECT_EQ(split.size(1), 75u);
+}
+
+TEST(WeightedPartition, ZeroWeightGetsNothing) {
+  WeightedPartition split(50, {0.0, 1.0, 0.0});
+  EXPECT_EQ(split.size(0), 0u);
+  EXPECT_EQ(split.size(1), 50u);
+  EXPECT_EQ(split.size(2), 0u);
+}
+
+TEST(WeightedPartition, CoversEverythingExactly) {
+  const std::vector<double> weights{0.37, 1.91, 0.002, 2.6};
+  WeightedPartition split(997, weights);
+  std::size_t total = 0;
+  std::size_t cursor = 0;
+  for (int p = 0; p < split.parts(); ++p) {
+    EXPECT_EQ(split.begin(p), cursor);
+    cursor = split.end(p);
+    total += split.size(p);
+  }
+  EXPECT_EQ(total, 997u);
+}
+
+TEST(WeightedPartition, OwnerConsistent) {
+  WeightedPartition split(200, {2.0, 1.0, 1.0});
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int owner = split.owner(i);
+    EXPECT_GE(i, split.begin(owner));
+    EXPECT_LT(i, split.end(owner));
+  }
+}
+
+// --- DynamicScheduler -------------------------------------------------------------
+
+DeviceSpec cpu_spec(double rate) {
+  DeviceSpec spec;
+  spec.units_per_s = rate;
+  spec.is_gpu = false;
+  return spec;
+}
+
+DeviceSpec gpu_spec(double rate, double bytes_per_unit = 0.0) {
+  DeviceSpec spec;
+  spec.units_per_s = rate;
+  spec.is_gpu = true;
+  spec.bytes_per_unit = bytes_per_unit;
+  spec.copy_bytes_per_s = 6.0e9;
+  spec.copy_latency_s = 1.0e-5;
+  return spec;
+}
+
+TEST(DynamicScheduler, AllWorkAssigned) {
+  DynamicScheduler::Options options;
+  const auto result = DynamicScheduler::run(
+      {cpu_spec(1.0e6), gpu_spec(2.0e6)}, 100000, 0.0, options);
+  EXPECT_EQ(result.device_units[0] + result.device_units[1], 100000u);
+  // Chunks tile [0, total) without gaps or overlap, in grab order.
+  std::size_t covered = 0;
+  for (const auto& chunk : result.chunks) {
+    EXPECT_EQ(chunk.begin, covered);
+    covered = chunk.end;
+  }
+  EXPECT_EQ(covered, 100000u);
+}
+
+TEST(DynamicScheduler, FasterDeviceGetsMoreWork) {
+  DynamicScheduler::Options options;
+  const auto result = DynamicScheduler::run(
+      {cpu_spec(1.0e6), gpu_spec(3.0e6)}, 1000000, 0.0, options);
+  EXPECT_GT(result.device_units[1], 2 * result.device_units[0]);
+}
+
+TEST(DynamicScheduler, LoadIsBalanced) {
+  DynamicScheduler::Options options;
+  const auto result = DynamicScheduler::run(
+      {cpu_spec(1.0e6), gpu_spec(2.69e6)}, 1000000, 0.0, options);
+  // Finish times within one chunk cost of each other.
+  const double spread =
+      std::abs(result.device_finish[0] - result.device_finish[1]);
+  EXPECT_LT(spread, 0.1 * result.makespan);
+}
+
+TEST(DynamicScheduler, Deterministic) {
+  DynamicScheduler::Options options;
+  const auto a = DynamicScheduler::run({cpu_spec(1.0e6), gpu_spec(2.0e6)},
+                                       123456, 0.0, options);
+  const auto b = DynamicScheduler::run({cpu_spec(1.0e6), gpu_spec(2.0e6)},
+                                       123456, 0.0, options);
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    EXPECT_EQ(a.chunks[i].device, b.chunks[i].device);
+    EXPECT_EQ(a.chunks[i].begin, b.chunks[i].begin);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(DynamicScheduler, StartTimeOffsetsLanes) {
+  DynamicScheduler::Options options;
+  const auto result =
+      DynamicScheduler::run({cpu_spec(1.0e6)}, 1000, 10.0, options);
+  EXPECT_GT(result.makespan, 10.0);
+  EXPECT_LT(result.makespan, 10.1);
+}
+
+TEST(DynamicScheduler, ZeroWork) {
+  DynamicScheduler::Options options;
+  const auto result =
+      DynamicScheduler::run({cpu_spec(1.0e6)}, 0, 3.0, options);
+  EXPECT_TRUE(result.chunks.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+}
+
+TEST(DynamicScheduler, ExplicitChunkSize) {
+  DynamicScheduler::Options options;
+  options.chunk_units = 10;
+  const auto result =
+      DynamicScheduler::run({cpu_spec(1.0e6)}, 95, 0.0, options);
+  EXPECT_EQ(result.chunks.size(), 10u);  // 9 full + 1 tail of 5
+  EXPECT_EQ(result.chunks.back().end - result.chunks.back().begin, 5u);
+}
+
+TEST(DynamicScheduler, WorkloadScaleMultipliesCost) {
+  DynamicScheduler::Options base;
+  base.chunk_units = 1000;
+  DynamicScheduler::Options scaled = base;
+  scaled.workload_scale = 4.0;
+  const auto a = DynamicScheduler::run({cpu_spec(1.0e6)}, 10000, 0.0, base);
+  const auto b = DynamicScheduler::run({cpu_spec(1.0e6)}, 10000, 0.0, scaled);
+  EXPECT_NEAR(b.makespan / a.makespan, 4.0, 0.05);
+}
+
+TEST(ChunkCost, GpuPipelineOverlapsCopyAndCompute) {
+  DynamicScheduler::Options overlapped;
+  DynamicScheduler::Options serial;
+  serial.overlap_copy = false;
+  const DeviceSpec gpu = gpu_spec(1.0e8, 12.0);  // copy-bound chunk
+  const double with = DynamicScheduler::chunk_cost(gpu, 1.0e6, overlapped);
+  const double without = DynamicScheduler::chunk_cost(gpu, 1.0e6, serial);
+  EXPECT_LT(with, without);
+  // Copy: 12 MB at 6 GB/s = 2 ms; compute: 10 ms. Overlapped: first half
+  // copy (1 ms) + max(5 ms, 1 ms) + 5 ms ~ 11 ms; serial ~ 12 ms.
+  EXPECT_NEAR(with, 0.011, 0.001);
+  EXPECT_NEAR(without, 0.012, 0.001);
+}
+
+TEST(ChunkCost, CpuHasNoCopyOrLaunch) {
+  DynamicScheduler::Options options;
+  options.overheads.chunk_acquire_s = 1.0e-6;
+  const double cost =
+      DynamicScheduler::chunk_cost(cpu_spec(1.0e6), 1000.0, options);
+  EXPECT_NEAR(cost, 1.0e-3 + 1.0e-6, 1e-9);
+}
+
+// --- AdaptivePartitioner -------------------------------------------------------------
+
+TEST(AdaptivePartitioner, UniformBeforeProfiling) {
+  AdaptivePartitioner partitioner(3);
+  EXPECT_FALSE(partitioner.profiled());
+  for (double speed : partitioner.speeds()) EXPECT_DOUBLE_EQ(speed, 1.0);
+}
+
+TEST(AdaptivePartitioner, ObservesSpeeds) {
+  AdaptivePartitioner partitioner(2);
+  partitioner.observe({1000, 3000}, {1.0, 1.0});
+  EXPECT_TRUE(partitioner.profiled());
+  EXPECT_DOUBLE_EQ(partitioner.speeds()[0], 1000.0);
+  EXPECT_DOUBLE_EQ(partitioner.speeds()[1], 3000.0);
+}
+
+TEST(AdaptivePartitioner, IgnoresIdleDevices) {
+  AdaptivePartitioner partitioner(2);
+  partitioner.observe({1000, 0}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(partitioner.speeds()[1], 1.0);  // keeps prior estimate
+}
+
+TEST(AdaptivePartitioner, PaperFormulaSplit) {
+  // Device with speed S_i gets N * S_i / sum(S) nodes (paper III-D).
+  AdaptivePartitioner partitioner(2);
+  partitioner.observe({600, 400}, {1.0, 0.25});  // speeds 600 and 1600
+  WeightedPartition split(2200, partitioner.speeds());
+  EXPECT_EQ(split.size(0), 600u);
+  EXPECT_EQ(split.size(1), 1600u);
+}
+
+}  // namespace
+}  // namespace psf::pattern

@@ -1,0 +1,389 @@
+// PSF — extended stencil tests: wider halos (radius-2 stencils), 1-D
+// grids, float elements, runtime reuse, and a parameterized sweep over
+// grid shapes and topologies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pattern/api.h"
+#include "support/rng.h"
+
+namespace psf::pattern {
+namespace {
+
+EnvOptions cpu_options() {
+  EnvOptions options;
+  options.app_profile = "heat3d";
+  options.use_cpu = true;
+  return options;
+}
+
+std::vector<double> random_grid(std::size_t cells, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<double> grid(cells);
+  for (auto& value : grid) value = rng.next_in(-5.0, 5.0);
+  return grid;
+}
+
+// --- radius-2 stencil (halo width 2) -----------------------------------------
+
+/// 1-D radius-2 smoothing kernel.
+void smooth5_1d(const void* input, void* output, const int* offset,
+                const int* size, const void* /*parameter*/) {
+  const int x = offset[0];
+  get1<double>(output, size, x) =
+      0.2 * (get1<double>(input, size, x - 2) +
+             get1<double>(input, size, x - 1) +
+             get1<double>(input, size, x) +
+             get1<double>(input, size, x + 1) +
+             get1<double>(input, size, x + 2));
+}
+
+std::vector<double> reference_1d_radius2(const std::vector<double>& initial,
+                                         int iterations) {
+  std::vector<double> in = initial;
+  std::vector<double> out = initial;
+  const std::size_t n = initial.size();
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t x = 2; x + 2 < n; ++x) {
+      out[x] = 0.2 * (in[x - 2] + in[x - 1] + in[x] + in[x + 1] + in[x + 2]);
+    }
+    std::swap(in, out);
+  }
+  return in;
+}
+
+TEST(StencilHalo2, OneDimensionalRadiusTwo) {
+  constexpr std::size_t kN = 101;
+  const auto initial = random_grid(kN, 21);
+  const auto expected = reference_1d_radius2(initial, 4);
+  for (int ranks : {1, 3, 5}) {
+    std::vector<double> assembled(kN, 0.0);
+    minimpi::World world(ranks);
+    world.run([&](minimpi::Communicator& comm) {
+      RuntimeEnv env(comm, cpu_options());
+      auto* st = env.get_ST();
+      st->set_stencil_func(smooth5_1d);
+      st->set_grid(initial.data(), sizeof(double), {kN});
+      st->set_halo(2);
+      ASSERT_TRUE(st->run(4).is_ok());
+      st->write_back(assembled.data());
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_NEAR(assembled[i], expected[i], 1e-12)
+          << "ranks " << ranks << " cell " << i;
+    }
+  }
+}
+
+/// 2-D radius-2 cross kernel.
+void cross9_2d(const void* input, void* output, const int* offset,
+               const int* size, const void* /*parameter*/) {
+  const int y = offset[0];
+  const int x = offset[1];
+  double sum = get2<double>(input, size, y, x);
+  for (int r = 1; r <= 2; ++r) {
+    sum += get2<double>(input, size, y - r, x) +
+           get2<double>(input, size, y + r, x) +
+           get2<double>(input, size, y, x - r) +
+           get2<double>(input, size, y, x + r);
+  }
+  get2<double>(output, size, y, x) = sum / 9.0;
+}
+
+TEST(StencilHalo2, TwoDimensionalRadiusTwo) {
+  constexpr std::size_t kH = 26;
+  constexpr std::size_t kW = 30;
+  const auto initial = random_grid(kH * kW, 22);
+  // Reference.
+  std::vector<double> in = initial;
+  std::vector<double> out = initial;
+  for (int it = 0; it < 3; ++it) {
+    for (std::size_t y = 2; y + 2 < kH; ++y) {
+      for (std::size_t x = 2; x + 2 < kW; ++x) {
+        double sum = in[y * kW + x];
+        for (std::size_t r = 1; r <= 2; ++r) {
+          sum += in[(y - r) * kW + x] + in[(y + r) * kW + x] +
+                 in[y * kW + x - r] + in[y * kW + x + r];
+        }
+        out[y * kW + x] = sum / 9.0;
+      }
+    }
+    std::swap(in, out);
+  }
+  const auto& expected = in;
+
+  std::vector<double> assembled(kH * kW, 0.0);
+  minimpi::World world(4);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(cross9_2d);
+    st->set_grid(initial.data(), sizeof(double), {kH, kW});
+    st->set_halo(2);
+    ASSERT_TRUE(st->run(3).is_ok());
+    st->write_back(assembled.data());
+  });
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(assembled[i], expected[i], 1e-12) << "cell " << i;
+  }
+}
+
+// --- float elements -----------------------------------------------------------
+
+void scale_float(const void* input, void* output, const int* offset,
+                 const int* size, const void* parameter) {
+  const float factor = *static_cast<const float*>(parameter);
+  const int y = offset[0];
+  const int x = offset[1];
+  GET_FLOAT2(output, size, y, x) = GET_FLOAT2(input, size, y, x) * factor;
+}
+
+TEST(StencilTypes, FloatElementsAndParameter) {
+  constexpr std::size_t kH = 12;
+  constexpr std::size_t kW = 12;
+  std::vector<float> initial(kH * kW, 2.0f);
+  std::vector<float> assembled(kH * kW, 0.0f);
+  const float factor = 0.5f;
+  minimpi::World world(2);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(scale_float);
+    st->set_grid(initial.data(), sizeof(float), {kH, kW});
+    st->set_parameter(&factor);
+    ASSERT_TRUE(st->run(2).is_ok());
+    st->write_back(assembled.data());
+  });
+  // Interior (non-fixed) cells halved twice; the fixed border unchanged.
+  EXPECT_FLOAT_EQ(assembled[5 * kW + 5], 0.5f);
+  EXPECT_FLOAT_EQ(assembled[0], 2.0f);
+}
+
+// --- runtime reuse --------------------------------------------------------------
+
+void incr_fp(const void* input, void* output, const int* offset,
+             const int* size, const void* /*parameter*/) {
+  const int y = offset[0];
+  const int x = offset[1];
+  get2<double>(output, size, y, x) = get2<double>(input, size, y, x) + 1.0;
+}
+
+TEST(StencilReuse, SameRuntimeNewGrid) {
+  constexpr std::size_t kN = 10;
+  std::vector<double> grid_a(kN * kN, 0.0);
+  std::vector<double> grid_b(kN * kN, 100.0);
+  // Shared assembly buffers: each rank writes its own part.
+  std::vector<double> out_a(kN * kN, 0.0);
+  std::vector<double> out_b(kN * kN, 0.0);
+  minimpi::World world(2);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(incr_fp);
+
+    st->set_grid(grid_a.data(), sizeof(double), {kN, kN});
+    ASSERT_TRUE(st->run(3).is_ok());
+    st->write_back(out_a.data());
+
+    // Reconfigure the SAME runtime instance for a second grid (paper II-B).
+    st->set_grid(grid_b.data(), sizeof(double), {kN, kN});
+    ASSERT_TRUE(st->run(1).is_ok());
+    st->write_back(out_b.data());
+    comm.barrier();
+  });
+  EXPECT_DOUBLE_EQ(out_a[5 * kN + 5], 3.0);
+  EXPECT_DOUBLE_EQ(out_b[5 * kN + 5], 101.0);
+}
+
+// --- parameterized shape sweep -----------------------------------------------
+
+void avg5(const void* input, void* output, const int* offset,
+          const int* size, const void* /*parameter*/) {
+  const int y = offset[0];
+  const int x = offset[1];
+  get2<double>(output, size, y, x) =
+      0.2 * (get2<double>(input, size, y, x) +
+             get2<double>(input, size, y - 1, x) +
+             get2<double>(input, size, y + 1, x) +
+             get2<double>(input, size, y, x - 1) +
+             get2<double>(input, size, y, x + 1));
+}
+
+struct ShapeCase {
+  std::size_t height;
+  std::size_t width;
+  int ranks;
+};
+
+class StencilShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(StencilShapes, MatchesReference) {
+  const auto param = GetParam();
+  const auto initial = random_grid(param.height * param.width, 23);
+  std::vector<double> in = initial;
+  std::vector<double> out = initial;
+  for (int it = 0; it < 2; ++it) {
+    for (std::size_t y = 1; y + 1 < param.height; ++y) {
+      for (std::size_t x = 1; x + 1 < param.width; ++x) {
+        out[y * param.width + x] =
+            0.2 * (in[y * param.width + x] + in[(y - 1) * param.width + x] +
+                   in[(y + 1) * param.width + x] +
+                   in[y * param.width + x - 1] +
+                   in[y * param.width + x + 1]);
+      }
+    }
+    std::swap(in, out);
+  }
+
+  std::vector<double> assembled(initial.size(), 0.0);
+  minimpi::World world(param.ranks);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(avg5);
+    st->set_grid(initial.data(), sizeof(double),
+                 {param.height, param.width});
+    ASSERT_TRUE(st->run(2).is_ok());
+    st->write_back(assembled.data());
+  });
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_NEAR(assembled[i], in[i], 1e-12) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StencilShapes,
+    ::testing::Values(ShapeCase{7, 64, 2},    // extreme aspect ratio
+                      ShapeCase{64, 7, 3},    // tall
+                      ShapeCase{33, 17, 6},   // odd extents
+                      ShapeCase{16, 16, 16},  // many ranks, small grid
+                      ShapeCase{50, 50, 12}));
+
+}  // namespace
+}  // namespace psf::pattern
+
+namespace psf::pattern {
+namespace {
+
+// --- periodic boundaries --------------------------------------------------------
+
+/// 1-D ring average: out[x] = avg(in[x-1], in[x], in[x+1]) with wraparound.
+void ring_avg_1d(const void* input, void* output, const int* offset,
+                 const int* size, const void* /*parameter*/) {
+  const int x = offset[0];
+  get1<double>(output, size, x) =
+      (get1<double>(input, size, x - 1) + get1<double>(input, size, x) +
+       get1<double>(input, size, x + 1)) /
+      3.0;
+}
+
+TEST(StencilPeriodic, OneDimensionalRingMatchesReference) {
+  constexpr std::size_t kN = 48;
+  const auto initial = random_grid(kN, 31);
+  // Periodic reference: EVERY cell updates, indices wrap.
+  std::vector<double> in = initial;
+  std::vector<double> out(kN);
+  for (int it = 0; it < 5; ++it) {
+    for (std::size_t x = 0; x < kN; ++x) {
+      out[x] = (in[(x + kN - 1) % kN] + in[x] + in[(x + 1) % kN]) / 3.0;
+    }
+    std::swap(in, out);
+  }
+  const auto& expected = in;
+
+  for (int ranks : {1, 2, 4}) {
+    std::vector<double> assembled(kN, 0.0);
+    minimpi::World world(ranks);
+    world.run([&](minimpi::Communicator& comm) {
+      RuntimeEnv env(comm, cpu_options());
+      auto* st = env.get_ST();
+      st->set_stencil_func(ring_avg_1d);
+      st->set_grid(initial.data(), sizeof(double), {kN});
+      st->set_periodic({true});
+      ASSERT_TRUE(st->run(5).is_ok());
+      st->write_back(assembled.data());
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_NEAR(assembled[i], expected[i], 1e-12)
+          << "ranks " << ranks << " cell " << i;
+    }
+  }
+}
+
+TEST(StencilPeriodic, TwoDimensionalTorusMatchesReference) {
+  constexpr std::size_t kH = 16;
+  constexpr std::size_t kW = 20;
+  const auto initial = random_grid(kH * kW, 32);
+  std::vector<double> in = initial;
+  std::vector<double> out(kH * kW);
+  for (int it = 0; it < 3; ++it) {
+    for (std::size_t y = 0; y < kH; ++y) {
+      for (std::size_t x = 0; x < kW; ++x) {
+        out[y * kW + x] =
+            0.2 * (in[y * kW + x] + in[((y + kH - 1) % kH) * kW + x] +
+                   in[((y + 1) % kH) * kW + x] +
+                   in[y * kW + (x + kW - 1) % kW] +
+                   in[y * kW + (x + 1) % kW]);
+      }
+    }
+    std::swap(in, out);
+  }
+  const auto& expected = in;
+
+  std::vector<double> assembled(kH * kW, 0.0);
+  minimpi::World world(4);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(avg5);
+    st->set_grid(initial.data(), sizeof(double), {kH, kW});
+    st->set_periodic({true, true});
+    st->set_topology({2, 2});
+    ASSERT_TRUE(st->run(3).is_ok());
+    st->write_back(assembled.data());
+  });
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(assembled[i], expected[i], 1e-12) << "cell " << i;
+  }
+}
+
+TEST(StencilPeriodic, MixedPeriodicAndFixed) {
+  // Periodic in x, fixed in y: rows 0 and kH-1 stay, columns wrap.
+  constexpr std::size_t kH = 12;
+  constexpr std::size_t kW = 10;
+  const auto initial = random_grid(kH * kW, 33);
+  std::vector<double> in = initial;
+  std::vector<double> out = initial;
+  for (int it = 0; it < 3; ++it) {
+    for (std::size_t y = 1; y + 1 < kH; ++y) {
+      for (std::size_t x = 0; x < kW; ++x) {
+        out[y * kW + x] =
+            0.2 * (in[y * kW + x] + in[(y - 1) * kW + x] +
+                   in[(y + 1) * kW + x] + in[y * kW + (x + kW - 1) % kW] +
+                   in[y * kW + (x + 1) % kW]);
+      }
+    }
+    std::swap(in, out);
+  }
+  const auto& expected = in;
+
+  std::vector<double> assembled(kH * kW, 0.0);
+  minimpi::World world(4);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    auto* st = env.get_ST();
+    st->set_stencil_func(avg5);
+    st->set_grid(initial.data(), sizeof(double), {kH, kW});
+    st->set_periodic({false, true});
+    ASSERT_TRUE(st->run(3).is_ok());
+    st->write_back(assembled.data());
+  });
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(assembled[i], expected[i], 1e-12) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace psf::pattern

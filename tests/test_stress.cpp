@@ -1,0 +1,180 @@
+// PSF — stress tests: high rank counts and randomized collective sweeps
+// shake out protocol deadlocks and matching bugs that small worlds miss.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pattern/api.h"
+#include "support/rng.h"
+
+namespace psf {
+namespace {
+
+void degree_compute(pattern::ReductionObject* obj,
+                    const pattern::EdgeView& edge, const void*, const void*,
+                    const void*) {
+  const double one = 1.0;
+  if (edge.update[0]) obj->insert(edge.node[0], &one);
+  if (edge.update[1]) obj->insert(edge.node[1], &one);
+}
+void sum_reduce(void* dst, const void* src) {
+  *static_cast<double*>(dst) += *static_cast<const double*>(src);
+}
+void avg5(const void* input, void* output, const int* offset,
+          const int* size, const void*) {
+  const int y = offset[0];
+  const int x = offset[1];
+  pattern::get2<double>(output, size, y, x) =
+      0.2 * (pattern::get2<double>(input, size, y, x) +
+             pattern::get2<double>(input, size, y - 1, x) +
+             pattern::get2<double>(input, size, y + 1, x) +
+             pattern::get2<double>(input, size, y, x - 1) +
+             pattern::get2<double>(input, size, y, x + 1));
+}
+
+TEST(Stress, FortyEightRankIrregularReduction) {
+  constexpr int kRanks = 48;
+  constexpr std::size_t kNodes = 1000;
+  support::Xoshiro256 rng(71);
+  std::vector<pattern::Edge> edges(8000);
+  for (auto& edge : edges) {
+    edge.u = static_cast<std::uint32_t>(rng.next_below(kNodes));
+    do {
+      edge.v = static_cast<std::uint32_t>(rng.next_below(kNodes));
+    } while (edge.v == edge.u);
+  }
+  std::vector<double> expected(kNodes, 0.0);
+  for (const auto& edge : edges) {
+    expected[edge.u] += 1.0;
+    expected[edge.v] += 1.0;
+  }
+
+  std::vector<double> node_data(kNodes, 0.0);
+  std::vector<double> totals(kRanks, 0.0);
+  minimpi::World world(kRanks);
+  world.run([&](minimpi::Communicator& comm) {
+    pattern::EnvOptions options;
+    options.use_cpu = true;
+    pattern::RuntimeEnv env(comm, options);
+    auto* ir = env.get_IR();
+    ir->set_edge_comp_func(degree_compute);
+    ir->set_node_reduc_func(sum_reduce);
+    ir->set_nodes(node_data.data(), sizeof(double), kNodes);
+    ir->set_edges(edges.data(), edges.size(), nullptr, 0);
+    ir->configure_value(sizeof(double));
+    // Two passes: the second exercises the steps-5/6-only exchange path at
+    // scale.
+    for (int pass = 0; pass < 2; ++pass) {
+      ASSERT_TRUE(ir->start().is_ok());
+      if (pass == 0) {
+        ir->update_nodedata(
+            +[](void*, const void*, const void*) {});
+      }
+    }
+    double total = 0.0;
+    const auto& local = ir->get_local_reduction();
+    for (std::size_t l = 0; l < ir->local_nodes(); ++l) {
+      double out = 0.0;
+      if (local.lookup(l, &out)) {
+        const auto global = ir->local_to_global(static_cast<std::uint32_t>(l));
+        EXPECT_DOUBLE_EQ(out, expected[global]);
+        total += out;
+      }
+    }
+    totals[static_cast<std::size_t>(comm.rank())] = total;
+  });
+  const double grand =
+      std::accumulate(totals.begin(), totals.end(), 0.0);
+  EXPECT_DOUBLE_EQ(grand, 2.0 * static_cast<double>(edges.size()));
+}
+
+TEST(Stress, FortyEightRankStencil) {
+  constexpr int kRanks = 48;
+  constexpr std::size_t kH = 60;
+  constexpr std::size_t kW = 64;
+  support::Xoshiro256 rng(72);
+  std::vector<double> grid(kH * kW);
+  for (auto& value : grid) value = rng.next_in(0.0, 1.0);
+
+  std::vector<double> in = grid;
+  std::vector<double> out = grid;
+  for (int it = 0; it < 2; ++it) {
+    for (std::size_t y = 1; y + 1 < kH; ++y) {
+      for (std::size_t x = 1; x + 1 < kW; ++x) {
+        out[y * kW + x] =
+            0.2 * (in[y * kW + x] + in[(y - 1) * kW + x] +
+                   in[(y + 1) * kW + x] + in[y * kW + x - 1] +
+                   in[y * kW + x + 1]);
+      }
+    }
+    std::swap(in, out);
+  }
+
+  std::vector<double> assembled(kH * kW, 0.0);
+  minimpi::World world(kRanks);
+  world.run([&](minimpi::Communicator& comm) {
+    pattern::EnvOptions options;
+    options.use_cpu = true;
+    pattern::RuntimeEnv env(comm, options);
+    auto* st = env.get_ST();
+    st->set_stencil_func(avg5);
+    st->set_grid(grid.data(), sizeof(double), {kH, kW});
+    ASSERT_TRUE(st->run(2).is_ok());
+    st->write_back(assembled.data());
+  });
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_NEAR(assembled[i], in[i], 1e-12) << "cell " << i;
+  }
+}
+
+TEST(Stress, CollectiveSweepRandomRootsAndSizes) {
+  constexpr int kRanks = 12;
+  support::Xoshiro256 rng(73);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int root = static_cast<int>(rng.next_below(kRanks));
+    const std::size_t elements = rng.next_below(5000) + 1;
+    minimpi::World world(kRanks);
+    world.run([&](minimpi::Communicator& comm) {
+      // bcast: root's pattern must arrive everywhere.
+      std::vector<std::uint32_t> data(elements);
+      if (comm.rank() == root) {
+        for (std::size_t i = 0; i < elements; ++i) {
+          data[i] = static_cast<std::uint32_t>(i * 2654435761u);
+        }
+      }
+      comm.bcast(std::as_writable_bytes(std::span(data)), root);
+      for (std::size_t i = 0; i < elements; ++i) {
+        ASSERT_EQ(data[i], static_cast<std::uint32_t>(i * 2654435761u));
+      }
+      // reduce: sum of rank ids at a random root.
+      std::vector<long> ones(elements, comm.rank());
+      comm.reduce<long>(ones, root, [](long& a, long b) { a += b; });
+      if (comm.rank() == root) {
+        const long expected = kRanks * (kRanks - 1) / 2;
+        for (long value : ones) ASSERT_EQ(value, expected);
+      }
+      comm.barrier();
+    });
+  }
+}
+
+TEST(Stress, RepeatedWorldsDoNotLeakState) {
+  // Many short-lived worlds with traffic: mailboxes must drain, barrier
+  // state must reset.
+  for (int round = 0; round < 20; ++round) {
+    minimpi::World world(5);
+    world.run([&](minimpi::Communicator& comm) {
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+      comm.send_value<int>(next, 1, comm.rank());
+      const int got = comm.recv_value<int>(prev, 1);
+      EXPECT_EQ(got, prev);
+      comm.barrier();
+    });
+    EXPECT_GT(world.makespan(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,357 @@
+// PSF — tests for the support library: Status/StatusOr, logging, RNG,
+// aligned buffers, thread pool, synchronization primitives, LoC counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/buffer.h"
+#include "support/error.h"
+#include "support/loc.h"
+#include "support/log.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+#include "support/sync.h"
+#include "support/thread_pool.h"
+
+namespace psf::support {
+namespace {
+
+// --- Status / StatusOr -------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::invalid_argument("bad k");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.to_string(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (auto code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument,
+        ErrorCode::kFailedPrecondition, ErrorCode::kOutOfRange,
+        ErrorCode::kResourceExhausted, ErrorCode::kUnimplemented,
+        ErrorCode::kInternal}) {
+    EXPECT_FALSE(to_string(code).empty());
+    EXPECT_NE(to_string(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> result(Status::out_of_range("index 9"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.is_ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// --- Log ----------------------------------------------------------------------
+
+TEST(Log, ParseLevel) {
+  EXPECT_EQ(Log::parse_level("error"), LogLevel::kError);
+  EXPECT_EQ(Log::parse_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(Log::parse_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(Log::parse_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Log::parse_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(Log::parse_level("nonsense"), LogLevel::kWarn);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  const LogLevel before = Log::level();
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+  Log::set_level(before);
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(77);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t value = rng.next_below(7);
+    EXPECT_LT(value, 7u);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+// --- AlignedBuffer --------------------------------------------------------------
+
+TEST(AlignedBuffer, StartsZeroed) {
+  AlignedBuffer buffer(256);
+  for (std::byte b : buffer.bytes()) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(AlignedBuffer, IsAligned) {
+  AlignedBuffer buffer(64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) %
+                AlignedBuffer::kAlignment,
+            0u);
+}
+
+TEST(AlignedBuffer, TypedView) {
+  AlignedBuffer buffer(8 * sizeof(double));
+  auto view = buffer.as<double>();
+  ASSERT_EQ(view.size(), 8u);
+  view[3] = 2.5;
+  EXPECT_EQ(buffer.as<double>()[3], 2.5);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(32);
+  a.as<int>()[0] = 7;
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.as<int>()[0], 7);
+  EXPECT_TRUE(a.empty());  // NOLINT moved-from checked deliberately
+  EXPECT_EQ(b.size(), 32u);
+}
+
+TEST(AlignedBuffer, CopyBytesBoundsChecked) {
+  AlignedBuffer src(16);
+  AlignedBuffer dst(16);
+  src.as<std::uint8_t>()[2] = 9;
+  copy_bytes(dst.bytes(), 1, src.bytes(), 2, 3);
+  EXPECT_EQ(dst.as<std::uint8_t>()[1], 9);
+}
+
+// --- ThreadPool ------------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, WorksWithZeroWorkers) {
+  ThreadPool pool(0);  // caller-only execution
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+// --- Sync -------------------------------------------------------------------------
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  int shared = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        lock.lock();
+        ++shared;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared, 4000);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(CyclicBarrier, SynchronizesGenerations) {
+  constexpr int kParties = 4;
+  constexpr int kRounds = 5;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> in_round{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        in_round.fetch_add(1);
+        const std::size_t generation = barrier.arrive_and_wait();
+        if (generation != static_cast<std::size_t>(round)) failed = true;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(in_round.load(), kParties * kRounds);
+}
+
+TEST(Latch, ReleasesAtZero) {
+  Latch latch(3);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down(2);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();  // returns immediately
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.elapsed_ms(), 5.0);
+  watch.reset();
+  EXPECT_LT(watch.elapsed_ms(), 5.0);
+}
+
+// --- LoC counter ---------------------------------------------------------------------
+
+TEST(Loc, CountsCodeBlankAndComments) {
+  const char* source =
+      "// header comment\n"
+      "\n"
+      "int main() {\n"
+      "  /* block\n"
+      "     comment */\n"
+      "  return 0;  // trailing\n"
+      "}\n";
+  const LocReport report = count_loc(source);
+  EXPECT_EQ(report.total_lines, 7u);
+  EXPECT_EQ(report.blank_lines, 1u);
+  EXPECT_EQ(report.comment_lines, 3u);
+  EXPECT_EQ(report.code_lines, 3u);
+}
+
+TEST(Loc, CodeAfterBlockCommentOnSameLine) {
+  const LocReport report = count_loc("/* c */ int x;\n");
+  EXPECT_EQ(report.code_lines, 1u);
+  EXPECT_EQ(report.comment_lines, 0u);
+}
+
+TEST(Loc, EmptySource) {
+  const LocReport report = count_loc("");
+  EXPECT_EQ(report.total_lines, 0u);
+  EXPECT_EQ(report.code_lines, 0u);
+}
+
+TEST(Loc, MissingFilesReported) {
+  std::vector<std::string> missing;
+  const LocReport report =
+      count_loc_files({"/nonexistent/file.cpp"}, &missing);
+  EXPECT_EQ(report.code_lines, 0u);
+  ASSERT_EQ(missing.size(), 1u);
+}
+
+}  // namespace
+}  // namespace psf::support
+
+namespace psf::support {
+namespace {
+
+TEST(ThreadPool, ParallelForPropagatesBodyExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("body failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t) {
+      throw std::runtime_error("once");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace psf::support

@@ -1,0 +1,122 @@
+// PSF — tests for the virtual-time model: timelines, lanes, link pricing,
+// calibration presets.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "timemodel/link.h"
+#include "timemodel/rates.h"
+#include "timemodel/timeline.h"
+
+namespace psf::timemodel {
+namespace {
+
+TEST(Timeline, AdvanceAccumulates) {
+  Timeline timeline;
+  EXPECT_DOUBLE_EQ(timeline.now(), 0.0);
+  timeline.advance(1.5);
+  timeline.advance(0.5);
+  EXPECT_DOUBLE_EQ(timeline.now(), 2.0);
+}
+
+TEST(Timeline, MergeTakesMax) {
+  Timeline timeline;
+  timeline.advance(3.0);
+  timeline.merge(2.0);  // in the past: no effect
+  EXPECT_DOUBLE_EQ(timeline.now(), 3.0);
+  timeline.merge(5.0);
+  EXPECT_DOUBLE_EQ(timeline.now(), 5.0);
+}
+
+TEST(Timeline, ResetReturnsToZero) {
+  Timeline timeline;
+  timeline.advance(9.0);
+  timeline.reset();
+  EXPECT_DOUBLE_EQ(timeline.now(), 0.0);
+}
+
+TEST(Timeline, ConcurrentMergesKeepMax) {
+  Timeline timeline;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t) {
+    threads.emplace_back([&timeline, t] {
+      for (int i = 0; i < 1000; ++i) timeline.merge(static_cast<double>(t));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(timeline.now(), 8.0);
+}
+
+TEST(LaneSet, ForkAdvanceJoin) {
+  Timeline parent;
+  parent.advance(10.0);
+  LaneSet lanes(3, parent.now());
+  lanes.advance(0, 1.0);
+  lanes.advance(1, 4.0);
+  lanes.advance(2, 2.0);
+  EXPECT_DOUBLE_EQ(lanes.max_time(), 14.0);
+  EXPECT_EQ(lanes.argmin(), 0u);
+  const double joined = lanes.join(parent);
+  EXPECT_DOUBLE_EQ(joined, 14.0);
+  EXPECT_DOUBLE_EQ(parent.now(), 14.0);
+}
+
+TEST(LaneSet, ArgminPrefersEarliest) {
+  LaneSet lanes(4, 0.0);
+  lanes.advance(2, 0.5);
+  lanes.advance(0, 1.0);
+  // lanes 1 and 3 are tied at 0; argmin returns the first.
+  EXPECT_EQ(lanes.argmin(), 1u);
+}
+
+TEST(LinkModel, AlphaBetaCost) {
+  const LinkModel link{1.0e-6, 1.0e9};
+  EXPECT_DOUBLE_EQ(link.cost(0), 1.0e-6);
+  EXPECT_DOUBLE_EQ(link.cost(1000000000), 1.0 + 1.0e-6);
+}
+
+TEST(LinkModel, FreeLinkIsNearZero) {
+  EXPECT_LT(LinkModel::free().cost(std::size_t{1} << 40), 1.0e-5);
+}
+
+TEST(LinkModel, PresetsOrdering) {
+  // The network is slower than PCIe per byte on this testbed.
+  EXPECT_LT(LinkModel::infiniband().bytes_per_s, LinkModel::pcie().bytes_per_s);
+  EXPECT_LT(LinkModel::pcie().latency_s, LinkModel::infiniband().latency_s *
+                                             10.0);
+}
+
+TEST(AppRates, PaperRatios) {
+  // GPU/12-core-CPU ratios must match the paper's reported values.
+  EXPECT_DOUBLE_EQ(app_rates("kmeans").gpu_vs_cpu12, 2.69);
+  EXPECT_DOUBLE_EQ(app_rates("moldyn").gpu_vs_cpu12, 1.50);
+  EXPECT_DOUBLE_EQ(app_rates("minimd").gpu_vs_cpu12, 1.70);
+  EXPECT_DOUBLE_EQ(app_rates("sobel").gpu_vs_cpu12, 2.24);
+  EXPECT_DOUBLE_EQ(app_rates("heat3d").gpu_vs_cpu12, 2.40);
+}
+
+TEST(AppRates, UnknownAppFallsBack) {
+  const AppRates rates = app_rates("no-such-app");
+  EXPECT_GT(rates.cpu_core_units_per_s, 0.0);
+  EXPECT_GT(rates.gpu_vs_cpu12, 0.0);
+}
+
+TEST(AppRates, DeviceThroughputs) {
+  const AppRates rates = app_rates("kmeans");
+  const double cpu12 = rates.cpu_device_units_per_s(12.0, 11.0 / 12.0);
+  EXPECT_DOUBLE_EQ(cpu12, rates.cpu_core_units_per_s * 11.0);
+  EXPECT_DOUBLE_EQ(rates.gpu_device_units_per_s(11.0 / 12.0), cpu12 * 2.69);
+}
+
+TEST(ClusterPreset, TestbedMatchesPaper) {
+  const ClusterPreset preset = testbed_preset();
+  EXPECT_EQ(preset.num_nodes, 32);
+  EXPECT_EQ(preset.cpu_cores_per_node, 12);
+  EXPECT_EQ(preset.gpus_per_node, 2);
+  EXPECT_GT(preset.cpu_parallel_eff, 0.8);
+  EXPECT_LE(preset.cpu_parallel_eff, 1.0);
+}
+
+}  // namespace
+}  // namespace psf::timemodel

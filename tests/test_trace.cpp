@@ -1,0 +1,131 @@
+// PSF — tests for the schedule trace recorder and its integration with the
+// pattern runtimes.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "pattern/api.h"
+#include "timemodel/trace.h"
+
+namespace psf {
+namespace {
+
+TEST(TraceRecorder, RecordsAndSnapshots) {
+  timemodel::TraceRecorder trace;
+  trace.record("kernel", "compute", 0, 1, 1.0, 2.5);
+  trace.record("exchange", "comm", 0, 0, 2.0, 2.1);
+  EXPECT_EQ(trace.size(), 2u);
+  const auto spans = trace.spans();
+  EXPECT_EQ(spans[0].name, "kernel");
+  EXPECT_DOUBLE_EQ(spans[0].end, 2.5);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceRecorder, ClampsInvertedSpans) {
+  timemodel::TraceRecorder trace;
+  trace.record("odd", "compute", 0, 0, 5.0, 3.0);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].end, 5.0);  // point event
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  timemodel::TraceRecorder trace;
+  trace.record("a \"quoted\"\nname", "compute", 2, 3, 0.001, 0.002);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);  // 1 ms -> 1000 us
+}
+
+TEST(TraceRecorder, WritesFile) {
+  timemodel::TraceRecorder trace;
+  trace.record("x", "compute", 0, 0, 0.0, 1.0);
+  const std::string path = "/tmp/psf_trace_test.json";
+  ASSERT_TRUE(trace.write_chrome_json(path));
+  std::ifstream in(path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("traceEvents"), std::string::npos);
+}
+
+void hist_emit(pattern::ReductionObject* obj, const void* input,
+               std::size_t, const void*) {
+  const auto value = *static_cast<const std::uint32_t*>(input);
+  const double one = 1.0;
+  obj->insert(value % 8, &one);
+}
+void sum_reduce(void* dst, const void* src) {
+  *static_cast<double*>(dst) += *static_cast<const double*>(src);
+}
+
+TEST(TraceIntegration, GrRunProducesComputeAndCombineSpans) {
+  std::vector<std::uint32_t> data(4000, 1);
+  timemodel::TraceRecorder trace;
+  minimpi::World world(2);
+  world.run([&](minimpi::Communicator& comm) {
+    pattern::EnvOptions options;
+    options.use_cpu = true;
+    options.use_gpus = 1;
+    options.trace = &trace;
+    pattern::RuntimeEnv env(comm, options);
+    auto* gr = env.get_GR();
+    gr->set_emit_func(hist_emit);
+    gr->set_reduce_func(sum_reduce);
+    gr->set_input(data.data(), sizeof(std::uint32_t), data.size());
+    gr->configure_object(8, sizeof(double));
+    ASSERT_TRUE(gr->start().is_ok());
+    (void)gr->get_global_reduction();
+  });
+  bool saw_compute = false;
+  bool saw_combine = false;
+  for (const auto& span : trace.spans()) {
+    if (span.category == "compute") saw_compute = true;
+    if (span.name == "gr global combine") saw_combine = true;
+    EXPECT_GE(span.end, span.begin);
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_combine);
+}
+
+void avg_fp(const void* input, void* output, const int* offset,
+            const int* size, const void*) {
+  const int y = offset[0];
+  const int x = offset[1];
+  pattern::get2<double>(output, size, y, x) =
+      pattern::get2<double>(input, size, y, x);
+}
+
+TEST(TraceIntegration, StencilRunProducesExchangeAndTileSpans) {
+  std::vector<double> grid(32 * 32, 1.0);
+  timemodel::TraceRecorder trace;
+  minimpi::World world(4);
+  world.run([&](minimpi::Communicator& comm) {
+    pattern::EnvOptions options;
+    options.use_cpu = true;
+    options.trace = &trace;
+    pattern::RuntimeEnv env(comm, options);
+    auto* st = env.get_ST();
+    st->set_stencil_func(avg_fp);
+    st->set_grid(grid.data(), sizeof(double), {32, 32});
+    ASSERT_TRUE(st->run(2).is_ok());
+  });
+  int exchanges = 0;
+  int inner = 0;
+  int boundary = 0;
+  for (const auto& span : trace.spans()) {
+    if (span.name == "halo exchange") ++exchanges;
+    if (span.name == "inner tiles") ++inner;
+    if (span.name == "boundary tiles") ++boundary;
+  }
+  EXPECT_EQ(exchanges, 4 * 2);  // per rank per iteration
+  EXPECT_EQ(inner, 4 * 2);
+  EXPECT_EQ(boundary, 4 * 2);
+}
+
+}  // namespace
+}  // namespace psf
