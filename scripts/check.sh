@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Race check for the intra-node execution engine: build the tsan preset
+# and run the executor + determinism tests under ThreadSanitizer.
+#
+#   $ scripts/check.sh            # executor-focused tests (fast)
+#   $ scripts/check.sh --all      # the whole suite under tsan (slow)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+filter='ThreadPool.*:ParallelFor.*:Latch.*:ResolveWorkers.*'
+filter+=':ThreadCountDeterminism.*:Determinism.*:Devices.*'
+if [[ "${1:-}" == "--all" ]]; then
+  filter='*'
+fi
+
+# TSan halts on the first data race so nothing slips through as "just a
+# warning"; second_deadlock_stack makes lock-order reports readable.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ./build-tsan/tests/psf_tests --gtest_filter="${filter}"
+
+echo "check.sh: tsan clean"

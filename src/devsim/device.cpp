@@ -46,13 +46,19 @@ void DeviceBuffer::release() noexcept {
 
 // --- Device -----------------------------------------------------------------
 
-Device::Device(DeviceDescriptor descriptor, timemodel::Timeline& host)
-    : descriptor_(descriptor), host_(&host) {
+Device::Device(DeviceDescriptor descriptor, timemodel::Timeline& host,
+               exec::ThreadPool* executor)
+    : descriptor_(descriptor), host_(&host), pool_(executor) {
   PSF_CHECK_MSG(descriptor_.compute_units > 0,
                 "device needs at least one compute unit");
-  const std::size_t workers = std::min<std::size_t>(
-      kMaxHostWorkers, static_cast<std::size_t>(descriptor_.compute_units));
-  pool_ = std::make_unique<support::ThreadPool>(workers);
+  if (pool_ == nullptr) {
+    // Directly-constructed device (no rank executor): own a small pool so
+    // block execution still exercises concurrency.
+    const std::size_t workers = std::min<std::size_t>(
+        kMaxHostWorkers, static_cast<std::size_t>(descriptor_.compute_units));
+    owned_pool_ = std::make_unique<exec::ThreadPool>(workers);
+    pool_ = owned_pool_.get();
+  }
 }
 
 Device::~Device() = default;
@@ -195,7 +201,7 @@ void Stream::synchronize() { host_->merge(lane_); }
 
 std::vector<std::unique_ptr<Device>> make_node_devices(
     const timemodel::ClusterPreset& preset, timemodel::Timeline& host,
-    std::size_t gpu_memory_bytes) {
+    std::size_t gpu_memory_bytes, exec::ThreadPool* executor) {
   std::vector<std::unique_ptr<Device>> devices;
   DeviceDescriptor cpu;
   cpu.type = DeviceType::kCpu;
@@ -203,7 +209,7 @@ std::vector<std::unique_ptr<Device>> make_node_devices(
   cpu.compute_units = preset.cpu_cores_per_node;
   cpu.memory_bytes = std::size_t{47} * 1024 * 1024 * 1024;
   cpu.shared_memory_per_sm = 256 * 1024;  // models per-core L2 working set
-  devices.push_back(std::make_unique<Device>(cpu, host));
+  devices.push_back(std::make_unique<Device>(cpu, host, executor));
   devices.back()->set_overheads(preset.overheads);
 
   for (int g = 0; g < preset.gpus_per_node; ++g) {
@@ -214,7 +220,7 @@ std::vector<std::unique_ptr<Device>> make_node_devices(
     gpu.memory_bytes = gpu_memory_bytes;
     gpu.shared_memory_per_sm = 48 * 1024;
     gpu.h2d_link = preset.pcie;
-    devices.push_back(std::make_unique<Device>(gpu, host));
+    devices.push_back(std::make_unique<Device>(gpu, host, executor));
     devices.back()->set_overheads(preset.overheads);
   }
   for (int m = 0; m < preset.mics_per_node; ++m) {
@@ -227,7 +233,7 @@ std::vector<std::unique_ptr<Device>> make_node_devices(
     mic.memory_bytes = std::size_t{8} * 1024 * 1024 * 1024;
     mic.shared_memory_per_sm = 512 * 1024;  // per-core L2 working set
     mic.h2d_link = preset.pcie;
-    devices.push_back(std::make_unique<Device>(mic, host));
+    devices.push_back(std::make_unique<Device>(mic, host, executor));
     devices.back()->set_overheads(preset.overheads);
   }
   return devices;

@@ -21,9 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "support/buffer.h"
 #include "support/error.h"
-#include "support/thread_pool.h"
 #include "timemodel/link.h"
 #include "timemodel/rates.h"
 #include "timemodel/timeline.h"
@@ -138,7 +138,11 @@ struct BlockContext {
 /// device's controlling CPU thread, as in the paper) drives it.
 class Device {
  public:
-  Device(DeviceDescriptor descriptor, timemodel::Timeline& host);
+  /// `executor` is the rank's shared execution engine backing run_blocks;
+  /// when null (direct construction in tests / standalone use) the device
+  /// owns a small private pool so block execution stays concurrent.
+  Device(DeviceDescriptor descriptor, timemodel::Timeline& host,
+         exec::ThreadPool* executor = nullptr);
   ~Device();
 
   Device(const Device&) = delete;
@@ -219,7 +223,8 @@ class Device {
   CachePreference cache_preference_ = CachePreference::kPreferShared;
   double units_per_s_ = 1.0e7;
   std::size_t memory_in_use_ = 0;
-  std::unique_ptr<support::ThreadPool> pool_;
+  exec::ThreadPool* pool_;  ///< rank executor, or owned_pool_ fallback
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
   std::vector<std::unique_ptr<Stream>> streams_;
 };
 
@@ -311,6 +316,7 @@ T atomic_add(T* address, T value) noexcept {
 /// testbed preset.
 std::vector<std::unique_ptr<Device>> make_node_devices(
     const timemodel::ClusterPreset& preset, timemodel::Timeline& host,
-    std::size_t gpu_memory_bytes = std::size_t{6} * 1024 * 1024 * 1024);
+    std::size_t gpu_memory_bytes = std::size_t{6} * 1024 * 1024 * 1024,
+    exec::ThreadPool* executor = nullptr);
 
 }  // namespace psf::devsim

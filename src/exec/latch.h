@@ -1,0 +1,52 @@
+// PSF — Pattern Specification Framework
+// Single-use countdown latch for the execution engine. Pattern runtimes
+// pair it with ThreadPool::help_while: the rank thread launches device-lane
+// tasks that count the latch down, overlaps its own work (e.g. the halo
+// exchange), then helps the pool until the latch opens — never blocking
+// while runnable tasks sit in the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "support/error.h"
+
+namespace psf::exec {
+
+/// Counts down from an initial value; opens at zero. Single-use.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrement by `n`; opens the latch (and wakes waiters) at zero.
+  void count_down(std::size_t n = 1) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    PSF_CHECK_MSG(n <= count_, "latch counted below zero");
+    count_ -= n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  /// Non-blocking check; true once the latch opened.
+  [[nodiscard]] bool try_wait() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return count_ == 0;
+  }
+
+  /// Block until the latch opens. Prefer ThreadPool::help_while with
+  /// try_wait when the counted work runs on the same pool.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::size_t count_;
+};
+
+}  // namespace psf::exec

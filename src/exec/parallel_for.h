@@ -1,0 +1,192 @@
+// PSF — Pattern Specification Framework
+// Work-stealing parallel_for over an exec::ThreadPool.
+//
+// The iteration space [0, count) is split into one contiguous range per
+// participant (pool workers + the calling thread). Each participant claims
+// indices from its own range; a participant whose range runs dry steals the
+// upper half of the largest remaining range, so a skewed workload (a few
+// slow indices) ends up balanced instead of serialized on one thread.
+//
+// Determinism note: WHICH thread runs an index is timing-dependent, so the
+// pattern runtimes never accumulate state per worker — they accumulate per
+// BLOCK (the index) and combine in fixed index order. See docs/EXECUTOR.md.
+//
+// Exceptions: the first exception thrown by `body` wins; remaining
+// unstarted iterations are abandoned, in-flight ones finish, and the
+// exception is rethrown on the calling thread. The pool stays usable.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "support/sync.h"
+
+namespace psf::exec {
+
+namespace detail {
+
+/// Shared state of one parallel_for invocation. Heap-held via shared_ptr:
+/// straggler helper tasks may outlive the call (they find no work and
+/// return, but must not touch freed memory).
+struct ForState {
+  struct Slot {
+    support::SpinLock lock;
+    // Atomics so the thief's victim scan may read sizes without the lock;
+    // all modifications happen under `lock`.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> end{0};
+
+    [[nodiscard]] std::size_t left_relaxed() const noexcept {
+      // next never exceeds end under the update rules, and both only move
+      // towards each other, so this racy difference cannot underflow.
+      const std::size_t hi = end.load(std::memory_order_relaxed);
+      const std::size_t lo = next.load(std::memory_order_relaxed);
+      return hi > lo ? hi - lo : 0;
+    }
+  };
+
+  explicit ForState(std::size_t participants) : slots(participants) {}
+
+  std::vector<Slot> slots;
+  std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> done{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  /// Every claimed-or-abandoned index is accounted exactly once; the last
+  /// account opens the done flag the caller is helping towards.
+  void finish(std::size_t n) {
+    if (n != 0 && remaining.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      done.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Abandon all unclaimed indices (first-exception-wins cancellation).
+  void drain_all() {
+    std::size_t abandoned = 0;
+    for (auto& slot : slots) {
+      std::lock_guard<support::SpinLock> guard(slot.lock);
+      const std::size_t hi = slot.end.load(std::memory_order_relaxed);
+      const std::size_t lo = slot.next.load(std::memory_order_relaxed);
+      abandoned += hi - lo;
+      slot.next.store(hi, std::memory_order_relaxed);
+    }
+    finish(abandoned);
+  }
+
+  /// Claim one index: from the participant's own range, else by stealing
+  /// the upper half of the largest remaining range. Returns false when no
+  /// work is left anywhere.
+  bool claim(std::size_t self, std::size_t* index) {
+    {
+      auto& mine = slots[self];
+      std::lock_guard<support::SpinLock> guard(mine.lock);
+      const std::size_t lo = mine.next.load(std::memory_order_relaxed);
+      if (lo < mine.end.load(std::memory_order_relaxed)) {
+        mine.next.store(lo + 1, std::memory_order_relaxed);
+        *index = lo;
+        return true;
+      }
+    }
+    for (;;) {
+      // Lock-free size scan; the steal re-checks under the victim's lock.
+      std::size_t victim = slots.size();
+      std::size_t best = 0;
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (s == self) continue;
+        const std::size_t left = slots[s].left_relaxed();
+        if (left > best) {
+          best = left;
+          victim = s;
+        }
+      }
+      if (victim == slots.size()) return false;
+      auto& theirs = slots[victim];
+      std::size_t lo = 0;
+      std::size_t hi = 0;
+      {
+        std::lock_guard<support::SpinLock> guard(theirs.lock);
+        const std::size_t t_next = theirs.next.load(std::memory_order_relaxed);
+        const std::size_t t_end = theirs.end.load(std::memory_order_relaxed);
+        if (t_next >= t_end) continue;  // lost the race; rescan
+        // The thief's half [mid, t_end) must never be empty — we claim
+        // `mid` unconditionally below. Rounding the split down means a
+        // single remaining index goes to the thief (the owner may be a
+        // still-queued task, so leaving it un-stealable could stall).
+        const std::size_t mid = t_next + (t_end - t_next) / 2;
+        lo = mid;
+        hi = t_end;
+        theirs.end.store(mid, std::memory_order_relaxed);
+      }
+      {
+        auto& mine = slots[self];
+        std::lock_guard<support::SpinLock> guard(mine.lock);
+        mine.next.store(lo + 1, std::memory_order_relaxed);
+        mine.end.store(hi, std::memory_order_relaxed);
+      }
+      *index = lo;
+      return true;
+    }
+  }
+
+  /// Participant main loop: claim, run, account; first exception cancels.
+  void run(std::size_t self) {
+    std::size_t index = 0;
+    while (claim(self, &index)) {
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          body(index);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> guard(error_mutex);
+            if (!error) error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+          drain_all();
+        }
+      }
+      finish(1);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Run `body(i)` for i in [0, count) across `pool` with the caller
+/// participating; see the header comment for the stealing and exception
+/// contract. With a zero-worker pool this is an ascending serial loop —
+/// the deterministic reference order every parallel run must reproduce.
+inline void parallel_for(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (!pool.concurrent() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  const std::size_t participants = std::min(pool.size() + 1, count);
+  auto state = std::make_shared<detail::ForState>(participants);
+  state->body = body;
+  state->remaining.store(count, std::memory_order_relaxed);
+  for (std::size_t p = 0; p < participants; ++p) {
+    state->slots[p].next = count * p / participants;
+    state->slots[p].end = count * (p + 1) / participants;
+  }
+  for (std::size_t p = 1; p < participants; ++p) {
+    pool.submit([state, p] { state->run(p); });
+  }
+  state->run(0);
+  // Help the pool until every index is accounted for: in-flight helpers may
+  // still hold stolen ranges, and nested parallel_for tasks need a thread.
+  pool.help_while(
+      [&] { return state->done.load(std::memory_order_acquire); });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace psf::exec

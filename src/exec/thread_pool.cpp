@@ -1,0 +1,98 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "exec/parallel_for.h"
+
+namespace psf::exec {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  // Tasks submitted after shutdown began (there should be none) and tasks
+  // left in the queue are abandoned; their futures report broken promises.
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  PSF_CHECK_MSG(task != nullptr, "submitting an empty task");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // serial engine: run inline, deterministically
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    PSF_CHECK_MSG(!shutting_down_, "submit() on a shutting-down pool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::try_run_pending_task() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();  // exceptions land in the task's future, never escape here
+  return true;
+}
+
+void ThreadPool::help_while(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!try_run_pending_task()) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  exec::parallel_for(*this, count, body);
+}
+
+std::size_t ThreadPool::resolve_workers(int requested) {
+  if (const char* env = std::getenv("PSF_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) requested = parsed;
+  }
+  std::size_t threads;
+  if (requested <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  } else {
+    threads = static_cast<std::size_t>(requested);
+  }
+  return threads - 1;  // the calling rank thread is the extra participant
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down with nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace psf::exec

@@ -1,0 +1,90 @@
+// PSF — Pattern Specification Framework
+// psf::exec — the per-rank intra-node execution engine.
+//
+// One ThreadPool per rank backs every simulated device on that rank: device
+// lanes produced by the schedulers run as pool tasks, and each device's
+// block loop is a work-stealing parallel_for (see exec/parallel_for.h) over
+// the same pool. The pool changes WALL-CLOCK behaviour only — virtual-time
+// pricing stays on the calling rank thread and is bit-identical for any
+// worker count (see docs/EXECUTOR.md for the determinism argument).
+//
+// A pool of N workers gives N+1-way concurrency: the thread that calls
+// parallel_for (or waits on a Latch through help_while) participates by
+// executing pending pool tasks instead of blocking. This "help while
+// waiting" rule is what makes nested parallelism safe — a device-lane task
+// that itself calls parallel_for on the same pool cannot deadlock, because
+// every waiter drains the queue it is waiting on.
+//
+// A pool constructed with ZERO workers is the deterministic serial engine:
+// submit() runs tasks inline and parallel_for degenerates to an ascending
+// index loop on the caller. `EnvOptions::num_threads == 1` selects it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::exec {
+
+/// Fixed set of worker threads consuming a FIFO injection queue.
+/// Thread-safe: any thread (including pool workers) may submit.
+class ThreadPool {
+ public:
+  /// Spawn `num_workers` workers. 0 = inline serial execution.
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker thread count (concurrency is size() + 1 with the caller).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True when the pool actually runs tasks concurrently.
+  [[nodiscard]] bool concurrent() const noexcept { return !workers_.empty(); }
+
+  /// Enqueue a task; the future reports completion and re-throws anything
+  /// the task threw. With zero workers the task runs inline before return.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Pop and execute one pending task on the calling thread. Returns false
+  /// when the queue is empty. Blocked waiters call this in a loop so that
+  /// the work they are waiting on (or unrelated work) keeps flowing.
+  bool try_run_pending_task();
+
+  /// Help-while-wait: run pending tasks until `done()` returns true.
+  /// Yields briefly when the queue is empty but `done()` still fails.
+  void help_while(const std::function<bool()>& done);
+
+  /// Run `body(i)` for every i in [0, count) with work stealing; the caller
+  /// participates. Rethrows the first body exception after all in-flight
+  /// iterations finished. With zero workers this is an ascending serial
+  /// loop. Implemented in exec/parallel_for.h.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Resolve an `EnvOptions::num_threads`-style request to a worker count
+  /// for this pool (participants minus the calling thread):
+  ///   PSF_THREADS env var (when set and > 0) overrides everything;
+  ///   requested == 0 -> hardware_concurrency;
+  ///   requested >= 1 -> that many participants (1 = serial = 0 workers).
+  [[nodiscard]] static std::size_t resolve_workers(int requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace psf::exec

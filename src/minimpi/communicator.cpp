@@ -68,6 +68,19 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+support::Status World::try_run(
+    const std::function<void(Communicator&)>& rank_main) {
+  try {
+    run(rank_main);
+  } catch (const std::exception& error) {
+    return support::Status::internal(std::string("rank failed: ") +
+                                     error.what());
+  } catch (...) {
+    return support::Status::internal("rank failed with a non-std exception");
+  }
+  return support::Status::ok();
+}
+
 double World::rank_vtime(int rank) const {
   PSF_CHECK(rank >= 0 && rank < size_);
   return timelines_[static_cast<std::size_t>(rank)]->now();

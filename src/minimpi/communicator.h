@@ -48,6 +48,13 @@ class World {
   /// NOT reset automatically; call reset_timelines() between experiments).
   void run(const std::function<void(Communicator&)>& rank_main);
 
+  /// Status-returning adapter around run() for callers on the Status side
+  /// of the error contract (see support/error.h): a rank exception becomes
+  /// ErrorCode::kInternal carrying the exception message instead of
+  /// propagating. All ranks are still joined before it returns.
+  [[nodiscard]] support::Status try_run(
+      const std::function<void(Communicator&)>& rank_main);
+
   /// Virtual time of a rank (after run() returns).
   [[nodiscard]] double rank_vtime(int rank) const;
   /// Max virtual time over all ranks — the experiment's makespan.

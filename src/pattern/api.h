@@ -77,7 +77,13 @@ template <typename T>
 }  // namespace psf::pattern
 
 /// Paper-style macro spellings of the get helpers (GET_FLOAT2(buf, size,
-/// y, x) etc.). Prefer the typed templates in new code.
+/// y, x) etc.).
+///
+/// DEPRECATED FOR NEW CODE: these macros are kept only for paper-API parity
+/// and existing call sites. New stencil code should use TypedStencil<T, N>
+/// (pattern/typed.h), whose GridView accessors index grids as `in(y, x)`
+/// with the element type checked at compile time — see
+/// examples/heat_diffusion.cpp and examples/edge_detect.cpp.
 #define GET_FLOAT2(buf, size, x0, x1) \
   (::psf::pattern::get2<float>((buf), (size), (x0), (x1)))
 #define GET_FLOAT3(buf, size, x0, x1, x2) \

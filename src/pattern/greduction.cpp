@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/parallel_for.h"
 #include "pattern/partition.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
@@ -97,8 +98,25 @@ support::Status GReductionRuntime::start() {
   const auto schedule = DynamicScheduler::run(
       specs, my_units, comm.timeline().now(), env_->scheduler_options());
 
+  // Stats flags are computed on this thread before the lanes launch so the
+  // lane tasks never write shared runtime state.
   for (std::size_t d = 0; d < specs.size(); ++d) {
-    execute_device_chunks(static_cast<int>(d), my_begin, schedule);
+    if (schedule.device_units[d] > 0 && localizes_on(*devices[d])) {
+      stats_.used_shared_memory = true;
+    }
+  }
+
+  // Device lanes run concurrently on the rank executor (the paper's
+  // dedicated controlling thread per accelerator, III-D). Each lane builds
+  // a private per-device object; merging happens afterwards in device
+  // order, so the result is independent of lane timing.
+  std::vector<std::unique_ptr<ReductionObject>> device_results(specs.size());
+  exec::parallel_for(env_->executor(), specs.size(), [&](std::size_t d) {
+    device_results[d] =
+        execute_device_chunks(static_cast<int>(d), my_begin, schedule);
+  });
+  for (auto& device_result : device_results) {
+    if (device_result) local_result_->merge_from(*device_result);
   }
 
   stats_.device_units = schedule.device_units;
@@ -120,9 +138,9 @@ support::Status GReductionRuntime::start() {
   return support::Status::ok();
 }
 
-void GReductionRuntime::execute_device_chunks(int spec_index,
-                                              std::size_t device_begin_unit,
-                                              const ScheduleResult& schedule) {
+std::unique_ptr<ReductionObject> GReductionRuntime::execute_device_chunks(
+    int spec_index, std::size_t device_begin_unit,
+    const ScheduleResult& schedule) {
   auto devices = env_->active_devices();
   devsim::Device& device = *devices[static_cast<std::size_t>(spec_index)];
 
@@ -135,12 +153,12 @@ void GReductionRuntime::execute_device_chunks(int spec_index,
         {device_begin_unit + chunk.begin, device_begin_unit + chunk.end});
     total += chunk.end - chunk.begin;
   }
-  if (total == 0) return;
+  if (total == 0) return nullptr;
 
-  // Per-device reduction object (in device memory on GPUs); block-local
-  // results merge into it.
-  ReductionObject device_object(ObjectLayout::kHash, object_capacity_,
-                                value_size_, reduce_);
+  // Per-device reduction object (in device memory on GPUs); block staging
+  // results merge into it in block order below.
+  auto device_object = std::make_unique<ReductionObject>(
+      ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
 
   // Reduction localization: place block objects in the SM shared-memory
   // arena when they fit (paper III-E). Multiple sub-objects per block split
@@ -149,7 +167,6 @@ void GReductionRuntime::execute_device_chunks(int spec_index,
       ReductionObject::required_bytes(object_capacity_, value_size_);
   const int objects = sub_objects_for(device);
   const bool localize = localizes_on(device);
-  stats_.used_shared_memory = stats_.used_shared_memory || localize;
   const std::size_t arena_bytes =
       localize ? one_object * static_cast<std::size_t>(objects) : 0;
 
@@ -158,12 +175,24 @@ void GReductionRuntime::execute_device_chunks(int spec_index,
                       : device.descriptor().compute_units;
   const BlockPartition block_split(total, num_blocks);
 
+  // Determinism: each block emits into a private staging object; staging
+  // objects merge into the device object in BLOCK order after the launch.
+  // The reduction tree then depends only on the block structure (a device
+  // property), never on which worker ran which block or when it finished —
+  // so floating-point results are bit-identical for every num_threads.
+  std::vector<std::unique_ptr<ReductionObject>> staging(
+      static_cast<std::size_t>(num_blocks));
+
   device.run_blocks(num_blocks, arena_bytes, [&](const devsim::BlockContext&
                                                      ctx) {
     const std::size_t from = block_split.begin(ctx.block_id);
     const std::size_t to = block_split.end(ctx.block_id);
     if (from == to) return;
     const auto my_ranges = slice_ranges(ranges, from, to);
+    auto& staged = staging[static_cast<std::size_t>(ctx.block_id)];
+    staged = std::make_unique<ReductionObject>(ObjectLayout::kHash,
+                                               object_capacity_, value_size_,
+                                               reduce_);
 
     if (localize) {
       // Format the sub-objects over the (zeroed) arena, process, merge.
@@ -182,19 +211,24 @@ void GReductionRuntime::execute_device_chunks(int spec_index,
           emit_(&target, input_ + u * unit_bytes_, u, parameter_);
         }
       }
-      for (const auto& local : locals) device_object.merge_from(local);
+      for (const auto& local : locals) staged->merge_from(local);
     } else {
-      // Object too large for on-chip memory: update the device-level object
-      // directly (slot locks serialize the contention).
+      // Object too large for on-chip memory: in real CUDA these updates go
+      // to the device-level object through global-memory atomics; here the
+      // block's updates land in its staging object so the combine order
+      // stays fixed. The contention penalty is priced via the device spec.
       for (const auto& range : my_ranges) {
         for (std::size_t u = range.begin; u < range.end; ++u) {
-          emit_(&device_object, input_ + u * unit_bytes_, u, parameter_);
+          emit_(staged.get(), input_ + u * unit_bytes_, u, parameter_);
         }
       }
     }
   });
 
-  local_result_->merge_from(device_object);
+  for (const auto& staged : staging) {
+    if (staged) device_object->merge_from(*staged);
+  }
+  return device_object;
 }
 
 int GReductionRuntime::sub_objects_for(const devsim::Device& device) const {

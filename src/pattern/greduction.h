@@ -100,8 +100,13 @@ class GReductionRuntime {
 
  private:
   support::Status validate() const;
-  void execute_device_chunks(int spec_index, std::size_t device_begin_unit,
-                             const ScheduleResult& schedule);
+  /// Run one device's chunk list (its lane) and return the per-device
+  /// reduction object, or nullptr when the device drew no chunks. Device
+  /// lanes run concurrently on the rank executor; the caller merges the
+  /// returned objects in device order so results are schedule-independent.
+  [[nodiscard]] std::unique_ptr<ReductionObject> execute_device_chunks(
+      int spec_index, std::size_t device_begin_unit,
+      const ScheduleResult& schedule);
   /// Sub-objects per block for contention splitting on `device`.
   [[nodiscard]] int sub_objects_for(const devsim::Device& device) const;
   /// True when the configured object fits this device's on-chip arena.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "exec/parallel_for.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
 #include "timemodel/timeline.h"
@@ -386,18 +387,29 @@ double IReductionRuntime::compute_edges(bool include_local,
   const double scale = env_->options().workload_scale;
   const auto& overheads = env_->options().preset.overheads;
 
+  // Functional pass: device lanes run concurrently on the rank executor.
+  // Each edge copy updates only endpoints owned by its device (the update
+  // flags are masked in build_device_plans), so cross-device writes into
+  // the dense local result are disjoint and the outcome is independent of
+  // lane interleaving.
+  exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
+    const auto& plan = device_plans_[d];
+    if (include_local) {
+      run_device_edges(static_cast<int>(d), plan.local_edges);
+    }
+    if (include_cross) {
+      run_device_edges(static_cast<int>(d), plan.cross_edges);
+    }
+  });
+
+  // Pricing pass: unchanged from the serial engine, on the calling thread,
+  // in device order — virtual time never depends on the executor width.
   timemodel::LaneSet lanes(devices.size(), start_time);
   for (std::size_t d = 0; d < devices.size(); ++d) {
     const auto& plan = device_plans_[d];
     std::size_t edge_count = 0;
-    if (include_local) {
-      run_device_edges(static_cast<int>(d), plan.local_edges);
-      edge_count += plan.local_edges.size();
-    }
-    if (include_cross) {
-      run_device_edges(static_cast<int>(d), plan.cross_edges);
-      edge_count += plan.cross_edges.size();
-    }
+    if (include_local) edge_count += plan.local_edges.size();
+    if (include_cross) edge_count += plan.cross_edges.size();
     if (edge_count == 0) continue;
     const double launch = devices[d]->is_accelerator()
                               ? overheads.kernel_launch_s
@@ -441,16 +453,32 @@ void IReductionRuntime::run_device_edges(
   const bool tiled = plan.tile_nodes > 0 &&
                      (plan.node_end - plan.node_begin) > plan.tile_nodes;
   if (!tiled) {
-    // Direct updates into the (dense, slot-locked) local reduction object;
-    // blocks split the edge list.
+    // Blocks split the edge list; each block accumulates into a private
+    // dense staging object windowed on this device's node range, and the
+    // staging objects merge into the local result in BLOCK order after the
+    // launch. The combine tree therefore depends only on the block count (a
+    // device property) — results are bit-identical for every num_threads.
     const int blocks = device.descriptor().compute_units;
     const BlockPartition split(edges.size(), blocks);
+    const std::size_t window =
+        std::max<std::size_t>(plan.node_end - plan.node_begin, 1);
+    std::vector<std::unique_ptr<ReductionObject>> staging(
+        static_cast<std::size_t>(blocks));
     device.run_blocks(blocks, 0, [&](const devsim::BlockContext& ctx) {
-      for (std::size_t e = split.begin(ctx.block_id);
-           e < split.end(ctx.block_id); ++e) {
-        run_edge(local_result_.get(), edges[e]);
+      const std::size_t from = split.begin(ctx.block_id);
+      const std::size_t to = split.end(ctx.block_id);
+      if (from == to) return;
+      auto& staged = staging[static_cast<std::size_t>(ctx.block_id)];
+      staged = std::make_unique<ReductionObject>(ObjectLayout::kDense, window,
+                                                 value_size_, node_reduce_);
+      staged->set_key_offset(plan.node_begin);
+      for (std::size_t e = from; e < to; ++e) {
+        run_edge(staged.get(), edges[e]);
       }
     });
+    for (const auto& staged : staging) {
+      if (staged) local_result_->merge_from(*staged);
+    }
     return;
   }
 

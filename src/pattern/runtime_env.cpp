@@ -1,6 +1,7 @@
 #include "pattern/runtime_env.h"
 
 #include <algorithm>
+#include <string>
 
 #include "pattern/greduction.h"
 #include "pattern/ireduction.h"
@@ -8,27 +9,83 @@
 
 namespace psf::pattern {
 
+namespace {
+constexpr std::size_t kDefaultGpuMemoryBytes =
+    std::size_t{6} * 1024 * 1024 * 1024;
+}  // namespace
+
 RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
     : comm_(&comm),
       options_(std::move(options)),
-      rates_(timemodel::app_rates(options_.app_profile)) {
-  PSF_CHECK_MSG(options_.use_cpu || options_.use_gpus > 0 ||
-                    options_.use_mics > 0,
-                "environment must enable at least one device");
-  PSF_CHECK_MSG(options_.use_gpus <= options_.preset.gpus_per_node,
-                "requested " << options_.use_gpus << " GPUs but the node has "
-                             << options_.preset.gpus_per_node);
-  PSF_CHECK_MSG(options_.use_mics <= options_.preset.mics_per_node,
-                "requested " << options_.use_mics << " MICs but the node has "
-                             << options_.preset.mics_per_node);
-  PSF_CHECK_MSG(options_.workload_scale >= 1.0,
-                "workload_scale must be >= 1");
-  devices_ = devsim::make_node_devices(options_.preset, comm_->timeline());
+      rates_(timemodel::app_rates(options_.app_profile)),
+      init_status_(validate_options()) {
+  if (!init_status_.is_ok()) return;  // init() reports; nothing to build
+  executor_ = std::make_unique<exec::ThreadPool>(
+      exec::ThreadPool::resolve_workers(options_.num_threads));
+  devices_ = devsim::make_node_devices(options_.preset, comm_->timeline(),
+                                       kDefaultGpuMemoryBytes,
+                                       executor_.get());
 }
 
 RuntimeEnv::~RuntimeEnv() = default;
 
-support::Status RuntimeEnv::init() { return support::Status::ok(); }
+support::Status RuntimeEnv::validate_options() const {
+  using support::Status;
+  if (!options_.use_cpu && options_.use_gpus <= 0 && options_.use_mics <= 0) {
+    return Status::invalid_argument(
+        "environment enables no devices: set use_cpu = true or request GPUs "
+        "(with_gpus) / MICs (with_mics)");
+  }
+  if (options_.use_gpus < 0) {
+    return Status::invalid_argument(
+        "use_gpus = " + std::to_string(options_.use_gpus) +
+        " is negative; pass 0 to disable GPUs");
+  }
+  if (options_.use_mics < 0) {
+    return Status::invalid_argument(
+        "use_mics = " + std::to_string(options_.use_mics) +
+        " is negative; pass 0 to disable MICs");
+  }
+  if (options_.use_gpus > options_.preset.gpus_per_node) {
+    return Status::invalid_argument(
+        "requested " + std::to_string(options_.use_gpus) +
+        " GPUs but the node preset has " +
+        std::to_string(options_.preset.gpus_per_node) +
+        "; lower use_gpus or pick a preset with more GPUs");
+  }
+  if (options_.use_mics > options_.preset.mics_per_node) {
+    return Status::invalid_argument(
+        "requested " + std::to_string(options_.use_mics) +
+        " MICs but the node preset has " +
+        std::to_string(options_.preset.mics_per_node) +
+        "; lower use_mics or pick a preset with more MICs");
+  }
+  if (options_.num_threads < 0) {
+    return Status::invalid_argument(
+        "num_threads = " + std::to_string(options_.num_threads) +
+        " is negative; use 0 for hardware concurrency or 1 for serial "
+        "execution");
+  }
+  if (options_.workload_scale < 1.0) {
+    return Status::invalid_argument(
+        "workload_scale = " + std::to_string(options_.workload_scale) +
+        " must be >= 1 (it prices the workload as a multiple of its "
+        "functional size)");
+  }
+  if (options_.comm_scale < 0.0) {
+    return Status::invalid_argument(
+        "comm_scale = " + std::to_string(options_.comm_scale) +
+        " is negative; use 0 to inherit workload_scale");
+  }
+  if (options_.node_scale < 0.0) {
+    return Status::invalid_argument(
+        "node_scale = " + std::to_string(options_.node_scale) +
+        " is negative; use 0 to inherit workload_scale");
+  }
+  return Status::ok();
+}
+
+support::Status RuntimeEnv::init() { return init_status_; }
 
 void RuntimeEnv::finalize() {
   gr_.reset();

@@ -8,9 +8,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "devsim/device.h"
+#include "exec/thread_pool.h"
 #include "minimpi/communicator.h"
 #include "pattern/scheduler.h"
 #include "support/error.h"
@@ -25,6 +27,19 @@ class StencilRuntime;
 
 /// Environment configuration: device selection, optimization toggles and
 /// cost-model calibration.
+///
+/// Two equivalent ways to build one — plain aggregate init:
+///
+///   EnvOptions options;
+///   options.use_gpus = 2;
+///   options.num_threads = 8;
+///
+/// or the fluent named setters (each returns *this, so they chain):
+///
+///   auto options = EnvOptions{}.with_gpus(2).with_threads(8);
+///
+/// Validation happens in RuntimeEnv::init(), which returns an actionable
+/// support::Status instead of crashing on bad values.
 struct EnvOptions {
   /// Hardware/time model of the node (and its cluster links).
   timemodel::ClusterPreset preset = timemodel::testbed_preset();
@@ -37,6 +52,12 @@ struct EnvOptions {
   /// Number of MIC coprocessors to use (0..preset.mics_per_node) — the
   /// paper's future-work extension.
   int use_mics = 0;
+  /// Intra-node execution engine width (participating threads per rank):
+  /// 0 = hardware_concurrency, 1 = serial execution on the rank thread,
+  /// N > 1 = the rank thread plus N-1 workers. The `PSF_THREADS` env var
+  /// (when set to a positive integer) overrides this. Only wall-clock
+  /// changes — results and virtual times are identical for every value.
+  int num_threads = 0;
   /// Overlap communication with computation (paper Sections III-C/D).
   bool overlap = true;
   /// Grid tiling for stencils (paper Section III-E).
@@ -72,6 +93,66 @@ struct EnvOptions {
   /// spans (compute per device, exchanges, combines) for Chrome-trace
   /// export. Not owned; must outlive the environment.
   timemodel::TraceRecorder* trace = nullptr;
+
+  // --- fluent named setters -------------------------------------------------
+  // Each returns *this so configuration reads as one chained expression.
+
+  EnvOptions& with_preset(timemodel::ClusterPreset value) {
+    preset = std::move(value);
+    return *this;
+  }
+  EnvOptions& with_profile(std::string value) {
+    app_profile = std::move(value);
+    return *this;
+  }
+  EnvOptions& with_cpu(bool value = true) {
+    use_cpu = value;
+    return *this;
+  }
+  EnvOptions& with_gpus(int value) {
+    use_gpus = value;
+    return *this;
+  }
+  EnvOptions& with_mics(int value) {
+    use_mics = value;
+    return *this;
+  }
+  EnvOptions& with_threads(int value) {
+    num_threads = value;
+    return *this;
+  }
+  EnvOptions& with_overlap(bool value = true) {
+    overlap = value;
+    return *this;
+  }
+  EnvOptions& with_tiling(bool value = true) {
+    tiling = value;
+    return *this;
+  }
+  EnvOptions& with_reduction_localization(bool value = true) {
+    reduction_localization = value;
+    return *this;
+  }
+  EnvOptions& with_workload_scale(double value) {
+    workload_scale = value;
+    return *this;
+  }
+  EnvOptions& with_comm_scale(double value) {
+    comm_scale = value;
+    return *this;
+  }
+  EnvOptions& with_node_scale(double value) {
+    node_scale = value;
+    return *this;
+  }
+  EnvOptions& with_gr_chunk_units(std::size_t value) {
+    gr_chunk_units = value;
+    return *this;
+  }
+  EnvOptions& with_trace(timemodel::TraceRecorder* value) {
+    trace = value;
+    return *this;
+  }
 };
 
 /// Per-rank runtime environment.
@@ -83,7 +164,9 @@ class RuntimeEnv {
   RuntimeEnv(const RuntimeEnv&) = delete;
   RuntimeEnv& operator=(const RuntimeEnv&) = delete;
 
-  /// Paper API parity; construction already initializes. Validates options.
+  /// Validates the options (device counts against the preset, scale and
+  /// thread fields) and reports problems as an actionable support::Status.
+  /// On failure the environment has no devices and must not be used.
   support::Status init();
   void finalize();
 
@@ -95,6 +178,9 @@ class RuntimeEnv {
 
   [[nodiscard]] minimpi::Communicator& comm() noexcept { return *comm_; }
   [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
+  /// The rank's intra-node execution engine (sized by num_threads /
+  /// PSF_THREADS). All device lanes and block loops run through it.
+  [[nodiscard]] exec::ThreadPool& executor() noexcept { return *executor_; }
   [[nodiscard]] const timemodel::AppRates& rates() const noexcept {
     return rates_;
   }
@@ -113,9 +199,13 @@ class RuntimeEnv {
   [[nodiscard]] DynamicScheduler::Options scheduler_options() const;
 
  private:
+  [[nodiscard]] support::Status validate_options() const;
+
   minimpi::Communicator* comm_;
   EnvOptions options_;
   timemodel::AppRates rates_;
+  support::Status init_status_;
+  std::unique_ptr<exec::ThreadPool> executor_;
   std::vector<std::unique_ptr<devsim::Device>> devices_;
   std::unique_ptr<GReductionRuntime> gr_;
   std::unique_ptr<IReductionRuntime> ir_;

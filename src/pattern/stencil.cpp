@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <numeric>
 
+#include "exec/latch.h"
+#include "exec/parallel_for.h"
 #include "pattern/partition.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
@@ -466,16 +470,46 @@ support::Status StencilRuntime::start() {
 
   if (overlap) {
     // Steps 1-3: pack, asynchronous exchange, inner tiles concurrently.
+    // With a concurrent executor the inner tiles really do run while the
+    // rank thread drives the halo exchange: inner cells never read the halo
+    // regions the exchange unpacks into (that is what makes them "inner"),
+    // so the two proceed race-free. Virtual-time pricing is identical to
+    // the serial engine either way.
     const double fork = comm.timeline().now();
+    auto& pool = env_->executor();
+    const bool concurrent = pool.concurrent();
+    exec::Latch inner_done(concurrent ? devices.size() : 0);
+    std::mutex error_mutex;
+    std::exception_ptr inner_error;
+    if (concurrent) {
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        pool.submit([&, d] {
+          try {
+            compute_rows(static_cast<int>(d), device_row_bounds_[d],
+                         device_row_bounds_[d + 1], /*want_inner=*/true);
+          } catch (...) {
+            std::lock_guard<std::mutex> guard(error_mutex);
+            if (!inner_error) inner_error = std::current_exception();
+          }
+          inner_done.count_down();
+        });
+      }
+    }
     for (int d = 0; d < ndims_; ++d) halo_bytes += exchange_dim(d);
     exchange_end = comm.timeline().now();
     stats_.last_exchange_vtime = exchange_end - fork;
+    if (concurrent) {
+      // Help the pool with the in-flight tiles instead of blocking.
+      pool.help_while([&] { return inner_done.try_wait(); });
+      if (inner_error) std::rethrow_exception(inner_error);
+    } else {
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        compute_rows(static_cast<int>(d), device_row_bounds_[d],
+                     device_row_bounds_[d + 1], /*want_inner=*/true);
+      }
+    }
 
     timemodel::LaneSet lanes(devices.size(), fork);
-    for (std::size_t d = 0; d < devices.size(); ++d) {
-      compute_rows(static_cast<int>(d), device_row_bounds_[d],
-                   device_row_bounds_[d + 1], /*want_inner=*/true);
-    }
     price_pass(lanes, /*inner_pass=*/true);
     if (auto* trace = env_->options().trace) {
       trace->record("halo exchange", "comm", comm.rank(), 0, fork,
@@ -492,11 +526,12 @@ support::Status StencilRuntime::start() {
     exchange_end = comm.timeline().now();
     stats_.last_exchange_vtime = exchange_end - ex0;
 
-    timemodel::LaneSet lanes(devices.size(), comm.timeline().now());
-    for (std::size_t d = 0; d < devices.size(); ++d) {
+    // Device lanes run concurrently; rows are disjoint between devices.
+    exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
       compute_rows(static_cast<int>(d), device_row_bounds_[d],
                    device_row_bounds_[d + 1], /*want_inner=*/true);
-    }
+    });
+    timemodel::LaneSet lanes(devices.size(), comm.timeline().now());
     price_pass(lanes, /*inner_pass=*/true);
     lanes.join(comm.timeline());
   }
@@ -524,10 +559,10 @@ support::Status StencilRuntime::start() {
   {
     const double fork = comm.timeline().now();
     timemodel::LaneSet lanes(devices.size(), fork);
-    for (std::size_t d = 0; d < devices.size(); ++d) {
+    exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
       compute_rows(static_cast<int>(d), device_row_bounds_[d],
                    device_row_bounds_[d + 1], /*want_inner=*/false);
-    }
+    });
     price_pass(lanes, /*inner_pass=*/false);
     if (auto* trace = env_->options().trace) {
       for (std::size_t d = 0; d < devices.size(); ++d) {

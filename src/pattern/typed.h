@@ -290,6 +290,17 @@ class TypedST {
 
   void set_halo(int halo) { runtime_->set_halo(halo); }
 
+  /// Virtual processor topology (one extent per grid dimension, product ==
+  /// number of ranks). Empty = choose automatically.
+  void set_topology(const std::vector<int>& dims) {
+    runtime_->set_topology(dims);
+  }
+
+  /// Periodic boundaries per dimension (default: none).
+  void set_periodic(const std::vector<bool>& periodic) {
+    runtime_->set_periodic(periodic);
+  }
+
   template <typename Parameter>
   void set_parameter(const Parameter* parameter) {
     runtime_->set_parameter(parameter);
@@ -305,5 +316,11 @@ class TypedST {
  private:
   StencilRuntime* runtime_;
 };
+
+/// Preferred name for the typed stencil runtime: grids are indexed through
+/// GridView as `in(y, x)` instead of the deprecated-for-new-code GET_*
+/// macros in pattern/api.h.
+template <typename T, int Dims>
+using TypedStencil = TypedST<T, Dims>;
 
 }  // namespace psf::pattern

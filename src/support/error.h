@@ -1,9 +1,32 @@
 // PSF — Pattern Specification Framework
 // Error handling utilities: Status, StatusOr and checked assertions.
 //
-// The framework is a runtime system; internal invariant violations terminate
-// loudly (PSF_CHECK), while user-facing configuration errors are reported
-// through Status / StatusOr so applications can recover.
+// ## The error-reporting contract
+//
+// The framework uses three channels, by failure class:
+//
+// 1. `support::Status` / `StatusOr` — RECOVERABLE, user-facing errors:
+//    bad configuration (`RuntimeEnv::init`), missing preconditions
+//    (pattern `start()` before user functions are set), simulated resource
+//    exhaustion (`Device::alloc`). Callers inspect the code/message and can
+//    retry with fixed inputs. APIs at this boundary return Status and never
+//    throw it.
+//
+// 2. C++ exceptions — errors that unwind through USER CODE running inside
+//    the framework: a user function throwing inside a pattern kernel or a
+//    rank body throwing inside `minimpi::World::run`. The executor
+//    (`exec::parallel_for`) and `World::run` capture the first exception
+//    and rethrow it on the calling thread once in-flight work drains.
+//    `World::try_run` is the Status-returning adapter for callers that
+//    prefer channel 1 at the top level: it maps any rank exception to
+//    `ErrorCode::kInternal` with the exception's message.
+//
+// 3. `PSF_CHECK` / `PSF_CHECK_MSG` — INTERNAL invariant violations
+//    (framework bugs, corrupted state). These abort the process loudly;
+//    they are not catchable and must never be used for input validation.
+//
+// Rule of thumb: validate inputs with Status, let user-code exceptions
+// propagate (or use try_run), and reserve CHECKs for "this cannot happen".
 #pragma once
 
 #include <cstdint>

@@ -50,10 +50,10 @@ TEST(Determinism, KmeansVirtualTimeIsExactlyReproducible) {
     EXPECT_DOUBLE_EQ(vtimes_a[static_cast<std::size_t>(r)],
                      vtimes_b[static_cast<std::size_t>(r)])
         << "rank " << r;
-    // Concurrent reduction-object updates make the FP summation order
-    // nondeterministic; values agree to rounding, not bitwise.
-    EXPECT_NEAR(centers_a[static_cast<std::size_t>(r)],
-                centers_b[static_cast<std::size_t>(r)], 1e-9);
+    // Per-block staging merged in block order makes the FP summation order
+    // a device property, so results are bit-identical across runs.
+    EXPECT_DOUBLE_EQ(centers_a[static_cast<std::size_t>(r)],
+                     centers_b[static_cast<std::size_t>(r)]);
   }
 }
 
@@ -84,9 +84,9 @@ TEST(Determinism, MoldynVirtualTimeIsExactlyReproducible) {
     EXPECT_DOUBLE_EQ(vtimes_a[static_cast<std::size_t>(r)],
                      vtimes_b[static_cast<std::size_t>(r)]);
   }
-  // The physics agrees to rounding (thread interleaving permutes the FP
-  // reduction order within a node's accumulator).
-  EXPECT_NEAR(checksum_a, checksum_b, 1e-6 * std::abs(checksum_a));
+  // The physics is bit-identical too: edge blocks stage into private dense
+  // objects merged in block order, never in thread-completion order.
+  EXPECT_DOUBLE_EQ(checksum_a, checksum_b);
 }
 
 TEST(Determinism, Heat3dStencilBitIdenticalAcrossRuns) {

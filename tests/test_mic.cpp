@@ -49,7 +49,11 @@ TEST(MicEnv, RejectsMoreMicsThanPresent) {
     EnvOptions options;
     options.use_cpu = true;
     options.use_mics = 1;  // preset has 0 by default
-    EXPECT_DEATH(RuntimeEnv env(comm, options), "MICs");
+    RuntimeEnv env(comm, options);
+    const support::Status status = env.init();
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("MICs"), std::string::npos);
   });
 }
 

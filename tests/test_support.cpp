@@ -1,5 +1,6 @@
 // PSF — tests for the support library: Status/StatusOr, logging, RNG,
-// aligned buffers, thread pool, synchronization primitives, LoC counter.
+// aligned buffers, synchronization primitives, LoC counter.
+// (The execution engine moved to psf::exec; see tests/test_exec.cpp.)
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -14,7 +15,6 @@
 #include "support/rng.h"
 #include "support/stopwatch.h"
 #include "support/sync.h"
-#include "support/thread_pool.h"
 
 namespace psf::support {
 namespace {
@@ -177,47 +177,6 @@ TEST(AlignedBuffer, CopyBytesBoundsChecked) {
   EXPECT_EQ(dst.as<std::uint8_t>()[1], 9);
 }
 
-// --- ThreadPool ------------------------------------------------------------------
-
-TEST(ThreadPool, RunsSubmittedTasks) {
-  ThreadPool pool(3);
-  std::atomic<int> counter{0};
-  std::vector<std::future<void>> futures;
-  for (int i = 0; i < 20; ++i) {
-    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
-  }
-  for (auto& future : futures) future.get();
-  EXPECT_EQ(counter.load(), 20);
-}
-
-TEST(ThreadPool, PropagatesExceptions) {
-  ThreadPool pool(1);
-  auto future = pool.submit([] { throw std::runtime_error("boom"); });
-  EXPECT_THROW(future.get(), std::runtime_error);
-}
-
-TEST(ThreadPool, ParallelForCoversAllIndices) {
-  ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(257);
-  pool.parallel_for(hits.size(),
-                    [&](std::size_t i) { hits[i].fetch_add(1); });
-  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
-}
-
-TEST(ThreadPool, ParallelForZeroCount) {
-  ThreadPool pool(2);
-  bool ran = false;
-  pool.parallel_for(0, [&](std::size_t) { ran = true; });
-  EXPECT_FALSE(ran);
-}
-
-TEST(ThreadPool, WorksWithZeroWorkers) {
-  ThreadPool pool(0);  // caller-only execution
-  std::atomic<int> counter{0};
-  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 10);
-}
-
 // --- Sync -------------------------------------------------------------------------
 
 TEST(SpinLock, MutualExclusion) {
@@ -321,36 +280,6 @@ TEST(Loc, MissingFilesReported) {
       count_loc_files({"/nonexistent/file.cpp"}, &missing);
   EXPECT_EQ(report.code_lines, 0u);
   ASSERT_EQ(missing.size(), 1u);
-}
-
-}  // namespace
-}  // namespace psf::support
-
-namespace psf::support {
-namespace {
-
-TEST(ThreadPool, ParallelForPropagatesBodyExceptions) {
-  ThreadPool pool(3);
-  EXPECT_THROW(pool.parallel_for(100,
-                                 [](std::size_t i) {
-                                   if (i == 57) {
-                                     throw std::runtime_error("body failed");
-                                   }
-                                 }),
-               std::runtime_error);
-}
-
-TEST(ThreadPool, ReusableAfterException) {
-  ThreadPool pool(2);
-  try {
-    pool.parallel_for(10, [](std::size_t) {
-      throw std::runtime_error("once");
-    });
-  } catch (const std::runtime_error&) {
-  }
-  std::atomic<int> counter{0};
-  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
-  EXPECT_EQ(counter.load(), 10);
 }
 
 }  // namespace
