@@ -13,6 +13,7 @@
 
 #include "pattern/reduction_object.h"
 #include "support/buffer.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 
 namespace {
@@ -120,6 +121,82 @@ void BM_ArenaPlacement(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_ArenaPlacement);
+
+/// merge_from is the one instrumented operation on this path (one
+/// "pattern.gr.object_merges" counter add per merge, amortized over every
+/// key it copies). Compare this bench with and without
+/// -DPSF_DISABLE_METRICS for the library's real metrics overhead.
+void BM_MergeFrom(benchmark::State& state) {
+  const auto keys = static_cast<std::uint64_t>(state.range(0));
+  ReductionObject source(ObjectLayout::kHash, keys * 2, sizeof(double),
+                         sum_reduce);
+  psf::support::Xoshiro256 rng(9);
+  const double one = 1.0;
+  for (std::uint64_t i = 0; i < keys * 2; ++i) {
+    source.insert(rng.next_below(keys), &one);
+  }
+  ReductionObject target(ObjectLayout::kHash, keys * 2, sizeof(double),
+                         sum_reduce);
+  for (auto _ : state) {
+    target.merge_from(source);
+    benchmark::DoNotOptimize(target.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(keys));
+}
+BENCHMARK(BM_MergeFrom)->Arg(64)->Arg(4096)->ArgNames({"keys"});
+
+/// Metrics overhead ablation: the insert loop with and without a
+/// PSF_METRIC_ADD on every iteration. The macro's steady state is one
+/// relaxed fetch_add through a function-local static reference; the
+/// acceptance bar is <2% on this (worst-case: per-insert) placement. Real
+/// instrumentation sits on much coarser paths — per chunk, per message,
+/// per kernel.
+void BM_InsertUninstrumented(benchmark::State& state) {
+  constexpr std::uint64_t kKeys = 1024;
+  ReductionObject object(ObjectLayout::kHash, kKeys * 2, sizeof(double),
+                         sum_reduce);
+  psf::support::Xoshiro256 rng(11);
+  const double one = 1.0;
+  for (auto _ : state) {
+    object.insert(rng.next_below(kKeys), &one);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertUninstrumented);
+
+void BM_InsertInstrumented(benchmark::State& state) {
+  constexpr std::uint64_t kKeys = 1024;
+  ReductionObject object(ObjectLayout::kHash, kKeys * 2, sizeof(double),
+                         sum_reduce);
+  psf::support::Xoshiro256 rng(11);
+  const double one = 1.0;
+  for (auto _ : state) {
+    object.insert(rng.next_below(kKeys), &one);
+    PSF_METRIC_ADD("bench.ablation.inserts", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertInstrumented);
+
+/// The macro's cost in isolation: counter hot path (one relaxed atomic
+/// add) vs a registry lookup on every call (what the function-local
+/// static avoids).
+void BM_MetricCounterHotPath(benchmark::State& state) {
+  for (auto _ : state) {
+    PSF_METRIC_ADD("bench.ablation.hot", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricCounterHotPath);
+
+void BM_MetricRegistryLookup(benchmark::State& state) {
+  auto& registry = psf::metrics::Registry::global();
+  for (auto _ : state) {
+    registry.counter("bench.ablation.lookup").add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricRegistryLookup);
 
 /// Serialize + merge round trip — the global tree-combine wire path.
 void BM_SerializeRoundTrip(benchmark::State& state) {

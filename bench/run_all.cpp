@@ -1,0 +1,201 @@
+// PSF — aggregate benchmark driver: runs every evaluation application over
+// a small node/device sweep and emits one machine-readable JSON report
+// ("psf.bench" schema). The reported times are VIRTUAL seconds, which are
+// bit-identical across hosts and thread counts, so scripts/compare_bench.py
+// can hold results to a tight regression threshold.
+//
+// Usage: run_all [--smoke] [--out PATH]
+//   --smoke   smaller sweep (CI smoke job): fewer node counts and configs
+//   --out     write the JSON report to PATH (default: stdout only)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "support/metrics.h"
+
+namespace psf::bench {
+namespace {
+
+struct BenchResult {
+  std::string name;    ///< "<app>/<config>/n<nodes>"
+  double vtime = 0.0;  ///< measured virtual seconds (max over ranks)
+  double speedup = 0.0;  ///< sequential paper-scale vtime / vtime
+};
+
+/// Device mixes with JSON-friendly slugs.
+struct SweepConfig {
+  const char* slug;
+  DeviceConfig devices;
+};
+
+constexpr SweepConfig kSweepConfigs[] = {
+    {"cpu", {"CPU(12 cores)", true, 0}},
+    {"cpu+1gpu", {"CPU+1GPU", true, 1}},
+    {"cpu+2gpu", {"CPU+2GPU", true, 2}},
+};
+
+/// Copy of run_framework from fig5_scalability (kept local: the bench
+/// binaries are independent executables).
+template <typename Workload, typename RunFn>
+double run_framework(const Workload& workload, int nodes,
+                     const DeviceConfig& devices, RunFn&& run) {
+  minimpi::World world = make_world(nodes, workload.scales);
+  std::vector<double> vtimes(static_cast<std::size_t>(nodes), 0.0);
+  world.run([&](minimpi::Communicator& comm) {
+    vtimes[static_cast<std::size_t>(comm.rank())] =
+        run(comm, make_options(workload.scales, devices));
+  });
+  return *std::max_element(vtimes.begin(), vtimes.end());
+}
+
+template <typename Workload, typename RunFn>
+void sweep(std::vector<BenchResult>& results, const char* app,
+           const Workload& workload, const std::vector<int>& node_counts,
+           bool smoke, RunFn&& run) {
+  const double seq = sequential_vtime(workload.scales);
+  for (const auto& config : kSweepConfigs) {
+    // Smoke keeps one heterogeneous mix per app.
+    if (smoke && std::strcmp(config.slug, "cpu+2gpu") != 0) continue;
+    for (int nodes : node_counts) {
+      const double vtime =
+          run_framework(workload, nodes, config.devices, run);
+      BenchResult result;
+      result.name = std::string(app) + "/" + config.slug + "/n" +
+                    std::to_string(nodes);
+      result.vtime = vtime;
+      result.speedup = seq / vtime;
+      results.push_back(result);
+      std::printf("  %-28s vtime %12.6f s  speedup %8.1fx\n",
+                  result.name.c_str(), result.vtime, result.speedup);
+    }
+  }
+}
+
+std::string to_json(const std::vector<BenchResult>& results, bool smoke) {
+  std::string out = "{\"schema\":\"psf.bench\",\"version\":1,\"smoke\":";
+  out += smoke ? "true" : "false";
+  out += ",\"benches\":[";
+  char buffer[64];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + results[i].name + "\",\"vtime\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", results[i].vtime);
+    out += buffer;
+    out += ",\"speedup\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", results[i].speedup);
+    out += buffer;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+}  // namespace psf::bench
+
+int main(int argc, char** argv) {
+  using namespace psf::bench;
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: run_all [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<int> node_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  std::vector<BenchResult> results;
+  std::printf("PSF bench sweep (%s): virtual seconds, deterministic\n",
+              smoke ? "smoke" : "full");
+
+  {
+    KmeansWorkload workload;
+    sweep(results, "kmeans", workload, node_counts, smoke,
+          [&](psf::minimpi::Communicator& comm,
+              const psf::pattern::EnvOptions& options) {
+            return psf::apps::kmeans::run_framework(
+                       comm, options, workload.params, workload.points)
+                .vtime;
+          });
+  }
+  {
+    MoldynWorkload workload;
+    // run_framework mutates the molecules; each sweep cell needs a fresh
+    // copy so results stay independent of sweep order.
+    sweep(results, "moldyn", workload, node_counts, smoke,
+          [&](psf::minimpi::Communicator& comm,
+              const psf::pattern::EnvOptions& options) {
+            auto molecules = workload.molecules;
+            return psf::apps::moldyn::run_framework(comm, options,
+                                                    workload.params,
+                                                    molecules, workload.edges)
+                       .steady_vtime *
+                   workload.params.iterations;
+          });
+  }
+  {
+    MinimdWorkload workload;
+    sweep(results, "minimd", workload, node_counts, smoke,
+          [&](psf::minimpi::Communicator& comm,
+              const psf::pattern::EnvOptions& options) {
+            auto atoms = workload.fresh_atoms();
+            return psf::apps::minimd::run_framework(comm, options,
+                                                    workload.params, atoms)
+                       .steady_vtime *
+                   workload.params.iterations;
+          });
+  }
+  {
+    SobelWorkload workload;
+    sweep(results, "sobel", workload, node_counts, smoke,
+          [&](psf::minimpi::Communicator& comm,
+              const psf::pattern::EnvOptions& options) {
+            return psf::apps::sobel::run_framework(comm, options,
+                                                   workload.params,
+                                                   workload.image)
+                       .steady_vtime *
+                   workload.params.iterations;
+          });
+  }
+  {
+    Heat3dWorkload workload;
+    sweep(results, "heat3d", workload, node_counts, smoke,
+          [&](psf::minimpi::Communicator& comm,
+              const psf::pattern::EnvOptions& options) {
+            return psf::apps::heat3d::run_framework(comm, options,
+                                                    workload.params,
+                                                    workload.field)
+                       .steady_vtime *
+                   workload.params.iterations;
+          });
+  }
+
+  const std::string report = to_json(results, smoke);
+  if (!psf::metrics::validate_json(report)) {
+    std::fprintf(stderr, "run_all: generated report is not valid JSON\n");
+    return 1;
+  }
+  if (!out_path.empty()) {
+    std::ofstream file(out_path, std::ios::trunc);
+    file << report << "\n";
+    if (!file) {
+      std::fprintf(stderr, "run_all: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu benches to %s\n", results.size(),
+                out_path.c_str());
+  } else {
+    std::printf("%s\n", report.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Run the aggregate benchmark driver and archive a dated report.
+
+Builds nothing: expects the `run_all` binary to exist (pass --bin or rely
+on the default build tree). The driver's virtual-time results are
+deterministic, so the archived BENCH_<date>.json is directly comparable
+across hosts with compare_bench.py.
+
+Usage:
+  scripts/bench.py [--bin PATH] [--smoke] [--out-dir DIR]
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bin",
+        default=str(REPO_ROOT / "build" / "bench" / "run_all"),
+        help="path to the run_all binary",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the reduced smoke sweep"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=str(REPO_ROOT),
+        help="directory for the BENCH_<date>.json report",
+    )
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.bin)
+    if not binary.exists():
+        print(f"bench.py: binary not found: {binary}", file=sys.stderr)
+        print("build first: cmake -B build -S . && cmake --build build -j",
+              file=sys.stderr)
+        return 2
+
+    date = datetime.date.today().isoformat()
+    out_path = pathlib.Path(args.out_dir) / f"BENCH_{date}.json"
+    cmd = [str(binary), "--out", str(out_path)]
+    if args.smoke:
+        cmd.append("--smoke")
+    print("+", " ".join(cmd))
+    result = subprocess.run(cmd)
+    if result.returncode != 0:
+        return result.returncode
+
+    report = json.loads(out_path.read_text())
+    benches = report.get("benches", [])
+    print(f"bench.py: {len(benches)} results -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

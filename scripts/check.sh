@@ -1,24 +1,46 @@
 #!/usr/bin/env bash
-# Race check for the intra-node execution engine: build the tsan preset
-# and run the executor + determinism tests under ThreadSanitizer.
+# Race check for the intra-node execution engine: build a sanitizer preset
+# and run the executor + determinism tests under it.
 #
-#   $ scripts/check.sh            # executor-focused tests (fast)
-#   $ scripts/check.sh --all      # the whole suite under tsan (slow)
+#   $ scripts/check.sh                      # tsan, executor-focused (fast)
+#   $ scripts/check.sh --all                # tsan, the whole suite (slow)
+#   $ scripts/check.sh --preset asan-ubsan  # same flow, other sanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)"
+preset=tsan
+all=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --all) all=1 ;;
+    --preset)
+      [[ $# -ge 2 ]] || { echo "check.sh: --preset needs a value" >&2; exit 2; }
+      preset="$2"
+      shift
+      ;;
+    *) echo "usage: check.sh [--all] [--preset NAME]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+# Portable core count: Linux, then POSIX, then macOS, then a safe default.
+jobs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null ||
+        sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake --preset "${preset}"
+cmake --build --preset "${preset}" -j "${jobs}"
 
 filter='ThreadPool.*:ParallelFor.*:Latch.*:ResolveWorkers.*'
 filter+=':ThreadCountDeterminism.*:Determinism.*:Devices.*'
-if [[ "${1:-}" == "--all" ]]; then
+if [[ "${all}" == 1 ]]; then
   filter='*'
 fi
 
-# TSan halts on the first data race so nothing slips through as "just a
-# warning"; second_deadlock_stack makes lock-order reports readable.
+# Sanitizers halt on the first finding so nothing slips through as "just a
+# warning"; second_deadlock_stack makes tsan lock-order reports readable.
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ./build-tsan/tests/psf_tests --gtest_filter="${filter}"
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+ASAN_OPTIONS="halt_on_error=1" \
+  "./build-${preset}/tests/psf_tests" --gtest_filter="${filter}"
 
-echo "check.sh: tsan clean"
+echo "check.sh: ${preset} clean"

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a psf.bench report against a committed baseline.
+
+Exits 1 when any bench regressed (vtime grew) beyond the threshold, or when
+a baseline bench is missing from the new report. Virtual times are
+deterministic for a given cost model, so the default threshold only needs
+to absorb cross-compiler floating-point differences; genuine cost-model
+changes should update the committed baseline instead of widening it.
+
+Usage:
+  scripts/compare_bench.py BASELINE.json NEW.json [--threshold PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benches(path: str) -> dict:
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "psf.bench":
+        raise SystemExit(f"{path}: not a psf.bench report")
+    return {b["name"]: b["vtime"] for b in report.get("benches", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("new", help="freshly produced report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="allowed vtime regression in percent (default 5)",
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when a baselined bench is missing from the new report "
+        "(default: compare the intersection, so smoke reports can be "
+        "checked against the full baseline)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benches(args.baseline)
+    new = load_benches(args.new)
+
+    failures = []
+    improvements = 0
+    skipped = 0
+    for name, base_vtime in sorted(baseline.items()):
+        if name not in new:
+            if args.require_all:
+                failures.append(f"{name}: missing from new report")
+            else:
+                skipped += 1
+            continue
+        new_vtime = new[name]
+        delta_pct = (new_vtime - base_vtime) / base_vtime * 100.0
+        marker = ""
+        if delta_pct > args.threshold:
+            failures.append(
+                f"{name}: {base_vtime:.6g} -> {new_vtime:.6g} "
+                f"(+{delta_pct:.2f}%, threshold {args.threshold}%)"
+            )
+            marker = "  REGRESSED"
+        elif delta_pct < -args.threshold:
+            improvements += 1
+            marker = "  improved"
+        print(f"  {name:32s} {base_vtime:12.6g} -> {new_vtime:12.6g} "
+              f"({delta_pct:+.2f}%){marker}")
+
+    extra = sorted(set(new) - set(baseline))
+    for name in extra:
+        print(f"  {name:32s} (new bench, no baseline)")
+
+    compared = len(baseline) - skipped
+    if compared == 0:
+        print("compare_bench: no overlapping benches to compare",
+              file=sys.stderr)
+        return 1
+    print(
+        f"compare_bench: {compared}/{len(baseline)} baselined benches "
+        f"compared, {len(failures)} regressions, {improvements} "
+        f"improvements, {len(extra)} new"
+    )
+    if failures:
+        print("\nregressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a PSF JSON report against its schema (stdlib only).
+
+Two report kinds:
+  metrics — psf.metrics v1, written by the runtime registry
+            (PSF_METRICS=out.json or EnvOptions::with_metrics_path)
+  bench   — psf.bench v1, written by bench/run_all
+
+Usage:
+  scripts/validate_metrics.py [--kind metrics|bench] REPORT.json
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(message: str) -> None:
+    raise SystemExit(f"validate_metrics: {message}")
+
+
+def check_metrics(report: dict) -> None:
+    if report.get("schema") != "psf.metrics":
+        fail(f"schema is {report.get('schema')!r}, want 'psf.metrics'")
+    if report.get("version") != 1:
+        fail(f"version is {report.get('version')!r}, want 1")
+    for section in ("counters", "gauges", "timers"):
+        if not isinstance(report.get(section), dict):
+            fail(f"missing object section {section!r}")
+    for name, value in report["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name!r} is not a non-negative integer: {value!r}")
+    for name, value in report["gauges"].items():
+        if not isinstance(value, numbers.Real):
+            fail(f"gauge {name!r} is not a number: {value!r}")
+    for name, value in report["timers"].items():
+        if not isinstance(value, dict):
+            fail(f"timer {name!r} is not an object")
+        if not isinstance(value.get("count"), int) or value["count"] < 0:
+            fail(f"timer {name!r} count is invalid: {value.get('count')!r}")
+        if not isinstance(value.get("seconds"), numbers.Real):
+            fail(f"timer {name!r} seconds is invalid: {value.get('seconds')!r}")
+
+
+def check_bench(report: dict) -> None:
+    if report.get("schema") != "psf.bench":
+        fail(f"schema is {report.get('schema')!r}, want 'psf.bench'")
+    if report.get("version") != 1:
+        fail(f"version is {report.get('version')!r}, want 1")
+    benches = report.get("benches")
+    if not isinstance(benches, list) or not benches:
+        fail("benches must be a non-empty array")
+    seen = set()
+    for bench in benches:
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"bench entry without a name: {bench!r}")
+        if name in seen:
+            fail(f"duplicate bench name {name!r}")
+        seen.add(name)
+        vtime = bench.get("vtime")
+        if not isinstance(vtime, numbers.Real) or vtime <= 0:
+            fail(f"bench {name!r} vtime must be a positive number: {vtime!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="JSON report to validate")
+    parser.add_argument(
+        "--kind",
+        choices=("metrics", "bench"),
+        default="metrics",
+        help="report schema to check against (default: metrics)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(str(error))
+
+    if args.kind == "metrics":
+        check_metrics(report)
+    else:
+        check_bench(report)
+    print(f"validate_metrics: {args.report} is a valid psf.{args.kind} report")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

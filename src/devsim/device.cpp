@@ -59,6 +59,15 @@ Device::Device(DeviceDescriptor descriptor, timemodel::Timeline& host,
     owned_pool_ = std::make_unique<exec::ThreadPool>(workers);
     pool_ = owned_pool_.get();
   }
+#ifndef PSF_DISABLE_METRICS
+  auto& registry = metrics::Registry::global();
+  const std::string prefix = "devsim." + descriptor_.name() + ".";
+  metric_kernel_launches_ = &registry.counter(prefix + "kernel_launches");
+  metric_block_launches_ = &registry.counter(prefix + "block_launches");
+  metric_busy_vtime_ = &registry.timer(prefix + "busy_vtime");
+  metric_h2d_bytes_ = &registry.counter(prefix + "h2d_bytes");
+  metric_d2h_bytes_ = &registry.counter(prefix + "d2h_bytes");
+#endif
 }
 
 Device::~Device() = default;
@@ -93,6 +102,9 @@ void Device::run_blocks(
                 descriptor_.name() << ": block requests " << shared_bytes
                                    << " bytes of shared memory, only "
                                    << usable_shared_memory() << " usable");
+#ifndef PSF_DISABLE_METRICS
+  metric_block_launches_->add(static_cast<std::uint64_t>(num_blocks));
+#endif
   // Each concurrent worker gets its own arena; blocks reuse arenas as they
   // are scheduled, exactly like SMs reuse shared memory across blocks.
   const std::size_t concurrency = pool_->size() + 1;
@@ -157,6 +169,9 @@ void Stream::copy_h2d(std::span<std::byte> dst,
   begin();
   std::memcpy(dst.data(), src.data(), src.size());
   lane_ += device_->descriptor().h2d_link.cost(src.size());
+#ifndef PSF_DISABLE_METRICS
+  device_->metric_h2d_bytes_->add(src.size());
+#endif
 }
 
 void Stream::copy_d2h(std::span<std::byte> dst,
@@ -165,6 +180,9 @@ void Stream::copy_d2h(std::span<std::byte> dst,
   begin();
   std::memcpy(dst.data(), src.data(), src.size());
   lane_ += device_->descriptor().h2d_link.cost(src.size());
+#ifndef PSF_DISABLE_METRICS
+  device_->metric_d2h_bytes_->add(src.size());
+#endif
 }
 
 void Stream::copy_peer(std::span<std::byte> dst, Stream& peer,
@@ -186,13 +204,21 @@ void Stream::launch(int num_blocks, std::size_t shared_bytes,
                     const std::function<void(const BlockContext&)>& body) {
   begin();
   device_->run_blocks(num_blocks, shared_bytes, body);
-  lane_ += device_->kernel_cost(work_units);
+  const double cost = device_->kernel_cost(work_units);
+  lane_ += cost;
+#ifndef PSF_DISABLE_METRICS
+  device_->metric_kernel_launches_->add(1);
+  device_->metric_busy_vtime_->observe(cost);
+#endif
 }
 
 void Stream::charge(double seconds) {
   PSF_CHECK(seconds >= 0.0);
   begin();
   lane_ += seconds;
+#ifndef PSF_DISABLE_METRICS
+  device_->metric_busy_vtime_->observe(seconds);
+#endif
 }
 
 void Stream::synchronize() { host_->merge(lane_); }

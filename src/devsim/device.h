@@ -24,6 +24,7 @@
 #include "exec/thread_pool.h"
 #include "support/buffer.h"
 #include "support/error.h"
+#include "support/metrics.h"
 #include "timemodel/link.h"
 #include "timemodel/rates.h"
 #include "timemodel/timeline.h"
@@ -226,6 +227,14 @@ class Device {
   exec::ThreadPool* pool_;  ///< rank executor, or owned_pool_ fallback
   std::unique_ptr<exec::ThreadPool> owned_pool_;
   std::vector<std::unique_ptr<Stream>> streams_;
+
+  // Per-device instruments, looked up once (name-keyed, e.g.
+  // "devsim.gpu1.busy_vtime") so stream hot paths pay one atomic op.
+  metrics::Counter* metric_kernel_launches_ = nullptr;
+  metrics::Counter* metric_block_launches_ = nullptr;
+  metrics::Timer* metric_busy_vtime_ = nullptr;
+  metrics::Counter* metric_h2d_bytes_ = nullptr;
+  metrics::Counter* metric_d2h_bytes_ = nullptr;
 };
 
 /// Cross-stream synchronization marker (cudaEvent model): records a point

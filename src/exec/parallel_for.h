@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "support/metrics.h"
 #include "support/sync.h"
 
 namespace psf::exec {
@@ -106,7 +107,11 @@ struct ForState {
           victim = s;
         }
       }
-      if (victim == slots.size()) return false;
+      if (victim == slots.size()) {
+        // All ranges dry — this participant retires from the loop.
+        PSF_METRIC_ADD("exec.steal_failures", 1);
+        return false;
+      }
       auto& theirs = slots[victim];
       std::size_t lo = 0;
       std::size_t hi = 0;
@@ -130,6 +135,7 @@ struct ForState {
         mine.next.store(lo + 1, std::memory_order_relaxed);
         mine.end.store(hi, std::memory_order_relaxed);
       }
+      PSF_METRIC_ADD("exec.steals", 1);
       *index = lo;
       return true;
     }
@@ -165,6 +171,8 @@ struct ForState {
 inline void parallel_for(ThreadPool& pool, std::size_t count,
                          const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  PSF_METRIC_ADD("exec.parallel_for_calls", 1);
+  PSF_METRIC_ADD("exec.parallel_for_items", count);
   if (!pool.concurrent() || count == 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;

@@ -1,13 +1,49 @@
 #include "exec/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "exec/parallel_for.h"
+#include "support/metrics.h"
 
 namespace psf::exec {
 
+namespace {
+
+/// Execute one pool task, accounting "exec.tasks_executed" and the thread's
+/// busy wall-time. Tasks are chunky (a device lane, one parallel_for
+/// participant), so two clock reads per task are noise.
+void run_task_instrumented(std::packaged_task<void()>& task) {
+#ifndef PSF_DISABLE_METRICS
+  const auto start = std::chrono::steady_clock::now();
+#endif
+  task();
+#ifndef PSF_DISABLE_METRICS
+  PSF_METRIC_ADD("exec.tasks_executed", 1);
+  PSF_METRIC_OBSERVE(
+      "exec.task_busy_wall",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+#endif
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_workers) {
+#ifndef PSF_DISABLE_METRICS
+  // Pre-register the executor's counters so a metrics report always carries
+  // the full exec.* family — the serial engine (0 workers) never submits
+  // tasks or steals, and absent keys read as "not instrumented" rather
+  // than "no events".
+  auto& registry = metrics::Registry::global();
+  registry.counter("exec.tasks_submitted");
+  registry.counter("exec.tasks_executed");
+  registry.counter("exec.steals");
+  registry.counter("exec.steal_failures");
+  registry.counter("exec.parallel_for_calls");
+  registry.counter("exec.parallel_for_items");
+#endif
   workers_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -27,10 +63,11 @@ ThreadPool::~ThreadPool() {
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   PSF_CHECK_MSG(task != nullptr, "submitting an empty task");
+  PSF_METRIC_ADD("exec.tasks_submitted", 1);
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   if (workers_.empty()) {
-    packaged();  // serial engine: run inline, deterministically
+    run_task_instrumented(packaged);  // serial engine: inline, deterministic
     return future;
   }
   {
@@ -50,7 +87,8 @@ bool ThreadPool::try_run_pending_task() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();  // exceptions land in the task's future, never escape here
+  // Exceptions land in the task's future, never escape here.
+  run_task_instrumented(task);
   return true;
 }
 
@@ -91,7 +129,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task_instrumented(task);
   }
 }
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "support/metrics.h"
 #include "support/sync.h"
 
 namespace psf::minimpi {
@@ -57,6 +58,9 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   }
   for (auto& thread : threads) thread.join();
 
+  PSF_METRIC_ADD("minimpi.world_runs", 1);
+  PSF_METRIC_GAUGE_MAX("minimpi.makespan_vtime", makespan());
+
   // Leaked messages indicate a protocol bug in the caller; surface loudly.
   for (int r = 0; r < size_; ++r) {
     const std::size_t pending =
@@ -103,6 +107,8 @@ void World::reset_timelines() {
 void Communicator::deliver(int dest, int tag,
                            std::span<const std::byte> data) {
   PSF_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
+  PSF_METRIC_ADD("minimpi.messages_sent", 1);
+  PSF_METRIC_ADD("minimpi.bytes_sent", data.size());
   timeline().advance(world_->overheads_.mpi_call_s);
   Message message;
   message.source = rank_;
@@ -116,6 +122,14 @@ void Communicator::deliver(int dest, int tag,
 }
 
 void Communicator::consume(const Message& message) {
+  PSF_METRIC_ADD("minimpi.messages_received", 1);
+  PSF_METRIC_ADD("minimpi.bytes_received", message.payload.size());
+#ifndef PSF_DISABLE_METRICS
+  // Virtual time this rank stalls for the message to arrive — summed over
+  // receives this is the halo-exchange / combine wait breakdown.
+  const double wait = message.arrival_vtime - timeline().now();
+  if (wait > 0.0) PSF_METRIC_OBSERVE("minimpi.recv_wait_vtime", wait);
+#endif
   timeline().advance(world_->overheads_.mpi_call_s);
   timeline().merge(message.arrival_vtime);
 }
@@ -162,6 +176,7 @@ Request Communicator::irecv(int source, int tag, std::span<std::byte> out) {
 
 void Communicator::wait(Request& request) {
   PSF_CHECK_MSG(request.valid(), "wait() on an empty Request");
+  PSF_METRIC_ADD("minimpi.waits", 1);
   if (request.kind_ == Request::Kind::kRecvPending) {
     request.info_ = recv(request.source_, request.tag_, request.out_);
   }
@@ -181,6 +196,7 @@ bool Communicator::probe(int source, int tag) {
 // --- collectives ------------------------------------------------------------
 
 void Communicator::barrier() {
+  PSF_METRIC_ADD("minimpi.barriers", 1);
   auto& state = *world_->barrier_;
   {
     std::lock_guard<std::mutex> guard(state.mutex);

@@ -7,6 +7,7 @@
 #include "pattern/partition.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
+#include "support/metrics.h"
 
 namespace psf::pattern {
 
@@ -123,6 +124,30 @@ support::Status GReductionRuntime::start() {
   stats_.device_finish = schedule.device_finish;
   stats_.local_makespan = schedule.makespan;
   stats_.num_chunks = schedule.chunks.size();
+
+#ifndef PSF_DISABLE_METRICS
+  // Per-device chunk/unit distribution — the dynamic scheduler's emergent
+  // load balance (paper Fig. 5's "where the work went").
+  PSF_METRIC_ADD("pattern.gr.runs", 1);
+  PSF_METRIC_ADD("pattern.gr.chunks", schedule.chunks.size());
+  PSF_METRIC_ADD("pattern.gr.units", my_units);
+  {
+    auto& registry = metrics::Registry::global();
+    std::vector<std::size_t> chunks_per_device(specs.size(), 0);
+    for (const auto& chunk : schedule.chunks) {
+      ++chunks_per_device[static_cast<std::size_t>(chunk.device)];
+    }
+    for (std::size_t d = 0; d < specs.size(); ++d) {
+      const std::string name = devices[d]->descriptor().name();
+      registry.counter("pattern.gr.chunks." + name)
+          .add(chunks_per_device[d]);
+      registry.counter("pattern.gr.units." + name)
+          .add(schedule.device_units[d]);
+    }
+  }
+  PSF_METRIC_OBSERVE("pattern.gr.local_vtime",
+                     schedule.makespan - comm.timeline().now());
+#endif
   if (auto* trace = env_->options().trace) {
     for (std::size_t d = 0; d < schedule.device_finish.size(); ++d) {
       trace->record("gr chunks", "compute", comm.rank(),
@@ -297,6 +322,8 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
   }
 
   stats_.combine_vtime = comm.timeline().now() - t0;
+  PSF_METRIC_ADD("pattern.gr.global_combines", 1);
+  PSF_METRIC_OBSERVE("pattern.gr.combine_vtime", stats_.combine_vtime);
   if (auto* trace = env_->options().trace) {
     trace->record("gr global combine", "comm", comm.rank(), 0, t0,
                   comm.timeline().now());

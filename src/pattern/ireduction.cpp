@@ -7,6 +7,7 @@
 #include "exec/parallel_for.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
+#include "support/metrics.h"
 #include "timemodel/timeline.h"
 
 namespace psf::pattern {
@@ -229,6 +230,10 @@ void IReductionRuntime::build_partition() {
   replicas_dirty_ = true;
   stats_.iterations = 0;
   ++stats_.id_exchange_runs;
+  PSF_METRIC_ADD("pattern.ir.id_exchanges", 1);
+  PSF_METRIC_ADD("pattern.ir.local_edges", rank_local_edges_.size());
+  PSF_METRIC_ADD("pattern.ir.cross_edges", rank_cross_edges_.size());
+  PSF_METRIC_ADD("pattern.ir.remote_replicas", remote_globals_.size());
   PSF_LOG(kDebug, "ireduction")
       << "rank " << rank << ": " << num_local_ << " local nodes, "
       << remote_globals_.size() << " remote replicas, "
@@ -248,6 +253,15 @@ void IReductionRuntime::build_device_plans(
   for (std::size_t i = 0; i < weights.size(); ++i) {
     stats_.device_split[i] = weights[i] / weight_sum;
   }
+#ifndef PSF_DISABLE_METRICS
+  {
+    auto& registry = metrics::Registry::global();
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      registry.gauge("pattern.ir.split." + devices[i]->descriptor().name())
+          .set(stats_.device_split[i]);
+    }
+  }
+#endif
 
   if (num_local_ == 0) return;
   const WeightedPartition dev_split(num_local_, weights);
@@ -372,6 +386,8 @@ void IReductionRuntime::exchange_node_data(bool overlap_with_local_compute) {
 
   stats_.last_exchange_vtime = comm.timeline().now() - t0;
   ++stats_.data_exchange_runs;
+  PSF_METRIC_ADD("pattern.ir.data_exchanges", 1);
+  PSF_METRIC_OBSERVE("pattern.ir.exchange_vtime", stats_.last_exchange_vtime);
   if (auto* trace = env_->options().trace) {
     trace->record("ir node-data exchange", "comm", comm.rank(), 0, t0,
                   comm.timeline().now());
@@ -589,6 +605,7 @@ support::Status IReductionRuntime::start() {
   stats_.device_seconds = iteration_device_seconds_;
   stats_.device_edges = iteration_device_edges_;
   if (stats_.iterations == 1 && devices.size() > 1) {
+    PSF_METRIC_ADD("pattern.ir.repartitions", 1);
     partitioner_.observe(iteration_device_edges_, iteration_device_seconds_);
     build_device_plans(partitioner_.speeds());
     // Regrouped edges are re-staged into each GPU's device memory.
@@ -608,6 +625,17 @@ support::Status IReductionRuntime::start() {
   }
 
   stats_.last_compute_vtime = comm.timeline().now() - t0;
+#ifndef PSF_DISABLE_METRICS
+  PSF_METRIC_ADD("pattern.ir.runs", 1);
+  PSF_METRIC_OBSERVE("pattern.ir.compute_vtime", stats_.last_compute_vtime);
+  {
+    auto& registry = metrics::Registry::global();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      registry.counter("pattern.ir.edges." + devices[d]->descriptor().name())
+          .add(iteration_device_edges_[d]);
+    }
+  }
+#endif
   return support::Status::ok();
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <thread>
 
+#include "support/metrics.h"
+
 namespace psf::pattern {
 
 namespace {
@@ -182,6 +184,7 @@ void ReductionObject::for_each(
 void ReductionObject::merge_from(const ReductionObject& other) {
   PSF_CHECK_MSG(other.value_size_ == value_size_,
                 "merging reduction objects of different value sizes");
+  PSF_METRIC_ADD("pattern.gr.object_merges", 1);
   other.for_each(
       [this](std::uint64_t key, const void* value) { insert(key, value); });
 }

@@ -6,6 +6,8 @@
 #include "pattern/greduction.h"
 #include "pattern/ireduction.h"
 #include "pattern/stencil.h"
+#include "support/log.h"
+#include "support/metrics.h"
 
 namespace psf::pattern {
 
@@ -91,6 +93,12 @@ void RuntimeEnv::finalize() {
   gr_.reset();
   ir_.reset();
   st_.reset();
+  if (!options_.metrics_path.empty()) {
+    if (!metrics::Registry::global().write_json(options_.metrics_path)) {
+      PSF_LOG(kWarn, "metrics")
+          << "failed to write metrics report to " << options_.metrics_path;
+    }
+  }
 }
 
 GReductionRuntime* RuntimeEnv::get_GR() {

@@ -94,6 +94,12 @@ struct EnvOptions {
   /// export. Not owned; must outlive the environment.
   timemodel::TraceRecorder* trace = nullptr;
 
+  /// When non-empty, RuntimeEnv::finalize() writes the process-wide
+  /// metrics registry as JSON to this path (same report the `PSF_METRICS`
+  /// environment variable produces at process exit). The registry is
+  /// process-global, so the report covers every rank, not just this one.
+  std::string metrics_path;
+
   // --- fluent named setters -------------------------------------------------
   // Each returns *this so configuration reads as one chained expression.
 
@@ -151,6 +157,10 @@ struct EnvOptions {
   }
   EnvOptions& with_trace(timemodel::TraceRecorder* value) {
     trace = value;
+    return *this;
+  }
+  EnvOptions& with_metrics_path(std::string value) {
+    metrics_path = std::move(value);
     return *this;
   }
 };

@@ -11,6 +11,7 @@
 #include "pattern/partition.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
+#include "support/metrics.h"
 #include "timemodel/timeline.h"
 
 namespace psf::pattern {
@@ -511,6 +512,20 @@ support::Status StencilRuntime::start() {
 
     timemodel::LaneSet lanes(devices.size(), fork);
     price_pass(lanes, /*inner_pass=*/true);
+#ifndef PSF_DISABLE_METRICS
+    // Overlap efficiency: the fraction of the halo exchange hidden under
+    // inner-tile compute. Both spans start at `fork`, so the overlapped
+    // portion is the shorter of the two.
+    if (exchange_end > fork) {
+      double inner_end = fork;
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        inner_end = std::max(inner_end, lanes.time(d));
+      }
+      PSF_METRIC_GAUGE_SET(
+          "pattern.st.overlap_efficiency",
+          (std::min(exchange_end, inner_end) - fork) / (exchange_end - fork));
+    }
+#endif
     if (auto* trace = env_->options().trace) {
       trace->record("halo exchange", "comm", comm.rank(), 0, fork,
                     exchange_end);
@@ -579,8 +594,25 @@ support::Status StencilRuntime::start() {
   stats_.device_seconds = iteration_device_seconds_;
   stats_.last_iteration_vtime = comm.timeline().now() - t0;
 
+#ifndef PSF_DISABLE_METRICS
+  PSF_METRIC_ADD("pattern.st.iterations", 1);
+  PSF_METRIC_ADD("pattern.st.halo_bytes", halo_bytes);
+  PSF_METRIC_OBSERVE("pattern.st.exchange_vtime", stats_.last_exchange_vtime);
+  PSF_METRIC_OBSERVE("pattern.st.iteration_vtime",
+                     stats_.last_iteration_vtime);
+  {
+    auto& registry = metrics::Registry::global();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const std::string name = devices[d]->descriptor().name();
+      registry.counter("pattern.st.rows." + name)
+          .add(device_row_bounds_[d + 1] - device_row_bounds_[d]);
+    }
+  }
+#endif
+
   // Adaptive repartition along the highest dimension after iteration 1.
   if (stats_.iterations == 1 && devices.size() > 1) {
+    PSF_METRIC_ADD("pattern.st.repartitions", 1);
     std::vector<std::size_t> rows(devices.size());
     for (std::size_t d = 0; d < devices.size(); ++d) {
       rows[d] = device_row_bounds_[d + 1] - device_row_bounds_[d];
@@ -595,6 +627,11 @@ support::Status StencilRuntime::start() {
                                        partitioner_.speeds().end(), 0.0);
     for (std::size_t d = 0; d < devices.size(); ++d) {
       stats_.device_split[d] = partitioner_.speeds()[d] / sum;
+#ifndef PSF_DISABLE_METRICS
+      metrics::Registry::global()
+          .gauge("pattern.st.split." + devices[d]->descriptor().name())
+          .set(stats_.device_split[d]);
+#endif
     }
   }
   return support::Status::ok();

@@ -1,0 +1,297 @@
+#include "support/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace psf::metrics {
+
+namespace {
+
+/// Escape for JSON string values (names are framework-generated but may
+/// carry device labels or user-provided profile keys).
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip double formatting — deterministic across runs and
+/// platforms for the IEEE values we emit.
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Serializes concurrent write_json() calls (e.g. every rank's finalize
+/// naming the same path) so the last complete report wins intact.
+std::mutex& file_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, timer] : timers_) timer->reset();
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, Registry::TimerSample> Registry::timers() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::map<std::string, TimerSample> out;
+  for (const auto& [name, timer] : timers_) {
+    out[name] = {timer->count(), timer->seconds()};
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  const auto counter_values = counters();
+  const auto gauge_values = gauges();
+  const auto timer_values = timers();
+
+  std::ostringstream json;
+  json << "{\"schema\":\"psf.metrics\",\"version\":1,";
+  json << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counter_values) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << escape(name) << "\":" << value;
+  }
+  json << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauge_values) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << escape(name) << "\":" << fmt_double(value);
+  }
+  json << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, sample] : timer_values) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << escape(name) << "\":{\"count\":" << sample.count
+         << ",\"seconds\":" << fmt_double(sample.seconds) << "}";
+  }
+  json << "}}";
+  return json.str();
+}
+
+bool Registry::write_json(const std::string& path) const {
+  const std::string report = to_json();
+  std::lock_guard<std::mutex> guard(file_mutex());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << report << "\n";
+  return static_cast<bool>(out);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instruments may be touched from worker threads that
+  // outlive main()'s statics; the atexit dump runs before static teardown.
+  static Registry* instance = [] {
+    auto* registry = new Registry();
+    std::atexit([] {
+      if (const char* path = std::getenv("PSF_METRICS")) {
+        if (*path != '\0') Registry::global().write_json(path);
+      }
+    });
+    return registry;
+  }();
+  return *instance;
+}
+
+// --- minimal JSON validator ---------------------------------------------------
+
+namespace {
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+  void skip_ws() {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    if (done() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool consume_literal(std::string_view literal) {
+    if (text.substr(pos, literal.size()) != literal) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  bool parse_string() {
+    if (!consume('"')) return false;
+    while (!done()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (done()) return false;
+        const char esc = text[pos++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (done() || std::isxdigit(static_cast<unsigned char>(
+                              text[pos])) == 0) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos;
+    consume('-');
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    if (consume('.')) {
+      if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return false;
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos;
+      }
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+      if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return false;
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos;
+      }
+    }
+    // At least one digit overall (a bare "-" is invalid).
+    return pos > start + (text[start] == '-' ? 1u : 0u);
+  }
+
+  bool parse_value(int depth) {
+    if (depth > 64) return false;  // defense against pathological nesting
+    skip_ws();
+    if (done()) return false;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        skip_ws();
+        if (!parse_string()) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        if (!parse_value(depth + 1)) return false;
+        skip_ws();
+        if (consume('}')) return true;
+        if (!consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        if (!parse_value(depth + 1)) return false;
+        skip_ws();
+        if (consume(']')) return true;
+        if (!consume(',')) return false;
+      }
+    }
+    if (c == '"') return parse_string();
+    if (c == 't') return consume_literal("true");
+    if (c == 'f') return consume_literal("false");
+    if (c == 'n') return consume_literal("null");
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text) {
+  JsonCursor cursor{text};
+  if (!cursor.parse_value(0)) return false;
+  cursor.skip_ws();
+  return cursor.done();
+}
+
+}  // namespace psf::metrics

@@ -1,0 +1,216 @@
+// PSF — Pattern Specification Framework
+// psf::metrics — low-overhead runtime observability (the substrate behind
+// the paper's evaluation: Figs. 5-8 and Table II all report *where time
+// goes*). Every layer records into a process-wide Registry:
+//
+//   * Counter — monotonically increasing integer (messages sent, chunks
+//     grabbed, steals). Relaxed atomic increment; ~1 ns on the hot path.
+//   * Gauge — last-written double with a monotonic `merge_max` variant
+//     (makespans, adaptive split ratios, overlap efficiency).
+//   * Timer — accumulated duration + sample count. Virtual-time code calls
+//     `observe(seconds)`; wall-clock sections use the RAII ScopedTimer.
+//
+// Naming convention: dotted hierarchy, subsystem first
+// ("minimpi.bytes_sent", "pattern.gr.units.gpu1"). Timers carrying VIRTUAL
+// seconds end in `_vtime`; timers carrying WALL seconds end in `_wall`.
+// Everything except `exec.*` and `*_wall` is deterministic for a fixed
+// workload — identical under any PSF_THREADS value (see docs/EXECUTOR.md).
+//
+// A run dumps a versioned JSON report when either the `PSF_METRICS`
+// environment variable names a file (written at process exit) or
+// `EnvOptions::with_metrics_path` is set (written by RuntimeEnv::finalize).
+// Schema: docs/OBSERVABILITY.md; validated by scripts/validate_metrics.py.
+//
+// Compile-out: building with -DPSF_DISABLE_METRICS turns the PSF_METRIC_*
+// macros into no-ops so instrumented hot paths carry zero code. The
+// registry itself stays available (tests and reports still link).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace psf::metrics {
+
+/// Monotonic event counter. Thread-safe; increments are relaxed (the value
+/// is read only after the threads that wrote it joined or at reporting
+/// time, where exactness across a race is not meaningful).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double, with a monotonic-max merge for quantities like
+/// makespans where concurrent writers each report their own lane.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void merge_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated duration with a sample count. `observe` takes seconds of
+/// either clock domain; keep domains apart by the naming convention above.
+class Timer {
+ public:
+  void observe(double seconds) noexcept {
+    seconds_.fetch_add(seconds, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double seconds() const noexcept {
+    return seconds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    seconds_.store(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> seconds_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII wall-clock span feeding a Timer. Scopes nest freely — each scope
+/// reports to its own timer, so an outer span includes its inner spans.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Record now; further stop() calls are no-ops (idempotent early stop).
+  void stop() noexcept {
+    if (timer_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->observe(std::chrono::duration<double>(elapsed).count());
+    timer_ = nullptr;
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-safe name -> instrument registry. Lookup interns the name under a
+/// mutex and returns a reference that stays valid for the registry's
+/// lifetime; hot call sites cache it in a function-local static so the
+/// steady-state cost is one relaxed atomic op. reset_values() zeroes every
+/// instrument but never invalidates references.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// Zero every instrument, keeping all registrations (and references).
+  void reset_values();
+
+  /// Point-in-time copies, for tests and report assembly.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
+  [[nodiscard]] std::map<std::string, double> gauges() const;
+  struct TimerSample {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  [[nodiscard]] std::map<std::string, TimerSample> timers() const;
+
+  /// Versioned JSON report; deterministic (names sorted, fixed number
+  /// formatting). Schema documented in docs/OBSERVABILITY.md.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`. Serialized process-wide so concurrent
+  /// finalizers never interleave writes. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// The process-wide registry every PSF subsystem reports into. First use
+  /// arms an atexit hook that dumps to $PSF_METRICS when set.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: values never move, so returned references are stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// Structural JSON validity check (objects, arrays, strings, numbers,
+/// literals — no extensions). Used by tests and the bench driver to
+/// self-check emitted reports without an external parser.
+[[nodiscard]] bool validate_json(std::string_view text);
+
+}  // namespace psf::metrics
+
+// --- hot-path macros ---------------------------------------------------------
+// Each expands to a function-local static lookup + one relaxed atomic op,
+// or to nothing under -DPSF_DISABLE_METRICS. The name must be a string
+// literal (or otherwise stable for the life of the call site).
+#ifndef PSF_DISABLE_METRICS
+#define PSF_METRIC_ADD(name, n)                                         \
+  do {                                                                  \
+    static ::psf::metrics::Counter& psf_metric_counter_ =               \
+        ::psf::metrics::Registry::global().counter(name);               \
+    psf_metric_counter_.add(n);                                         \
+  } while (0)
+#define PSF_METRIC_GAUGE_SET(name, v)                                   \
+  do {                                                                  \
+    static ::psf::metrics::Gauge& psf_metric_gauge_ =                   \
+        ::psf::metrics::Registry::global().gauge(name);                 \
+    psf_metric_gauge_.set(v);                                           \
+  } while (0)
+#define PSF_METRIC_GAUGE_MAX(name, v)                                   \
+  do {                                                                  \
+    static ::psf::metrics::Gauge& psf_metric_gauge_ =                   \
+        ::psf::metrics::Registry::global().gauge(name);                 \
+    psf_metric_gauge_.merge_max(v);                                     \
+  } while (0)
+#define PSF_METRIC_OBSERVE(name, seconds)                               \
+  do {                                                                  \
+    static ::psf::metrics::Timer& psf_metric_timer_ =                   \
+        ::psf::metrics::Registry::global().timer(name);                 \
+    psf_metric_timer_.observe(seconds);                                 \
+  } while (0)
+#else
+#define PSF_METRIC_ADD(name, n) \
+  do {                          \
+  } while (0)
+#define PSF_METRIC_GAUGE_SET(name, v) \
+  do {                                \
+  } while (0)
+#define PSF_METRIC_GAUGE_MAX(name, v) \
+  do {                                \
+  } while (0)
+#define PSF_METRIC_OBSERVE(name, seconds) \
+  do {                                    \
+  } while (0)
+#endif

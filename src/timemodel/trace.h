@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/metrics.h"
 
 namespace psf::timemodel {
 
@@ -32,6 +33,9 @@ class TraceRecorder {
   /// Record a span; no-op when end < begin is corrected to a point event.
   void record(std::string name, std::string category, int rank, int lane,
               double begin, double end) {
+    PSF_METRIC_ADD("timemodel.trace_spans", 1);
+    PSF_METRIC_OBSERVE("timemodel.trace_span_vtime",
+                       std::max(begin, end) - begin);
     std::lock_guard<std::mutex> guard(mutex_);
     spans_.push_back({std::move(name), std::move(category), rank, lane,
                       begin, std::max(begin, end)});

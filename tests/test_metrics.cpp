@@ -1,0 +1,217 @@
+// PSF — tests for psf::metrics: instrument semantics under concurrency,
+// registry reference stability, JSON report shape/determinism, and the
+// contract that the deterministic metric families (everything except
+// exec.* and *_wall) are identical for any executor width.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/heat3d.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "support/metrics.h"
+
+namespace psf::metrics {
+namespace {
+
+TEST(Metrics, CounterIncrementsExactlyOnceUnderWorkStealing) {
+  Registry registry;
+  Counter& counter = registry.counter("test.items");
+  exec::ThreadPool pool(7);
+  constexpr std::size_t kItems = 20000;
+  exec::parallel_for(pool, kItems, [&](std::size_t) { counter.add(1); });
+  EXPECT_EQ(counter.value(), kItems);
+}
+
+TEST(Metrics, ConcurrentRegistrationReturnsTheSameInstrument) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter& counter = registry.counter("race.counter");
+      counter.add(1);
+      seen[static_cast<std::size_t>(t)] = &counter;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(registry.counter("race.counter").value(), kThreads);
+}
+
+TEST(Metrics, ReferencesSurviveLaterRegistrationsAndResets) {
+  Registry registry;
+  Counter& first = registry.counter("stable.a");
+  first.add(3);
+  // Force rebalancing pressure on the map, then reset values.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("stable.fill." + std::to_string(i));
+  }
+  registry.reset_values();
+  EXPECT_EQ(first.value(), 0u);
+  first.add(2);
+  EXPECT_EQ(registry.counters().at("stable.a"), 2u);
+}
+
+TEST(Metrics, GaugeMergeMaxIsMonotonic) {
+  Gauge gauge;
+  gauge.merge_max(2.0);
+  gauge.merge_max(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  gauge.merge_max(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.set(0.5);  // plain set is last-write-wins, not monotonic
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.5);
+}
+
+TEST(Metrics, ScopedTimersNestAndStopIsIdempotent) {
+  Registry registry;
+  Timer& outer = registry.timer("nest.outer_wall");
+  Timer& inner = registry.timer("nest.inner_wall");
+  {
+    ScopedTimer outer_scope(outer);
+    {
+      ScopedTimer inner_scope(inner);
+      inner_scope.stop();
+      inner_scope.stop();  // idempotent: records once
+    }
+  }
+  EXPECT_EQ(outer.count(), 1u);
+  EXPECT_EQ(inner.count(), 1u);
+  // The outer span contains the inner span.
+  EXPECT_GE(outer.seconds(), inner.seconds());
+}
+
+TEST(Metrics, JsonReportIsValidDeterministicAndSorted) {
+  Registry registry;
+  registry.counter("b.count").add(7);
+  registry.counter("a.count").add(1);
+  registry.gauge("split").set(0.25);
+  registry.timer("phase_vtime").observe(1.5);
+  registry.timer("phase_vtime").observe(0.5);
+
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(validate_json(json)) << json;
+  EXPECT_EQ(json, registry.to_json());  // deterministic serialization
+  EXPECT_NE(json.find("\"schema\":\"psf.metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  // Sorted keys: "a.count" precedes "b.count".
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));
+  EXPECT_NE(json.find("\"phase_vtime\":{\"count\":2,\"seconds\":2"),
+            std::string::npos);
+
+  // Special characters in names must be escaped into valid JSON.
+  registry.counter("weird\"name\\with\tescapes").add(1);
+  EXPECT_TRUE(validate_json(registry.to_json()));
+}
+
+TEST(Metrics, ValidateJsonRejectsMalformedInput) {
+  EXPECT_TRUE(validate_json("{}"));
+  EXPECT_TRUE(validate_json("[1, 2.5, -3e-2, \"x\", true, null]"));
+  EXPECT_FALSE(validate_json(""));
+  EXPECT_FALSE(validate_json("{"));
+  EXPECT_FALSE(validate_json("{\"a\":}"));
+  EXPECT_FALSE(validate_json("{\"a\":1,}"));
+  EXPECT_FALSE(validate_json("[1 2]"));
+  EXPECT_FALSE(validate_json("{\"a\":1} trailing"));
+  EXPECT_FALSE(validate_json("\"unterminated"));
+  EXPECT_FALSE(validate_json("nul"));
+}
+
+TEST(Metrics, WriteJsonRoundTripsThroughAFile) {
+  Registry registry;
+  registry.counter("file.events").add(42);
+  const std::string path =
+      testing::TempDir() + "psf_metrics_roundtrip.json";
+  ASSERT_TRUE(registry.write_json(path));
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string contents = buffer.str();
+  ASSERT_FALSE(contents.empty());
+  EXPECT_EQ(contents.back(), '\n');
+  contents.pop_back();
+  EXPECT_EQ(contents, registry.to_json());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(registry.write_json("/nonexistent-dir/report.json"));
+}
+
+/// The deterministic subset of a global-registry snapshot: everything
+/// except the executor family (scheduling-order dependent) and wall-clock
+/// timers. docs/OBSERVABILITY.md documents this split.
+std::map<std::string, std::uint64_t> deterministic_counters() {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : Registry::global().counters()) {
+    if (name.rfind("exec.", 0) == 0) continue;
+    out[name] = value;
+  }
+  return out;
+}
+
+std::map<std::string, Registry::TimerSample> deterministic_timers() {
+  std::map<std::string, Registry::TimerSample> out;
+  for (const auto& [name, sample] : Registry::global().timers()) {
+    if (name.rfind("exec.", 0) == 0) continue;
+    if (name.size() >= 5 && name.rfind("_wall") == name.size() - 5) continue;
+    out[name] = sample;
+  }
+  return out;
+}
+
+TEST(Metrics, DeterministicFamiliesAreIdenticalForAnyExecutorWidth) {
+#ifdef PSF_DISABLE_METRICS
+  GTEST_SKIP() << "instrumentation compiled out (PSF_DISABLE_METRICS)";
+#endif
+  apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 16;
+  params.iterations = 3;
+  const auto field = apps::heat3d::generate_field(params);
+
+  auto run_with_threads = [&](int num_threads) {
+    Registry::global().reset_values();
+    pattern::EnvOptions options;
+    options.app_profile = "heat3d";
+    options.use_cpu = true;
+    options.use_gpus = 2;
+    options.num_threads = num_threads;
+    options.workload_scale = 100.0;
+    minimpi::World world(2);
+    world.run([&](minimpi::Communicator& comm) {
+      apps::heat3d::run_framework(comm, options, params, field);
+    });
+    return std::pair{deterministic_counters(), deterministic_timers()};
+  };
+
+  const auto [counters_serial, timers_serial] = run_with_threads(1);
+  const auto [counters_wide, timers_wide] = run_with_threads(7);
+
+  EXPECT_FALSE(counters_serial.empty());
+  EXPECT_EQ(counters_serial, counters_wide);
+  ASSERT_EQ(timers_serial.size(), timers_wide.size());
+  for (const auto& [name, sample] : timers_serial) {
+    const auto it = timers_wide.find(name);
+    ASSERT_NE(it, timers_wide.end()) << name;
+    EXPECT_EQ(sample.count, it->second.count) << name;
+    // Virtual-time accumulations are bit-identical, not just close.
+    EXPECT_DOUBLE_EQ(sample.seconds, it->second.seconds) << name;
+  }
+
+  // The run must have exercised the families the report promises.
+  EXPECT_GT(counters_serial.at("pattern.st.iterations"), 0u);
+  EXPECT_GT(counters_serial.at("minimpi.messages_sent"), 0u);
+  EXPECT_GT(timers_serial.at("pattern.st.iteration_vtime").count, 0u);
+}
+
+}  // namespace
+}  // namespace psf::metrics
