@@ -4,9 +4,12 @@
 // bit-identical across hosts and thread counts, so scripts/compare_bench.py
 // can hold results to a tight regression threshold.
 //
-// Usage: run_all [--smoke] [--out PATH]
-//   --smoke   smaller sweep (CI smoke job): fewer node counts and configs
-//   --out     write the JSON report to PATH (default: stdout only)
+// Usage: run_all [--smoke] [--out PATH] [--trace-dir DIR]
+//   --smoke      smaller sweep (CI smoke job): fewer node counts and configs
+//   --out        write the JSON report to PATH (default: stdout only)
+//   --trace-dir  additionally run each app once with tracing enabled and
+//                write <DIR>/<app>.trace.json (Chrome trace + psfEdges) for
+//                tools/psf-analyze; DIR must exist
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -16,6 +19,7 @@
 
 #include "bench_common.h"
 #include "support/metrics.h"
+#include "timemodel/trace.h"
 
 namespace psf::bench {
 namespace {
@@ -42,12 +46,15 @@ constexpr SweepConfig kSweepConfigs[] = {
 /// binaries are independent executables).
 template <typename Workload, typename RunFn>
 double run_framework(const Workload& workload, int nodes,
-                     const DeviceConfig& devices, RunFn&& run) {
+                     const DeviceConfig& devices, RunFn&& run,
+                     timemodel::TraceRecorder* trace = nullptr) {
   minimpi::World world = make_world(nodes, workload.scales);
+  world.set_trace(trace);
   std::vector<double> vtimes(static_cast<std::size_t>(nodes), 0.0);
   world.run([&](minimpi::Communicator& comm) {
-    vtimes[static_cast<std::size_t>(comm.rank())] =
-        run(comm, make_options(workload.scales, devices));
+    auto options = make_options(workload.scales, devices);
+    if (trace != nullptr) options.with_trace(trace);
+    vtimes[static_cast<std::size_t>(comm.rank())] = run(comm, options);
   });
   return *std::max_element(vtimes.begin(), vtimes.end());
 }
@@ -55,7 +62,7 @@ double run_framework(const Workload& workload, int nodes,
 template <typename Workload, typename RunFn>
 void sweep(std::vector<BenchResult>& results, const char* app,
            const Workload& workload, const std::vector<int>& node_counts,
-           bool smoke, RunFn&& run) {
+           bool smoke, const std::string& trace_dir, RunFn&& run) {
   const double seq = sequential_vtime(workload.scales);
   for (const auto& config : kSweepConfigs) {
     // Smoke keeps one heterogeneous mix per app.
@@ -71,6 +78,21 @@ void sweep(std::vector<BenchResult>& results, const char* app,
       results.push_back(result);
       std::printf("  %-28s vtime %12.6f s  speedup %8.1fx\n",
                   result.name.c_str(), result.vtime, result.speedup);
+    }
+  }
+  if (!trace_dir.empty()) {
+    // One traced run per app on the largest sweep point of the
+    // heterogeneous mix, for tools/psf-analyze.
+    timemodel::TraceRecorder trace;
+    run_framework(workload, node_counts.back(), kSweepConfigs[2].devices,
+                  run, &trace);
+    const std::string path =
+        trace_dir + "/" + app + ".trace.json";
+    if (trace.write_chrome_json(path)) {
+      std::printf("  wrote trace %s (%zu spans)\n", path.c_str(),
+                  trace.size());
+    } else {
+      std::fprintf(stderr, "run_all: cannot write trace %s\n", path.c_str());
     }
   }
 }
@@ -101,13 +123,18 @@ int main(int argc, char** argv) {
   using namespace psf::bench;
   bool smoke = false;
   std::string out_path;
+  std::string trace_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: run_all [--smoke] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: run_all [--smoke] [--out PATH] "
+                   "[--trace-dir DIR]\n");
       return 2;
     }
   }
@@ -120,7 +147,7 @@ int main(int argc, char** argv) {
 
   {
     KmeansWorkload workload;
-    sweep(results, "kmeans", workload, node_counts, smoke,
+    sweep(results, "kmeans", workload, node_counts, smoke, trace_dir,
           [&](psf::minimpi::Communicator& comm,
               const psf::pattern::EnvOptions& options) {
             return psf::apps::kmeans::run_framework(
@@ -132,7 +159,7 @@ int main(int argc, char** argv) {
     MoldynWorkload workload;
     // run_framework mutates the molecules; each sweep cell needs a fresh
     // copy so results stay independent of sweep order.
-    sweep(results, "moldyn", workload, node_counts, smoke,
+    sweep(results, "moldyn", workload, node_counts, smoke, trace_dir,
           [&](psf::minimpi::Communicator& comm,
               const psf::pattern::EnvOptions& options) {
             auto molecules = workload.molecules;
@@ -145,7 +172,7 @@ int main(int argc, char** argv) {
   }
   {
     MinimdWorkload workload;
-    sweep(results, "minimd", workload, node_counts, smoke,
+    sweep(results, "minimd", workload, node_counts, smoke, trace_dir,
           [&](psf::minimpi::Communicator& comm,
               const psf::pattern::EnvOptions& options) {
             auto atoms = workload.fresh_atoms();
@@ -157,7 +184,7 @@ int main(int argc, char** argv) {
   }
   {
     SobelWorkload workload;
-    sweep(results, "sobel", workload, node_counts, smoke,
+    sweep(results, "sobel", workload, node_counts, smoke, trace_dir,
           [&](psf::minimpi::Communicator& comm,
               const psf::pattern::EnvOptions& options) {
             return psf::apps::sobel::run_framework(comm, options,
@@ -169,7 +196,7 @@ int main(int argc, char** argv) {
   }
   {
     Heat3dWorkload workload;
-    sweep(results, "heat3d", workload, node_counts, smoke,
+    sweep(results, "heat3d", workload, node_counts, smoke, trace_dir,
           [&](psf::minimpi::Communicator& comm,
               const psf::pattern::EnvOptions& options) {
             return psf::apps::heat3d::run_framework(comm, options,

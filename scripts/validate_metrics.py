@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Validate a PSF JSON report against its schema (stdlib only).
 
-Two report kinds:
-  metrics — psf.metrics v1, written by the runtime registry
-            (PSF_METRICS=out.json or EnvOptions::with_metrics_path)
-  bench   — psf.bench v1, written by bench/run_all
+Three report kinds:
+  metrics  — psf.metrics v1, written by the runtime registry
+             (PSF_METRICS=out.json or EnvOptions::with_metrics_path)
+  bench    — psf.bench v1, written by bench/run_all
+  analysis — psf.analysis v1, written by tools/psf-analyze --json
 
 Usage:
-  scripts/validate_metrics.py [--kind metrics|bench] REPORT.json
+  scripts/validate_metrics.py [--kind metrics|bench|analysis] REPORT.json
 """
 
 import argparse
@@ -64,12 +65,81 @@ def check_bench(report: dict) -> None:
             fail(f"bench {name!r} vtime must be a positive number: {vtime!r}")
 
 
+def check_analysis(report: dict) -> None:
+    if report.get("schema") != "psf.analysis":
+        fail(f"schema is {report.get('schema')!r}, want 'psf.analysis'")
+    if report.get("version") != 1:
+        fail(f"version is {report.get('version')!r}, want 1")
+    makespan = report.get("makespan")
+    if not isinstance(makespan, numbers.Real) or makespan < 0:
+        fail(f"makespan must be a non-negative number: {makespan!r}")
+
+    path = report.get("critical_path")
+    if not isinstance(path, dict):
+        fail("missing critical_path object")
+    total = path.get("total")
+    if not isinstance(total, numbers.Real):
+        fail(f"critical_path.total is not a number: {total!r}")
+    if total != makespan:
+        fail(
+            f"critical_path.total ({total!r}) must equal the makespan "
+            f"({makespan!r}) exactly"
+        )
+    by_category = path.get("by_category")
+    if not isinstance(by_category, dict) or not by_category:
+        fail("critical_path.by_category must be a non-empty object")
+    for category, seconds in by_category.items():
+        if not isinstance(seconds, numbers.Real) or seconds < 0:
+            fail(f"by_category[{category!r}] invalid: {seconds!r}")
+    segments = path.get("segments")
+    if not isinstance(segments, list) or not segments:
+        fail("critical_path.segments must be a non-empty array")
+    previous_end = None
+    for segment in segments:
+        for key in ("category", "begin", "end"):
+            if key not in segment:
+                fail(f"segment missing {key!r}: {segment!r}")
+        if segment["end"] < segment["begin"]:
+            fail(f"segment ends before it begins: {segment!r}")
+        if previous_end is not None and segment["begin"] < previous_end:
+            fail(f"segments overlap at {segment!r}")
+        previous_end = segment["end"]
+
+    lanes = report.get("lanes")
+    if not isinstance(lanes, list) or not lanes:
+        fail("lanes must be a non-empty array")
+    for lane in lanes:
+        for key in ("rank", "lane", "name", "spans", "busy", "utilization"):
+            if key not in lane:
+                fail(f"lane entry missing {key!r}: {lane!r}")
+        if not 0 <= lane["utilization"] <= 1 + 1e-12:
+            fail(f"lane utilization out of range: {lane!r}")
+
+    overlap = report.get("overlap")
+    if not isinstance(overlap, dict):
+        fail("missing overlap object")
+    efficiency = overlap.get("efficiency")
+    if not isinstance(efficiency, numbers.Real) or not 0 <= efficiency <= 1:
+        fail(f"overlap.efficiency out of [0, 1]: {efficiency!r}")
+
+    if not isinstance(report.get("imbalance"), list):
+        fail("missing imbalance array")
+
+    what_if = report.get("what_if")
+    if what_if is not None:
+        if not isinstance(what_if.get("rates"), dict):
+            fail("what_if.rates must be an object")
+        projected = what_if.get("projected_makespan")
+        if not isinstance(projected, numbers.Real) or projected < 0:
+            fail(f"what_if.projected_makespan invalid: {projected!r}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="JSON report to validate")
     parser.add_argument(
         "--kind",
-        choices=("metrics", "bench"),
+        choices=("metrics", "bench", "analysis"),
         default="metrics",
         help="report schema to check against (default: metrics)",
     )
@@ -83,8 +153,10 @@ def main() -> int:
 
     if args.kind == "metrics":
         check_metrics(report)
-    else:
+    elif args.kind == "bench":
         check_bench(report)
+    else:
+        check_analysis(report)
     print(f"validate_metrics: {args.report} is a valid psf.{args.kind} report")
     return 0
 

@@ -1,0 +1,839 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "analysis/json.h"
+
+namespace psf::analysis {
+
+namespace {
+
+/// %.17g — shortest representation that round-trips doubles exactly,
+/// matching the convention of the metrics and trace writers.
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+std::string format_double(double value) {
+  std::string out;
+  append_double(out, value);
+  return out;
+}
+
+void append_json_string(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Value-based ordering key: recording order and id assignment vary with
+/// the executor width, span values do not.
+auto canonical_key(const timemodel::TraceSpan& span) {
+  return std::tie(span.rank, span.lane, span.begin, span.end, span.name,
+                  span.category);
+}
+
+/// Merged busy intervals of a sorted-by-begin span sequence.
+std::vector<std::pair<double, double>> merge_intervals(
+    std::vector<const timemodel::TraceSpan*> spans) {
+  // Canonical order sorts by (rank, lane, begin, ...), so multi-lane
+  // collections are not begin-sorted; the sweep below requires it.
+  std::sort(spans.begin(), spans.end(),
+            [](const timemodel::TraceSpan* a, const timemodel::TraceSpan* b) {
+              return a->begin < b->begin ||
+                     (a->begin == b->begin && a->end < b->end);
+            });
+  std::vector<std::pair<double, double>> merged;
+  for (const auto* span : spans) {
+    if (span->end <= span->begin) continue;  // points add no busy time
+    if (!merged.empty() && span->begin <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, span->end);
+    } else {
+      merged.emplace_back(span->begin, span->end);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+// --- TraceGraph -------------------------------------------------------------
+
+void TraceGraph::canonicalize(std::vector<timemodel::TraceSpan> spans,
+                              std::vector<timemodel::TraceEdge> edges) {
+  spans_ = std::move(spans);
+  std::stable_sort(spans_.begin(), spans_.end(),
+                   [](const timemodel::TraceSpan& a,
+                      const timemodel::TraceSpan& b) {
+                     return canonical_key(a) < canonical_key(b);
+                   });
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    index_of.emplace(spans_[i].id, i);
+  }
+  edges_.clear();
+  edges_.reserve(edges.size());
+  for (const auto& edge : edges) {
+    const auto from = index_of.find(edge.from);
+    const auto to = index_of.find(edge.to);
+    if (from == index_of.end() || to == index_of.end()) continue;
+    edges_.push_back({from->second, to->second, edge.kind});
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const GraphEdge& a, const GraphEdge& b) {
+              return std::tie(a.from, a.to, a.kind) <
+                     std::tie(b.from, b.to, b.kind);
+            });
+}
+
+TraceGraph TraceGraph::from_recorder(
+    const timemodel::TraceRecorder& recorder) {
+  TraceGraph graph;
+  graph.process_names_ = recorder.process_names();
+  graph.lane_names_ = recorder.lane_names();
+  graph.canonicalize(recorder.spans(), recorder.edges());
+  return graph;
+}
+
+support::StatusOr<TraceGraph> TraceGraph::from_chrome_json(
+    const std::string& text) {
+  auto parsed = parse_json(text);
+  if (!parsed.is_ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return support::Status::invalid_argument(
+        "not a Chrome trace: missing traceEvents array");
+  }
+
+  TraceGraph graph;
+  std::vector<timemodel::TraceSpan> spans;
+  for (const JsonValue& event : events->as_array()) {
+    if (!event.is_object()) continue;
+    const std::string phase = event.string_or("ph", "");
+    const int rank = static_cast<int>(event.number_or("pid", 0));
+    const int lane = static_cast<int>(event.number_or("tid", 0));
+    const JsonValue* args = event.find("args");
+    if (phase == "M") {
+      if (args == nullptr) continue;
+      const std::string name = args->string_or("name", "");
+      const std::string which = event.string_or("name", "");
+      if (which == "process_name") {
+        graph.process_names_[rank] = name;
+      } else if (which == "thread_name") {
+        graph.lane_names_[{rank, lane}] = name;
+      }
+      continue;
+    }
+    if (phase != "X") continue;
+    timemodel::TraceSpan span;
+    span.name = event.string_or("name", "");
+    span.category = event.string_or("cat", "");
+    span.rank = rank;
+    span.lane = lane;
+    if (args != nullptr) {
+      // Exact virtual times ride in args; the microsecond ts/dur fields
+      // exist only for trace viewers.
+      span.id = static_cast<std::uint64_t>(args->number_or("id", 0));
+      span.begin = args->number_or("begin", 0.0);
+      span.end = args->number_or("end", span.begin);
+    }
+    spans.push_back(std::move(span));
+  }
+
+  std::vector<timemodel::TraceEdge> edges;
+  if (const JsonValue* psf_edges = root.find("psfEdges");
+      psf_edges != nullptr && psf_edges->is_array()) {
+    for (const JsonValue& edge : psf_edges->as_array()) {
+      if (!edge.is_object()) continue;
+      edges.push_back(
+          {static_cast<std::uint64_t>(edge.number_or("from", 0)),
+           static_cast<std::uint64_t>(edge.number_or("to", 0)),
+           edge.string_or("kind", "")});
+    }
+  }
+  graph.canonicalize(std::move(spans), std::move(edges));
+  return graph;
+}
+
+support::StatusOr<TraceGraph> TraceGraph::from_chrome_json_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return support::Status::invalid_argument("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_chrome_json(buffer.str());
+}
+
+std::string TraceGraph::lane_label(int rank, int lane) const {
+  const auto it = lane_names_.find({rank, lane});
+  if (it != lane_names_.end()) return it->second;
+  return "lane" + std::to_string(lane);
+}
+
+double TraceGraph::makespan() const {
+  double maximum = 0.0;
+  for (const auto& span : spans_) maximum = std::max(maximum, span.end);
+  return maximum;
+}
+
+// --- analysis engine --------------------------------------------------------
+
+namespace {
+
+/// Predecessor candidates of every span: explicit edge sources plus the
+/// structural same-rank predecessor (the latest span of the rank ending at
+/// or before this one begins — lane ordering and fork/join merges both
+/// reduce to it). All lookups are over canonical indices.
+class PredecessorIndex {
+ public:
+  explicit PredecessorIndex(const TraceGraph& graph) : graph_(&graph) {
+    const auto& spans = graph.spans();
+    edge_preds_.resize(spans.size());
+    for (const auto& edge : graph.edges()) {
+      edge_preds_[edge.to].push_back(
+          {edge.from, edge.kind == "message"});
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      by_rank_[spans[i].rank].push_back(i);
+    }
+    // Canonical order within a rank is (lane, begin, ...); re-sort by end
+    // so the latest-ending predecessor is a binary search away.
+    for (auto& [rank, indices] : by_rank_) {
+      std::sort(indices.begin(), indices.end(),
+                [&spans](std::size_t a, std::size_t b) {
+                  return std::tie(spans[a].end, a) <
+                         std::tie(spans[b].end, b);
+                });
+    }
+  }
+
+  struct EdgePred {
+    std::size_t from = 0;
+    bool is_message = false;
+  };
+
+  [[nodiscard]] const std::vector<EdgePred>& edge_preds(
+      std::size_t span) const {
+    return edge_preds_[span];
+  }
+
+  /// Structural predecessor: the same-rank span with the greatest end not
+  /// exceeding `spans[span].begin` (ties broken towards the smallest
+  /// canonical index — a value-based rule). A candidate that could equally
+  /// claim `span` as ITS structural predecessor (mutual zero-duration
+  /// relation) is only accepted when it precedes `span` canonically, so the
+  /// relation stays acyclic. Returns false when the rank has none.
+  [[nodiscard]] bool structural_pred(std::size_t span,
+                                     std::size_t& pred) const {
+    const auto& spans = graph_->spans();
+    const auto it = by_rank_.find(spans[span].rank);
+    if (it == by_rank_.end()) return false;
+    const auto& indices = it->second;
+    const double begin = spans[span].begin;
+    // Partition point: first index whose end exceeds `begin`.
+    auto block_end = std::partition_point(
+        indices.begin(), indices.end(), [&spans, begin](std::size_t i) {
+          return spans[i].end <= begin;
+        });
+    bool found = false;
+    while (block_end != indices.begin() && !found) {
+      // Scan one equal-end block (descending end across blocks).
+      const double top = spans[*(block_end - 1)].end;
+      auto block_begin = block_end;
+      while (block_begin != indices.begin() &&
+             spans[*(block_begin - 1)].end == top) {
+        --block_begin;
+      }
+      for (auto i = block_begin; i != block_end; ++i) {
+        const std::size_t candidate = *i;
+        if (candidate == span) continue;
+        if (!(spans[span].end > spans[candidate].begin ||
+              candidate < span)) {
+          continue;  // would form a mutual relation; let the twin win
+        }
+        if (!found || candidate < pred) {
+          pred = candidate;
+          found = true;
+        }
+      }
+      block_end = block_begin;
+    }
+    return found;
+  }
+
+ private:
+  const TraceGraph* graph_;
+  std::vector<std::vector<EdgePred>> edge_preds_;
+  std::map<int, std::vector<std::size_t>> by_rank_;
+};
+
+CriticalPath extract_critical_path(const TraceGraph& graph,
+                                   const PredecessorIndex& preds) {
+  CriticalPath path;
+  const auto& spans = graph.spans();
+  path.total = graph.makespan();
+  if (spans.empty()) return path;
+
+  // Start from the latest-ending span (ties: first in canonical order).
+  std::size_t current = 0;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].end > spans[current].end) current = i;
+  }
+
+  std::vector<CriticalSegment> reversed;
+  std::set<std::size_t> visited;
+  double cursor = spans[current].end;
+  while (visited.insert(current).second) {
+    const auto& span = spans[current];
+
+    // Binding predecessor: the candidate with the greatest end — it is the
+    // operation this span actually waited for last. Ties: smallest
+    // canonical index (a value-based rule, stable across executor widths).
+    bool have_pred = false;
+    std::size_t best = 0;
+    const auto consider = [&](std::size_t candidate) {
+      if (!have_pred || spans[candidate].end > spans[best].end ||
+          (spans[candidate].end == spans[best].end && candidate < best)) {
+        best = candidate;
+        have_pred = true;
+      }
+    };
+    for (const auto& edge : preds.edge_preds(current)) consider(edge.from);
+    if (std::size_t structural = 0;
+        preds.structural_pred(current, structural)) {
+      consider(structural);
+    }
+
+    const double handoff =
+        have_pred ? std::max(span.begin, spans[best].end) : span.begin;
+    const double segment_begin = std::min(cursor, handoff);
+    if (segment_begin < cursor) {
+      reversed.push_back({current, span.category, span.name, span.rank,
+                          span.lane, segment_begin, cursor});
+    }
+    cursor = segment_begin;
+    if (!have_pred) break;
+    if (spans[best].end < span.begin) {
+      // The rank sat idle between the predecessor finishing and this span
+      // starting (untraced local work or a genuine stall).
+      reversed.push_back({current, "idle", "", span.rank, span.lane,
+                          spans[best].end, span.begin});
+      cursor = spans[best].end;
+    } else {
+      cursor = std::min(cursor, spans[best].end);
+    }
+    current = best;
+  }
+  if (cursor > 0.0) {
+    reversed.push_back({current, "idle", "", spans[current].rank,
+                        spans[current].lane, 0.0, cursor});
+  }
+
+  path.segments.assign(reversed.rbegin(), reversed.rend());
+  for (const auto& segment : path.segments) {
+    path.by_category[segment.category] += segment.end - segment.begin;
+  }
+  return path;
+}
+
+std::vector<LaneUsage> lane_usage(const TraceGraph& graph, double makespan) {
+  std::vector<LaneUsage> lanes;
+  const auto& spans = graph.spans();
+  std::map<std::pair<int, int>, std::vector<const timemodel::TraceSpan*>>
+      by_lane;
+  for (const auto& span : spans) {
+    by_lane[{span.rank, span.lane}].push_back(&span);
+  }
+  for (const auto& [key, lane_spans] : by_lane) {
+    LaneUsage usage;
+    usage.rank = key.first;
+    usage.lane = key.second;
+    usage.name = graph.lane_label(key.first, key.second);
+    usage.spans = lane_spans.size();
+    const auto merged = merge_intervals(lane_spans);
+    for (const auto& [begin, end] : merged) usage.busy += end - begin;
+    if (makespan > 0.0) usage.utilization = usage.busy / makespan;
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      const double gap = merged[i].first - merged[i - 1].second;
+      if (gap <= 0.0) continue;
+      ++usage.idle_gaps;
+      usage.idle_total += gap;
+      usage.idle_max = std::max(usage.idle_max, gap);
+    }
+    lanes.push_back(std::move(usage));
+  }
+  return lanes;
+}
+
+/// Graph-derived overlap: for every host-lane comm span, how much of its
+/// duration is covered by same-rank device-lane compute. For the stencil
+/// overlap path this reproduces pattern.st.overlap_efficiency bit-exactly:
+/// inner-tile spans share the exchange's begin, so the merged compute
+/// interval is [fork, inner_end] and the covered time reduces to
+/// min(exchange_end, inner_end) - fork.
+std::pair<std::vector<OverlapSpan>, double> overlap_analysis(
+    const TraceGraph& graph) {
+  const auto& spans = graph.spans();
+  std::map<int, std::vector<const timemodel::TraceSpan*>> compute_by_rank;
+  for (const auto& span : spans) {
+    if (span.category == "compute" && span.lane != 0 &&
+        span.lane != timemodel::kNetLane) {
+      compute_by_rank[span.rank].push_back(&span);
+    }
+  }
+  std::vector<OverlapSpan> result;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& span = spans[i];
+    if (span.category != "comm" || span.lane != 0) continue;
+    if (span.end <= span.begin) continue;
+    OverlapSpan overlap;
+    overlap.span = i;
+    overlap.name = span.name;
+    overlap.rank = span.rank;
+    overlap.begin = span.begin;
+    overlap.end = span.end;
+    const auto it = compute_by_rank.find(span.rank);
+    if (it != compute_by_rank.end()) {
+      for (const auto& [lo, hi] : merge_intervals(it->second)) {
+        const double covered_begin = std::max(span.begin, lo);
+        const double covered_end = std::min(span.end, hi);
+        if (covered_end > covered_begin) {
+          overlap.overlapped += covered_end - covered_begin;
+        }
+      }
+    }
+    overlap.efficiency = overlap.overlapped / (span.end - span.begin);
+    result.push_back(std::move(overlap));
+  }
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& overlap : result) {
+    weighted += overlap.overlapped;
+    total += overlap.end - overlap.begin;
+  }
+  return {std::move(result), total > 0.0 ? weighted / total : 0.0};
+}
+
+std::vector<RankImbalance> imbalance_analysis(const TraceGraph& graph) {
+  const auto& spans = graph.spans();
+  // Per rank, per device lane, compute spans in canonical (begin) order.
+  std::map<int, std::map<int, std::vector<const timemodel::TraceSpan*>>>
+      by_rank_lane;
+  for (const auto& span : spans) {
+    if (span.category == "compute" && span.lane != 0 &&
+        span.lane != timemodel::kNetLane) {
+      by_rank_lane[span.rank][span.lane].push_back(&span);
+    }
+  }
+  std::vector<RankImbalance> result;
+  for (const auto& [rank, lanes] : by_rank_lane) {
+    RankImbalance imbalance;
+    imbalance.rank = rank;
+    std::size_t rounds = SIZE_MAX;
+    for (const auto& [lane, lane_spans] : lanes) {
+      rounds = std::min(rounds, lane_spans.size());
+    }
+    if (lanes.empty() || rounds == 0 || rounds == SIZE_MAX) continue;
+    double sum = 0.0;
+    double worst = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      double max_duration = 0.0;
+      double total = 0.0;
+      for (const auto& [lane, lane_spans] : lanes) {
+        const double duration =
+            lane_spans[round]->end - lane_spans[round]->begin;
+        max_duration = std::max(max_duration, duration);
+        total += duration;
+      }
+      const double mean = total / static_cast<double>(lanes.size());
+      if (mean <= 0.0) continue;
+      const double ratio = max_duration / mean;
+      worst = std::max(worst, ratio);
+      sum += ratio;
+      ++counted;
+    }
+    imbalance.rounds = counted;
+    imbalance.worst = worst;
+    imbalance.mean = counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+    result.push_back(imbalance);
+  }
+  return result;
+}
+
+}  // namespace
+
+Report analyze(const TraceGraph& graph) {
+  Report report;
+  report.makespan = graph.makespan();
+  const PredecessorIndex preds(graph);
+  report.critical_path = extract_critical_path(graph, preds);
+  report.lanes = lane_usage(graph, report.makespan);
+  auto [overlap_spans, overall] = overlap_analysis(graph);
+  report.overlap_spans = std::move(overlap_spans);
+  report.overlap_efficiency = overall;
+  report.imbalance = imbalance_analysis(graph);
+  return report;
+}
+
+// --- what-if projection -----------------------------------------------------
+
+double project_makespan(const TraceGraph& graph,
+                        const std::map<std::string, double>& rates) {
+  const auto& spans = graph.spans();
+  if (spans.empty()) return 0.0;
+  const PredecessorIndex preds(graph);
+
+  const auto rate_for = [&rates](const std::string& key) {
+    const auto it = rates.find(key);
+    return it == rates.end() ? 1.0 : it->second;
+  };
+  const double net_rate = rate_for("net");
+
+  // Per-span speed factor: category rate times any device-prefix rate
+  // matching the span's lane name.
+  std::vector<double> factor(spans.size(), 1.0);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    factor[i] = rate_for(spans[i].category);
+    const std::string lane = graph.lane_label(spans[i].rank, spans[i].lane);
+    for (const auto& [key, rate] : rates) {
+      if (key == "net" || key == spans[i].category) continue;
+      if (lane.rfind(key, 0) == 0) factor[i] *= rate;
+    }
+  }
+
+  // Dataflow replay in dependency order. Structural predecessors carry the
+  // rank's serialized progress; non-message edges act the same way; message
+  // edges re-price the transit lag with the net rate. Every formula
+  // returns the measured value verbatim when nothing upstream moved and
+  // the local factor is 1, so an all-1x projection is bit-exact.
+  std::vector<std::vector<std::size_t>> succs(spans.size());
+  std::vector<std::size_t> degree(spans.size(), 0);
+  const auto add_dep = [&](std::size_t from, std::size_t to) {
+    succs[from].push_back(to);
+    ++degree[to];
+  };
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (const auto& edge : preds.edge_preds(i)) add_dep(edge.from, i);
+    if (std::size_t structural = 0; preds.structural_pred(i, structural)) {
+      add_dep(structural, i);
+    }
+  }
+
+  std::vector<double> new_end(spans.size(), 0.0);
+  std::vector<bool> done(spans.size(), false);
+  std::set<std::size_t> ready;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (degree[i] == 0) ready.insert(i);
+  }
+
+  const auto replay = [&](std::size_t i) {
+    const auto& span = spans[i];
+    // Projected begin: the max over begin-constraining predecessors
+    // (structural + non-message edges). An unshifted predecessor reproduces
+    // the measured begin (the gap to it is fixed slack); a shifted one pulls
+    // the span earlier by the same slack. Only a span with no such
+    // predecessor keeps its measured begin unconditionally.
+    bool constrained = false;
+    double begin = 0.0;
+    const auto constrain_begin = [&](std::size_t from) {
+      const auto& pred = spans[from];
+      const double candidate =
+          new_end[from] == pred.end
+              ? std::max(span.begin, pred.end)
+              : new_end[from] + std::max(0.0, span.begin - pred.end);
+      begin = constrained ? std::max(begin, candidate) : candidate;
+      constrained = true;
+    };
+    for (const auto& edge : preds.edge_preds(i)) {
+      if (edge.is_message) continue;  // constrains the end, not the begin
+      constrain_begin(edge.from);
+    }
+    if (std::size_t structural = 0; preds.structural_pred(i, structural)) {
+      constrain_begin(structural);
+    }
+    if (!constrained) begin = span.begin;
+
+    // Projected end. A span with a binding message arrival (a recv) spends
+    // its measured duration waiting on transit, so the message candidates
+    // govern its end and the local base is just the begin; otherwise the
+    // measured duration is local work, re-priced by the span's factor.
+    bool message_bound = false;
+    double message_end = 0.0;
+    for (const auto& edge : preds.edge_preds(i)) {
+      if (!edge.is_message) continue;
+      const auto& pred = spans[edge.from];
+      const double lag = span.end - pred.end;
+      if (lag < 0.0) continue;  // the arrival was not binding
+      const double candidate =
+          new_end[edge.from] == pred.end && net_rate == 1.0
+              ? span.end
+              : new_end[edge.from] + lag / net_rate;
+      message_end = message_bound ? std::max(message_end, candidate)
+                                  : candidate;
+      message_bound = true;
+    }
+    const double duration = span.end - span.begin;
+    double end;
+    if (message_bound) {
+      end = std::max(begin, message_end);
+    } else {
+      end = begin == span.begin && factor[i] == 1.0
+                ? span.end
+                : begin + duration / factor[i];
+    }
+    new_end[i] = end;
+    done[i] = true;
+  };
+
+  while (!ready.empty()) {
+    const std::size_t i = *ready.begin();
+    ready.erase(ready.begin());
+    replay(i);
+    for (const std::size_t next : succs[i]) {
+      if (--degree[next] == 0) ready.insert(next);
+    }
+  }
+  // A dependency cycle would leave spans unprocessed; fall back to their
+  // measured ends so the projection stays defined.
+  double projected = 0.0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    projected = std::max(projected, done[i] ? new_end[i] : spans[i].end);
+  }
+  return projected;
+}
+
+// --- report rendering -------------------------------------------------------
+
+std::string report_to_json(const TraceGraph& graph, const Report& report,
+                           const std::map<std::string, double>& what_if) {
+  std::string out;
+  out += "{\"schema\":\"psf.analysis\",\"version\":1,\"makespan\":";
+  append_double(out, report.makespan);
+
+  out += ",\"critical_path\":{\"total\":";
+  append_double(out, report.critical_path.total);
+  out += ",\"by_category\":{";
+  bool first = true;
+  for (const auto& [category, time] : report.critical_path.by_category) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, category);
+    out.push_back(':');
+    append_double(out, time);
+  }
+  out += "},\"segments\":[";
+  first = true;
+  for (const auto& segment : report.critical_path.segments) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"category\":";
+    append_json_string(out, segment.category);
+    out += ",\"name\":";
+    append_json_string(out, segment.name);
+    out += ",\"rank\":" + std::to_string(segment.rank);
+    out += ",\"lane\":" + std::to_string(segment.lane);
+    out += ",\"begin\":";
+    append_double(out, segment.begin);
+    out += ",\"end\":";
+    append_double(out, segment.end);
+    out.push_back('}');
+  }
+  out += "]}";
+
+  out += ",\"lanes\":[";
+  first = true;
+  for (const auto& lane : report.lanes) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"rank\":" + std::to_string(lane.rank);
+    out += ",\"lane\":" + std::to_string(lane.lane);
+    out += ",\"name\":";
+    append_json_string(out, lane.name);
+    out += ",\"spans\":" + std::to_string(lane.spans);
+    out += ",\"busy\":";
+    append_double(out, lane.busy);
+    out += ",\"utilization\":";
+    append_double(out, lane.utilization);
+    out += ",\"idle_gaps\":" + std::to_string(lane.idle_gaps);
+    out += ",\"idle_total\":";
+    append_double(out, lane.idle_total);
+    out += ",\"idle_max\":";
+    append_double(out, lane.idle_max);
+    out.push_back('}');
+  }
+  out += "]";
+
+  out += ",\"overlap\":{\"efficiency\":";
+  append_double(out, report.overlap_efficiency);
+  out += ",\"spans\":[";
+  first = true;
+  for (const auto& overlap : report.overlap_spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, overlap.name);
+    out += ",\"rank\":" + std::to_string(overlap.rank);
+    out += ",\"begin\":";
+    append_double(out, overlap.begin);
+    out += ",\"end\":";
+    append_double(out, overlap.end);
+    out += ",\"overlapped\":";
+    append_double(out, overlap.overlapped);
+    out += ",\"efficiency\":";
+    append_double(out, overlap.efficiency);
+    out.push_back('}');
+  }
+  out += "]}";
+
+  out += ",\"imbalance\":[";
+  first = true;
+  for (const auto& imbalance : report.imbalance) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"rank\":" + std::to_string(imbalance.rank);
+    out += ",\"rounds\":" + std::to_string(imbalance.rounds);
+    out += ",\"worst\":";
+    append_double(out, imbalance.worst);
+    out += ",\"mean\":";
+    append_double(out, imbalance.mean);
+    out.push_back('}');
+  }
+  out += "]";
+
+  if (!what_if.empty()) {
+    const double projected = project_makespan(graph, what_if);
+    out += ",\"what_if\":{\"rates\":{";
+    first = true;
+    for (const auto& [key, rate] : what_if) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_json_string(out, key);
+      out.push_back(':');
+      append_double(out, rate);
+    }
+    out += "},\"projected_makespan\":";
+    append_double(out, projected);
+    out += ",\"speedup\":";
+    append_double(out, projected > 0.0 ? report.makespan / projected : 0.0);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string report_to_text(const TraceGraph& graph, const Report& report,
+                           const std::map<std::string, double>& what_if) {
+  std::ostringstream out;
+  out << "=== psf-analyze ===\n";
+  out << "makespan: " << format_double(report.makespan) << " s  ("
+      << graph.spans().size() << " spans, " << graph.edges().size()
+      << " edges)\n\n";
+
+  out << "critical path (" << format_double(report.critical_path.total)
+      << " s):\n";
+  for (const auto& [category, time] : report.critical_path.by_category) {
+    const double share =
+        report.critical_path.total > 0.0
+            ? 100.0 * time / report.critical_path.total
+            : 0.0;
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-8s %12.6g s  %5.1f%%\n",
+                  category.c_str(), time, share);
+    out << line;
+  }
+  out << "  segments: " << report.critical_path.segments.size() << "\n";
+  constexpr std::size_t kMaxSegments = 24;
+  const auto& segments = report.critical_path.segments;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments.size() > kMaxSegments && i == kMaxSegments / 2) {
+      out << "    ... (" << segments.size() - kMaxSegments
+          << " more segments)\n";
+      i = segments.size() - kMaxSegments / 2;
+    }
+    const auto& segment = segments[i];
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "    [%11.6g, %11.6g] %-8s rank%d/%s %s\n", segment.begin,
+                  segment.end, segment.category.c_str(), segment.rank,
+                  graph.lane_label(segment.rank, segment.lane).c_str(),
+                  segment.name.c_str());
+    out << line;
+  }
+
+  out << "\nlanes:\n";
+  for (const auto& lane : report.lanes) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  rank%d/%-6s %4zu spans  busy %10.6g s  util %5.1f%%  "
+                  "idle %10.6g s in %zu gaps (max %.6g)\n",
+                  lane.rank, lane.name.c_str(), lane.spans, lane.busy,
+                  100.0 * lane.utilization, lane.idle_total, lane.idle_gaps,
+                  lane.idle_max);
+    out << line;
+  }
+
+  if (!report.overlap_spans.empty()) {
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "\noverlap efficiency: %.4f over %zu comm spans\n",
+                  report.overlap_efficiency, report.overlap_spans.size());
+    out << line;
+  }
+  for (const auto& imbalance : report.imbalance) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "imbalance rank%d: worst %.3fx, mean %.3fx over %zu "
+                  "rounds (max/avg device time)\n",
+                  imbalance.rank, imbalance.worst, imbalance.mean,
+                  imbalance.rounds);
+    out << line;
+  }
+
+  if (!what_if.empty()) {
+    const double projected = project_makespan(graph, what_if);
+    out << "\nwhat-if:";
+    for (const auto& [key, rate] : what_if) {
+      out << " " << key << "=" << format_double(rate) << "x";
+    }
+    out << "\n  projected makespan: " << format_double(projected) << " s";
+    if (projected > 0.0) {
+      char line[48];
+      std::snprintf(line, sizeof(line), "  (%.3fx speedup)\n",
+                    report.makespan / projected);
+      out << line;
+    } else {
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace psf::analysis

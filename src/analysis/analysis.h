@@ -1,0 +1,170 @@
+// PSF — Pattern Specification Framework
+// Causal trace analysis: turns the dependency-aware span traces the
+// runtimes record (timemodel::TraceRecorder) into a performance report —
+// critical path with per-category attribution, lane utilization and idle
+// gaps, per-iteration load imbalance, graph-derived overlap efficiency,
+// and a what-if projector that replays the DAG under scaled rates.
+//
+// Determinism contract: span VALUES are bit-identical for any executor
+// width, but recording order and id assignment are not. Every ordering
+// decision here (canonical indices, tie-breaks, topological order) is
+// therefore derived from span values only, never from ids or input order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "timemodel/trace.h"
+
+namespace psf::analysis {
+
+/// One edge of the causal DAG, in canonical span indices.
+struct GraphEdge {
+  std::size_t from = 0;  ///< canonical index of the producing span
+  std::size_t to = 0;    ///< canonical index of the consuming span
+  std::string kind;      ///< "message", "stream", "exchange", "chunk", ...
+};
+
+/// A trace snapshot in canonical (value-ordered) form. Spans are sorted by
+/// (rank, lane, begin, end, name, category); edges reference spans by their
+/// canonical index and are sorted the same way, so two graphs built from
+/// traces of the same run compare equal regardless of recording order.
+class TraceGraph {
+ public:
+  /// Build from a live recorder (same process).
+  static TraceGraph from_recorder(const timemodel::TraceRecorder& recorder);
+
+  /// Build from the Chrome JSON a recorder wrote. Spans are reconstructed
+  /// losslessly from the exact begin/end doubles carried in event args;
+  /// edges come from the top-level psfEdges array.
+  static support::StatusOr<TraceGraph> from_chrome_json(
+      const std::string& text);
+  static support::StatusOr<TraceGraph> from_chrome_json_file(
+      const std::string& path);
+
+  [[nodiscard]] const std::vector<timemodel::TraceSpan>& spans() const {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] const std::map<int, std::string>& process_names() const {
+    return process_names_;
+  }
+  [[nodiscard]] const std::map<std::pair<int, int>, std::string>& lane_names()
+      const {
+    return lane_names_;
+  }
+
+  /// Label for a lane: its registered name, else "lane<n>".
+  [[nodiscard]] std::string lane_label(int rank, int lane) const;
+
+  /// Max span end over the whole trace; 0 when empty. For a minimpi-driven
+  /// run this equals the world's makespan bit-exactly: each rank's final
+  /// timeline value is the end of its last recorded operation.
+  [[nodiscard]] double makespan() const;
+
+ private:
+  void canonicalize(std::vector<timemodel::TraceSpan> spans,
+                    std::vector<timemodel::TraceEdge> edges);
+
+  std::vector<timemodel::TraceSpan> spans_;  ///< canonical order, ids kept
+  std::vector<GraphEdge> edges_;             ///< canonical-index endpoints
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> lane_names_;
+};
+
+/// One segment of the critical path: the slice of wall (virtual) time
+/// attributed to `category` while `span` was the binding operation.
+struct CriticalSegment {
+  std::size_t span = 0;  ///< canonical index; ignored for "idle" segments
+  std::string category;  ///< "compute", "comm", "copy", or "idle"
+  std::string name;      ///< span name ("" for idle)
+  int rank = 0;
+  int lane = 0;
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Critical path through the causal DAG, walked backwards from the span
+/// with the latest end. `total` is the trace makespan (reported directly,
+/// not as a sum of segments, so it is bit-exact).
+struct CriticalPath {
+  double total = 0.0;
+  std::vector<CriticalSegment> segments;       ///< in forward time order
+  std::map<std::string, double> by_category;  ///< includes "idle"
+};
+
+/// Busy/idle breakdown of one (rank, lane) pair.
+struct LaneUsage {
+  int rank = 0;
+  int lane = 0;
+  std::string name;
+  std::size_t spans = 0;
+  double busy = 0.0;         ///< union of span intervals
+  double utilization = 0.0;  ///< busy / makespan
+  std::size_t idle_gaps = 0;  ///< gaps between busy intervals
+  double idle_total = 0.0;    ///< summed gap time (first span to last end)
+  double idle_max = 0.0;      ///< longest single gap
+};
+
+/// Overlap achieved by one communication span: the fraction of its
+/// duration covered by same-rank device-lane compute.
+struct OverlapSpan {
+  std::size_t span = 0;
+  std::string name;
+  int rank = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  double overlapped = 0.0;
+  double efficiency = 0.0;
+};
+
+/// Per-rank load imbalance across device lanes, per compute round. Round i
+/// pairs the i-th compute span of every device lane of the rank.
+struct RankImbalance {
+  int rank = 0;
+  std::size_t rounds = 0;
+  double worst = 0.0;  ///< max over rounds of (max / avg) device time
+  double mean = 0.0;   ///< mean over rounds
+};
+
+/// The full analysis result.
+struct Report {
+  double makespan = 0.0;
+  CriticalPath critical_path;
+  std::vector<LaneUsage> lanes;
+  std::vector<OverlapSpan> overlap_spans;
+  double overlap_efficiency = 0.0;  ///< duration-weighted mean, 0 if none
+  std::vector<RankImbalance> imbalance;
+};
+
+/// Analyze a trace graph.
+[[nodiscard]] Report analyze(const TraceGraph& graph);
+
+/// Replay the DAG with per-category / per-device / network rate factors and
+/// return the projected makespan. Keys: a category name ("compute",
+/// "comm", "copy") scales matching spans; a device prefix ("cpu", "gpu",
+/// "mic") scales spans on lanes whose name starts with it; "net" scales the
+/// transit lag of message edges. Factors multiply when several keys match a
+/// span; factor 2 means twice as fast. With all factors at 1 (or an empty
+/// map) the projection reproduces the measured makespan bit-exactly.
+[[nodiscard]] double project_makespan(
+    const TraceGraph& graph, const std::map<std::string, double>& rates);
+
+/// Render the report as a versioned psf.analysis JSON document. When
+/// `what_if` is non-empty a "what_if" section with the projected makespan
+/// under those rates is included.
+[[nodiscard]] std::string report_to_json(
+    const TraceGraph& graph, const Report& report,
+    const std::map<std::string, double>& what_if = {});
+
+/// Render the report as a human-readable text summary.
+[[nodiscard]] std::string report_to_text(
+    const TraceGraph& graph, const Report& report,
+    const std::map<std::string, double>& what_if = {});
+
+}  // namespace psf::analysis

@@ -1,0 +1,279 @@
+#include "analysis/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace psf::analysis {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_number() ? member->as_number()
+                                                  : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_string() ? member->as_string()
+                                                  : std::move(fallback);
+}
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+/// Hand-rolled recursive-descent parser over the input view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  support::StatusOr<JsonValue> parse() {
+    JsonValue value;
+    PSF_RETURN_IF_ERROR(parse_value(value, /*depth=*/0));
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after the top-level value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  support::Status error(const std::string& what) const {
+    return support::Status::invalid_argument(
+        "JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  support::Status parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      case 't':
+        if (text_.substr(pos_, 4) != "true") return error("expected 'true'");
+        pos_ += 4;
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return support::Status::ok();
+      case 'f':
+        if (text_.substr(pos_, 5) != "false") {
+          return error("expected 'false'");
+        }
+        pos_ += 5;
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return support::Status::ok();
+      case 'n':
+        if (text_.substr(pos_, 4) != "null") return error("expected 'null'");
+        pos_ += 4;
+        out.kind_ = JsonValue::Kind::kNull;
+        return support::Status::ok();
+      default:
+        return parse_number(out);
+    }
+  }
+
+  support::Status parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.kind_ = JsonValue::Kind::kObject;
+    skip_whitespace();
+    if (consume('}')) return support::Status::ok();
+    for (;;) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected a member name");
+      }
+      std::string key;
+      PSF_RETURN_IF_ERROR(parse_string(key));
+      skip_whitespace();
+      if (!consume(':')) return error("expected ':' after member name");
+      JsonValue member;
+      PSF_RETURN_IF_ERROR(parse_value(member, depth + 1));
+      out.object_.insert_or_assign(std::move(key), std::move(member));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return support::Status::ok();
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  support::Status parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.kind_ = JsonValue::Kind::kArray;
+    skip_whitespace();
+    if (consume(']')) return support::Status::ok();
+    for (;;) {
+      JsonValue item;
+      PSF_RETURN_IF_ERROR(parse_value(item, depth + 1));
+      out.array_.push_back(std::move(item));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return support::Status::ok();
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  support::Status parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return support::Status::ok();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return error("invalid \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only escapes
+          // control characters, so surrogate pairs never occur here).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return error("invalid escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  support::Status parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected a value");
+    // strtod needs a terminated buffer; numbers are short, so copy.
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return error("malformed number '" + token + "'");
+    }
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = value;
+    return support::Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+support::StatusOr<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+support::StatusOr<JsonValue> parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return support::Status::invalid_argument("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+}  // namespace psf::analysis

@@ -1,0 +1,89 @@
+// PSF — Pattern Specification Framework
+// Minimal JSON document model and recursive-descent parser, sufficient for
+// reading the Chrome traces and psf.metrics reports the framework emits.
+// No external dependencies; numbers are parsed with strtod so doubles
+// printed with %.17g round-trip exactly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace psf::analysis {
+
+/// A parsed JSON value. Objects keep their members in a map (member order is
+/// irrelevant for every document the framework reads).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const {
+    return array_;
+  }
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const {
+    return object_;
+  }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed member conveniences, returning a fallback when the member is
+  /// missing or has the wrong kind.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool value);
+  static JsonValue make_number(double value);
+  static JsonValue make_string(std::string value);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse a complete JSON document. Trailing garbage after the top-level
+/// value is an error; parse failures carry a byte offset in the message.
+[[nodiscard]] support::StatusOr<JsonValue> parse_json(std::string_view text);
+
+/// Read and parse a JSON file.
+[[nodiscard]] support::StatusOr<JsonValue> parse_json_file(
+    const std::string& path);
+
+}  // namespace psf::analysis

@@ -163,26 +163,39 @@ double Stream::begin() noexcept {
   return lane_;
 }
 
+std::uint64_t Stream::trace_op(const char* name, const char* category,
+                               double op_begin, double op_end) {
+  if (device_->trace_ == nullptr) return 0;
+  return device_->trace_->record(name, category, device_->trace_rank_,
+                                 device_->trace_lane_, op_begin, op_end);
+}
+
 void Stream::copy_h2d(std::span<std::byte> dst,
                       std::span<const std::byte> src) {
   PSF_CHECK_MSG(dst.size() >= src.size(), "copy_h2d destination too small");
-  begin();
+  const double op_begin = begin();
   std::memcpy(dst.data(), src.data(), src.size());
   lane_ += device_->descriptor().h2d_link.cost(src.size());
 #ifndef PSF_DISABLE_METRICS
   device_->metric_h2d_bytes_->add(src.size());
 #endif
+  if (const auto span = trace_op("h2d copy", "copy", op_begin, lane_)) {
+    pending_copy_spans_.push_back(span);
+  }
 }
 
 void Stream::copy_d2h(std::span<std::byte> dst,
                       std::span<const std::byte> src) {
   PSF_CHECK_MSG(dst.size() >= src.size(), "copy_d2h destination too small");
-  begin();
+  const double op_begin = begin();
   std::memcpy(dst.data(), src.data(), src.size());
   lane_ += device_->descriptor().h2d_link.cost(src.size());
 #ifndef PSF_DISABLE_METRICS
   device_->metric_d2h_bytes_->add(src.size());
 #endif
+  if (const auto span = trace_op("d2h copy", "copy", op_begin, lane_)) {
+    pending_copy_spans_.push_back(span);
+  }
 }
 
 void Stream::copy_peer(std::span<std::byte> dst, Stream& peer,
@@ -202,7 +215,7 @@ void Stream::copy_peer(std::span<std::byte> dst, Stream& peer,
 void Stream::launch(int num_blocks, std::size_t shared_bytes,
                     double work_units,
                     const std::function<void(const BlockContext&)>& body) {
-  begin();
+  const double op_begin = begin();
   device_->run_blocks(num_blocks, shared_bytes, body);
   const double cost = device_->kernel_cost(work_units);
   lane_ += cost;
@@ -210,6 +223,14 @@ void Stream::launch(int num_blocks, std::size_t shared_bytes,
   device_->metric_kernel_launches_->add(1);
   device_->metric_busy_vtime_->observe(cost);
 #endif
+  if (const auto span = trace_op("kernel", "compute", op_begin, lane_)) {
+    // In-order stream: the kernel consumes whatever the preceding copies
+    // staged on the device.
+    for (const auto copy : pending_copy_spans_) {
+      device_->trace_->record_edge(copy, span, "stream");
+    }
+    pending_copy_spans_.clear();
+  }
 }
 
 void Stream::charge(double seconds) {

@@ -28,6 +28,7 @@
 #include "timemodel/link.h"
 #include "timemodel/rates.h"
 #include "timemodel/timeline.h"
+#include "timemodel/trace.h"
 
 namespace psf::devsim {
 
@@ -206,6 +207,19 @@ class Device {
   void run_blocks(int num_blocks, std::size_t shared_bytes,
                   const std::function<void(const BlockContext&)>& body);
 
+  /// Attach a schedule recorder: stream operations (async copies, kernel
+  /// launches) record spans on (rank, lane) and copy -> kernel dependency
+  /// edges, so psf::analysis sees the transfer/compute pipeline. Not owned;
+  /// must outlive the device.
+  void set_trace(timemodel::TraceRecorder* trace, int rank, int lane) {
+    trace_ = trace;
+    trace_rank_ = rank;
+    trace_lane_ = lane;
+    if (trace_ != nullptr) {
+      trace_->set_lane_name(rank, lane, descriptor_.name());
+    }
+  }
+
   /// Stream handles (created lazily; the paper's runtime uses two per GPU).
   class Stream& stream(int index);
   [[nodiscard]] int num_streams() const noexcept {
@@ -227,6 +241,9 @@ class Device {
   exec::ThreadPool* pool_;  ///< rank executor, or owned_pool_ fallback
   std::unique_ptr<exec::ThreadPool> owned_pool_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  timemodel::TraceRecorder* trace_ = nullptr;
+  int trace_rank_ = 0;
+  int trace_lane_ = 0;
 
   // Per-device instruments, looked up once (name-keyed, e.g.
   // "devsim.gpu1.busy_vtime") so stream hot paths pay one atomic op.
@@ -308,9 +325,17 @@ class Stream {
   /// Async ops begin no earlier than their enqueue time on the host.
   double begin() noexcept;
 
+  /// Record a span for a stream op on the owning device's trace lane;
+  /// returns 0 when tracing is off.
+  std::uint64_t trace_op(const char* name, const char* category,
+                         double op_begin, double op_end);
+
   Device* device_;
   timemodel::Timeline* host_;
   double lane_ = 0.0;
+  /// Copy spans since the last kernel launch — each becomes a copy ->
+  /// kernel "stream" edge when the next launch records.
+  std::vector<std::uint64_t> pending_copy_spans_;
 };
 
 /// Atomic read-modify-write on device data shared between simulated blocks.

@@ -102,6 +102,15 @@ void World::reset_timelines() {
   for (auto& timeline : timelines_) timeline->reset();
 }
 
+void World::set_trace(timemodel::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ == nullptr) return;
+  for (int r = 0; r < size_; ++r) {
+    trace_->set_process_name(r, "rank" + std::to_string(r));
+    trace_->set_lane_name(r, timemodel::kNetLane, "net");
+  }
+}
+
 // --- point-to-point ---------------------------------------------------------
 
 void Communicator::deliver(int dest, int tag,
@@ -109,6 +118,7 @@ void Communicator::deliver(int dest, int tag,
   PSF_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
   PSF_METRIC_ADD("minimpi.messages_sent", 1);
   PSF_METRIC_ADD("minimpi.bytes_sent", data.size());
+  const double call_begin = timeline().now();
   timeline().advance(world_->overheads_.mpi_call_s);
   Message message;
   message.source = rank_;
@@ -118,6 +128,13 @@ void Communicator::deliver(int dest, int tag,
       timeline().now() +
       world_->network_.cost(static_cast<std::size_t>(
           static_cast<double>(data.size()) * world_->byte_scale_));
+  if (world_->trace_ != nullptr) {
+    // The span covers the send call itself; the message carries its id so
+    // the matching receive can record the send -> recv message edge.
+    message.trace_span =
+        world_->trace_->record("send", "comm", rank_, timemodel::kNetLane,
+                               call_begin, timeline().now());
+  }
   mailbox(dest).deposit(std::move(message));
 }
 
@@ -130,8 +147,17 @@ void Communicator::consume(const Message& message) {
   const double wait = message.arrival_vtime - timeline().now();
   if (wait > 0.0) PSF_METRIC_OBSERVE("minimpi.recv_wait_vtime", wait);
 #endif
+  const double call_begin = timeline().now();
   timeline().advance(world_->overheads_.mpi_call_s);
   timeline().merge(message.arrival_vtime);
+  if (world_->trace_ != nullptr) {
+    // The span runs from recv entry to message arrival (call overhead plus
+    // any wait); the edge ties it back to the originating send.
+    const std::uint64_t recv_span =
+        world_->trace_->record("recv", "comm", rank_, timemodel::kNetLane,
+                               call_begin, timeline().now());
+    world_->trace_->record_edge(message.trace_span, recv_span, "message");
+  }
 }
 
 void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
@@ -197,6 +223,7 @@ bool Communicator::probe(int source, int tag) {
 
 void Communicator::barrier() {
   PSF_METRIC_ADD("minimpi.barriers", 1);
+  const double barrier_begin = timeline().now();
   auto& state = *world_->barrier_;
   {
     std::lock_guard<std::mutex> guard(state.mutex);
@@ -214,6 +241,10 @@ void Communicator::barrier() {
     joint = state.max_vtime + depth * world_->network_.latency_s;
   }
   timeline().merge(joint);
+  if (world_->trace_ != nullptr) {
+    world_->trace_->record("barrier", "comm", rank_, timemodel::kNetLane,
+                           barrier_begin, timeline().now());
+  }
   state.rendezvous.arrive_and_wait();
   if (rank_ == 0) {
     std::lock_guard<std::mutex> guard(state.mutex);

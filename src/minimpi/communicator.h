@@ -17,6 +17,7 @@
 #include "timemodel/link.h"
 #include "timemodel/rates.h"
 #include "timemodel/timeline.h"
+#include "timemodel/trace.h"
 
 namespace psf::minimpi {
 
@@ -74,6 +75,17 @@ class World {
   void set_byte_scale(double scale) noexcept { byte_scale_ = scale; }
   [[nodiscard]] double byte_scale() const noexcept { return byte_scale_; }
 
+  /// Attach a schedule recorder: every send/recv/barrier records a span on
+  /// the per-rank network lane (timemodel::kNetLane) and deliveries record
+  /// send -> recv dependency edges, giving psf::analysis the causal message
+  /// graph. Call before run(); not owned, must outlive the World. The
+  /// recorder also gets "rankN" process names and a "net" lane name per
+  /// rank so trace viewers label the lanes.
+  void set_trace(timemodel::TraceRecorder* trace);
+  [[nodiscard]] timemodel::TraceRecorder* trace() const noexcept {
+    return trace_;
+  }
+
  private:
   friend class Communicator;
 
@@ -83,6 +95,7 @@ class World {
   timemodel::LinkModel network_;
   timemodel::Overheads overheads_;
   double byte_scale_ = 1.0;
+  timemodel::TraceRecorder* trace_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<timemodel::Timeline>> timelines_;
   std::unique_ptr<BarrierState> barrier_;

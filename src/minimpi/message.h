@@ -38,6 +38,9 @@ struct Message {
   /// Virtual time at which the message arrives at the receiver (departure
   /// time + link cost), merged into the receiver's timeline on receipt.
   double arrival_vtime = 0.0;
+  /// Trace span id of the send operation (0 when tracing is off), so the
+  /// receive can record a send -> recv dependency edge.
+  std::uint64_t trace_span = 0;
 };
 
 /// Per-rank inbound message queue with (source, tag) matching. Arrival order

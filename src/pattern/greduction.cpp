@@ -148,11 +148,13 @@ support::Status GReductionRuntime::start() {
   PSF_METRIC_OBSERVE("pattern.gr.local_vtime",
                      schedule.makespan - comm.timeline().now());
 #endif
+  chunk_span_ids_.clear();
   if (auto* trace = env_->options().trace) {
     for (std::size_t d = 0; d < schedule.device_finish.size(); ++d) {
-      trace->record("gr chunks", "compute", comm.rank(),
-                    static_cast<int>(d) + 1, comm.timeline().now(),
-                    schedule.device_finish[d]);
+      chunk_span_ids_.push_back(
+          trace->record("gr chunks", "compute", comm.rank(),
+                        static_cast<int>(d) + 1, comm.timeline().now(),
+                        schedule.device_finish[d]));
     }
   }
   comm.timeline().merge(schedule.makespan);
@@ -325,8 +327,13 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
   PSF_METRIC_ADD("pattern.gr.global_combines", 1);
   PSF_METRIC_OBSERVE("pattern.gr.combine_vtime", stats_.combine_vtime);
   if (auto* trace = env_->options().trace) {
-    trace->record("gr global combine", "comm", comm.rank(), 0, t0,
-                  comm.timeline().now());
+    const std::uint64_t combine_span =
+        trace->record("gr global combine", "comm", comm.rank(), 0, t0,
+                      comm.timeline().now());
+    // The combine consumes every device's local chunk results.
+    for (const std::uint64_t chunk_span : chunk_span_ids_) {
+      trace->record_edge(chunk_span, combine_span, "chunk");
+    }
   }
   have_global_ = true;
   return *global_result_;

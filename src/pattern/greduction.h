@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -127,6 +128,9 @@ class GReductionRuntime {
   std::unique_ptr<ReductionObject> global_result_;
   bool have_global_ = false;
   Stats stats_;
+  /// Trace span ids of the latest start()'s per-device chunk spans, so the
+  /// global combine can record chunk -> combine dependency edges.
+  std::vector<std::uint64_t> chunk_span_ids_;
 };
 
 }  // namespace psf::pattern

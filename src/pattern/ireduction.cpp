@@ -1,6 +1,7 @@
 #include "pattern/ireduction.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <numeric>
 
@@ -389,8 +390,9 @@ void IReductionRuntime::exchange_node_data(bool overlap_with_local_compute) {
   PSF_METRIC_ADD("pattern.ir.data_exchanges", 1);
   PSF_METRIC_OBSERVE("pattern.ir.exchange_vtime", stats_.last_exchange_vtime);
   if (auto* trace = env_->options().trace) {
-    trace->record("ir node-data exchange", "comm", comm.rank(), 0, t0,
-                  comm.timeline().now());
+    last_exchange_span_ =
+        trace->record("ir node-data exchange", "comm", comm.rank(), 0, t0,
+                      comm.timeline().now());
   }
 }
 
@@ -436,13 +438,19 @@ double IReductionRuntime::compute_edges(bool include_local,
     iteration_device_seconds_[d] += busy;
     iteration_device_edges_[d] += edge_count;
     if (auto* trace = env_->options().trace) {
-      trace->record(include_cross ? (include_local ? "ir edges"
-                                                   : "ir cross edges")
-                                  : "ir local edges",
-                    "compute", comm.rank(), static_cast<int>(d) + 1,
-                    start_time, lanes.time(d));
+      const std::uint64_t span =
+          trace->record(include_cross ? (include_local ? "ir edges"
+                                                       : "ir cross edges")
+                                      : "ir local edges",
+                        "compute", comm.rank(), static_cast<int>(d) + 1,
+                        start_time, lanes.time(d));
+      // Cross edges read replica slots the node-data exchange filled.
+      if (include_cross) {
+        trace->record_edge(last_exchange_span_, span, "exchange");
+      }
     }
   }
+  if (include_cross) last_exchange_span_ = 0;
   return lanes.join(comm.timeline());
 }
 

@@ -189,6 +189,9 @@ class IReductionRuntime {
   AdaptivePartitioner partitioner_{1};
   std::unique_ptr<ReductionObject> local_result_;
   Stats stats_;
+  /// Trace span id of the latest node-data exchange, consumed by the next
+  /// cross-edge compute pass to record an exchange -> compute edge.
+  std::uint64_t last_exchange_span_ = 0;
 };
 
 }  // namespace psf::pattern

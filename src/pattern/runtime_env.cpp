@@ -27,6 +27,16 @@ RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
   devices_ = devsim::make_node_devices(options_.preset, comm_->timeline(),
                                        kDefaultGpuMemoryBytes,
                                        executor_.get());
+  if (options_.trace != nullptr) {
+    // Lane 0 is the rank's host/runtime lane; active devices get lanes
+    // 1..D named after their descriptors (cpu0, gpu1, ...).
+    options_.trace->set_lane_name(comm_->rank(), 0, "host");
+    const auto active = active_devices();
+    for (std::size_t d = 0; d < active.size(); ++d) {
+      active[d]->set_trace(options_.trace, comm_->rank(),
+                           static_cast<int>(d) + 1);
+    }
+  }
 }
 
 RuntimeEnv::~RuntimeEnv() = default;

@@ -1,6 +1,7 @@
 #include "pattern/stencil.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <exception>
 #include <mutex>
@@ -468,6 +469,11 @@ support::Status StencilRuntime::start() {
   const bool overlap = env_->options().overlap;
   std::size_t halo_bytes = 0;
   double exchange_end = comm.timeline().now();
+  // Span ids carried forward so the boundary pass can record its causal
+  // dependencies (exchange -> boundary, inner_d -> boundary_d).
+  std::uint64_t exchange_span = 0;
+  std::uint64_t sync_span = 0;
+  std::vector<std::uint64_t> inner_spans(devices.size(), 0);
 
   if (overlap) {
     // Steps 1-3: pack, asynchronous exchange, inner tiles concurrently.
@@ -527,11 +533,12 @@ support::Status StencilRuntime::start() {
     }
 #endif
     if (auto* trace = env_->options().trace) {
-      trace->record("halo exchange", "comm", comm.rank(), 0, fork,
-                    exchange_end);
+      exchange_span = trace->record("halo exchange", "comm", comm.rank(), 0,
+                                    fork, exchange_end);
       for (std::size_t d = 0; d < devices.size(); ++d) {
-        trace->record("inner tiles", "compute", comm.rank(),
-                      static_cast<int>(d) + 1, fork, lanes.time(d));
+        inner_spans[d] =
+            trace->record("inner tiles", "compute", comm.rank(),
+                          static_cast<int>(d) + 1, fork, lanes.time(d));
       }
     }
     lanes.join(comm.timeline());
@@ -546,8 +553,18 @@ support::Status StencilRuntime::start() {
       compute_rows(static_cast<int>(d), device_row_bounds_[d],
                    device_row_bounds_[d + 1], /*want_inner=*/true);
     });
-    timemodel::LaneSet lanes(devices.size(), comm.timeline().now());
+    const double fork = comm.timeline().now();
+    timemodel::LaneSet lanes(devices.size(), fork);
     price_pass(lanes, /*inner_pass=*/true);
+    if (auto* trace = env_->options().trace) {
+      exchange_span = trace->record("halo exchange", "comm", comm.rank(), 0,
+                                    ex0, exchange_end);
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        inner_spans[d] =
+            trace->record("inner tiles", "compute", comm.rank(),
+                          static_cast<int>(d) + 1, fork, lanes.time(d));
+      }
+    }
     lanes.join(comm.timeline());
   }
 
@@ -567,7 +584,12 @@ support::Status StencilRuntime::start() {
                                   : env_->options().preset.pcie;
       cost = std::max(cost, link.cost(plane_bytes));
     }
+    const double sync_begin = comm.timeline().now();
     comm.timeline().advance(cost);
+    if (auto* trace = env_->options().trace) {
+      sync_span = trace->record("boundary sync", "copy", comm.rank(), 0,
+                                sync_begin, comm.timeline().now());
+    }
   }
 
   // Step 7: boundary tiles (grouped into one launch when tiling is on).
@@ -581,8 +603,14 @@ support::Status StencilRuntime::start() {
     price_pass(lanes, /*inner_pass=*/false);
     if (auto* trace = env_->options().trace) {
       for (std::size_t d = 0; d < devices.size(); ++d) {
-        trace->record("boundary tiles", "compute", comm.rank(),
-                      static_cast<int>(d) + 1, fork, lanes.time(d));
+        const std::uint64_t span =
+            trace->record("boundary tiles", "compute", comm.rank(),
+                          static_cast<int>(d) + 1, fork, lanes.time(d));
+        // Boundary cells read the halo the exchange delivered and the rows
+        // the inner pass of this device produced.
+        trace->record_edge(exchange_span, span, "exchange");
+        trace->record_edge(sync_span, span, "exchange");
+        trace->record_edge(inner_spans[d], span, "join");
       }
     }
     lanes.join(comm.timeline());

@@ -33,24 +33,88 @@ std::string escape(const std::string& text) {
   return out;
 }
 
+/// Shortest decimal that round-trips the double exactly (17 significant
+/// digits) — the same convention as the metrics reports, so virtual times
+/// survive a serialize/parse cycle bit-identically.
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
 }  // namespace
 
 std::string TraceRecorder::to_chrome_json() const {
-  const auto snapshot = spans();
-  std::ostringstream json;
-  json << "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& span : snapshot) {
-    if (!first) json << ",";
-    first = false;
-    // Complete ("X") events with microsecond virtual timestamps.
-    json << "{\"name\":\"" << escape(span.name) << "\",\"cat\":\""
-         << escape(span.category) << "\",\"ph\":\"X\",\"pid\":" << span.rank
-         << ",\"tid\":" << span.lane << ",\"ts\":" << span.begin * 1e6
-         << ",\"dur\":" << (span.end - span.begin) * 1e6 << "}";
+  // One consistent snapshot of everything under a single lock section.
+  std::vector<TraceSpan> snapshot;
+  std::vector<TraceEdge> edge_snapshot;
+  std::map<int, std::string> processes;
+  std::map<std::pair<int, int>, std::string> lanes;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    snapshot = spans_;
+    edge_snapshot = edges_;
+    processes = process_names_;
+    lanes = lane_names_;
   }
-  json << "],\"displayTimeUnit\":\"ms\"}";
-  return json.str();
+
+  std::string json;
+  json.reserve(snapshot.size() * 160 + edge_snapshot.size() * 48 + 256);
+  json += "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata ("M") events label ranks and lanes in trace viewers; maps keep
+  // the emission order sorted and deterministic.
+  for (const auto& [rank, name] : processes) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    json += std::to_string(rank);
+    json += ",\"args\":{\"name\":\"" + escape(name) + "\"}}";
+  }
+  for (const auto& [key, name] : lanes) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    json += std::to_string(key.first);
+    json += ",\"tid\":";
+    json += std::to_string(key.second);
+    json += ",\"args\":{\"name\":\"" + escape(name) + "\"}}";
+  }
+  for (const auto& span : snapshot) {
+    if (!first) json += ",";
+    first = false;
+    // Complete ("X") events with microsecond virtual timestamps; args carry
+    // the span id and exact begin/end seconds for lossless re-parsing.
+    json += "{\"name\":\"" + escape(span.name) + "\",\"cat\":\"" +
+            escape(span.category) + "\",\"ph\":\"X\",\"pid\":";
+    json += std::to_string(span.rank);
+    json += ",\"tid\":";
+    json += std::to_string(span.lane);
+    json += ",\"ts\":";
+    append_double(json, span.begin * 1e6);
+    json += ",\"dur\":";
+    append_double(json, (span.end - span.begin) * 1e6);
+    json += ",\"args\":{\"id\":";
+    json += std::to_string(span.id);
+    json += ",\"begin\":";
+    append_double(json, span.begin);
+    json += ",\"end\":";
+    append_double(json, span.end);
+    json += "}}";
+  }
+  json += "],\"displayTimeUnit\":\"ms\",\"psfEdges\":[";
+  first = true;
+  for (const auto& edge : edge_snapshot) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"from\":";
+    json += std::to_string(edge.from);
+    json += ",\"to\":";
+    json += std::to_string(edge.to);
+    json += ",\"kind\":\"" + escape(edge.kind) + "\"}";
+  }
+  json += "]}";
+  return json;
 }
 
 bool TraceRecorder::write_chrome_json(const std::string& path) const {

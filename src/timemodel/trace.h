@@ -1,14 +1,18 @@
 // PSF — Pattern Specification Framework
 // Schedule tracing: runtimes record named virtual-time spans per execution
-// lane (rank, device, communication); the recorder exports Chrome trace
-// JSON (chrome://tracing / Perfetto) for visual inspection of overlap,
-// imbalance and adaptive repartitioning.
+// lane (rank, device, communication) plus the dependency edges between them
+// (message delivery, stream ordering, chunk combines, halo-exchange joins).
+// The recorder exports Chrome trace JSON (chrome://tracing / Perfetto) for
+// visual inspection, and the same file feeds psf::analysis — critical-path
+// extraction, per-lane utilization and what-if projection (tools/psf-analyze).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/error.h"
@@ -16,8 +20,14 @@
 
 namespace psf::timemodel {
 
+/// Reserved lane for per-message minimpi operations (sends, receives,
+/// barriers). Pattern runtimes use lane 0 for aggregate host activity and
+/// lanes 1..D for devices, so the network lane sits far above them.
+inline constexpr int kNetLane = 99;
+
 /// One recorded span on a lane, in virtual seconds.
 struct TraceSpan {
+  std::uint64_t id = 0;  ///< stable recorder-assigned id (1-based; 0 = none)
   std::string name;      ///< e.g. "CF edges", "halo exchange"
   std::string category;  ///< "compute", "comm", "copy", ...
   int rank = 0;          ///< process id (trace pid)
@@ -26,19 +36,64 @@ struct TraceSpan {
   double end = 0.0;
 };
 
-/// Thread-safe collector of trace spans. Attach one to EnvOptions::trace to
-/// capture a run; nullptr (the default) disables recording entirely.
+/// A causal dependency between two spans: `to` cannot complete (message
+/// edges) or start (ordering edges) independently of `from`. Kinds used by
+/// the runtimes: "message" (minimpi send -> recv), "stream" (devsim copy ->
+/// kernel), "chunk" (GR device chunks -> global combine), "exchange" (halo /
+/// node-data exchange -> dependent compute), "join" (forked lane -> join
+/// successor).
+struct TraceEdge {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::string kind;
+};
+
+/// Thread-safe collector of trace spans and dependency edges. Attach one to
+/// EnvOptions::trace (and minimpi::World::set_trace / devsim::Device::
+/// set_trace) to capture a run; nullptr (the default) disables recording.
 class TraceRecorder {
  public:
-  /// Record a span; no-op when end < begin is corrected to a point event.
-  void record(std::string name, std::string category, int rank, int lane,
-              double begin, double end) {
+  /// Record a span and return its id. An inverted span (end < begin) is
+  /// clamped to a point event at `begin` — the span is still recorded, with
+  /// end = begin and zero duration. Negative durations cannot be
+  /// represented in the Chrome trace format and always indicate a caller
+  /// bug; clamping keeps the trace loadable while the point event marks
+  /// where the inversion happened.
+  std::uint64_t record(std::string name, std::string category, int rank,
+                       int lane, double begin, double end) {
     PSF_METRIC_ADD("timemodel.trace_spans", 1);
     PSF_METRIC_OBSERVE("timemodel.trace_span_vtime",
                        std::max(begin, end) - begin);
     std::lock_guard<std::mutex> guard(mutex_);
-    spans_.push_back({std::move(name), std::move(category), rank, lane,
+    const std::uint64_t id = next_id_++;
+    spans_.push_back({id, std::move(name), std::move(category), rank, lane,
                       begin, std::max(begin, end)});
+    return id;
+  }
+
+  /// Record a dependency edge between two recorded spans. Ids of 0 (the
+  /// "no span" sentinel returned when tracing was off at record time) are
+  /// ignored, so call sites can pass optional predecessors unconditionally.
+  void record_edge(std::uint64_t from, std::uint64_t to, std::string kind) {
+    if (from == 0 || to == 0) return;
+    PSF_METRIC_ADD("timemodel.trace_edges", 1);
+    std::lock_guard<std::mutex> guard(mutex_);
+    edges_.push_back({from, to, std::move(kind)});
+  }
+
+  /// Name a rank for trace viewers ("rank0") — emitted as a Chrome
+  /// process_name metadata event.
+  void set_process_name(int rank, std::string name) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    process_names_[rank] = std::move(name);
+  }
+
+  /// Name a lane within a rank ("gpu1", "net") — emitted as a Chrome
+  /// thread_name metadata event, so Perfetto shows rank0/gpu1 instead of
+  /// bare pid/tid integers.
+  void set_lane_name(int rank, int lane, std::string name) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    lane_names_[{rank, lane}] = std::move(name);
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -52,13 +107,37 @@ class TraceRecorder {
     return spans_;
   }
 
+  /// Snapshot of all dependency edges recorded so far.
+  [[nodiscard]] std::vector<TraceEdge> edges() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return edges_;
+  }
+
+  [[nodiscard]] std::map<int, std::string> process_names() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return process_names_;
+  }
+
+  [[nodiscard]] std::map<std::pair<int, int>, std::string> lane_names()
+      const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return lane_names_;
+  }
+
   void clear() {
     std::lock_guard<std::mutex> guard(mutex_);
     spans_.clear();
+    edges_.clear();
+    process_names_.clear();
+    lane_names_.clear();
+    next_id_ = 1;
   }
 
   /// Serialize as Chrome trace-event JSON (microsecond timestamps). Load
-  /// the result in chrome://tracing or https://ui.perfetto.dev.
+  /// the result in chrome://tracing or https://ui.perfetto.dev. Each "X"
+  /// event carries `args.id/begin/end` with full double precision (%.17g)
+  /// so psf::analysis can rebuild the exact virtual times, and a top-level
+  /// "psfEdges" array carries the dependency edges (ignored by viewers).
   [[nodiscard]] std::string to_chrome_json() const;
 
   /// Write to_chrome_json() to a file; returns false on I/O failure.
@@ -66,7 +145,11 @@ class TraceRecorder {
 
  private:
   mutable std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
   std::vector<TraceSpan> spans_;
+  std::vector<TraceEdge> edges_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> lane_names_;
 };
 
 }  // namespace psf::timemodel

@@ -27,7 +27,53 @@ TEST(TraceRecorder, RecordsAndSnapshots) {
 TEST(TraceRecorder, ClampsInvertedSpans) {
   timemodel::TraceRecorder trace;
   trace.record("odd", "compute", 0, 0, 5.0, 3.0);
-  EXPECT_DOUBLE_EQ(trace.spans()[0].end, 5.0);  // point event
+  // An inverted span is recorded as a point event at its begin time — the
+  // begin is kept, the end is clamped up to it, never the other way round.
+  EXPECT_DOUBLE_EQ(trace.spans()[0].begin, 5.0);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].end, 5.0);
+}
+
+TEST(TraceRecorder, AssignsStableNonZeroIds) {
+  timemodel::TraceRecorder trace;
+  const auto a = trace.record("a", "compute", 0, 0, 0.0, 1.0);
+  const auto b = trace.record("b", "compute", 0, 0, 1.0, 2.0);
+  EXPECT_NE(a, 0u);  // 0 is the "no span" sentinel for edges
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  const auto spans = trace.spans();
+  EXPECT_EQ(spans[0].id, a);
+  EXPECT_EQ(spans[1].id, b);
+}
+
+TEST(TraceRecorder, EdgesIgnoreNullIds) {
+  timemodel::TraceRecorder trace;
+  const auto a = trace.record("a", "compute", 0, 0, 0.0, 1.0);
+  const auto b = trace.record("b", "compute", 0, 0, 1.0, 2.0);
+  trace.record_edge(a, b, "stream");
+  trace.record_edge(0, b, "stream");  // dropped: no producer
+  trace.record_edge(a, 0, "stream");  // dropped: no consumer
+  ASSERT_EQ(trace.edges().size(), 1u);
+  EXPECT_EQ(trace.edges()[0].from, a);
+  EXPECT_EQ(trace.edges()[0].to, b);
+}
+
+TEST(TraceRecorder, ChromeJsonCarriesMetadataAndEdges) {
+  timemodel::TraceRecorder trace;
+  trace.set_process_name(0, "rank0");
+  trace.set_lane_name(0, 1, "gpu1");
+  const auto a = trace.record("copy", "copy", 0, 1, 0.0, 1.0);
+  const auto b = trace.record("kernel", "compute", 0, 1, 1.0, 2.0);
+  trace.record_edge(a, b, "stream");
+  const std::string json = trace.to_chrome_json();
+  // Perfetto labels lanes from process_name / thread_name metadata events.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("rank0"), std::string::npos);
+  EXPECT_NE(json.find("gpu1"), std::string::npos);
+  // The causal edges ride in a top-level psfEdges array.
+  EXPECT_NE(json.find("\"psfEdges\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"stream\""), std::string::npos);
 }
 
 TEST(TraceRecorder, ChromeJsonShape) {

@@ -1,0 +1,120 @@
+// psf-analyze — causal analysis of PSF trace files.
+//
+// Usage:
+//   psf-analyze TRACE.json [--json OUT.json] [--what-if KEY=FACTORx]...
+//
+// TRACE.json is the Chrome trace a run emitted (EnvOptions::with_trace +
+// TraceRecorder::write_chrome_json, or bench/run_all --trace-dir). The tool
+// prints a human-readable report (critical path with per-category
+// attribution, lane utilization, overlap efficiency, load imbalance) and
+// optionally writes a versioned psf.analysis JSON document.
+//
+// What-if projection replays the dependency DAG with scaled rates:
+//   --what-if gpu=2x      GPUs twice as fast
+//   --what-if net=0.5x    network half as fast
+//   --what-if compute=4x  all compute spans 4x faster
+// Keys: span categories (compute, comm, copy), device-name prefixes (cpu,
+// gpu, mic), and "net" (message transit). Repeat the flag to combine.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s TRACE.json [--json OUT.json] "
+               "[--what-if KEY=FACTORx]...\n",
+               argv0);
+}
+
+/// Parse "gpu=2x" / "net=0.5" into the rates map. Returns false on error.
+bool parse_what_if(const std::string& spec,
+                   std::map<std::string, double>& rates) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string key = spec.substr(0, eq);
+  std::string value = spec.substr(eq + 1);
+  if (!value.empty() && (value.back() == 'x' || value.back() == 'X')) {
+    value.pop_back();
+  }
+  char* end = nullptr;
+  const double factor = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || factor <= 0.0) return false;
+  const auto [it, inserted] = rates.emplace(key, factor);
+  if (!inserted) it->second *= factor;  // repeated keys compound
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string json_path;
+  std::map<std::string, double> what_if;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (arg == "--json") {
+      if (++i >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      json_path = argv[i];
+      continue;
+    }
+    if (arg == "--what-if") {
+      if (++i >= argc || !parse_what_if(argv[i], what_if)) {
+        std::fprintf(stderr, "psf-analyze: bad --what-if spec\n");
+        usage(argv[0]);
+        return 2;
+      }
+      continue;
+    }
+    if (!trace_path.empty()) {
+      usage(argv[0]);
+      return 2;
+    }
+    trace_path = arg;
+  }
+  if (trace_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto graph = psf::analysis::TraceGraph::from_chrome_json_file(trace_path);
+  if (!graph.is_ok()) {
+    std::fprintf(stderr, "psf-analyze: %s\n",
+                 graph.status().to_string().c_str());
+    return 1;
+  }
+  const psf::analysis::Report report = psf::analysis::analyze(graph.value());
+
+  const std::string text =
+      psf::analysis::report_to_text(graph.value(), report, what_if);
+  std::fputs(text.c_str(), stdout);
+
+  if (!json_path.empty()) {
+    const std::string json =
+        psf::analysis::report_to_json(graph.value(), report, what_if);
+    std::ofstream out(json_path, std::ios::binary);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "psf-analyze: cannot write '%s'\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stdout, "\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
