@@ -5,19 +5,34 @@
 // can hold results to a tight regression threshold.
 //
 // Usage: run_all [--smoke] [--out PATH] [--trace-dir DIR]
+//                [--steady-metrics PATH]
 //   --smoke      smaller sweep (CI smoke job): fewer node counts and configs
 //   --out        write the JSON report to PATH (default: stdout only)
 //   --trace-dir  additionally run each app once with tracing enabled and
 //                write <DIR>/<app>.trace.json (Chrome trace + psfEdges) for
 //                tools/psf-analyze; DIR must exist
+//   --steady-metrics  after the sweep has warmed the buffer pool, run one
+//                more warm pass over all five apps, reset the metric
+//                values, run a measured steady pass, and write the
+//                registry report to PATH. CI asserts support.pool.misses
+//                and minimpi.payload_allocs are zero in that report — the
+//                allocation-free steady-state contract.
+//
+// Each bench row also reports wall seconds for the measured run. Unlike
+// vtime, wall is host- and load-dependent; scripts/compare_bench.py prints
+// it for trend-watching and only enforces a threshold with --check-wall.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "support/buffer_pool.h"
 #include "support/metrics.h"
 #include "timemodel/trace.h"
 
@@ -28,6 +43,7 @@ struct BenchResult {
   std::string name;    ///< "<app>/<config>/n<nodes>"
   double vtime = 0.0;  ///< measured virtual seconds (max over ranks)
   double speedup = 0.0;  ///< sequential paper-scale vtime / vtime
+  double wall = 0.0;   ///< wall seconds of the run (host-dependent)
 };
 
 /// Device mixes with JSON-friendly slugs.
@@ -68,16 +84,23 @@ void sweep(std::vector<BenchResult>& results, const char* app,
     // Smoke keeps one heterogeneous mix per app.
     if (smoke && std::strcmp(config.slug, "cpu+2gpu") != 0) continue;
     for (int nodes : node_counts) {
+      const auto wall_begin = std::chrono::steady_clock::now();
       const double vtime =
           run_framework(workload, nodes, config.devices, run);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_begin)
+              .count();
       BenchResult result;
       result.name = std::string(app) + "/" + config.slug + "/n" +
                     std::to_string(nodes);
       result.vtime = vtime;
       result.speedup = seq / vtime;
+      result.wall = wall;
       results.push_back(result);
-      std::printf("  %-28s vtime %12.6f s  speedup %8.1fx\n",
-                  result.name.c_str(), result.vtime, result.speedup);
+      std::printf("  %-28s vtime %12.6f s  speedup %8.1fx  wall %9.4f s\n",
+                  result.name.c_str(), result.vtime, result.speedup,
+                  result.wall);
     }
   }
   if (!trace_dir.empty()) {
@@ -110,6 +133,9 @@ std::string to_json(const std::vector<BenchResult>& results, bool smoke) {
     out += ",\"speedup\":";
     std::snprintf(buffer, sizeof(buffer), "%.17g", results[i].speedup);
     out += buffer;
+    out += ",\"wall\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", results[i].wall);
+    out += buffer;
     out += "}";
   }
   out += "]}";
@@ -124,6 +150,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path;
   std::string trace_dir;
+  std::string steady_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -131,10 +158,12 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
       trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--steady-metrics") == 0 && i + 1 < argc) {
+      steady_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: run_all [--smoke] [--out PATH] "
-                   "[--trace-dir DIR]\n");
+                   "[--trace-dir DIR] [--steady-metrics PATH]\n");
       return 2;
     }
   }
@@ -142,69 +171,104 @@ int main(int argc, char** argv) {
   const std::vector<int> node_counts =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
   std::vector<BenchResult> results;
+  // One run per app for the steady-state passes: the heterogeneous mix at
+  // the largest sweep size (the most message-heavy cell already warmed).
+  std::vector<std::function<void()>> steady_runs;
+  const int steady_nodes = node_counts.back();
   std::printf("PSF bench sweep (%s): virtual seconds, deterministic\n",
               smoke ? "smoke" : "full");
 
   {
-    KmeansWorkload workload;
-    sweep(results, "kmeans", workload, node_counts, smoke, trace_dir,
-          [&](psf::minimpi::Communicator& comm,
-              const psf::pattern::EnvOptions& options) {
-            return psf::apps::kmeans::run_framework(
-                       comm, options, workload.params, workload.points)
-                .vtime;
-          });
+    auto workload = std::make_shared<KmeansWorkload>();
+    auto run = [workload](psf::minimpi::Communicator& comm,
+                          const psf::pattern::EnvOptions& options) {
+      return psf::apps::kmeans::run_framework(comm, options, workload->params,
+                                              workload->points)
+          .vtime;
+    };
+    sweep(results, "kmeans", *workload, node_counts, smoke, trace_dir, run);
+    steady_runs.push_back([workload, run, steady_nodes] {
+      run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
+    });
   }
   {
-    MoldynWorkload workload;
+    auto workload = std::make_shared<MoldynWorkload>();
     // run_framework mutates the molecules; each sweep cell needs a fresh
     // copy so results stay independent of sweep order.
-    sweep(results, "moldyn", workload, node_counts, smoke, trace_dir,
-          [&](psf::minimpi::Communicator& comm,
-              const psf::pattern::EnvOptions& options) {
-            auto molecules = workload.molecules;
-            return psf::apps::moldyn::run_framework(comm, options,
-                                                    workload.params,
-                                                    molecules, workload.edges)
-                       .steady_vtime *
-                   workload.params.iterations;
-          });
+    auto run = [workload](psf::minimpi::Communicator& comm,
+                          const psf::pattern::EnvOptions& options) {
+      auto molecules = workload->molecules;
+      return psf::apps::moldyn::run_framework(comm, options, workload->params,
+                                              molecules, workload->edges)
+                 .steady_vtime *
+             workload->params.iterations;
+    };
+    sweep(results, "moldyn", *workload, node_counts, smoke, trace_dir, run);
+    steady_runs.push_back([workload, run, steady_nodes] {
+      run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
+    });
   }
   {
-    MinimdWorkload workload;
-    sweep(results, "minimd", workload, node_counts, smoke, trace_dir,
-          [&](psf::minimpi::Communicator& comm,
-              const psf::pattern::EnvOptions& options) {
-            auto atoms = workload.fresh_atoms();
-            return psf::apps::minimd::run_framework(comm, options,
-                                                    workload.params, atoms)
-                       .steady_vtime *
-                   workload.params.iterations;
-          });
+    auto workload = std::make_shared<MinimdWorkload>();
+    auto run = [workload](psf::minimpi::Communicator& comm,
+                          const psf::pattern::EnvOptions& options) {
+      auto atoms = workload->fresh_atoms();
+      return psf::apps::minimd::run_framework(comm, options, workload->params,
+                                              atoms)
+                 .steady_vtime *
+             workload->params.iterations;
+    };
+    sweep(results, "minimd", *workload, node_counts, smoke, trace_dir, run);
+    steady_runs.push_back([workload, run, steady_nodes] {
+      run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
+    });
   }
   {
-    SobelWorkload workload;
-    sweep(results, "sobel", workload, node_counts, smoke, trace_dir,
-          [&](psf::minimpi::Communicator& comm,
-              const psf::pattern::EnvOptions& options) {
-            return psf::apps::sobel::run_framework(comm, options,
-                                                   workload.params,
-                                                   workload.image)
-                       .steady_vtime *
-                   workload.params.iterations;
-          });
+    auto workload = std::make_shared<SobelWorkload>();
+    auto run = [workload](psf::minimpi::Communicator& comm,
+                          const psf::pattern::EnvOptions& options) {
+      return psf::apps::sobel::run_framework(comm, options, workload->params,
+                                             workload->image)
+                 .steady_vtime *
+             workload->params.iterations;
+    };
+    sweep(results, "sobel", *workload, node_counts, smoke, trace_dir, run);
+    steady_runs.push_back([workload, run, steady_nodes] {
+      run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
+    });
   }
   {
-    Heat3dWorkload workload;
-    sweep(results, "heat3d", workload, node_counts, smoke, trace_dir,
-          [&](psf::minimpi::Communicator& comm,
-              const psf::pattern::EnvOptions& options) {
-            return psf::apps::heat3d::run_framework(comm, options,
-                                                    workload.params,
-                                                    workload.field)
-                       .steady_vtime *
-                   workload.params.iterations;
-          });
+    auto workload = std::make_shared<Heat3dWorkload>();
+    auto run = [workload](psf::minimpi::Communicator& comm,
+                          const psf::pattern::EnvOptions& options) {
+      return psf::apps::heat3d::run_framework(comm, options, workload->params,
+                                              workload->field)
+                 .steady_vtime *
+             workload->params.iterations;
+    };
+    sweep(results, "heat3d", *workload, node_counts, smoke, trace_dir, run);
+    steady_runs.push_back([workload, run, steady_nodes] {
+      run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
+    });
+  }
+
+  if (!steady_path.empty()) {
+    // The sweep warmed the pool; one more full pass covers any size class
+    // the last sweep cells touched first, then the measured pass must hit
+    // the pool every time (support.pool.misses == 0,
+    // minimpi.payload_allocs == 0 — asserted by CI).
+    std::printf("steady-state passes (warm + measured)...\n");
+    for (const auto& run : steady_runs) run();
+    // Headroom against scheduling variance: the measured pass may hold more
+    // buffers of one class in flight than any warm pass happened to.
+    psf::support::BufferPool::global().prewarm();
+    psf::metrics::Registry::global().reset_values();
+    for (const auto& run : steady_runs) run();
+    if (!psf::metrics::Registry::global().write_json(steady_path)) {
+      std::fprintf(stderr, "run_all: cannot write %s\n", steady_path.c_str());
+      return 1;
+    }
+    std::printf("wrote steady-state metrics to %s\n", steady_path.c_str());
   }
 
   const std::string report = to_json(results, smoke);

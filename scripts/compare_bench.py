@@ -7,8 +7,14 @@ deterministic for a given cost model, so the default threshold only needs
 to absorb cross-compiler floating-point differences; genuine cost-model
 changes should update the committed baseline instead of widening it.
 
+Wall-clock seconds (the "wall" field, present since the pooled-messaging
+work) are printed alongside vtime for trend-watching but are host- and
+load-dependent, so they are only enforced with --check-wall, and then
+against the much looser --wall-threshold.
+
 Usage:
   scripts/compare_bench.py BASELINE.json NEW.json [--threshold PCT]
+                           [--check-wall] [--wall-threshold PCT]
 """
 
 import argparse
@@ -21,7 +27,18 @@ def load_benches(path: str) -> dict:
         report = json.load(f)
     if report.get("schema") != "psf.bench":
         raise SystemExit(f"{path}: not a psf.bench report")
-    return {b["name"]: b["vtime"] for b in report.get("benches", [])}
+    # Older baselines predate the wall field; treat it as absent.
+    return {
+        b["name"]: (b["vtime"], b.get("wall"))
+        for b in report.get("benches", [])
+    }
+
+
+def format_wall(base_wall, new_wall) -> str:
+    if base_wall is None or new_wall is None or base_wall <= 0:
+        return ""
+    delta_pct = (new_wall - base_wall) / base_wall * 100.0
+    return f"  wall {base_wall:8.4f} -> {new_wall:8.4f} ({delta_pct:+.1f}%)"
 
 
 def main() -> int:
@@ -33,6 +50,19 @@ def main() -> int:
         type=float,
         default=5.0,
         help="allowed vtime regression in percent (default 5)",
+    )
+    parser.add_argument(
+        "--check-wall",
+        action="store_true",
+        help="also fail on wall-clock regressions beyond --wall-threshold "
+        "(off by default: wall is host-dependent)",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=50.0,
+        help="allowed wall regression in percent with --check-wall "
+        "(default 50)",
     )
     parser.add_argument(
         "--require-all",
@@ -49,14 +79,14 @@ def main() -> int:
     failures = []
     improvements = 0
     skipped = 0
-    for name, base_vtime in sorted(baseline.items()):
+    for name, (base_vtime, base_wall) in sorted(baseline.items()):
         if name not in new:
             if args.require_all:
                 failures.append(f"{name}: missing from new report")
             else:
                 skipped += 1
             continue
-        new_vtime = new[name]
+        new_vtime, new_wall = new[name]
         delta_pct = (new_vtime - base_vtime) / base_vtime * 100.0
         marker = ""
         if delta_pct > args.threshold:
@@ -68,8 +98,23 @@ def main() -> int:
         elif delta_pct < -args.threshold:
             improvements += 1
             marker = "  improved"
+        if (
+            args.check_wall
+            and base_wall is not None
+            and new_wall is not None
+            and base_wall > 0
+        ):
+            wall_delta_pct = (new_wall - base_wall) / base_wall * 100.0
+            if wall_delta_pct > args.wall_threshold:
+                failures.append(
+                    f"{name}: wall {base_wall:.4g} -> {new_wall:.4g} "
+                    f"(+{wall_delta_pct:.1f}%, wall threshold "
+                    f"{args.wall_threshold}%)"
+                )
+                marker += "  WALL-REGRESSED"
         print(f"  {name:32s} {base_vtime:12.6g} -> {new_vtime:12.6g} "
-              f"({delta_pct:+.2f}%){marker}")
+              f"({delta_pct:+.2f}%){format_wall(base_wall, new_wall)}"
+              f"{marker}")
 
     extra = sorted(set(new) - set(baseline))
     for name in extra:

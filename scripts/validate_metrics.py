@@ -8,7 +8,13 @@ Three report kinds:
   analysis — psf.analysis v1, written by tools/psf-analyze --json
 
 Usage:
-  scripts/validate_metrics.py [--kind metrics|bench|analysis] REPORT.json
+  scripts/validate_metrics.py [--kind metrics|bench|analysis]
+                              [--assert-zero COUNTER]... REPORT.json
+
+--assert-zero (metrics kind only, repeatable) fails the check unless the
+named counter exists and is exactly zero. CI uses it on the steady-state
+bench report to pin the allocation-free hot-path contract:
+  --assert-zero support.pool.misses --assert-zero minimpi.payload_allocs
 """
 
 import argparse
@@ -42,6 +48,15 @@ def check_metrics(report: dict) -> None:
             fail(f"timer {name!r} count is invalid: {value.get('count')!r}")
         if not isinstance(value.get("seconds"), numbers.Real):
             fail(f"timer {name!r} seconds is invalid: {value.get('seconds')!r}")
+
+
+def check_zero_counters(report: dict, names: list) -> None:
+    counters = report["counters"]
+    for name in names:
+        if name not in counters:
+            fail(f"--assert-zero counter {name!r} is absent from the report")
+        if counters[name] != 0:
+            fail(f"counter {name!r} must be zero, got {counters[name]}")
 
 
 def check_bench(report: dict) -> None:
@@ -143,7 +158,17 @@ def main() -> int:
         default="metrics",
         help="report schema to check against (default: metrics)",
     )
+    parser.add_argument(
+        "--assert-zero",
+        action="append",
+        default=[],
+        metavar="COUNTER",
+        help="require this counter to be present and exactly zero "
+        "(metrics kind only, repeatable)",
+    )
     args = parser.parse_args()
+    if args.assert_zero and args.kind != "metrics":
+        parser.error("--assert-zero only applies to --kind metrics")
 
     try:
         with open(args.report) as f:
@@ -153,11 +178,17 @@ def main() -> int:
 
     if args.kind == "metrics":
         check_metrics(report)
+        check_zero_counters(report, args.assert_zero)
     elif args.kind == "bench":
         check_bench(report)
     else:
         check_analysis(report)
     print(f"validate_metrics: {args.report} is a valid psf.{args.kind} report")
+    if args.assert_zero:
+        print(
+            "validate_metrics: zero-counter assertions hold: "
+            + ", ".join(args.assert_zero)
+        )
     return 0
 
 

@@ -106,36 +106,44 @@ void Device::run_blocks(
   metric_block_launches_->add(static_cast<std::uint64_t>(num_blocks));
 #endif
   // Each concurrent worker gets its own arena; blocks reuse arenas as they
-  // are scheduled, exactly like SMs reuse shared memory across blocks.
+  // are scheduled, exactly like SMs reuse shared memory across blocks. The
+  // arenas persist across launches (grow-only), so the per-iteration kernel
+  // launches of a steady-state run allocate nothing; a single controlling
+  // host thread drives the device, so resizing here is race-free. Blocks
+  // zero their slice before use, which keeps reuse semantically fresh.
   const std::size_t concurrency = pool_->size() + 1;
-  std::vector<support::AlignedBuffer> arenas(concurrency);
-  for (auto& arena : arenas) arena.resize(shared_bytes);
-
+  if (arenas_.size() != concurrency || arena_bytes_ < shared_bytes) {
+    arenas_.resize(concurrency);
+    arena_bytes_ = std::max(arena_bytes_, shared_bytes);
+    for (auto& arena : arenas_) {
+      if (arena.size() < arena_bytes_) arena.resize(arena_bytes_);
+    }
+  }
   // Arena checkout stack: at most `concurrency` blocks run at once, so a
-  // popped arena is exclusively owned until the block finishes.
-  support::SpinLock arena_lock;
-  std::vector<std::size_t> free_arenas(concurrency);
-  for (std::size_t i = 0; i < concurrency; ++i) free_arenas[i] = i;
+  // popped arena is exclusively owned until the block finishes. parallel_for
+  // joins before returning, so the stack is full again on the next launch.
+  free_arena_slots_.resize(concurrency);
+  for (std::size_t i = 0; i < concurrency; ++i) free_arena_slots_[i] = i;
 
   pool_->parallel_for(
       static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
         std::size_t slot;
         {
-          std::lock_guard<support::SpinLock> guard(arena_lock);
-          PSF_CHECK_MSG(!free_arenas.empty(), "arena pool underflow");
-          slot = free_arenas.back();
-          free_arenas.pop_back();
+          std::lock_guard<support::SpinLock> guard(arena_lock_);
+          PSF_CHECK_MSG(!free_arena_slots_.empty(), "arena pool underflow");
+          slot = free_arena_slots_.back();
+          free_arena_slots_.pop_back();
         }
-        auto& arena = arenas[slot];
-        if (!arena.empty()) std::memset(arena.data(), 0, arena.size());
+        auto& arena = arenas_[slot];
+        if (shared_bytes > 0) std::memset(arena.data(), 0, shared_bytes);
         BlockContext ctx;
         ctx.block_id = static_cast<int>(block);
         ctx.num_blocks = num_blocks;
-        ctx.shared = arena.bytes();
+        ctx.shared = arena.bytes().first(shared_bytes);
         body(ctx);
         {
-          std::lock_guard<support::SpinLock> guard(arena_lock);
-          free_arenas.push_back(slot);
+          std::lock_guard<support::SpinLock> guard(arena_lock_);
+          free_arena_slots_.push_back(slot);
         }
       });
 }

@@ -25,6 +25,7 @@
 #include "support/buffer.h"
 #include "support/error.h"
 #include "support/metrics.h"
+#include "support/sync.h"
 #include "timemodel/link.h"
 #include "timemodel/rates.h"
 #include "timemodel/timeline.h"
@@ -240,6 +241,12 @@ class Device {
   std::size_t memory_in_use_ = 0;
   exec::ThreadPool* pool_;  ///< rank executor, or owned_pool_ fallback
   std::unique_ptr<exec::ThreadPool> owned_pool_;
+  /// Persistent per-worker block arenas, reused (grow-only) across
+  /// run_blocks launches so steady-state kernels allocate nothing.
+  std::vector<support::AlignedBuffer> arenas_;
+  std::vector<std::size_t> free_arena_slots_;
+  support::SpinLock arena_lock_;
+  std::size_t arena_bytes_ = 0;
   std::vector<std::unique_ptr<Stream>> streams_;
   timemodel::TraceRecorder* trace_ = nullptr;
   int trace_rank_ = 0;

@@ -30,7 +30,7 @@ World::World(int size, timemodel::LinkModel network,
   mailboxes_.reserve(static_cast<std::size_t>(size));
   timelines_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(size));
     timelines_.push_back(std::make_unique<timemodel::Timeline>());
   }
   barrier_ = std::make_unique<BarrierState>(static_cast<std::size_t>(size));
@@ -114,20 +114,24 @@ void World::set_trace(timemodel::TraceRecorder* trace) {
 // --- point-to-point ---------------------------------------------------------
 
 void Communicator::deliver(int dest, int tag,
-                           std::span<const std::byte> data) {
+                           support::PooledBuffer payload) {
   PSF_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
   PSF_METRIC_ADD("minimpi.messages_sent", 1);
-  PSF_METRIC_ADD("minimpi.bytes_sent", data.size());
+  PSF_METRIC_ADD("minimpi.bytes_sent", payload.size());
+  // A fresh (non-recycled) payload means this send heap-allocated; the
+  // steady-state contract is that this counter stops moving once the pool
+  // is warm (asserted on the bench-smoke report in CI).
+  if (payload.fresh()) PSF_METRIC_ADD("minimpi.payload_allocs", 1);
   const double call_begin = timeline().now();
   timeline().advance(world_->overheads_.mpi_call_s);
   Message message;
   message.source = rank_;
   message.tag = tag;
-  message.payload.assign(data.begin(), data.end());
   message.arrival_vtime =
       timeline().now() +
       world_->network_.cost(static_cast<std::size_t>(
-          static_cast<double>(data.size()) * world_->byte_scale_));
+          static_cast<double>(payload.size()) * world_->byte_scale_));
+  message.payload = std::move(payload);
   if (world_->trace_ != nullptr) {
     // The span covers the send call itself; the message carries its id so
     // the matching receive can record the send -> recv message edge.
@@ -160,8 +164,19 @@ void Communicator::consume(const Message& message) {
   }
 }
 
+support::PooledBuffer Communicator::acquire_buffer(std::size_t bytes) {
+  return support::BufferPool::global().acquire(bytes);
+}
+
 void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
-  deliver(dest, tag, data);
+  support::PooledBuffer payload = acquire_buffer(data.size());
+  if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
+  deliver(dest, tag, std::move(payload));
+}
+
+void Communicator::send_pooled(int dest, int tag,
+                               support::PooledBuffer payload) {
+  deliver(dest, tag, std::move(payload));
 }
 
 MessageInfo Communicator::recv(int source, int tag,
@@ -171,7 +186,9 @@ MessageInfo Communicator::recv(int source, int tag,
                 "recv buffer too small: got " << message.payload.size()
                                               << " bytes, buffer "
                                               << out.size());
-  std::memcpy(out.data(), message.payload.data(), message.payload.size());
+  if (!message.payload.empty()) {
+    std::memcpy(out.data(), message.payload.data(), message.payload.size());
+  }
   consume(message);
   return {message.source, message.tag, message.payload.size()};
 }
@@ -184,10 +201,23 @@ Message Communicator::recv_any(int source, int tag) {
 
 Request Communicator::isend(int dest, int tag,
                             std::span<const std::byte> data) {
-  deliver(dest, tag, data);
+  const std::size_t bytes = data.size();
+  support::PooledBuffer payload = acquire_buffer(bytes);
+  if (!data.empty()) std::memcpy(payload.data(), data.data(), bytes);
+  deliver(dest, tag, std::move(payload));
   Request request;
   request.kind_ = Request::Kind::kSendDone;
-  request.info_ = {rank_, tag, data.size()};
+  request.info_ = {rank_, tag, bytes};
+  return request;
+}
+
+Request Communicator::isend_pooled(int dest, int tag,
+                                   support::PooledBuffer payload) {
+  const std::size_t bytes = payload.size();
+  deliver(dest, tag, std::move(payload));
+  Request request;
+  request.kind_ = Request::Kind::kSendDone;
+  request.info_ = {rank_, tag, bytes};
   return request;
 }
 
@@ -308,13 +338,22 @@ void Communicator::reduce_bytes(
 
 std::vector<std::vector<std::byte>> Communicator::alltoallv(
     const std::vector<std::vector<std::byte>>& outbound, int tag) {
+  std::vector<std::vector<std::byte>> inbound;
+  alltoallv(outbound, tag, inbound);
+  return inbound;
+}
+
+void Communicator::alltoallv(
+    const std::vector<std::vector<std::byte>>& outbound, int tag,
+    std::vector<std::vector<std::byte>>& inbound) {
   PSF_CHECK_MSG(outbound.size() == static_cast<std::size_t>(size()),
                 "alltoallv needs one outbound buffer per rank");
   const int n = size();
-  std::vector<std::vector<std::byte>> inbound(
-      static_cast<std::size_t>(n));
-  inbound[static_cast<std::size_t>(rank_)] =
-      outbound[static_cast<std::size_t>(rank_)];
+  // assign() reuses each slot's existing capacity, so a caller that keeps
+  // `inbound` across iterations pays no allocations in the steady state.
+  inbound.resize(static_cast<std::size_t>(n));
+  const auto& self = outbound[static_cast<std::size_t>(rank_)];
+  inbound[static_cast<std::size_t>(rank_)].assign(self.begin(), self.end());
 
   // Post all sends first (buffered, non-blocking), then receive n-1
   // messages from distinct sources.
@@ -325,9 +364,10 @@ std::vector<std::vector<std::byte>> Communicator::alltoallv(
   for (int offset = 1; offset < n; ++offset) {
     const int source = (rank_ - offset + n) % n;
     Message message = recv_any(source, tag);
-    inbound[static_cast<std::size_t>(source)] = std::move(message.payload);
+    const auto payload = message.payload.bytes();
+    inbound[static_cast<std::size_t>(source)].assign(payload.begin(),
+                                                     payload.end());
   }
-  return inbound;
 }
 
 }  // namespace psf::minimpi

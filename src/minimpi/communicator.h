@@ -135,18 +135,41 @@ class Communicator {
 
   // --- point-to-point -----------------------------------------------------
 
-  /// Blocking buffered send (copies `data`).
+  /// Blocking buffered send. Copies `data` once, into a pooled payload.
   void send(int dest, int tag, std::span<const std::byte> data);
 
+  /// Pooled storage for a zero-copy send: pack directly into the returned
+  /// buffer and hand it to send_pooled/isend_pooled. The steady state
+  /// recycles released payloads, so this allocates only while the pool
+  /// warms up.
+  [[nodiscard]] support::PooledBuffer acquire_buffer(std::size_t bytes);
+
+  /// Zero-copy blocking send: the pooled payload travels to the receiver
+  /// as-is, no intermediate copy.
+  void send_pooled(int dest, int tag, support::PooledBuffer payload);
+
   /// Blocking receive into `out`; the payload must fit. Returns metadata.
+  /// Copies the matched payload into `out` exactly once (the matched
+  /// delivery itself is zero-copy — use recv_any to keep the pooled
+  /// payload and skip even that copy).
   MessageInfo recv(int source, int tag, std::span<std::byte> out);
 
-  /// Blocking receive of a message of unknown size.
+  /// Alias for recv() emphasizing the copy-once contract.
+  MessageInfo recv_into(int source, int tag, std::span<std::byte> out) {
+    return recv(source, tag, out);
+  }
+
+  /// Blocking receive of a message of unknown size. Zero-copy: the returned
+  /// Message owns the pooled payload the sender packed; it returns to the
+  /// pool when the Message is destroyed.
   Message recv_any(int source, int tag);
 
   /// Non-blocking send: buffered, completes immediately (MPI_Ibsend-like —
   /// matches how the paper's runtime posts asynchronous boundary sends).
   Request isend(int dest, int tag, std::span<const std::byte> data);
+
+  /// Zero-copy variant of isend (see send_pooled).
+  Request isend_pooled(int dest, int tag, support::PooledBuffer payload);
 
   /// Non-blocking receive: matching is deferred to wait().
   Request irecv(int source, int tag, std::span<std::byte> out);
@@ -235,6 +258,12 @@ class Communicator {
   std::vector<std::vector<std::byte>> alltoallv(
       const std::vector<std::vector<std::byte>>& outbound, int tag);
 
+  /// Reusing variant: fills `inbound` in place, assigning into whatever
+  /// capacity the caller's vectors already hold. Pass the same `inbound`
+  /// across iterations for an allocation-free steady state.
+  void alltoallv(const std::vector<std::vector<std::byte>>& outbound, int tag,
+                 std::vector<std::vector<std::byte>>& inbound);
+
   /// Type-erased tree reduction (implementation detail of reduce<T>).
   void reduce_bytes(
       std::span<std::byte> data, std::size_t elem_size, int root,
@@ -245,7 +274,7 @@ class Communicator {
     return *world_->mailboxes_[static_cast<std::size_t>(rank)];
   }
 
-  void deliver(int dest, int tag, std::span<const std::byte> data);
+  void deliver(int dest, int tag, support::PooledBuffer payload);
   void consume(const Message& message);
 
   World* world_;

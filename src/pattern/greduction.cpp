@@ -299,28 +299,29 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
   const int size = comm.size();
   for (int step = 1; step < size; step <<= 1) {
     if ((rank & step) != 0) {
-      comm.send(rank - step, kTag, global_result_->serialize());
+      // Pack the combine blob straight into a pooled payload (zero-copy
+      // send; no per-combine heap allocation in the steady state).
+      auto blob = comm.acquire_buffer(global_result_->serialized_size());
+      global_result_->serialize_into(blob.bytes());
+      comm.send_pooled(rank - step, kTag, std::move(blob));
       break;
     }
     if (rank + step < size) {
       auto message = comm.recv_any(rank + step, kTag);
-      global_result_->merge_serialized(message.payload);
+      global_result_->merge_serialized(message.payload.bytes());
     }
   }
 
   std::uint64_t blob_bytes = 0;
-  std::vector<std::byte> blob;
-  if (rank == 0) {
-    blob = global_result_->serialize();
-    blob_bytes = blob.size();
-  }
+  if (rank == 0) blob_bytes = global_result_->serialized_size();
   comm.bcast(std::as_writable_bytes(std::span<std::uint64_t>(&blob_bytes, 1)),
              0);
-  blob.resize(blob_bytes);
-  comm.bcast(blob, 0);
+  auto blob = comm.acquire_buffer(blob_bytes);
+  if (rank == 0) global_result_->serialize_into(blob.bytes());
+  comm.bcast(blob.bytes(), 0);
   if (rank != 0) {
     global_result_->clear();
-    global_result_->merge_serialized(blob);
+    global_result_->merge_serialized(blob.bytes());
   }
 
   stats_.combine_vtime = comm.timeline().now() - t0;

@@ -344,15 +344,14 @@ void IReductionRuntime::exchange_node_data(bool overlap_with_local_compute) {
   const double scale = env_->options().effective_comm_scale();
   const double t0 = comm.timeline().now();
 
-  // Step 5: pack and send the node data each peer requested.
-  std::vector<std::vector<std::byte>> send_buffers(
-      static_cast<std::size_t>(size));
+  // Step 5: pack and send the node data each peer requested. The gather
+  // packs straight into a pooled payload, so the per-iteration exchange
+  // neither allocates nor stages through an intermediate buffer.
   for (int p = 0; p < size; ++p) {
     if (p == rank) continue;
     const auto& locals = send_locals_[static_cast<std::size_t>(p)];
     if (locals.empty()) continue;
-    auto& buffer = send_buffers[static_cast<std::size_t>(p)];
-    buffer.resize(locals.size() * node_bytes_);
+    auto buffer = comm.acquire_buffer(locals.size() * node_bytes_);
     for (std::size_t i = 0; i < locals.size(); ++i) {
       std::memcpy(buffer.data() + i * node_bytes_,
                   local_node_data_.data() + locals[i] * node_bytes_,
@@ -360,7 +359,7 @@ void IReductionRuntime::exchange_node_data(bool overlap_with_local_compute) {
     }
     comm.timeline().advance(static_cast<double>(buffer.size()) * scale /
                             kHostCopyBw);
-    comm.isend(p, kDataTag, buffer);
+    comm.isend_pooled(p, kDataTag, std::move(buffer));
   }
 
   // Overlapped execution: local edges depend only on local nodes, so their

@@ -190,19 +190,30 @@ void ReductionObject::merge_from(const ReductionObject& other) {
 }
 
 std::vector<std::byte> ReductionObject::serialize() const {
+  std::vector<std::byte> blob(serialized_size());
+  serialize_into(blob);
+  return blob;
+}
+
+std::size_t ReductionObject::serialized_size() const {
+  const std::size_t entry = sizeof(std::uint64_t) + value_size_;
+  return sizeof(std::uint64_t) + size() * entry;
+}
+
+void ReductionObject::serialize_into(std::span<std::byte> out) const {
   const std::size_t count = size();
   const std::size_t entry = sizeof(std::uint64_t) + value_size_;
-  std::vector<std::byte> blob(sizeof(std::uint64_t) + count * entry);
+  PSF_CHECK_MSG(out.size() == sizeof(std::uint64_t) + count * entry,
+                "serialize_into buffer must be serialized_size() bytes");
   std::uint64_t count64 = count;
-  std::memcpy(blob.data(), &count64, sizeof(count64));
+  std::memcpy(out.data(), &count64, sizeof(count64));
   std::size_t offset = sizeof(count64);
   for_each([&](std::uint64_t key, const void* value) {
-    std::memcpy(blob.data() + offset, &key, sizeof(key));
-    std::memcpy(blob.data() + offset + sizeof(key), value, value_size_);
+    std::memcpy(out.data() + offset, &key, sizeof(key));
+    std::memcpy(out.data() + offset + sizeof(key), value, value_size_);
     offset += entry;
   });
-  PSF_CHECK(offset == blob.size());
-  return blob;
+  PSF_CHECK(offset == out.size());
 }
 
 void ReductionObject::merge_serialized(std::span<const std::byte> blob) {

@@ -111,6 +111,14 @@ class ReductionObject {
   /// global combination.
   [[nodiscard]] std::vector<std::byte> serialize() const;
 
+  /// Exact byte count serialize() / serialize_into() produces right now.
+  [[nodiscard]] std::size_t serialized_size() const;
+
+  /// Allocation-free variant of serialize(): write the entry stream into
+  /// `out`, which must be exactly serialized_size() bytes (the combine path
+  /// packs into pooled message payloads).
+  void serialize_into(std::span<std::byte> out) const;
+
   /// Merge a serialized entry stream produced by serialize().
   void merge_serialized(std::span<const std::byte> blob);
 

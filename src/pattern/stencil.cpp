@@ -299,30 +299,30 @@ std::size_t StencilRuntime::exchange_dim(int dim) {
 
   std::array<int, kMaxDims> lo{};
   std::array<int, kMaxDims> hi{};
-  std::vector<std::byte> send_low;
-  std::vector<std::byte> send_high;
 
-  // Step 1-2: pack the (possibly non-contiguous) boundary strips. GPUs pack
-  // through a zero-copy kernel into a host-mapped buffer.
+  // Step 1-2: pack the (possibly non-contiguous) boundary strips directly
+  // into pooled payloads — the staging buffer IS the message, so after the
+  // first iteration warms the pool no halo send allocates or double-copies.
+  // GPUs pack through a zero-copy kernel into a host-mapped buffer.
   if (lo_rank != minimpi::kNoNeighbor) {
     face(/*low=*/true, /*halo_region=*/false, lo, hi);
-    send_low.resize(box_bytes(lo, hi));
-    pack_box(lo, hi, send_low.data());
+    auto staged = comm.acquire_buffer(box_bytes(lo, hi));
+    pack_box(lo, hi, staged.data());
     comm.timeline().advance(
         (any_gpu ? overheads.kernel_launch_s : 0.0) +
-        static_cast<double>(send_low.size()) * scale / kHostCopyBw);
-    comm.isend(lo_rank, tag_lo, send_low);
-    sent += send_low.size();
+        static_cast<double>(staged.size()) * scale / kHostCopyBw);
+    sent += staged.size();
+    comm.isend_pooled(lo_rank, tag_lo, std::move(staged));
   }
   if (hi_rank != minimpi::kNoNeighbor) {
     face(/*low=*/false, /*halo_region=*/false, lo, hi);
-    send_high.resize(box_bytes(lo, hi));
-    pack_box(lo, hi, send_high.data());
+    auto staged = comm.acquire_buffer(box_bytes(lo, hi));
+    pack_box(lo, hi, staged.data());
     comm.timeline().advance(
         (any_gpu ? overheads.kernel_launch_s : 0.0) +
-        static_cast<double>(send_high.size()) * scale / kHostCopyBw);
-    comm.isend(hi_rank, tag_hi, send_high);
-    sent += send_high.size();
+        static_cast<double>(staged.size()) * scale / kHostCopyBw);
+    sent += staged.size();
+    comm.isend_pooled(hi_rank, tag_hi, std::move(staged));
   }
 
   // Steps 4-5: receive and unpack into the halo regions (for GPUs via the

@@ -1,0 +1,119 @@
+#include "support/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/metrics.h"
+
+namespace psf::support {
+
+std::size_t BufferPool::class_index(std::size_t bytes) noexcept {
+  if (bytes <= kMinClassBytes) return 0;
+  if (bytes > kMaxClassBytes) return kNumClasses;
+  const std::size_t rounded = std::bit_ceil(bytes);
+  return static_cast<std::size_t>(std::countr_zero(rounded)) -
+         static_cast<std::size_t>(std::countr_zero(kMinClassBytes));
+}
+
+PooledBuffer BufferPool::acquire(std::size_t bytes) {
+  if (bytes == 0) return PooledBuffer();
+
+  const std::size_t index = class_index(bytes);
+  if (index < kNumClasses) {
+    FreeList& list = classes_[index];
+    {
+      std::lock_guard<std::mutex> lock(list.mutex);
+      if (!list.buffers.empty()) {
+        AlignedBuffer storage = std::move(list.buffers.back());
+        list.buffers.pop_back();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        bytes_reused_.fetch_add(bytes, std::memory_order_relaxed);
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        PSF_METRIC_ADD("support.pool.hits", 1);
+        PSF_METRIC_ADD("support.pool.bytes_reused", bytes);
+        return PooledBuffer(this, std::move(storage), bytes, /*fresh=*/false);
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    PSF_METRIC_ADD("support.pool.misses", 1);
+    if (std::getenv("PSF_POOL_DEBUG") != nullptr) {
+      std::fprintf(stderr, "pool miss: %zu bytes (class %zu)\n", bytes,
+                   class_bytes(index));
+    }
+    return PooledBuffer(this, AlignedBuffer(class_bytes(index)), bytes,
+                        /*fresh=*/true);
+  }
+
+  if (const char* dbg = std::getenv("PSF_POOL_DEBUG"); dbg != nullptr) {
+    std::fprintf(stderr, "pool miss (oversize): %zu bytes\n", bytes);
+  }
+  // Oversize: allocate exactly, never cache (release_storage frees it
+  // because class_index(capacity) == kNumClasses).
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  PSF_METRIC_ADD("support.pool.misses", 1);
+  return PooledBuffer(this, AlignedBuffer(bytes), bytes, /*fresh=*/true);
+}
+
+void BufferPool::release_storage(AlignedBuffer storage) noexcept {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (storage.size() == 0) return;
+  const std::size_t index = class_index(storage.size());
+  // Cache only exact class-sized storage; oversize allocations fall through
+  // and free here.
+  if (index < kNumClasses && storage.size() == class_bytes(index)) {
+    FreeList& list = classes_[index];
+    std::lock_guard<std::mutex> lock(list.mutex);
+    if (list.buffers.size() < kMaxCachedPerClass) {
+      list.buffers.push_back(std::move(storage));
+      return;
+    }
+  }
+}
+
+void BufferPool::prewarm(std::size_t multiplier, std::size_t extra) {
+  for (std::size_t index = 0; index < kNumClasses; ++index) {
+    FreeList& list = classes_[index];
+    std::lock_guard<std::mutex> lock(list.mutex);
+    const std::size_t cached = list.buffers.size();
+    if (cached == 0) continue;
+    const std::size_t target =
+        std::min(kMaxCachedPerClass, cached * multiplier + extra);
+    while (list.buffers.size() < target) {
+      list.buffers.emplace_back(class_bytes(index));
+    }
+  }
+}
+
+void BufferPool::trim() {
+  for (FreeList& list : classes_) {
+    std::vector<AlignedBuffer> drained;
+    {
+      std::lock_guard<std::mutex> lock(list.mutex);
+      drained.swap(list.buffers);
+    }
+    // Freed outside the lock.
+  }
+}
+
+std::uint64_t BufferPool::cached_bytes() const {
+  std::uint64_t total = 0;
+  for (const FreeList& list : classes_) {
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(list.mutex));
+    for (const AlignedBuffer& buffer : list.buffers) {
+      total += buffer.size();
+    }
+  }
+  return total;
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace psf::support

@@ -1,0 +1,206 @@
+// PSF — Pattern Specification Framework
+// Size-classed buffer pool for allocation-free steady-state hot paths.
+//
+// Message payloads, halo staging buffers and serialized reduction blobs are
+// acquired and released at high frequency with a small set of recurring
+// sizes. The pool rounds each request up to a power-of-two size class and
+// recycles released storage through per-class free lists, so after a warm-up
+// phase the steady state performs zero heap allocations on the message path
+// (pinned by the `support.pool.misses` / `minimpi.payload_allocs` counters
+// and asserted by CI on the bench-smoke report).
+//
+// Concurrency: acquire/release are thread-safe; each size class has its own
+// lock so ranks exchanging different message sizes never contend. A
+// `PooledBuffer` handle itself is a move-only single-owner value.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/buffer.h"
+
+namespace psf::support {
+
+class BufferPool;
+
+/// Move-only RAII handle to pooled storage. The logical size is the byte
+/// count requested from `BufferPool::acquire`; the backing capacity is the
+/// (power-of-two) size class. Destruction returns the storage to the pool.
+/// Reused buffers are NOT zeroed — callers overwrite them (pack/memcpy)
+/// before any read. A default-constructed handle is empty.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        storage_(std::move(other.storage_)),
+        size_(std::exchange(other.size_, 0)),
+        fresh_(std::exchange(other.fresh_, false)) {}
+
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      storage_ = std::move(other.storage_);
+      size_ = std::exchange(other.size_, 0);
+      fresh_ = std::exchange(other.fresh_, false);
+    }
+    return *this;
+  }
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  ~PooledBuffer() { release(); }
+
+  [[nodiscard]] std::byte* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return storage_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return storage_.size();
+  }
+
+  [[nodiscard]] std::span<std::byte> bytes() noexcept {
+    return {storage_.data(), size_};
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {storage_.data(), size_};
+  }
+
+  [[nodiscard]] std::byte& operator[](std::size_t i) noexcept {
+    return storage_.data()[i];
+  }
+  [[nodiscard]] const std::byte& operator[](std::size_t i) const noexcept {
+    return storage_.data()[i];
+  }
+
+  /// True when acquiring this buffer heap-allocated (pool miss); false for
+  /// recycled storage. Survives moves — minimpi charges the
+  /// `minimpi.payload_allocs` counter off this flag at delivery time.
+  [[nodiscard]] bool fresh() const noexcept { return fresh_; }
+
+  /// Return the storage to the pool now (destructor semantics, idempotent).
+  void release() noexcept;
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, AlignedBuffer storage, std::size_t size,
+               bool fresh) noexcept
+      : pool_(pool), storage_(std::move(storage)), size_(size),
+        fresh_(fresh) {}
+
+  BufferPool* pool_ = nullptr;
+  AlignedBuffer storage_;
+  std::size_t size_ = 0;
+  bool fresh_ = false;
+};
+
+/// Thread-safe, size-classed free-list allocator for PooledBuffers.
+///
+/// Size classes are powers of two from kMinClassBytes to kMaxClassBytes;
+/// requests above the largest class are served by a direct allocation and
+/// freed on release (never cached). Zero-byte requests return an empty
+/// handle without touching the pool.
+class BufferPool {
+ public:
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = std::size_t{1} << 26;  // 64 MB
+  /// Free-list depth per class; releases beyond it free the storage so one
+  /// burst cannot pin memory forever.
+  static constexpr std::size_t kMaxCachedPerClass = 1024;
+
+  BufferPool() = default;
+  ~BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Get a buffer with logical size `bytes` (capacity = its size class).
+  /// Recycled storage is returned verbatim (not zeroed); fresh storage is
+  /// zero-initialized by AlignedBuffer.
+  [[nodiscard]] PooledBuffer acquire(std::size_t bytes);
+
+  /// Drop every cached free buffer (tests / memory pressure). Outstanding
+  /// buffers are unaffected and still return to the pool.
+  void trim();
+
+  /// Top up every in-use size class with allocation headroom: a class
+  /// caching n buffers afterwards holds at least n * multiplier + extra
+  /// (capped at kMaxCachedPerClass). Bench drivers call this at a quiescent
+  /// point between warm-up and measurement, so scheduling variance in the
+  /// peak number of in-flight buffers cannot cause steady-state misses.
+  /// Classes that were never used stay empty.
+  void prewarm(std::size_t multiplier = 2, std::size_t extra = 8);
+
+  // --- statistics (programmatic, independent of PSF_DISABLE_METRICS) -------
+
+  /// Acquires served from a free list.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Acquires that heap-allocated.
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Sum of logical bytes served from recycled storage.
+  [[nodiscard]] std::uint64_t bytes_reused() const noexcept {
+    return bytes_reused_.load(std::memory_order_relaxed);
+  }
+  /// Buffers currently held by callers (leak check: a quiescent process
+  /// returns to its baseline).
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  /// Capacity bytes parked in free lists right now.
+  [[nodiscard]] std::uint64_t cached_bytes() const;
+
+  /// The process-wide pool the message path draws from.
+  static BufferPool& global();
+
+ private:
+  friend class PooledBuffer;
+
+  static constexpr std::size_t kNumClasses = 21;  // 2^6 .. 2^26
+
+  /// Size-class index for `bytes`, or kNumClasses for oversize requests.
+  static std::size_t class_index(std::size_t bytes) noexcept;
+  /// Capacity of class `index`.
+  static std::size_t class_bytes(std::size_t index) noexcept {
+    return kMinClassBytes << index;
+  }
+
+  void release_storage(AlignedBuffer storage) noexcept;
+
+  struct FreeList {
+    std::mutex mutex;
+    std::vector<AlignedBuffer> buffers;
+  };
+
+  std::array<FreeList, kNumClasses> classes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bytes_reused_{0};
+  std::atomic<std::uint64_t> outstanding_{0};
+};
+
+inline void PooledBuffer::release() noexcept {
+  if (pool_ != nullptr) {
+    BufferPool* pool = std::exchange(pool_, nullptr);
+    pool->release_storage(std::move(storage_));
+  } else {
+    storage_ = AlignedBuffer();
+  }
+  size_ = 0;
+  fresh_ = false;
+}
+
+}  // namespace psf::support

@@ -1,0 +1,256 @@
+// PSF — buffer-pool tests: size-class behaviour, exact-once concurrent
+// reuse, leak checking at World teardown, and the messaging semantics the
+// pooled payload path must preserve (same-(source, tag) non-overtaking,
+// bit-identical app results at any executor width).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "minimpi/communicator.h"
+#include "support/buffer_pool.h"
+
+namespace psf::support {
+namespace {
+
+TEST(BufferPool, SizeClassBoundaries) {
+  BufferPool pool;
+  // Everything up to the minimum class rounds up to it.
+  EXPECT_EQ(pool.acquire(1).capacity(), BufferPool::kMinClassBytes);
+  EXPECT_EQ(pool.acquire(BufferPool::kMinClassBytes).capacity(),
+            BufferPool::kMinClassBytes);
+  // One past a class boundary lands in the next power of two.
+  EXPECT_EQ(pool.acquire(BufferPool::kMinClassBytes + 1).capacity(),
+            2 * BufferPool::kMinClassBytes);
+  EXPECT_EQ(pool.acquire(4096).capacity(), 4096u);
+  EXPECT_EQ(pool.acquire(4097).capacity(), 8192u);
+  // The largest class is served exactly.
+  EXPECT_EQ(pool.acquire(BufferPool::kMaxClassBytes).capacity(),
+            BufferPool::kMaxClassBytes);
+
+  // The logical size is the requested byte count, not the class capacity.
+  PooledBuffer buffer = pool.acquire(100);
+  EXPECT_EQ(buffer.size(), 100u);
+  EXPECT_EQ(buffer.capacity(), 128u);
+  EXPECT_EQ(buffer.bytes().size(), 100u);
+}
+
+TEST(BufferPool, ZeroByteAcquireIsEmptyAndUnaccounted) {
+  BufferPool pool;
+  PooledBuffer buffer = pool.acquire(0);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.fresh());
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(BufferPool, ReleaseThenAcquireReusesStorage) {
+  BufferPool pool;
+  std::byte* first_data = nullptr;
+  {
+    PooledBuffer buffer = pool.acquire(1000);
+    EXPECT_TRUE(buffer.fresh());
+    first_data = buffer.data();
+    buffer.data()[0] = std::byte{0x5c};
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  PooledBuffer again = pool.acquire(900);  // same 1024-byte class
+  EXPECT_FALSE(again.fresh());
+  EXPECT_EQ(again.data(), first_data);
+  // Recycled storage is intentionally NOT zeroed.
+  EXPECT_EQ(again.data()[0], std::byte{0x5c});
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.bytes_reused(), 900u);
+}
+
+TEST(BufferPool, OversizeRequestsAreServedButNeverCached) {
+  BufferPool pool;
+  const std::size_t huge = BufferPool::kMaxClassBytes + 1;
+  {
+    PooledBuffer buffer = pool.acquire(huge);
+    EXPECT_TRUE(buffer.fresh());
+    EXPECT_EQ(buffer.size(), huge);
+    EXPECT_EQ(buffer.capacity(), huge);  // exact, not a class
+  }
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+  EXPECT_TRUE(pool.acquire(huge).fresh());  // second acquire misses again
+}
+
+TEST(BufferPool, MoveTransfersOwnershipAndFreshFlag) {
+  BufferPool pool;
+  PooledBuffer a = pool.acquire(64);
+  EXPECT_TRUE(a.fresh());
+  std::byte* data = a.data();
+  PooledBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+  EXPECT_TRUE(b.fresh());
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  EXPECT_EQ(pool.outstanding(), 1u);
+  b.release();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // Releasing the moved-from handle must not double-return the storage.
+  a.release();
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(BufferPool, TrimDropsCachedStorage) {
+  BufferPool pool;
+  { auto buffer = pool.acquire(512); }
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  pool.trim();
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+  // The pool still works after a trim (fresh allocation).
+  EXPECT_TRUE(pool.acquire(512).fresh());
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseIsExactOnce) {
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  constexpr std::size_t kBytes = 256;
+  std::atomic<bool> corrupted{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &corrupted, t] {
+      const auto mark = static_cast<std::byte>(0x40 + t);
+      for (int i = 0; i < kIterations; ++i) {
+        PooledBuffer buffer = pool.acquire(kBytes);
+        // Exclusive ownership: if another thread ever held the same
+        // storage concurrently, the pattern check below would observe its
+        // marks instead of ours.
+        std::memset(buffer.data(), static_cast<int>(mark), kBytes);
+        for (std::size_t b = 0; b < kBytes; ++b) {
+          if (buffer.data()[b] != mark) {
+            corrupted.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_FALSE(corrupted.load());
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // Every acquire was accounted exactly once.
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST(BufferPool, WorldTeardownReturnsEveryPayload) {
+  auto& pool = BufferPool::global();
+  const std::uint64_t outstanding_before = pool.outstanding();
+  minimpi::World world(4);
+  world.run([](minimpi::Communicator& comm) {
+    // A mix of plain, pooled, and collective traffic.
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < 16; ++i) {
+      auto payload = comm.acquire_buffer(128);
+      payload.data()[0] = static_cast<std::byte>(comm.rank());
+      comm.send_pooled(next, 11, std::move(payload));
+      auto message = comm.recv_any(prev, 11);
+      EXPECT_EQ(message.payload.data()[0], static_cast<std::byte>(prev));
+    }
+    double value = 1.0;
+    comm.allreduce(std::span<double>(&value, 1),
+                   [](double& dst, double src) { dst += src; });
+    EXPECT_DOUBLE_EQ(value, 4.0);
+  });
+  // Every in-flight payload has been consumed and returned to the pool.
+  EXPECT_EQ(pool.outstanding(), outstanding_before);
+}
+
+TEST(PooledMessaging, SameSourceTagNonOvertaking) {
+  minimpi::World world(2);
+  world.run([](minimpi::Communicator& comm) {
+    constexpr int kCount = 64;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        // Interleave a decoy tag so matching must skip unrelated traffic.
+        comm.send_value<int>(1, 5, i);
+        comm.send_value<int>(1, 6, 1000 + i);
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 5), i);
+      }
+      for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 6), 1000 + i);
+      }
+    }
+  });
+}
+
+TEST(PooledMessaging, WildcardRetrieveFollowsDepositOrder) {
+  minimpi::World world(3);
+  world.run([](minimpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+      comm.barrier();
+      // Both messages are queued now; the wildcard must take rank 1's
+      // (deposited first), then rank 2's.
+      auto first = comm.recv_any(minimpi::kAnySource, 9);
+      EXPECT_EQ(first.source, 1);
+      auto second = comm.recv_any(minimpi::kAnySource, 9);
+      EXPECT_EQ(second.source, 2);
+    } else if (comm.rank() == 1) {
+      comm.send_value<int>(0, 9, 1);
+      comm.barrier();
+      comm.barrier();
+    } else {
+      comm.barrier();
+      comm.send_value<int>(0, 9, 2);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(PooledMessaging, AppResultsBitIdenticalAtExecutorWidths1And7) {
+  apps::kmeans::Params params;
+  params.num_points = 4000;
+  params.num_clusters = 8;
+  params.iterations = 2;
+  const auto points = apps::kmeans::generate_points(params);
+
+  auto run_with_threads = [&](int num_threads) {
+    pattern::EnvOptions options;
+    options.app_profile = "kmeans";
+    options.use_cpu = true;
+    options.use_gpus = 2;
+    options.num_threads = num_threads;
+    options.workload_scale = 100.0;
+    minimpi::World world(3);
+    std::vector<double> vtimes(3, 0.0);
+    std::vector<double> centers;
+    world.run([&](minimpi::Communicator& comm) {
+      const auto result =
+          apps::kmeans::run_framework(comm, options, params, points);
+      vtimes[static_cast<std::size_t>(comm.rank())] = result.vtime;
+      if (comm.rank() == 0) centers = result.centers;
+    });
+    return std::pair{vtimes, centers};
+  };
+
+  const auto [vtimes_serial, centers_serial] = run_with_threads(1);
+  const auto [vtimes_wide, centers_wide] = run_with_threads(7);
+  for (std::size_t r = 0; r < vtimes_serial.size(); ++r) {
+    EXPECT_DOUBLE_EQ(vtimes_serial[r], vtimes_wide[r]) << "rank " << r;
+  }
+  ASSERT_EQ(centers_serial.size(), centers_wide.size());
+  for (std::size_t c = 0; c < centers_serial.size(); ++c) {
+    EXPECT_DOUBLE_EQ(centers_serial[c], centers_wide[c]) << "center " << c;
+  }
+}
+
+}  // namespace
+}  // namespace psf::support

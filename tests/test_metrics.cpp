@@ -148,12 +148,16 @@ TEST(Metrics, WriteJsonRoundTripsThroughAFile) {
 }
 
 /// The deterministic subset of a global-registry snapshot: everything
-/// except the executor family (scheduling-order dependent) and wall-clock
-/// timers. docs/OBSERVABILITY.md documents this split.
+/// except the executor family (scheduling-order dependent), wall-clock
+/// timers, and the buffer-pool family plus `minimpi.payload_allocs` —
+/// those depend on how warm the process-global pool already is, not on
+/// the workload. docs/OBSERVABILITY.md documents this split.
 std::map<std::string, std::uint64_t> deterministic_counters() {
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, value] : Registry::global().counters()) {
     if (name.rfind("exec.", 0) == 0) continue;
+    if (name.rfind("support.pool.", 0) == 0) continue;
+    if (name == "minimpi.payload_allocs") continue;
     out[name] = value;
   }
   return out;

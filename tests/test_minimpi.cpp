@@ -357,7 +357,8 @@ TEST(Mailbox, FifoPerSourceTag) {
     Message message;
     message.source = 1;
     message.tag = 7;
-    message.payload.assign(1, std::byte(i));
+    message.payload = support::BufferPool::global().acquire(1);
+    message.payload.data()[0] = std::byte(i);
     mailbox.deposit(std::move(message));
   }
   for (int i = 0; i < 5; ++i) {
