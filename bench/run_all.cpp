@@ -5,9 +5,13 @@
 // can hold results to a tight regression threshold.
 //
 // Usage: run_all [--smoke] [--out PATH] [--trace-dir DIR]
-//                [--steady-metrics PATH]
+//                [--steady-metrics PATH] [--fault-plan SPEC]
 //   --smoke      smaller sweep (CI smoke job): fewer node counts and configs
 //   --out        write the JSON report to PATH (default: stdout only)
+//   --fault-plan run every cell under the given fault plan
+//                (docs/RESILIENCE.md grammar, e.g. "device:*.gpu1@iter=2");
+//                each row then also reports the chunks/iterations recovered
+//                (the fault.recoveries delta) so CI can assert faults fired
 //   --trace-dir  additionally run each app once with tracing enabled and
 //                write <DIR>/<app>.trace.json (Chrome trace + psfEdges) for
 //                tools/psf-analyze; DIR must exist
@@ -23,6 +27,7 @@
 // it for trend-watching and only enforces a threshold with --check-wall.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,7 +49,11 @@ struct BenchResult {
   double vtime = 0.0;  ///< measured virtual seconds (max over ranks)
   double speedup = 0.0;  ///< sequential paper-scale vtime / vtime
   double wall = 0.0;   ///< wall seconds of the run (host-dependent)
+  std::uint64_t recovered = 0;  ///< fault.recoveries delta (--fault-plan)
 };
+
+/// Fault plan applied to every sweep cell (--fault-plan), empty = none.
+std::string g_fault_plan;
 
 /// Device mixes with JSON-friendly slugs.
 struct SweepConfig {
@@ -70,6 +79,7 @@ double run_framework(const Workload& workload, int nodes,
   world.run([&](minimpi::Communicator& comm) {
     auto options = make_options(workload.scales, devices);
     if (trace != nullptr) options.with_trace(trace);
+    if (!g_fault_plan.empty()) options.with_fault_plan(g_fault_plan);
     vtimes[static_cast<std::size_t>(comm.rank())] = run(comm, options);
   });
   return *std::max_element(vtimes.begin(), vtimes.end());
@@ -84,6 +94,8 @@ void sweep(std::vector<BenchResult>& results, const char* app,
     // Smoke keeps one heterogeneous mix per app.
     if (smoke && std::strcmp(config.slug, "cpu+2gpu") != 0) continue;
     for (int nodes : node_counts) {
+      const std::uint64_t recoveries_before =
+          psf::metrics::Registry::global().counter("fault.recoveries").value();
       const auto wall_begin = std::chrono::steady_clock::now();
       const double vtime =
           run_framework(workload, nodes, config.devices, run);
@@ -97,10 +109,21 @@ void sweep(std::vector<BenchResult>& results, const char* app,
       result.vtime = vtime;
       result.speedup = seq / vtime;
       result.wall = wall;
+      result.recovered =
+          psf::metrics::Registry::global().counter("fault.recoveries").value() -
+          recoveries_before;
       results.push_back(result);
-      std::printf("  %-28s vtime %12.6f s  speedup %8.1fx  wall %9.4f s\n",
-                  result.name.c_str(), result.vtime, result.speedup,
-                  result.wall);
+      if (g_fault_plan.empty()) {
+        std::printf("  %-28s vtime %12.6f s  speedup %8.1fx  wall %9.4f s\n",
+                    result.name.c_str(), result.vtime, result.speedup,
+                    result.wall);
+      } else {
+        std::printf(
+            "  %-28s vtime %12.6f s  speedup %8.1fx  wall %9.4f s"
+            "  recovered %3llu\n",
+            result.name.c_str(), result.vtime, result.speedup, result.wall,
+            static_cast<unsigned long long>(result.recovered));
+      }
     }
   }
   if (!trace_dir.empty()) {
@@ -136,6 +159,10 @@ std::string to_json(const std::vector<BenchResult>& results, bool smoke) {
     out += ",\"wall\":";
     std::snprintf(buffer, sizeof(buffer), "%.17g", results[i].wall);
     out += buffer;
+    out += ",\"recovered\":";
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(results[i].recovered));
+    out += buffer;
     out += "}";
   }
   out += "]}";
@@ -160,10 +187,13 @@ int main(int argc, char** argv) {
       trace_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--steady-metrics") == 0 && i + 1 < argc) {
       steady_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      g_fault_plan = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: run_all [--smoke] [--out PATH] "
-                   "[--trace-dir DIR] [--steady-metrics PATH]\n");
+                   "[--trace-dir DIR] [--steady-metrics PATH] "
+                   "[--fault-plan SPEC]\n");
       return 2;
     }
   }

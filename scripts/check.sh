@@ -31,7 +31,7 @@ cmake --preset "${preset}"
 cmake --build --preset "${preset}" -j "${jobs}"
 
 filter='ThreadPool.*:ParallelFor.*:Latch.*:ResolveWorkers.*'
-filter+=':ThreadCountDeterminism.*:Determinism.*:Devices.*'
+filter+=':ThreadCountDeterminism.*:Determinism.*:Devices.*:Fault*'
 if [[ "${all}" == 1 ]]; then
   filter='*'
 fi

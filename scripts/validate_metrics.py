@@ -9,12 +9,18 @@ Three report kinds:
 
 Usage:
   scripts/validate_metrics.py [--kind metrics|bench|analysis]
-                              [--assert-zero COUNTER]... REPORT.json
+                              [--assert-zero COUNTER]...
+                              [--assert-positive COUNTER]... REPORT.json
 
 --assert-zero (metrics kind only, repeatable) fails the check unless the
 named counter exists and is exactly zero. CI uses it on the steady-state
 bench report to pin the allocation-free hot-path contract:
   --assert-zero support.pool.misses --assert-zero minimpi.payload_allocs
+
+--assert-positive (metrics kind only, repeatable) fails unless the named
+counter exists and is strictly positive. The CI fault-matrix job uses it
+to prove the injected faults actually fired and were recovered:
+  --assert-positive fault.recoveries
 """
 
 import argparse
@@ -57,6 +63,18 @@ def check_zero_counters(report: dict, names: list) -> None:
             fail(f"--assert-zero counter {name!r} is absent from the report")
         if counters[name] != 0:
             fail(f"counter {name!r} must be zero, got {counters[name]}")
+
+
+def check_positive_counters(report: dict, names: list) -> None:
+    counters = report["counters"]
+    for name in names:
+        if name not in counters:
+            fail(
+                f"--assert-positive counter {name!r} is absent from the "
+                "report"
+            )
+        if counters[name] <= 0:
+            fail(f"counter {name!r} must be positive, got {counters[name]}")
 
 
 def check_bench(report: dict) -> None:
@@ -166,9 +184,19 @@ def main() -> int:
         help="require this counter to be present and exactly zero "
         "(metrics kind only, repeatable)",
     )
+    parser.add_argument(
+        "--assert-positive",
+        action="append",
+        default=[],
+        metavar="COUNTER",
+        help="require this counter to be present and strictly positive "
+        "(metrics kind only, repeatable)",
+    )
     args = parser.parse_args()
     if args.assert_zero and args.kind != "metrics":
         parser.error("--assert-zero only applies to --kind metrics")
+    if args.assert_positive and args.kind != "metrics":
+        parser.error("--assert-positive only applies to --kind metrics")
 
     try:
         with open(args.report) as f:
@@ -179,6 +207,7 @@ def main() -> int:
     if args.kind == "metrics":
         check_metrics(report)
         check_zero_counters(report, args.assert_zero)
+        check_positive_counters(report, args.assert_positive)
     elif args.kind == "bench":
         check_bench(report)
     else:
@@ -188,6 +217,11 @@ def main() -> int:
         print(
             "validate_metrics: zero-counter assertions hold: "
             + ", ".join(args.assert_zero)
+        )
+    if args.assert_positive:
+        print(
+            "validate_metrics: positive-counter assertions hold: "
+            + ", ".join(args.assert_positive)
         )
     return 0
 

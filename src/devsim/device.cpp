@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "fault/fault.h"
 #include "support/sync.h"
 
 namespace psf::devsim {
@@ -98,6 +99,35 @@ void Device::run_blocks(
     const std::function<void(const BlockContext&)>& body) {
   PSF_CHECK(num_blocks >= 0);
   if (num_blocks == 0) return;
+  if (lost_) return;  // a dead device executes nothing; see host_replay()
+  if (fail_countdown_ > 0 && --fail_countdown_ == 0) {
+    // Armed loss fires: the launch aborts before any block runs (its
+    // output would be unretrievable from a lost device anyway) and the
+    // device is dead from here on. The caller recovers via host_replay().
+    lost_ = true;
+    PSF_METRIC_ADD("fault.device_losses", 1);
+    if (fault::FaultLog::global().enabled()) {
+      fault::FaultLog::global().record(
+          trace_rank_, "device_loss " + descriptor_.name());
+    }
+    return;
+  }
+  run_blocks_impl(num_blocks, shared_bytes, body);
+}
+
+void Device::host_replay(
+    int num_blocks, std::size_t shared_bytes,
+    const std::function<void(const BlockContext&)>& body) {
+  PSF_CHECK_MSG(lost_, "host_replay on a healthy device");
+  PSF_CHECK(num_blocks >= 0);
+  if (num_blocks == 0) return;
+  PSF_METRIC_ADD("fault.host_replays", 1);
+  run_blocks_impl(num_blocks, shared_bytes, body);
+}
+
+void Device::run_blocks_impl(
+    int num_blocks, std::size_t shared_bytes,
+    const std::function<void(const BlockContext&)>& body) {
   PSF_CHECK_MSG(shared_bytes <= usable_shared_memory(),
                 descriptor_.name() << ": block requests " << shared_bytes
                                    << " bytes of shared memory, only "

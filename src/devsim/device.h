@@ -205,8 +205,51 @@ class Device {
   /// Run `body(ctx)` for each of `num_blocks` blocks, each with a private
   /// `shared_bytes` arena, on the device's worker pool. Functional execution
   /// only — virtual time is charged separately through streams or lanes.
+  ///
+  /// Device loss (fault plans, docs/RESILIENCE.md): when a loss is armed
+  /// via fail_at(), the fatal launch aborts before ANY block runs — a real
+  /// device's kernel output is unretrievable after the device is lost — and
+  /// the device stays lost; every later launch is a no-op. Callers must
+  /// check lost()/status() after launching and re-execute the launch with
+  /// host_replay(). This all-or-nothing semantic is what makes replay safe:
+  /// a launch either fully happened or left no trace.
   void run_blocks(int num_blocks, std::size_t shared_bytes,
                   const std::function<void(const BlockContext&)>& body);
+
+  // --- simulated device loss ------------------------------------------------
+
+  /// Arm a device loss: the `nth_launch`-th subsequent non-empty run_blocks
+  /// launch aborts (executing nothing) and marks the device lost.
+  void fail_at(int nth_launch) noexcept {
+    PSF_CHECK_MSG(nth_launch >= 1, "fail_at needs a launch index >= 1");
+    fail_countdown_ = nth_launch;
+  }
+
+  [[nodiscard]] bool lost() const noexcept { return lost_; }
+
+  /// kDeviceLost once the device died, OK otherwise.
+  [[nodiscard]] support::Status status() const {
+    return lost_ ? support::Status::device_lost(
+                       descriptor_.name() + ": simulated device loss")
+                 : support::Status::ok();
+  }
+
+  /// Re-run a launch that a lost device discarded, on the host worker pool.
+  /// The launch must be idempotent (block bodies reset their private state
+  /// on entry — the contract every pattern runtime upholds and GReduction
+  /// asserts); replaying it then reproduces the fault-free bytes exactly.
+  void host_replay(int num_blocks, std::size_t shared_bytes,
+                   const std::function<void(const BlockContext&)>& body);
+
+  /// Clear the lost state and any armed countdown (test helper).
+  void restore() noexcept {
+    lost_ = false;
+    fail_countdown_ = -1;
+  }
+
+  /// The owning rank, used to key fault-log events deterministically even
+  /// when tracing is off (RuntimeEnv sets it; set_trace also updates it).
+  void set_owner_rank(int rank) noexcept { trace_rank_ = rank; }
 
   /// Attach a schedule recorder: stream operations (async copies, kernel
   /// launches) record spans on (rank, lane) and copy -> kernel dependency
@@ -233,6 +276,10 @@ class Device {
   friend class DeviceBuffer;
   friend class Stream;
 
+  /// The shared launch machinery behind run_blocks and host_replay.
+  void run_blocks_impl(int num_blocks, std::size_t shared_bytes,
+                       const std::function<void(const BlockContext&)>& body);
+
   DeviceDescriptor descriptor_;
   timemodel::Timeline* host_;
   timemodel::Overheads overheads_;
@@ -248,6 +295,10 @@ class Device {
   support::SpinLock arena_lock_;
   std::size_t arena_bytes_ = 0;
   std::vector<std::unique_ptr<Stream>> streams_;
+  /// Simulated device-loss state: countdown of non-empty launches until the
+  /// armed loss fires (-1/0 = disarmed), and whether the device is dead.
+  int fail_countdown_ = -1;
+  bool lost_ = false;
   timemodel::TraceRecorder* trace_ = nullptr;
   int trace_rank_ = 0;
   int trace_lane_ = 0;

@@ -5,9 +5,14 @@
 #include <cmath>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 
+#include "support/crc32.h"
 #include "support/metrics.h"
 #include "support/sync.h"
 
@@ -23,6 +28,39 @@ struct World::BarrierState {
   double max_vtime = 0.0;
 };
 
+// Message-fault injection state, installed once per World (set_msg_faults).
+// Each rank draws from its own seeded stream and assigns its own send
+// sequence numbers; deliver() touches only the sending rank's slot and
+// accept_message() only the receiving rank's slot, so no slot is ever
+// touched concurrently and the injected sequence is independent of
+// executor width.
+struct World::MsgFaultState {
+  MsgFaultState(const fault::MsgFaultSpec& spec_in, int ranks)
+      : spec(spec_in) {
+    per_rank.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      per_rank.push_back(PerRank{
+          fault::FaultRng(spec.seed ^
+                          (0x9E3779B97F4A7C15ULL *
+                           static_cast<std::uint64_t>(r + 1))),
+          1,
+          {}});
+    }
+  }
+
+  struct PerRank {
+    fault::FaultRng rng;
+    std::uint64_t next_send_seq;
+    // Receiver-side dedup backstop: last accepted send_seq per
+    // (source, tag). Only this rank's own thread reads or writes it
+    // (accept_message), so it needs no lock.
+    std::map<std::pair<int, int>, std::uint64_t> last_accepted;
+  };
+
+  fault::MsgFaultSpec spec;
+  std::vector<PerRank> per_rank;
+};
+
 World::World(int size, timemodel::LinkModel network,
              timemodel::Overheads overheads)
     : size_(size), network_(network), overheads_(overheads) {
@@ -34,10 +72,33 @@ World::World(int size, timemodel::LinkModel network,
     timelines_.push_back(std::make_unique<timemodel::Timeline>());
   }
   barrier_ = std::make_unique<BarrierState>(static_cast<std::size_t>(size));
+  msg_faults_ = std::make_unique<std::atomic<MsgFaultState*>>(nullptr);
 }
 
-World::~World() = default;
+World::~World() {
+  if (msg_faults_ != nullptr) {
+    delete msg_faults_->load(std::memory_order_acquire);
+  }
+}
+
 World::World(World&&) noexcept = default;
+
+void World::set_msg_faults(const fault::MsgFaultSpec& spec) {
+  auto* state = new MsgFaultState(spec, size_);
+  MsgFaultState* expected = nullptr;
+  if (!msg_faults_->compare_exchange_strong(expected, state,
+                                            std::memory_order_acq_rel)) {
+    delete state;  // another rank won the install race
+  }
+}
+
+bool World::msg_faults_enabled() const noexcept {
+  return msg_fault_state() != nullptr;
+}
+
+World::MsgFaultState* World::msg_fault_state() const noexcept {
+  return msg_faults_->load(std::memory_order_acquire);
+}
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
   std::vector<std::thread> threads;
@@ -124,22 +185,152 @@ void Communicator::deliver(int dest, int tag,
   if (payload.fresh()) PSF_METRIC_ADD("minimpi.payload_allocs", 1);
   const double call_begin = timeline().now();
   timeline().advance(world_->overheads_.mpi_call_s);
+
+  const auto network_cost = [this](std::size_t bytes) {
+    return world_->network_.cost(static_cast<std::size_t>(
+        static_cast<double>(bytes) * world_->byte_scale_));
+  };
+
+  // Fault injection (docs/RESILIENCE.md): a simulated lossy transport. One
+  // seeded draw per attempt decides the message's fate over disjoint
+  // probability ranges. Drops and corruptions charge a virtual
+  // retransmission timeout + linear backoff on the sender and redraw; the
+  // delivered payload is always the original bytes, so results stay
+  // bit-identical to a fault-free run. With no faults installed this whole
+  // block is skipped and the send path is byte-for-byte the old one.
+  std::uint32_t crc = 0;
+  std::uint64_t send_seq = 0;
+  int retries = 0;
+  double extra_delay = 0.0;
+  bool duplicate = false;
+  World::MsgFaultState* faults = world_->msg_fault_state();
+  if (faults != nullptr) {
+    const fault::MsgFaultSpec& spec = faults->spec;
+    auto& mine = faults->per_rank[static_cast<std::size_t>(rank_)];
+    crc = support::crc32(payload.bytes());
+    send_seq = mine.next_send_seq++;
+    auto& log = fault::FaultLog::global();
+    const auto log_event = [&](const char* what) {
+      if (log.enabled()) {
+        log.record(rank_, std::string(what) + " dest=" + std::to_string(dest) +
+                              " tag=" + std::to_string(tag) +
+                              " seq=" + std::to_string(send_seq));
+      }
+    };
+    for (;;) {
+      if (retries > spec.max_retries) {
+        throw std::runtime_error(
+            "minimpi: send to rank " + std::to_string(dest) + " exhausted " +
+            std::to_string(spec.max_retries) +
+            " retransmissions under the fault plan");
+      }
+      const double draw = mine.rng.next_double();
+      double threshold = spec.p_drop;
+      if (draw < threshold) {
+        // Dropped in flight: the retransmission timer expires and the
+        // sender re-sends after a backoff. Nothing reaches the mailbox.
+        timeline().advance(spec.timeout_s + spec.backoff_s * retries);
+        ++retries;
+        PSF_METRIC_ADD("minimpi.msgs_dropped", 1);
+        PSF_METRIC_ADD("minimpi.retries", 1);
+        log_event("drop");
+        continue;
+      }
+      threshold += spec.p_corrupt;
+      if (draw < threshold) {
+        // A damaged copy reaches the receiver, which rejects it by CRC and
+        // stays silent; the sender's timer then fires as for a drop. The
+        // bad copy carries the original CRC (that is what makes it
+        // detectable) and the same sequence number.
+        Message bad;
+        bad.source = rank_;
+        bad.tag = tag;
+        bad.crc = payload.empty() ? ~crc : crc;
+        bad.send_seq = send_seq;
+        bad.arrival_vtime = timeline().now() + network_cost(payload.size());
+        bad.payload = acquire_buffer(payload.size());
+        if (!payload.empty()) {
+          std::memcpy(bad.payload.data(), payload.data(), payload.size());
+          bad.payload.data()[0] ^= std::byte{0xFF};
+        }
+        mailbox(dest).deposit(std::move(bad));
+        timeline().advance(spec.timeout_s + spec.backoff_s * retries);
+        ++retries;
+        PSF_METRIC_ADD("minimpi.msgs_corrupted", 1);
+        PSF_METRIC_ADD("minimpi.retries", 1);
+        log_event("corrupt");
+        continue;
+      }
+      threshold += spec.p_dup;
+      if (draw < threshold) {
+        duplicate = true;
+        PSF_METRIC_ADD("minimpi.dup_deliveries", 1);
+        log_event("dup");
+        break;
+      }
+      threshold += spec.p_delay;
+      if (draw < threshold) {
+        extra_delay = spec.delay_s;
+        PSF_METRIC_ADD("minimpi.msgs_delayed", 1);
+        log_event("delay");
+        break;
+      }
+      break;
+    }
+    if (retries > 0) {
+      PSF_METRIC_ADD("fault.recoveries", 1);
+      if (world_->trace_ != nullptr) {
+        world_->trace_->record("msg retry", "fault", rank_,
+                               timemodel::kNetLane, call_begin,
+                               timeline().now());
+      }
+    }
+  }
+
   Message message;
   message.source = rank_;
   message.tag = tag;
+  message.crc = crc;
+  message.send_seq = send_seq;
   message.arrival_vtime =
-      timeline().now() +
-      world_->network_.cost(static_cast<std::size_t>(
-          static_cast<double>(payload.size()) * world_->byte_scale_));
+      timeline().now() + extra_delay + network_cost(payload.size());
   message.payload = std::move(payload);
   if (world_->trace_ != nullptr) {
     // The span covers the send call itself; the message carries its id so
-    // the matching receive can record the send -> recv message edge.
+    // the matching receive can record the send -> recv message edge. Under
+    // retries the preceding "msg retry" fault span covers the backoff time
+    // and the send span degenerates to the final (instant) attempt.
+    const double send_begin = retries > 0 ? timeline().now() : call_begin;
     message.trace_span =
         world_->trace_->record("send", "comm", rank_, timemodel::kNetLane,
-                               call_begin, timeline().now());
+                               send_begin, timeline().now());
   }
-  mailbox(dest).deposit(std::move(message));
+  Message copy;
+  if (duplicate) {
+    // A second, byte-identical copy delivered right behind the first; the
+    // receiver drops it by sequence number (Mailbox::purge_duplicates).
+    // Built before the original moves into the mailbox.
+    copy.source = rank_;
+    copy.tag = tag;
+    copy.crc = crc;
+    copy.send_seq = send_seq;
+    copy.arrival_vtime = message.arrival_vtime;
+    copy.trace_span = message.trace_span;
+    copy.payload = acquire_buffer(message.payload.size());
+    if (!message.payload.empty()) {
+      std::memcpy(copy.payload.data(), message.payload.data(),
+                  message.payload.size());
+    }
+  }
+  if (duplicate) {
+    // One atomic deposit for both copies: if the receiver could retrieve
+    // the original between two separate deposits, its purge would miss the
+    // copy and the copy would rot in the mailbox past the end-of-run drain
+    // check (or worse, be read as a real message).
+    mailbox(dest).deposit_pair(std::move(message), std::move(copy));
+  } else {
+    mailbox(dest).deposit(std::move(message));
+  }
 }
 
 void Communicator::consume(const Message& message) {
@@ -168,6 +359,73 @@ support::PooledBuffer Communicator::acquire_buffer(std::size_t bytes) {
   return support::BufferPool::global().acquire(bytes);
 }
 
+bool Communicator::accept_message(const Message& message) {
+  if (message.send_seq == 0) return true;  // pre-fault-era message
+  if (support::crc32(message.payload.bytes()) != message.crc) {
+    // Corrupted delivery: discard silently — the sender's retransmission
+    // timer has already queued (or will queue) a clean copy.
+    PSF_METRIC_ADD("minimpi.crc_rejects", 1);
+    auto& log = fault::FaultLog::global();
+    if (log.enabled()) {
+      log.record(rank_, "crc_reject src=" + std::to_string(message.source) +
+                            " tag=" + std::to_string(message.tag) +
+                            " seq=" + std::to_string(message.send_seq));
+    }
+    return false;
+  }
+  // Dedup. The purge is the fast path: it drops the byte-identical copy
+  // while it still sits right behind the original at the queue front. The
+  // sequence check is the backstop for the race it cannot cover — the
+  // original and its copy are two separate deposits, so this rank can
+  // retrieve the original before the copy lands, and the stale copy would
+  // later be consumed as a real message. Both paths bump the same
+  // counters, so totals stay independent of which one wins; neither logs
+  // to the FaultLog (its position would depend on the race — the sender's
+  // "dup" record already pins the injection deterministically).
+  std::size_t discarded = mailbox(rank_).purge_duplicates(
+      message.source, message.tag, message.send_seq);
+  bool stale = false;
+  World::MsgFaultState* faults = world_->msg_fault_state();
+  if (faults != nullptr) {
+    auto& mine = faults->per_rank[static_cast<std::size_t>(rank_)];
+    auto [it, inserted] = mine.last_accepted.try_emplace(
+        std::pair{message.source, message.tag}, message.send_seq);
+    if (!inserted) {
+      if (message.send_seq == it->second) {
+        stale = true;
+        ++discarded;
+      } else {
+        it->second = message.send_seq;
+      }
+    }
+  }
+  if (discarded > 0) {
+    PSF_METRIC_ADD("minimpi.dup_discards", discarded);
+    PSF_METRIC_ADD("fault.recoveries", 1);
+  }
+  return !stale;
+}
+
+Message Communicator::retrieve_checked(int source, int tag) {
+  World::MsgFaultState* faults = world_->msg_fault_state();
+  if (faults == nullptr) return mailbox(rank_).retrieve(source, tag);
+  const int deadline_ms = faults->spec.deadline_ms;
+  for (;;) {
+    Message message;
+    if (deadline_ms > 0) {
+      if (!mailbox(rank_).retrieve_for(
+              source, tag, static_cast<double>(deadline_ms) / 1e3, message)) {
+        throw std::runtime_error(
+            "minimpi: rank " + std::to_string(rank_) + " recv deadline of " +
+            std::to_string(deadline_ms) + " ms exceeded (fault plan)");
+      }
+    } else {
+      message = mailbox(rank_).retrieve(source, tag);
+    }
+    if (accept_message(message)) return message;
+  }
+}
+
 void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
   support::PooledBuffer payload = acquire_buffer(data.size());
   if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
@@ -181,7 +439,7 @@ void Communicator::send_pooled(int dest, int tag,
 
 MessageInfo Communicator::recv(int source, int tag,
                                std::span<std::byte> out) {
-  Message message = mailbox(rank_).retrieve(source, tag);
+  Message message = retrieve_checked(source, tag);
   PSF_CHECK_MSG(message.payload.size() <= out.size(),
                 "recv buffer too small: got " << message.payload.size()
                                               << " bytes, buffer "
@@ -194,9 +452,33 @@ MessageInfo Communicator::recv(int source, int tag,
 }
 
 Message Communicator::recv_any(int source, int tag) {
-  Message message = mailbox(rank_).retrieve(source, tag);
+  Message message = retrieve_checked(source, tag);
   consume(message);
   return message;
+}
+
+support::StatusOr<MessageInfo> Communicator::recv_deadline(
+    int source, int tag, std::span<std::byte> out, double timeout_s) {
+  for (;;) {
+    Message message;
+    if (!mailbox(rank_).retrieve_for(source, tag, timeout_s, message)) {
+      return support::Status::deadline_exceeded(
+          "recv_deadline: rank " + std::to_string(rank_) +
+          " saw no message matching (source=" + std::to_string(source) +
+          ", tag=" + std::to_string(tag) + ") within " +
+          std::to_string(timeout_s) + " s");
+    }
+    if (!accept_message(message)) continue;  // CRC reject: keep waiting
+    PSF_CHECK_MSG(message.payload.size() <= out.size(),
+                  "recv buffer too small: got " << message.payload.size()
+                                                << " bytes, buffer "
+                                                << out.size());
+    if (!message.payload.empty()) {
+      std::memcpy(out.data(), message.payload.data(), message.payload.size());
+    }
+    consume(message);
+    return MessageInfo{message.source, message.tag, message.payload.size()};
+  }
 }
 
 Request Communicator::isend(int dest, int tag,

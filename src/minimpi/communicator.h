@@ -5,6 +5,7 @@
 // binomial-tree reductions, gather and personalized all-to-all.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "fault/fault.h"
 #include "minimpi/message.h"
 #include "support/error.h"
 #include "timemodel/link.h"
@@ -75,6 +77,14 @@ class World {
   void set_byte_scale(double scale) noexcept { byte_scale_ = scale; }
   [[nodiscard]] double byte_scale() const noexcept { return byte_scale_; }
 
+  /// Install message-fault injection (drop/corrupt/duplicate/delay, see
+  /// fault::MsgFaultSpec) on every send in this World. Thread-safe and
+  /// idempotent — the first call wins; rank threads may race to install the
+  /// same spec during SPMD setup (RuntimeEnv does exactly that). Faults are
+  /// drawn from per-rank seeded streams, so injection is deterministic.
+  void set_msg_faults(const fault::MsgFaultSpec& spec);
+  [[nodiscard]] bool msg_faults_enabled() const noexcept;
+
   /// Attach a schedule recorder: every send/recv/barrier records a span on
   /// the per-rank network lane (timemodel::kNetLane) and deliveries record
   /// send -> recv dependency edges, giving psf::analysis the causal message
@@ -90,6 +100,9 @@ class World {
   friend class Communicator;
 
   struct BarrierState;
+  struct MsgFaultState;
+
+  [[nodiscard]] MsgFaultState* msg_fault_state() const noexcept;
 
   int size_;
   timemodel::LinkModel network_;
@@ -99,6 +112,9 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<timemodel::Timeline>> timelines_;
   std::unique_ptr<BarrierState> barrier_;
+  /// Installed-once fault state; behind a heap holder so World stays
+  /// movable (atomics are not). Owned: deleted in ~World.
+  std::unique_ptr<std::atomic<MsgFaultState*>> msg_faults_;
 };
 
 /// Handle for a pending non-blocking operation. Obtained from isend/irecv,
@@ -163,6 +179,14 @@ class Communicator {
   /// Message owns the pooled payload the sender packed; it returns to the
   /// pool when the Message is destroyed.
   Message recv_any(int source, int tag);
+
+  /// Blocking receive with a wall-clock deadline (a hang detector for
+  /// lossy-transport experiments): returns kDeadlineExceeded when no
+  /// matching message arrives within `timeout_s` wall seconds. A message
+  /// arriving after the deadline stays queued for a later receive. Virtual
+  /// time is only advanced on success.
+  [[nodiscard]] support::StatusOr<MessageInfo> recv_deadline(
+      int source, int tag, std::span<std::byte> out, double timeout_s);
 
   /// Non-blocking send: buffered, completes immediately (MPI_Ibsend-like —
   /// matches how the paper's runtime posts asynchronous boundary sends).
@@ -276,6 +300,15 @@ class Communicator {
 
   void deliver(int dest, int tag, support::PooledBuffer payload);
   void consume(const Message& message);
+
+  /// retrieve() plus the fault-era receiver protocol: wall-clock deadline
+  /// (when the plan arms one), CRC verification, and duplicate purging.
+  /// Reduces to a plain retrieve when no faults are installed.
+  Message retrieve_checked(int source, int tag);
+
+  /// False if `message` fails its CRC (it is discarded and the caller must
+  /// retrieve again); true otherwise, after purging duplicate deliveries.
+  bool accept_message(const Message& message);
 
   World* world_;
   int rank_;

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -72,7 +73,23 @@ struct Message {
   std::uint64_t trace_span = 0;
   /// Mailbox-assigned deposit sequence number; orders wildcard matching.
   std::uint64_t seq = 0;
+  /// CRC-32 of the payload, filled by the sender when message-fault
+  /// injection is active (0 means "not checksummed").
+  std::uint32_t crc = 0;
+  /// Sender-assigned per-rank sequence number under fault injection; the
+  /// receiver dedups duplicated deliveries by it. 0 means "no injection".
+  std::uint64_t send_seq = 0;
 };
+
+/// Debug builds enforce the single-consumer contract instead of silently
+/// relying on it: at most one thread may block in retrieve/retrieve_for on
+/// a mailbox at any moment. Release builds compile the guard out.
+#ifndef NDEBUG
+#define PSF_MAILBOX_CONSUMER_GUARD() \
+  ConsumerGuard psf_consumer_guard_ { consumers_ }
+#else
+#define PSF_MAILBOX_CONSUMER_GUARD() ((void)0)
+#endif
 
 /// Per-rank inbound message queue with (source, tag) matching, sharded by
 /// source. Arrival order is preserved per (source, tag) — the MPI
@@ -109,10 +126,34 @@ class Mailbox {
     cv_.notify_one();
   }
 
+  /// Enqueue two messages with the same (source, tag) as one atomic step.
+  /// Fault injection uses this to deposit a message and its duplicate copy
+  /// under a single shard lock: purge_duplicates relies on the copy sitting
+  /// right behind the original, which only holds if no retrieve can slip in
+  /// between the two deposits.
+  void deposit_pair(Message first, Message second) {
+    first.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    second.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    Shard& shard = shard_for(first.source);
+    {
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      auto& queue = shard.queues[Key{first.source, first.tag}];
+      queue.push_back(std::move(first));
+      queue.push_back(std::move(second));
+      shard.pending += 2;
+    }
+    {
+      std::lock_guard<std::mutex> guard(wait_mutex_);
+      version_ += 1;
+    }
+    cv_.notify_one();
+  }
+
   /// Block until a message matching (source, tag) is available and return
   /// it. Wildcards kAnySource / kAnyTag match anything; among matches the
   /// earliest-deposited message wins.
   Message retrieve(int source, int tag) {
+    PSF_MAILBOX_CONSUMER_GUARD();
     for (;;) {
       std::uint64_t version;
       {
@@ -124,6 +165,54 @@ class Mailbox {
       std::unique_lock<std::mutex> lock(wait_mutex_);
       cv_.wait(lock, [&] { return version_ != version; });
     }
+  }
+
+  /// retrieve() with a wall-clock deadline: false if nothing matching
+  /// arrived within `timeout_s` seconds. Virtual time is not advanced here
+  /// — the deadline is a hang detector, not a priced operation.
+  bool retrieve_for(int source, int tag, double timeout_s, Message& out) {
+    PSF_MAILBOX_CONSUMER_GUARD();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    for (;;) {
+      std::uint64_t version;
+      {
+        std::lock_guard<std::mutex> guard(wait_mutex_);
+        version = version_;
+      }
+      if (try_retrieve(source, tag, out)) return true;
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      if (!cv_.wait_until(lock, deadline,
+                          [&] { return version_ != version; })) {
+        lock.unlock();
+        // One last look: the match may have landed between the snapshot
+        // and the wait.
+        return try_retrieve(source, tag, out);
+      }
+    }
+  }
+
+  /// Drop duplicated deliveries of the message just retrieved: pops
+  /// consecutive front messages of the exact (source, tag) queue carrying
+  /// the same sender sequence number. Duplicates are deposited back-to-back
+  /// by the sender thread into one FIFO queue, so after the first copy is
+  /// retrieved the remaining copies sit at the queue front. Returns how
+  /// many were dropped.
+  std::size_t purge_duplicates(int source, int tag, std::uint64_t send_seq) {
+    if (send_seq == 0) return 0;
+    Shard& shard = shard_for(source);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    auto it = shard.queues.find(Key{source, tag});
+    if (it == shard.queues.end()) return 0;
+    std::size_t purged = 0;
+    while (!it->second.empty() && it->second.front().send_seq == send_seq) {
+      it->second.pop_front();
+      shard.pending -= 1;
+      ++purged;
+    }
+    return purged;
   }
 
   /// Non-blocking probe: true if a matching message is queued.
@@ -236,6 +325,21 @@ class Mailbox {
     }
   }
 
+#ifndef NDEBUG
+  struct ConsumerGuard {
+    explicit ConsumerGuard(std::atomic<int>& count) : count_(count) {
+      PSF_CHECK_MSG(count_.fetch_add(1, std::memory_order_acq_rel) == 0,
+                    "mailbox single-consumer contract violated: a second "
+                    "thread entered retrieve() concurrently");
+    }
+    ~ConsumerGuard() { count_.fetch_sub(1, std::memory_order_acq_rel); }
+    ConsumerGuard(const ConsumerGuard&) = delete;
+    ConsumerGuard& operator=(const ConsumerGuard&) = delete;
+    std::atomic<int>& count_;
+  };
+  std::atomic<int> consumers_{0};
+#endif
+
   const std::size_t shard_mask_;
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> next_seq_{0};
@@ -243,5 +347,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::uint64_t version_ = 0;
 };
+
+#undef PSF_MAILBOX_CONSUMER_GUARD
 
 }  // namespace psf::minimpi

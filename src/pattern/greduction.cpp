@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "exec/parallel_for.h"
+#include "fault/fault.h"
 #include "pattern/partition.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
@@ -96,11 +98,95 @@ support::Status GReductionRuntime::start() {
       specs[d].units_per_s *= kNoLocalizationThroughput;
     }
   }
+  // The CANONICAL functional schedule runs over the full device set every
+  // iteration — it fixes the chunk -> block -> staging merge structure, so
+  // the functional result is bit-identical whether or not a device dies (a
+  // lost device's launches are replayed on the host; docs/RESILIENCE.md).
+  // Pricing is decoupled: under a fault the iteration is PRICED as the
+  // survivors experience it (run_with_failure / survivor-only run below).
   const auto schedule = DynamicScheduler::run(
       specs, my_units, comm.timeline().now(), env_->scheduler_options());
 
+  // Device-loss injection: remember which devices died in earlier
+  // iterations, then arm any loss due this iteration. Arming only when the
+  // device drew canonical work keeps the launch countdown aligned with the
+  // priced failure point.
+  const fault::FaultPlan* plan = env_->fault_plan();
+  const int iteration = ++gr_epoch_;
+  std::vector<bool> lost_before(devices.size(), false);
+  bool any_prior_loss = false;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    lost_before[d] = devices[d]->lost();
+    any_prior_loss = any_prior_loss || lost_before[d];
+  }
+  int armed = -1;
+  if (plan != nullptr && !plan->device_faults().empty()) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (lost_before[d] || schedule.device_units[d] == 0) continue;
+      if (plan->device_fault_due(comm.rank(), devices[d]->descriptor().name(),
+                                 iteration) != nullptr) {
+        devices[d]->fail_at(1);
+        armed = static_cast<int>(d);
+        break;
+      }
+    }
+  }
+
+  // Priced schedule: identical to the canonical one on the fault-free path
+  // (same object, zero extra work); under a loss the survivors re-absorb
+  // the dead device's chunks, including the requeued half-finished one.
+  ScheduleResult priced_storage;
+  const ScheduleResult* priced = &schedule;
+  if (armed >= 0 || any_prior_loss) {
+    std::vector<DeviceSpec> live_specs;
+    std::vector<std::size_t> live_to_full;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (lost_before[d]) continue;
+      live_specs.push_back(specs[d]);
+      live_to_full.push_back(d);
+    }
+    PSF_CHECK_MSG(!live_specs.empty(),
+                  "generalized reduction: every device is lost");
+    ScheduleResult live;
+    if (armed >= 0) {
+      int live_armed = 0;
+      std::size_t armed_chunks = 0;
+      for (std::size_t li = 0; li < live_to_full.size(); ++li) {
+        if (live_to_full[li] == static_cast<std::size_t>(armed)) {
+          live_armed = static_cast<int>(li);
+        }
+      }
+      for (const auto& chunk : schedule.chunks) {
+        if (chunk.device == armed) ++armed_chunks;
+      }
+      live = DynamicScheduler::run_with_failure(
+          live_specs, my_units, comm.timeline().now(),
+          env_->scheduler_options(), live_armed, armed_chunks / 2,
+          fault::kDeviceLossDetectS);
+    } else {
+      live = DynamicScheduler::run(live_specs, my_units, comm.timeline().now(),
+                                   env_->scheduler_options());
+    }
+    for (auto& chunk : live.chunks) {
+      chunk.device =
+          static_cast<int>(live_to_full[static_cast<std::size_t>(chunk.device)]);
+    }
+    priced_storage.chunks = std::move(live.chunks);
+    priced_storage.device_finish.assign(devices.size(), comm.timeline().now());
+    priced_storage.device_units.assign(devices.size(), 0);
+    for (std::size_t li = 0; li < live_to_full.size(); ++li) {
+      priced_storage.device_finish[live_to_full[li]] = live.device_finish[li];
+      priced_storage.device_units[live_to_full[li]] = live.device_units[li];
+    }
+    priced_storage.makespan = live.makespan;
+    priced_storage.requeued_chunks = live.requeued_chunks;
+    priced_storage.lost_device = live.lost_device >= 0 ? armed : -1;
+    priced = &priced_storage;
+  }
+
   // Stats flags are computed on this thread before the lanes launch so the
-  // lane tasks never write shared runtime state.
+  // lane tasks never write shared runtime state. used_shared_memory follows
+  // the canonical (functional) schedule.
   for (std::size_t d = 0; d < specs.size(); ++d) {
     if (schedule.device_units[d] > 0 && localizes_on(*devices[d])) {
       stats_.used_shared_memory = true;
@@ -120,21 +206,21 @@ support::Status GReductionRuntime::start() {
     if (device_result) local_result_->merge_from(*device_result);
   }
 
-  stats_.device_units = schedule.device_units;
-  stats_.device_finish = schedule.device_finish;
-  stats_.local_makespan = schedule.makespan;
-  stats_.num_chunks = schedule.chunks.size();
+  stats_.device_units = priced->device_units;
+  stats_.device_finish = priced->device_finish;
+  stats_.local_makespan = priced->makespan;
+  stats_.num_chunks = priced->chunks.size();
 
 #ifndef PSF_DISABLE_METRICS
   // Per-device chunk/unit distribution — the dynamic scheduler's emergent
   // load balance (paper Fig. 5's "where the work went").
   PSF_METRIC_ADD("pattern.gr.runs", 1);
-  PSF_METRIC_ADD("pattern.gr.chunks", schedule.chunks.size());
+  PSF_METRIC_ADD("pattern.gr.chunks", priced->chunks.size());
   PSF_METRIC_ADD("pattern.gr.units", my_units);
   {
     auto& registry = metrics::Registry::global();
     std::vector<std::size_t> chunks_per_device(specs.size(), 0);
-    for (const auto& chunk : schedule.chunks) {
+    for (const auto& chunk : priced->chunks) {
       ++chunks_per_device[static_cast<std::size_t>(chunk.device)];
     }
     for (std::size_t d = 0; d < specs.size(); ++d) {
@@ -142,26 +228,44 @@ support::Status GReductionRuntime::start() {
       registry.counter("pattern.gr.chunks." + name)
           .add(chunks_per_device[d]);
       registry.counter("pattern.gr.units." + name)
-          .add(schedule.device_units[d]);
+          .add(priced->device_units[d]);
     }
   }
   PSF_METRIC_OBSERVE("pattern.gr.local_vtime",
-                     schedule.makespan - comm.timeline().now());
+                     priced->makespan - comm.timeline().now());
 #endif
+  if (priced->lost_device >= 0) {
+    PSF_METRIC_ADD("fault.recoveries", 1);
+    PSF_METRIC_ADD("fault.chunks_requeued", priced->requeued_chunks);
+    if (auto* trace = env_->options().trace) {
+      trace->record("device loss recovery", "fault", comm.rank(), armed + 1,
+                    priced->device_finish[static_cast<std::size_t>(armed)],
+                    priced->makespan);
+    }
+    if (fault::FaultLog::global().enabled()) {
+      fault::FaultLog::global().record(
+          comm.rank(),
+          "gr requeue " + devices[static_cast<std::size_t>(armed)]
+                              ->descriptor()
+                              .name() +
+              " iter=" + std::to_string(iteration) +
+              " chunks=" + std::to_string(priced->requeued_chunks));
+    }
+  }
   chunk_span_ids_.clear();
   if (auto* trace = env_->options().trace) {
-    for (std::size_t d = 0; d < schedule.device_finish.size(); ++d) {
+    for (std::size_t d = 0; d < priced->device_finish.size(); ++d) {
       chunk_span_ids_.push_back(
           trace->record("gr chunks", "compute", comm.rank(),
                         static_cast<int>(d) + 1, comm.timeline().now(),
-                        schedule.device_finish[d]));
+                        priced->device_finish[d]));
     }
   }
-  comm.timeline().merge(schedule.makespan);
+  comm.timeline().merge(priced->makespan);
   PSF_LOG(kDebug, "greduction")
       << "rank " << comm.rank() << ": " << my_units << " units in "
-      << schedule.chunks.size() << " chunks over " << specs.size()
-      << " devices, local makespan " << schedule.makespan;
+      << priced->chunks.size() << " chunks over " << specs.size()
+      << " devices, local makespan " << priced->makespan;
   return support::Status::ok();
 }
 
@@ -210,8 +314,7 @@ std::unique_ptr<ReductionObject> GReductionRuntime::execute_device_chunks(
   std::vector<std::unique_ptr<ReductionObject>> staging(
       static_cast<std::size_t>(num_blocks));
 
-  device.run_blocks(num_blocks, arena_bytes, [&](const devsim::BlockContext&
-                                                     ctx) {
+  const auto body = [&](const devsim::BlockContext& ctx) {
     const std::size_t from = block_split.begin(ctx.block_id);
     const std::size_t to = block_split.end(ctx.block_id);
     if (from == to) return;
@@ -250,7 +353,35 @@ std::unique_ptr<ReductionObject> GReductionRuntime::execute_device_chunks(
         }
       }
     }
-  });
+  };
+  device.run_blocks(num_blocks, arena_bytes, body);
+
+  if (device.lost()) {
+    // The aborted launch ran ZERO blocks (clean-loss semantics, devsim);
+    // replay the whole launch on the host. Replaying twice and comparing
+    // blobs enforces the idempotence contract recovery rests on: every
+    // block body resets its staging slot on entry, so re-execution must be
+    // byte-identical.
+    device.host_replay(num_blocks, arena_bytes, body);
+    auto probe = std::make_unique<ReductionObject>(
+        ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
+    for (const auto& staged : staging) {
+      if (staged) probe->merge_from(*staged);
+    }
+    std::vector<std::byte> first_blob(probe->serialized_size());
+    probe->serialize_into(first_blob);
+    device.host_replay(num_blocks, arena_bytes, body);
+    probe = std::make_unique<ReductionObject>(
+        ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
+    for (const auto& staged : staging) {
+      if (staged) probe->merge_from(*staged);
+    }
+    std::vector<std::byte> second_blob(probe->serialized_size());
+    probe->serialize_into(second_blob);
+    PSF_CHECK_MSG(first_blob == second_blob,
+                  "GR chunk replay is not idempotent: re-running the lost "
+                  "launch changed the reduction blob");
+  }
 
   for (const auto& staged : staging) {
     if (staged) device_object->merge_from(*staged);
@@ -287,6 +418,75 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
   if (have_global_) return *global_result_;
 
   auto& comm = env_->comm();
+
+  // Rank-failure injection (rank:<R>@iter=N / @vtime=X): the combine is the
+  // pattern's iteration boundary. When a kill is due, the target rank
+  // "dies" and restarts from its iteration-boundary checkpoint — the
+  // serialized local reduction object. The blob round-trip is asserted
+  // exact, so the combine below sees pre-fault state and the global result
+  // stays bit-identical; only the restarted rank's virtual clock pays the
+  // restart + reload cost.
+  const fault::FaultPlan* plan = env_->fault_plan();
+  if (plan != nullptr && plan->has_rank_faults()) {
+    const int boundary = ++combine_epoch_;
+    const auto& faults = plan->rank_faults();
+    if (rank_fault_fired_.size() < faults.size()) {
+      rank_fault_fired_.resize(faults.size(), false);
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const fault::RankFault& rf = faults[i];
+      if (rank_fault_fired_[i]) continue;
+      if (rf.rank < 0 || rf.rank >= comm.size()) continue;
+      std::uint8_t due = 0;
+      if (rf.iteration > 0) {
+        due = boundary == rf.iteration ? 1 : 0;
+      } else {
+        // Virtual-time trigger: only the target rank's clock decides, so
+        // the decision is broadcast to keep every rank at the same
+        // boundary in agreement.
+        due = comm.rank() == rf.rank && comm.timeline().now() >= rf.vtime
+                  ? 1
+                  : 0;
+        comm.bcast(std::as_writable_bytes(std::span<std::uint8_t>(&due, 1)),
+                   rf.rank);
+      }
+      if (due == 0) continue;
+      rank_fault_fired_[i] = true;
+      if (comm.rank() == rf.rank) {
+        const double restart_t0 = comm.timeline().now();
+        std::vector<std::byte> blob(local_result_->serialized_size());
+        local_result_->serialize_into(blob);
+        auto restored = std::make_unique<ReductionObject>(
+            ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
+        restored->merge_serialized(blob);
+        std::vector<std::byte> check(restored->serialized_size());
+        restored->serialize_into(check);
+        PSF_CHECK_MSG(
+            check == blob,
+            "GR checkpoint blob did not round-trip bit-identically");
+        local_result_ = std::move(restored);
+        comm.timeline().advance(
+            fault::kRankRestartS +
+            static_cast<double>(blob.size()) / fault::kCheckpointBytesPerS);
+        PSF_METRIC_ADD("fault.rank_restarts", 1);
+        PSF_METRIC_ADD("fault.checkpoint_bytes", blob.size());
+        PSF_METRIC_ADD("fault.recoveries", 1);
+        if (auto* trace = env_->options().trace) {
+          trace->record("rank restart", "fault", comm.rank(), 0, restart_t0,
+                        comm.timeline().now());
+        }
+        if (fault::FaultLog::global().enabled()) {
+          fault::FaultLog::global().record(
+              comm.rank(),
+              "rank_restart gr boundary=" + std::to_string(boundary) +
+                  " bytes=" + std::to_string(blob.size()));
+        }
+      }
+      // Survivors wait for the restarted rank to rejoin before combining.
+      comm.barrier();
+    }
+  }
+
   const double t0 = comm.timeline().now();
   global_result_ = std::make_unique<ReductionObject>(
       ObjectLayout::kHash, object_capacity_, value_size_, reduce_);

@@ -128,6 +128,13 @@ class GReductionRuntime {
   std::unique_ptr<ReductionObject> global_result_;
   bool have_global_ = false;
   Stats stats_;
+  /// Pattern-iteration counter driving `device:...@iter=N` fault triggers
+  /// (one start() = one iteration).
+  int gr_epoch_ = 0;
+  /// Combine-boundary counter + per-clause fired flags for `rank:...`
+  /// fault triggers (one get_global_reduction() = one boundary).
+  int combine_epoch_ = 0;
+  std::vector<bool> rank_fault_fired_;
   /// Trace span ids of the latest start()'s per-device chunk spans, so the
   /// global combine can record chunk -> combine dependency edges.
   std::vector<std::uint64_t> chunk_span_ids_;

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <cstring>
 #include <numeric>
+#include <string>
 
 #include "exec/parallel_for.h"
+#include "fault/fault.h"
 #include "pattern/runtime_env.h"
 #include "support/log.h"
 #include "support/metrics.h"
@@ -421,6 +423,22 @@ double IReductionRuntime::compute_edges(bool include_local,
 
   // Pricing pass: unchanged from the serial engine, on the calling thread,
   // in device order — virtual time never depends on the executor width.
+  //
+  // Lost devices are priced at the first survivor's rate (their edges are
+  // replayed on the host), but the CANONICAL per-device seconds fed to the
+  // adaptive partitioner keep the device's own rate: the edge->device split
+  // must stay identical to a fault-free run so the per-node contribution
+  // order — and therefore the result bytes — never change under faults.
+  const bool faulty = env_->fault_plan() != nullptr;
+  double survivor_rate = 0.0;
+  if (faulty) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (!devices[d]->lost()) {
+        survivor_rate = specs[d].units_per_s;
+        break;
+      }
+    }
+  }
   timemodel::LaneSet lanes(devices.size(), start_time);
   for (std::size_t d = 0; d < devices.size(); ++d) {
     const auto& plan = device_plans_[d];
@@ -433,7 +451,14 @@ double IReductionRuntime::compute_edges(bool include_local,
                               : overheads.thread_fork_s;
     const double busy =
         launch + static_cast<double>(edge_count) * scale / specs[d].units_per_s;
-    lanes.advance(d, busy);
+    double priced_busy = busy;
+    if (faulty && devices[d]->lost()) {
+      PSF_CHECK_MSG(survivor_rate > 0.0,
+                    "irregular reduction: every device is lost");
+      priced_busy = launch +
+                    static_cast<double>(edge_count) * scale / survivor_rate;
+    }
+    lanes.advance(d, priced_busy);
     iteration_device_seconds_[d] += busy;
     iteration_device_edges_[d] += edge_count;
     if (auto* trace = env_->options().trace) {
@@ -487,7 +512,7 @@ void IReductionRuntime::run_device_edges(
         std::max<std::size_t>(plan.node_end - plan.node_begin, 1);
     std::vector<std::unique_ptr<ReductionObject>> staging(
         static_cast<std::size_t>(blocks));
-    device.run_blocks(blocks, 0, [&](const devsim::BlockContext& ctx) {
+    auto body = [&](const devsim::BlockContext& ctx) {
       const std::size_t from = split.begin(ctx.block_id);
       const std::size_t to = split.end(ctx.block_id);
       if (from == to) return;
@@ -498,7 +523,12 @@ void IReductionRuntime::run_device_edges(
       for (std::size_t e = from; e < to; ++e) {
         run_edge(staged.get(), edges[e]);
       }
-    });
+    };
+    device.run_blocks(blocks, 0, body);
+    // Clean-loss death executes ZERO blocks (devsim contract), so the
+    // host replay runs every block exactly once and the block-order merge
+    // below is unchanged — the bytes match the fault-free run.
+    if (device.lost()) device.host_replay(blocks, 0, body);
     for (const auto& staged : staging) {
       if (staged) local_result_->merge_from(*staged);
     }
@@ -539,22 +569,26 @@ void IReductionRuntime::run_device_edges(
 
   const std::size_t arena_bytes =
       ReductionObject::required_bytes(tile_nodes, value_size_);
-  device.run_blocks(
-      static_cast<int>(num_tiles), arena_bytes,
-      [&](const devsim::BlockContext& ctx) {
-        const std::size_t tile = static_cast<std::size_t>(ctx.block_id);
-        if (tiles[tile].empty()) return;
-        const std::size_t tile_begin = plan.node_begin + tile * tile_nodes;
-        ReductionObject tile_object(ObjectLayout::kDense, tile_nodes,
-                                    value_size_, node_reduce_, ctx.shared);
-        tile_object.set_key_offset(tile_begin);
-        for (const auto& edge : tiles[tile]) {
-          run_edge(&tile_object, edge);
-        }
-        // Concatenate: tiles own disjoint reduction-space ranges, so this
-        // merge is contention-free by construction.
-        local_result_->merge_from(tile_object);
-      });
+  auto body = [&](const devsim::BlockContext& ctx) {
+    const std::size_t tile = static_cast<std::size_t>(ctx.block_id);
+    if (tiles[tile].empty()) return;
+    const std::size_t tile_begin = plan.node_begin + tile * tile_nodes;
+    ReductionObject tile_object(ObjectLayout::kDense, tile_nodes,
+                                value_size_, node_reduce_, ctx.shared);
+    tile_object.set_key_offset(tile_begin);
+    for (const auto& edge : tiles[tile]) {
+      run_edge(&tile_object, edge);
+    }
+    // Concatenate: tiles own disjoint reduction-space ranges, so this
+    // merge is contention-free by construction.
+    local_result_->merge_from(tile_object);
+  };
+  device.run_blocks(static_cast<int>(num_tiles), arena_bytes, body);
+  // Tile bodies merge straight into local_result_, so a partial launch
+  // would double-merge on replay; the zero-block clean-loss contract is
+  // what makes this replay idempotent.
+  if (device.lost()) device.host_replay(static_cast<int>(num_tiles),
+                                        arena_bytes, body);
 }
 
 support::Status IReductionRuntime::start() {
@@ -571,6 +605,28 @@ support::Status IReductionRuntime::start() {
       node_reduce_);
   iteration_device_seconds_.assign(devices.size(), 0.0);
   iteration_device_edges_.assign(devices.size(), 0);
+
+  // Arm a planned device loss for this pattern iteration. An already-lost
+  // device stays lost (its edges keep replaying on the host); a device with
+  // no edges this pass is skipped so the loss fires on a deterministic
+  // launch.
+  const int iteration = ++ir_epoch_;
+  int armed = -1;
+  if (const auto* plan = env_->fault_plan(); plan != nullptr) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (devices[d]->lost()) continue;
+      const auto& dev_plan = device_plans_[d];
+      if (dev_plan.local_edges.empty() && dev_plan.cross_edges.empty()) {
+        continue;
+      }
+      if (plan->device_fault_due(comm.rank(),
+                                 devices[d]->descriptor().name(),
+                                 iteration)) {
+        devices[d]->fail_at(1);
+        armed = static_cast<int>(d);
+      }
+    }
+  }
 
   // Refresh each GPU's full node-data copy when node data changed
   // (paper III-D: "the node data has a full copy on each device").
@@ -604,6 +660,27 @@ support::Status IReductionRuntime::start() {
   } else {
     replicas_dirty_ = false;
     compute_edges(true, true, comm.timeline().now());
+  }
+
+  // A device armed this iteration died on launch and its edges were
+  // replayed on the host: charge the detection latency once. There is NO
+  // repartition after a loss — the edge->device decomposition is preserved
+  // (replayed by the host) precisely so the per-node contribution order,
+  // and therefore the result bytes, match the fault-free run.
+  if (armed >= 0 &&
+      devices[static_cast<std::size_t>(armed)]->lost()) {
+    const double detect_begin = comm.timeline().now();
+    comm.timeline().advance(fault::kDeviceLossDetectS);
+    PSF_METRIC_ADD("fault.recoveries", 1);
+    if (auto* trace = env_->options().trace) {
+      trace->record("device loss recovery", "fault", comm.rank(), 0,
+                    detect_begin, comm.timeline().now());
+    }
+    fault::FaultLog::global().record(
+        comm.rank(),
+        "ir recover " +
+            devices[static_cast<std::size_t>(armed)]->descriptor().name() +
+            " iter=" + std::to_string(iteration));
   }
 
   // Adaptive partitioning: after the first (even-split) iteration, observe

@@ -189,6 +189,10 @@ class IReductionRuntime {
   AdaptivePartitioner partitioner_{1};
   std::unique_ptr<ReductionObject> local_result_;
   Stats stats_;
+  /// Monotone pattern-iteration counter driving `device:...@iter=N` fault
+  /// triggers (never reset by connectivity rebuilds, unlike
+  /// stats_.iterations).
+  int ir_epoch_ = 0;
   /// Trace span id of the latest node-data exchange, consumed by the next
   /// cross-edge compute pass to record an exchange -> compute edge.
   std::uint64_t last_exchange_span_ = 0;

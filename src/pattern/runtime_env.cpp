@@ -1,6 +1,7 @@
 #include "pattern/runtime_env.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "pattern/greduction.h"
@@ -22,16 +23,38 @@ RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
       rates_(timemodel::app_rates(options_.app_profile)),
       init_status_(validate_options()) {
   if (!init_status_.is_ok()) return;  // init() reports; nothing to build
+  std::string plan_spec = options_.fault_plan;
+  if (plan_spec.empty()) {
+    if (const char* env = std::getenv("PSF_FAULT_PLAN")) plan_spec = env;
+  }
+  if (!plan_spec.empty()) {
+    auto parsed = fault::FaultPlan::parse(plan_spec);
+    if (!parsed.is_ok()) {
+      init_status_ = parsed.status();
+      return;
+    }
+    if (!parsed.value().empty()) {
+      fault_plan_ = std::make_unique<fault::FaultPlan>(std::move(parsed).value());
+      fault::FaultLog::global().set_enabled(true);
+      if (fault_plan_->msg() != nullptr) {
+        // First-call-wins across the rank threads racing through SPMD setup;
+        // every rank parses the same spec, so any winner installs the same
+        // message-fault state.
+        comm_->world().set_msg_faults(*fault_plan_->msg());
+      }
+    }
+  }
   executor_ = std::make_unique<exec::ThreadPool>(
       exec::ThreadPool::resolve_workers(options_.num_threads));
   devices_ = devsim::make_node_devices(options_.preset, comm_->timeline(),
                                        kDefaultGpuMemoryBytes,
                                        executor_.get());
+  const auto active = active_devices();
+  for (devsim::Device* device : active) device->set_owner_rank(comm_->rank());
   if (options_.trace != nullptr) {
     // Lane 0 is the rank's host/runtime lane; active devices get lanes
     // 1..D named after their descriptors (cpu0, gpu1, ...).
     options_.trace->set_lane_name(comm_->rank(), 0, "host");
-    const auto active = active_devices();
     for (std::size_t d = 0; d < active.size(); ++d) {
       active[d]->set_trace(options_.trace, comm_->rank(),
                            static_cast<int>(d) + 1);

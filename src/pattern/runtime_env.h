@@ -13,6 +13,7 @@
 
 #include "devsim/device.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "minimpi/communicator.h"
 #include "pattern/scheduler.h"
 #include "support/error.h"
@@ -100,6 +101,12 @@ struct EnvOptions {
   /// process-global, so the report covers every rank, not just this one.
   std::string metrics_path;
 
+  /// Fault-injection plan (docs/RESILIENCE.md grammar, e.g.
+  /// "device:*.gpu1@iter=2;msg_drop:p=0.01,seed=42"). Empty = no faults.
+  /// The `PSF_FAULT_PLAN` environment variable is used when this is empty.
+  /// Parse errors surface from RuntimeEnv::init().
+  std::string fault_plan;
+
   // --- fluent named setters -------------------------------------------------
   // Each returns *this so configuration reads as one chained expression.
 
@@ -163,6 +170,10 @@ struct EnvOptions {
     metrics_path = std::move(value);
     return *this;
   }
+  EnvOptions& with_fault_plan(std::string value) {
+    fault_plan = std::move(value);
+    return *this;
+  }
 };
 
 /// Per-rank runtime environment.
@@ -208,6 +219,13 @@ class RuntimeEnv {
   /// Convenience: the options' scheduler knobs as DynamicScheduler options.
   [[nodiscard]] DynamicScheduler::Options scheduler_options() const;
 
+  /// The active fault-injection plan, or nullptr when the run is fault-free.
+  /// Runtimes gate every fault-path branch on this being non-null, so a
+  /// fault-free run takes the exact pre-fault-subsystem code path.
+  [[nodiscard]] const fault::FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.get();
+  }
+
  private:
   [[nodiscard]] support::Status validate_options() const;
 
@@ -215,6 +233,7 @@ class RuntimeEnv {
   EnvOptions options_;
   timemodel::AppRates rates_;
   support::Status init_status_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
   std::unique_ptr<exec::ThreadPool> executor_;
   std::vector<std::unique_ptr<devsim::Device>> devices_;
   std::unique_ptr<GReductionRuntime> gr_;

@@ -68,6 +68,66 @@ ScheduleResult DynamicScheduler::run(const std::vector<DeviceSpec>& devices,
   return result;
 }
 
+ScheduleResult DynamicScheduler::run_with_failure(
+    const std::vector<DeviceSpec>& devices, std::size_t total_units,
+    double start_time, const Options& options, int fail_device,
+    std::size_t fail_after_chunks, double detect_s) {
+  PSF_CHECK_MSG(!devices.empty(), "scheduler needs at least one device");
+  PSF_CHECK_MSG(fail_device >= 0 &&
+                    fail_device < static_cast<int>(devices.size()),
+                "run_with_failure: bad fail_device " << fail_device);
+  PSF_CHECK_MSG(devices.size() > 1,
+                "run_with_failure needs a surviving device to requeue to");
+  ScheduleResult result;
+  result.device_finish.assign(devices.size(), start_time);
+  result.device_units.assign(devices.size(), 0);
+  if (total_units == 0) {
+    result.makespan = start_time;
+    return result;
+  }
+
+  std::size_t chunk = options.chunk_units;
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, total_units / (16 * devices.size()));
+  }
+
+  const std::size_t fail = static_cast<std::size_t>(fail_device);
+  bool dead = false;
+  std::size_t fail_chunks_taken = 0;
+  std::size_t next = 0;
+  while (next < total_units) {
+    std::size_t grab = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (dead && i == fail) continue;
+      if (grab == static_cast<std::size_t>(-1) ||
+          result.device_finish[i] < result.device_finish[grab]) {
+        grab = i;
+      }
+    }
+    const std::size_t take = std::min(chunk, total_units - next);
+    const double cost =
+        chunk_cost(devices[grab], static_cast<double>(take), options);
+    if (grab == fail && fail_chunks_taken == fail_after_chunks) {
+      // The device dies mid-chunk: it spent half the chunk before the
+      // loss, the runtime notices after detect_s, and the chunk goes back
+      // to the queue for the survivors. `next` is NOT advanced.
+      result.device_finish[fail] += 0.5 * cost + detect_s;
+      result.requeued_chunks += 1;
+      result.lost_device = fail_device;
+      dead = true;
+      continue;
+    }
+    if (grab == fail) ++fail_chunks_taken;
+    result.chunks.push_back({static_cast<int>(grab), next, next + take});
+    result.device_finish[grab] += cost;
+    result.device_units[grab] += take;
+    next += take;
+  }
+  result.makespan = *std::max_element(result.device_finish.begin(),
+                                      result.device_finish.end());
+  return result;
+}
+
 void AdaptivePartitioner::observe(const std::vector<std::size_t>& units,
                                   const std::vector<double>& seconds) {
   PSF_CHECK(units.size() == speeds_.size() &&

@@ -47,6 +47,11 @@ struct ScheduleResult {
   std::vector<double> device_finish;     ///< lane end time per device
   std::vector<std::size_t> device_units; ///< units processed per device
   double makespan = 0.0;                 ///< max over device_finish
+  /// Chunks that went back to the queue after a device loss
+  /// (run_with_failure only; 0 otherwise).
+  std::size_t requeued_chunks = 0;
+  /// Device that died mid-schedule, or -1 (run_with_failure only).
+  int lost_device = -1;
 };
 
 /// Deterministic simulation of the paper's dynamic chunk scheduler.
@@ -69,6 +74,21 @@ class DynamicScheduler {
   static ScheduleResult run(const std::vector<DeviceSpec>& devices,
                             std::size_t total_units, double start_time,
                             const Options& options);
+
+  /// Like run(), but device `fail_device` dies while processing the chunk
+  /// after its first `fail_after_chunks` chunks: it is charged half that
+  /// chunk's cost (it died mid-chunk) plus `detect_s` of loss-detection
+  /// latency, the chunk goes back to the queue, and the survivors finish
+  /// the work — the dynamic-scheduling recovery story (docs/RESILIENCE.md).
+  /// Identical to run() up to the failure point, so the grab sequence of a
+  /// fault-free prefix is preserved. Needs at least one surviving device.
+  static ScheduleResult run_with_failure(const std::vector<DeviceSpec>& devices,
+                                         std::size_t total_units,
+                                         double start_time,
+                                         const Options& options,
+                                         int fail_device,
+                                         std::size_t fail_after_chunks,
+                                         double detect_s);
 
   /// Virtual time a device needs for one chunk of `units`, including
   /// per-chunk overheads and (for GPUs) the two-stream pipelined transfer.
@@ -96,6 +116,15 @@ class AdaptivePartitioner {
 
   /// True once at least one observation has been recorded.
   [[nodiscard]] bool profiled() const noexcept { return profiled_; }
+
+  /// Overwrite the profiling state wholesale — checkpoint restore only
+  /// (StencilRuntime::restore): replaying an iteration must re-profile from
+  /// exactly the pre-fault estimates.
+  void restore(std::vector<double> speeds, bool profiled) {
+    PSF_CHECK(speeds.size() == speeds_.size());
+    speeds_ = std::move(speeds);
+    profiled_ = profiled;
+  }
 
  private:
   std::vector<double> speeds_;

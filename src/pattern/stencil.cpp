@@ -6,8 +6,10 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
+#include <string>
 
 #include "exec/latch.h"
+#include "fault/fault.h"
 #include "exec/parallel_for.h"
 #include "pattern/partition.h"
 #include "pattern/runtime_env.h"
@@ -20,6 +22,24 @@ namespace psf::pattern {
 namespace {
 constexpr int kHaloTagBase = 0x5c0010;  ///< + 2*dim + direction
 constexpr double kHostCopyBw = 2.0e10;  ///< multithreaded pack bandwidth
+
+// Checkpoint blob framing (docs/RESILIENCE.md): "PSFSTCKP" + version.
+constexpr std::uint64_t kCheckpointMagic = 0x50534653'54434B50ULL;
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::span<const std::byte>& in, T& value) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
 }  // namespace
 
 StencilRuntime::StencilRuntime(RuntimeEnv& env) : env_(&env) {}
@@ -370,7 +390,7 @@ void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
   const std::byte* in = in_.data();
   std::byte* out = out_.data();
 
-  device.run_blocks(blocks, 0, [&](const devsim::BlockContext& ctx) {
+  const auto body = [&](const devsim::BlockContext& ctx) {
     int offset_user[kMaxDims];
     int size_user[kMaxDims];
     for (int d = 0; d < ndims_; ++d) {
@@ -413,7 +433,14 @@ void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
         }
       }
     }
-  });
+  };
+  device.run_blocks(blocks, 0, body);
+  if (device.lost()) {
+    // The aborted launch ran zero blocks (clean-loss semantics, devsim);
+    // replay it on the host. Stencil cells are pure functions of `in_`, so
+    // re-execution writes the exact bytes the device would have.
+    device.host_replay(blocks, 0, body);
+  }
 }
 
 support::Status StencilRuntime::start() {
@@ -430,6 +457,25 @@ support::Status StencilRuntime::start() {
 
   iteration_device_seconds_.assign(devices.size(), 0.0);
 
+  // Device-loss injection: arm any loss due this sweep. The armed device
+  // dies on its first launch (executing nothing); compute_rows replays its
+  // rows on the host and price_pass below charges them at the host rate.
+  const fault::FaultPlan* plan = env_->fault_plan();
+  int armed = -1;
+  if (plan != nullptr && !plan->device_faults().empty()) {
+    const int iteration = stats_.iterations + 1;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (devices[d]->lost()) continue;
+      if (device_row_bounds_[d + 1] == device_row_bounds_[d]) continue;
+      if (plan->device_fault_due(comm.rank(), devices[d]->descriptor().name(),
+                                 iteration) != nullptr) {
+        devices[d]->fail_at(1);
+        armed = static_cast<int>(d);
+        break;
+      }
+    }
+  }
+
   // Per-device cell tallies for pricing (geometry-derived; the functional
   // pass computes exactly these cells).
   const double interior_plane =
@@ -442,6 +488,15 @@ support::Status StencilRuntime::start() {
           : 0.0;
 
   auto price_pass = [&](timemodel::LaneSet& lanes, bool inner_pass) {
+    // A lost device's rows were replayed by the host, so they are priced at
+    // the first survivor's rate. Fault-free runs never take this branch.
+    double host_rate = 0.0;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (!devices[d]->lost()) {
+        host_rate = specs[d].units_per_s;
+        break;
+      }
+    }
     for (std::size_t d = 0; d < devices.size(); ++d) {
       const double rows = static_cast<double>(device_row_bounds_[d + 1] -
                                               device_row_bounds_[d]);
@@ -449,6 +504,10 @@ support::Status StencilRuntime::start() {
       double cells = rows * interior_plane;
       cells *= inner_pass ? (1.0 - boundary_fraction) : boundary_fraction;
       double rate = specs[d].units_per_s;
+      if (devices[d]->lost()) {
+        PSF_CHECK_MSG(host_rate > 0.0, "stencil: every device is lost");
+        rate = host_rate;
+      }
       double launches = devices[d]->is_accelerator()
                             ? overheads.kernel_launch_s
                             : overheads.thread_fork_s;
@@ -662,12 +721,204 @@ support::Status StencilRuntime::start() {
 #endif
     }
   }
+
+  // Device-loss recovery accounting: the runtime notices the loss after the
+  // sweep's launches, charges the detection latency, and re-splits the rows
+  // over the survivors for the following sweeps.
+  if (armed >= 0 && devices[static_cast<std::size_t>(armed)]->lost()) {
+    const double detect_t0 = comm.timeline().now();
+    comm.timeline().advance(fault::kDeviceLossDetectS);
+    PSF_METRIC_ADD("fault.recoveries", 1);
+    if (auto* trace = env_->options().trace) {
+      trace->record("device loss recovery", "fault", comm.rank(), 0,
+                    detect_t0, comm.timeline().now());
+    }
+    if (fault::FaultLog::global().enabled()) {
+      fault::FaultLog::global().record(
+          comm.rank(),
+          "st recover " +
+              devices[static_cast<std::size_t>(armed)]->descriptor().name() +
+              " iter=" + std::to_string(stats_.iterations));
+    }
+    drop_lost_devices();
+  }
+  return support::Status::ok();
+}
+
+void StencilRuntime::drop_lost_devices() {
+  const auto devices = env_->active_devices();
+  std::vector<double> speeds = partitioner_.speeds();
+  double total = 0.0;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (devices[d]->lost()) speeds[d] = 0.0;
+    total += speeds[d];
+  }
+  PSF_CHECK_MSG(total > 0.0, "stencil: every device is lost");
+  const WeightedPartition split(ext3_[0], speeds);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    device_row_bounds_[d] = split.begin(static_cast<int>(d));
+  }
+  device_row_bounds_.back() = ext3_[0];
+}
+
+std::vector<std::byte> StencilRuntime::checkpoint() const {
+  PSF_CHECK_MSG(ready_, "checkpoint() before the grid is set up");
+  const std::size_t ndevices = device_row_bounds_.size() - 1;
+  std::vector<std::byte> blob;
+  blob.reserve(96 + (device_row_bounds_.size() + ndevices) * 8 + in_.size());
+  append_pod(blob, kCheckpointMagic);
+  append_pod(blob, kCheckpointVersion);
+  append_pod(blob, static_cast<std::int32_t>(stats_.iterations));
+  for (const std::size_t e : ext3_) {
+    append_pod(blob, static_cast<std::uint64_t>(e));
+  }
+  for (const std::size_t p : padded_) {
+    append_pod(blob, static_cast<std::uint64_t>(p));
+  }
+  append_pod(blob, static_cast<std::uint64_t>(elem_bytes_));
+  append_pod(blob, static_cast<std::uint32_t>(ndevices));
+  for (const std::size_t bound : device_row_bounds_) {
+    append_pod(blob, static_cast<std::uint64_t>(bound));
+  }
+  for (const double speed : partitioner_.speeds()) append_pod(blob, speed);
+  append_pod(blob, static_cast<std::uint8_t>(partitioner_.profiled() ? 1 : 0));
+  // The full padded input grid. Restoring `in_` alone is sufficient: every
+  // interior cell of `out_` is rewritten each sweep, halos are refreshed by
+  // the exchange before any read, and out-of-domain pad cells are fixed at
+  // their scattered values and never read by non-fixed cells.
+  blob.insert(blob.end(), in_.data(), in_.data() + in_.size());
+  return blob;
+}
+
+support::Status StencilRuntime::restore(std::span<const std::byte> blob) {
+  PSF_CHECK_MSG(ready_, "restore() before the grid is set up");
+  const auto fail = [](const std::string& what) {
+    return support::Status::invalid_argument("stencil checkpoint: " + what);
+  };
+  std::span<const std::byte> cursor = blob;
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::int32_t iterations = 0;
+  if (!read_pod(cursor, magic) || magic != kCheckpointMagic) {
+    return fail("bad magic (not a stencil checkpoint)");
+  }
+  if (!read_pod(cursor, version) || version != kCheckpointVersion) {
+    return fail("unsupported version");
+  }
+  if (!read_pod(cursor, iterations) || iterations < 0) {
+    return fail("truncated header");
+  }
+  for (const std::size_t e : ext3_) {
+    std::uint64_t got = 0;
+    if (!read_pod(cursor, got) || got != e) return fail("extent mismatch");
+  }
+  for (const std::size_t p : padded_) {
+    std::uint64_t got = 0;
+    if (!read_pod(cursor, got) || got != p) {
+      return fail("padded extent mismatch");
+    }
+  }
+  std::uint64_t elem = 0;
+  if (!read_pod(cursor, elem) || elem != elem_bytes_) {
+    return fail("element size mismatch");
+  }
+  const std::size_t ndevices = device_row_bounds_.size() - 1;
+  std::uint32_t got_devices = 0;
+  if (!read_pod(cursor, got_devices) || got_devices != ndevices) {
+    return fail("device count mismatch");
+  }
+  std::vector<std::size_t> bounds(ndevices + 1, 0);
+  for (std::size_t d = 0; d <= ndevices; ++d) {
+    std::uint64_t bound = 0;
+    if (!read_pod(cursor, bound)) return fail("truncated row bounds");
+    bounds[d] = static_cast<std::size_t>(bound);
+  }
+  std::vector<double> speeds(ndevices, 1.0);
+  for (std::size_t d = 0; d < ndevices; ++d) {
+    if (!read_pod(cursor, speeds[d])) return fail("truncated speeds");
+  }
+  std::uint8_t profiled = 0;
+  if (!read_pod(cursor, profiled)) return fail("truncated profiled flag");
+  if (cursor.size() != in_.size()) return fail("grid payload size mismatch");
+  std::memcpy(in_.data(), cursor.data(), cursor.size());
+  device_row_bounds_ = std::move(bounds);
+  partitioner_.restore(std::move(speeds), profiled != 0);
+  stats_.iterations = iterations;
   return support::Status::ok();
 }
 
 support::Status StencilRuntime::run(int iterations) {
+  const fault::FaultPlan* plan = env_->fault_plan();
+  if (plan == nullptr || !plan->has_rank_faults()) {
+    for (int i = 0; i < iterations; ++i) {
+      PSF_RETURN_IF_ERROR(start());
+    }
+    return support::Status::ok();
+  }
+
+  // Rank-failure injection (rank:<R>@iter=N / @vtime=X): checkpoint at every
+  // sweep boundary; when a kill fires, ALL ranks roll back to the last
+  // checkpoint (coordinated restart) and replay the lost sweep, so the final
+  // grid is bit-identical to a fault-free run. The killed rank additionally
+  // pays the restart + checkpoint-reload cost in virtual time.
+  auto& comm = env_->comm();
+  PSF_RETURN_IF_ERROR(validate());
+  if (!ready_) setup();
+  const auto& faults = plan->rank_faults();
+  if (rank_fault_fired_.size() < faults.size()) {
+    rank_fault_fired_.resize(faults.size(), false);
+  }
+  std::vector<std::byte> snapshot = checkpoint();
   for (int i = 0; i < iterations; ++i) {
     PSF_RETURN_IF_ERROR(start());
+    bool rolled_back = false;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      const fault::RankFault& rf = faults[f];
+      if (rank_fault_fired_[f]) continue;
+      if (rf.rank < 0 || rf.rank >= comm.size()) continue;
+      std::uint8_t due = 0;
+      if (rf.iteration > 0) {
+        due = stats_.iterations == rf.iteration ? 1 : 0;
+      } else {
+        // Virtual-time trigger: the target rank's clock decides; broadcast
+        // so every rank agrees at the same boundary.
+        due = comm.rank() == rf.rank && comm.timeline().now() >= rf.vtime
+                  ? 1
+                  : 0;
+        comm.bcast(std::as_writable_bytes(std::span<std::uint8_t>(&due, 1)),
+                   rf.rank);
+      }
+      if (due == 0) continue;
+      rank_fault_fired_[f] = true;
+      rolled_back = true;
+      PSF_RETURN_IF_ERROR(restore(snapshot));
+      if (comm.rank() == rf.rank) {
+        const double restart_t0 = comm.timeline().now();
+        comm.timeline().advance(fault::kRankRestartS +
+                                static_cast<double>(snapshot.size()) /
+                                    fault::kCheckpointBytesPerS);
+        PSF_METRIC_ADD("fault.rank_restarts", 1);
+        PSF_METRIC_ADD("fault.checkpoint_bytes", snapshot.size());
+        PSF_METRIC_ADD("fault.recoveries", 1);
+        if (auto* trace = env_->options().trace) {
+          trace->record("rank restart", "fault", comm.rank(), 0, restart_t0,
+                        comm.timeline().now());
+        }
+        if (fault::FaultLog::global().enabled()) {
+          fault::FaultLog::global().record(
+              comm.rank(),
+              "rank_restart st iter=" + std::to_string(stats_.iterations) +
+                  " bytes=" + std::to_string(snapshot.size()));
+        }
+      }
+      // Survivors wait for the restarted rank before the replayed sweep.
+      comm.barrier();
+    }
+    if (rolled_back) {
+      --i;  // replay the sweep the rollback discarded
+      continue;
+    }
+    snapshot = checkpoint();
   }
   return support::Status::ok();
 }

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "minimpi/cart.h"
@@ -81,6 +82,18 @@ class StencilRuntime {
   /// output array (same extents as the input grid).
   void write_back(void* global_out) const;
 
+  // --- checkpoint / restore (rank-failure recovery) -------------------------
+
+  /// Serialize this rank's iteration-boundary state: a validated header
+  /// (geometry + device split + profiling state) followed by the full
+  /// padded input grid. Restoring the blob and replaying the next sweep
+  /// reproduces the fault-free bytes exactly (docs/RESILIENCE.md).
+  [[nodiscard]] std::vector<std::byte> checkpoint() const;
+
+  /// Restore state captured by checkpoint(). Fails with kInvalidArgument
+  /// when the blob's geometry does not match the current decomposition.
+  support::Status restore(std::span<const std::byte> blob);
+
   // --- introspection ----------------------------------------------------------
 
   [[nodiscard]] const std::vector<std::size_t>& local_extents() const {
@@ -136,6 +149,12 @@ class StencilRuntime {
   [[nodiscard]] bool is_boundary_cell(const std::array<int, kMaxDims>& c)
       const noexcept;
 
+  /// After a device loss: re-split the interior rows over the survivors
+  /// (lost devices get zero rows from the next sweep on). The row split is
+  /// functionally neutral — every cell is a pure function of `in_` — so
+  /// results stay bit-identical.
+  void drop_lost_devices();
+
   RuntimeEnv* env_;
   StencilFn stencil_ = nullptr;
   const std::byte* global_grid_ = nullptr;
@@ -166,6 +185,8 @@ class StencilRuntime {
   std::vector<std::size_t> device_row_bounds_;  ///< interior row split
   std::vector<double> iteration_device_seconds_;
   Stats stats_;
+  /// Per-clause fired flags for `rank:...` fault triggers (run() loop).
+  std::vector<bool> rank_fault_fired_;
 };
 
 }  // namespace psf::pattern

@@ -1,0 +1,49 @@
+// PSF — Pattern Specification Framework
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Used by minimpi's fault-injection path to checksum message payloads so
+// the receiver can reject corrupted deliveries (docs/RESILIENCE.md). The
+// table is built at compile time; the per-byte loop is the classic
+// reflected table-driven form. Known-answer: crc32("123456789") ==
+// 0xCBF43926.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace psf::support {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1U) != 0 ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `bytes`, optionally continuing from a previous crc (pass the
+/// prior return value as `seed` to checksum data in pieces).
+constexpr std::uint32_t crc32(std::span<const std::byte> bytes,
+                              std::uint32_t seed = 0) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : bytes) {
+    crc = (crc >> 8) ^
+          detail::kCrc32Table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFU];
+  }
+  return ~crc;
+}
+
+}  // namespace psf::support

@@ -50,6 +50,8 @@ enum class ErrorCode : std::uint8_t {
   kResourceExhausted, ///< simulated device memory or buffer space exhausted
   kUnimplemented,     ///< feature not supported by this runtime
   kInternal,          ///< framework bug surfaced as recoverable error
+  kDeviceLost,        ///< simulated accelerator died mid-run (fault plan)
+  kDeadlineExceeded,  ///< blocking receive timed out (recv_deadline)
 };
 
 /// Human-readable name for an ErrorCode.
@@ -62,6 +64,8 @@ constexpr std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kDeviceLost: return "DEVICE_LOST";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -92,6 +96,12 @@ class [[nodiscard]] Status {
   }
   static Status internal(std::string msg) {
     return {ErrorCode::kInternal, std::move(msg)};
+  }
+  static Status device_lost(std::string msg) {
+    return {ErrorCode::kDeviceLost, std::move(msg)};
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return {ErrorCode::kDeadlineExceeded, std::move(msg)};
   }
 
   [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "apps/heat3d.h"
 #include "apps/kmeans.h"
 #include "apps/moldyn.h"
+#include "fault/fault.h"
 
 namespace psf::apps {
 namespace {
@@ -112,6 +115,78 @@ TEST(Determinism, Heat3dStencilBitIdenticalAcrossRuns) {
   ASSERT_EQ(a.field.size(), b.field.size());
   for (std::size_t i = 0; i < a.field.size(); ++i) {
     ASSERT_EQ(a.field[i], b.field[i]) << "cell " << i;  // bit-identical
+  }
+}
+
+// --- fault determinism (docs/RESILIENCE.md) ---------------------------------
+//
+// The whole recovery story is only testable because injection is seeded and
+// priced in virtual time: the same plan must inject the same fault sequence
+// and produce bit-identical results on every run and at every executor
+// width.
+
+constexpr const char* kCombinedPlan =
+    "device:*.gpu1@iter=2;msg_drop:p=0.2,corrupt=0.1,seed=11;rank:0@iter=2";
+
+struct FaultRun {
+  std::vector<double> vtimes;
+  std::vector<double> centers;
+  std::map<int, std::vector<std::string>> fault_log;
+};
+
+FaultRun run_kmeans_with_faults(int num_threads) {
+  kmeans::Params params;
+  params.num_points = 6000;
+  params.num_clusters = 16;
+  params.iterations = 3;
+  const auto points = kmeans::generate_points(params);
+
+  fault::FaultLog::global().reset();
+  FaultRun run;
+  run.vtimes.assign(3, 0.0);
+  minimpi::World world(3);
+  world.run([&](minimpi::Communicator& comm) {
+    auto options = hybrid_options("kmeans");
+    options.num_threads = num_threads;
+    options.with_fault_plan(kCombinedPlan);
+    const auto result = kmeans::run_framework(comm, options, params, points);
+    run.vtimes[static_cast<std::size_t>(comm.rank())] = result.vtime;
+    if (comm.rank() == 0) run.centers = result.centers;
+  });
+  run.fault_log = fault::FaultLog::global().snapshot();
+  return run;
+}
+
+TEST(FaultDeterminism, SameSeedAndPlanYieldIdenticalFaultSequence) {
+  const auto a = run_kmeans_with_faults(/*num_threads=*/2);
+  const auto b = run_kmeans_with_faults(/*num_threads=*/2);
+  // Identical injected event sequence per rank (drops, losses, restarts)...
+  EXPECT_EQ(a.fault_log, b.fault_log);
+  EXPECT_FALSE(a.fault_log.empty());
+  // ...and identical priced times and result bytes.
+  for (std::size_t r = 0; r < a.vtimes.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a.vtimes[r], b.vtimes[r]) << "rank " << r;
+  }
+  ASSERT_EQ(a.centers.size(), b.centers.size());
+  for (std::size_t i = 0; i < a.centers.size(); ++i) {
+    ASSERT_EQ(a.centers[i], b.centers[i]) << "center " << i;
+  }
+}
+
+TEST(FaultDeterminism, CombinedPlanBitIdenticalAcrossExecutorWidths) {
+  // Fault decisions are keyed by rank and virtual state, never by thread
+  // timing: a 1-wide and a 7-wide executor must inject identically and
+  // converge to the same bytes.
+  const auto narrow = run_kmeans_with_faults(/*num_threads=*/1);
+  const auto wide = run_kmeans_with_faults(/*num_threads=*/7);
+  EXPECT_EQ(narrow.fault_log, wide.fault_log);
+  EXPECT_FALSE(narrow.fault_log.empty());
+  for (std::size_t r = 0; r < narrow.vtimes.size(); ++r) {
+    EXPECT_DOUBLE_EQ(narrow.vtimes[r], wide.vtimes[r]) << "rank " << r;
+  }
+  ASSERT_EQ(narrow.centers.size(), wide.centers.size());
+  for (std::size_t i = 0; i < narrow.centers.size(); ++i) {
+    ASSERT_EQ(narrow.centers[i], wide.centers[i]) << "center " << i;
   }
 }
 
