@@ -220,6 +220,21 @@ int main(int argc, char** argv) {
     steady_runs.push_back([workload, run, steady_nodes] {
       run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
     });
+    // Composition-layer variants: the monitored pipeline (cluster sums +
+    // per-iteration inertia) with the inertia emit fused into the
+    // assignment pass vs the unfused second pass. Results are bit-identical;
+    // CI asserts fused vtime strictly lower (compare_bench --assert-faster).
+    for (const bool fused : {true, false}) {
+      auto monitored = [workload, fused](psf::minimpi::Communicator& comm,
+                                         const psf::pattern::EnvOptions&
+                                             options) {
+        return psf::apps::kmeans::run_framework_monitored(
+                   comm, options, workload->params, workload->points, fused)
+            .vtime;
+      };
+      sweep(results, fused ? "kmeans_fused" : "kmeans_unfused", *workload,
+            node_counts, smoke, /*trace_dir=*/"", monitored);
+    }
   }
   {
     auto workload = std::make_shared<MoldynWorkload>();
@@ -280,6 +295,28 @@ int main(int argc, char** argv) {
     steady_runs.push_back([workload, run, steady_nodes] {
       run_framework(*workload, steady_nodes, kSweepConfigs[2].devices, run);
     });
+    // Composition-layer variants: the two-stage monitored pipeline (sweep +
+    // residual reduction through a PatternGraph handoff) with the residual
+    // emit fused into the sweep's tile loop vs the unfused second grid
+    // pass. Grids and residuals are bit-identical; CI asserts fused vtime
+    // strictly lower (compare_bench --assert-faster).
+    for (const bool fused : {true, false}) {
+      auto monitored = [workload, fused](psf::minimpi::Communicator& comm,
+                                         const psf::pattern::EnvOptions&
+                                             options) {
+        return psf::apps::heat3d::run_framework_monitored(
+                   comm, options, workload->params, workload->field, fused)
+            .vtime;
+      };
+      sweep(results, fused ? "heat3d_fused" : "heat3d_unfused", *workload,
+            node_counts, smoke, /*trace_dir=*/"", monitored);
+      if (fused) {
+        steady_runs.push_back([workload, monitored, steady_nodes] {
+          run_framework(*workload, steady_nodes, kSweepConfigs[2].devices,
+                        monitored);
+        });
+      }
+    }
   }
 
   if (!steady_path.empty()) {

@@ -43,4 +43,16 @@ UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
 ASAN_OPTIONS="halt_on_error=1" \
   "./build-${preset}/tests/psf_tests" --gtest_filter="${filter}"
 
+# Smoke-run the stencil and irregular-reduction examples under the same
+# sanitizer: the examples drive code paths (typed facades, the composition
+# layer, the node-data exchange) the focused test filter does not.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+ASAN_OPTIONS="halt_on_error=1" \
+  "./build-${preset}/examples/advection" 2 32 10
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+ASAN_OPTIONS="halt_on_error=1" \
+  "./build-${preset}/examples/moldyn_sim" 2 512 4096 3
+
 echo "check.sh: ${preset} clean"

@@ -12,9 +12,17 @@ work) are printed alongside vtime for trend-watching but are host- and
 load-dependent, so they are only enforced with --check-wall, and then
 against the much looser --wall-threshold.
 
+--assert-faster FAST:SLOW (repeatable) asserts an ordering WITHIN the new
+report: every bench named "FAST/<rest>" must have strictly lower vtime than
+its "SLOW/<rest>" counterpart. CI uses it to pin the fused stencil_reduce
+below the unfused reference (heat3d_fused:heat3d_unfused,
+kmeans_fused:kmeans_unfused) — an optimization that stops optimizing fails
+the build, not just the eyeball test.
+
 Usage:
   scripts/compare_bench.py BASELINE.json NEW.json [--threshold PCT]
                            [--check-wall] [--wall-threshold PCT]
+                           [--assert-faster FAST:SLOW]...
 """
 
 import argparse
@@ -63,6 +71,15 @@ def main() -> int:
         default=50.0,
         help="allowed wall regression in percent with --check-wall "
         "(default 50)",
+    )
+    parser.add_argument(
+        "--assert-faster",
+        action="append",
+        default=[],
+        metavar="FAST:SLOW",
+        help="assert every 'FAST/<rest>' bench in the NEW report has "
+        "strictly lower vtime than its 'SLOW/<rest>' counterpart "
+        "(repeatable)",
     )
     parser.add_argument(
         "--require-all",
@@ -119,6 +136,42 @@ def main() -> int:
     extra = sorted(set(new) - set(baseline))
     for name in extra:
         print(f"  {name:32s} (new bench, no baseline)")
+
+    for pair in args.assert_faster:
+        if ":" not in pair:
+            raise SystemExit(
+                f"--assert-faster {pair!r}: expected FAST:SLOW"
+            )
+        fast_prefix, slow_prefix = pair.split(":", 1)
+        pairs = 0
+        for name, (fast_vtime, _) in sorted(new.items()):
+            if not name.startswith(fast_prefix + "/"):
+                continue
+            counterpart = slow_prefix + name[len(fast_prefix):]
+            if counterpart not in new:
+                failures.append(
+                    f"{name}: counterpart {counterpart} missing from new "
+                    f"report (--assert-faster {pair})"
+                )
+                continue
+            pairs += 1
+            slow_vtime = new[counterpart][0]
+            saved_pct = (slow_vtime - fast_vtime) / slow_vtime * 100.0
+            marker = ""
+            if not fast_vtime < slow_vtime:
+                failures.append(
+                    f"{name}: vtime {fast_vtime:.6g} not strictly below "
+                    f"{counterpart} ({slow_vtime:.6g}) "
+                    f"(--assert-faster {pair})"
+                )
+                marker = "  NOT-FASTER"
+            print(f"  {name:32s} {fast_vtime:12.6g} < {slow_vtime:12.6g} "
+                  f"({saved_pct:+.2f}% saved){marker}")
+        if pairs == 0:
+            failures.append(
+                f"--assert-faster {pair}: no '{fast_prefix}/...' benches in "
+                f"the new report"
+            )
 
     compared = len(baseline) - skipped
     if compared == 0:

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "pattern/api.h"
+#include "pattern/compose.h"
 #include "support/rng.h"
 
 namespace psf::apps::heat3d {
@@ -107,6 +109,91 @@ Result run_framework(minimpi::Communicator& comm,
   return result;
 }
 // [psf-user-code-end]
+
+// Outside the LoC markers: the fused/unfused comparison harness is
+// composition-layer demo code, not part of the paper's Figure 6 user-code
+// comparison.
+MonitoredResult run_framework_monitored(minimpi::Communicator& comm,
+                                        const pattern::EnvOptions& options,
+                                        const Params& params,
+                                        std::span<const double> field,
+                                        bool fused) {
+  pattern::RuntimeEnv env(comm, options);
+  PSF_CHECK(env.init().is_ok());
+
+  // Fused stencil+reduce: the 7-point update plus a per-cell residual
+  // emit ((new - old)^2 at key 0), combined across ranks every iteration.
+  pattern::TypedStencilReduce<double, 3, double> sr(env);
+  const double alpha = params.alpha;
+  sr.set_stencil<double>([](const pattern::GridView<double, 3>& in,
+                            const pattern::MutableGridView<double, 3>& out,
+                            const int* c, const double* diffusion) {
+    const int z = c[0];
+    const int y = c[1];
+    const int x = c[2];
+    const double center = in(z, y, x);
+    const double neighbors = in(z - 1, y, x) + in(z + 1, y, x) +
+                             in(z, y - 1, x) + in(z, y + 1, x) +
+                             in(z, y, x - 1) + in(z, y, x + 1);
+    out(z, y, x) = center + *diffusion * (neighbors - 6.0 * center);
+  });
+  sr.set_emit([](pattern::TypedObject<double>& obj,
+                 const pattern::GridView<double, 3>& before,
+                 const pattern::GridView<double, 3>& after, const int* c,
+                 const void* /*parameter*/) {
+    const double delta =
+        after(c[0], c[1], c[2]) - before(c[0], c[1], c[2]);
+    obj.insert(0, delta * delta);
+  });
+  sr.set_combine([](double& dst, const double& src) { dst += src; });
+  sr.set_grid(field, {params.nx, params.ny, params.nz});
+  sr.set_halo(1);
+  sr.set_parameter(&alpha);
+  sr.configure(2);
+  sr.set_fused(fused);
+
+  MonitoredResult result;
+  result.residuals.reserve(static_cast<std::size_t>(params.iterations));
+
+  // Two-stage pipeline: "sweep" publishes the iteration residual, "monitor"
+  // consumes it zero-copy from the pooled handoff buffer. The handoff edge
+  // makes psf-analyze attribute the cross-stage critical path.
+  pattern::PatternGraph graph(env);
+  PSF_CHECK(graph
+                .add_stage("sweep",
+                           [&](pattern::StageContext& ctx) {
+                             PSF_RETURN_IF_ERROR(sr.step());
+                             double residual = 0.0;
+                             (void)sr.lookup(0, &residual);
+                             return ctx.publish(std::as_bytes(
+                                 std::span<const double>(&residual, 1)));
+                           })
+                .is_ok());
+  PSF_CHECK(graph
+                .add_stage("monitor",
+                           [&](pattern::StageContext& ctx) {
+                             double residual = 0.0;
+                             std::memcpy(&residual, ctx.input(0).data(),
+                                         sizeof(double));
+                             result.residuals.push_back(residual);
+                             return support::Status::ok();
+                           })
+                .is_ok());
+  PSF_CHECK(graph.connect("sweep", "monitor", sizeof(double)).is_ok());
+
+  const double t0 = comm.timeline().now();
+  PSF_CHECK(graph.run(params.iterations).is_ok());
+  result.vtime = comm.timeline().now() - t0;
+  result.steady_vtime = sr.stats().last_step_vtime;
+
+  result.field.assign(field.size(), 0.0);
+  sr.write_back(result.field);
+  comm.reduce<double>(result.field, 0, [](double& a, double b) { a += b; });
+  comm.bcast(std::as_writable_bytes(std::span<double>(result.field)), 0);
+  result.checksum = checksum_of(result.field);
+  env.finalize();
+  return result;
+}
 
 Result run_sequential(const Params& params, std::span<const double> field) {
   std::vector<double> in(field.begin(), field.end());

@@ -40,6 +40,30 @@ Result run_framework(minimpi::Communicator& comm,
                      const pattern::EnvOptions& options, const Params& params,
                      std::span<const double> field);
 
+/// Result of the monitored (stencil + per-iteration residual) pipeline.
+struct MonitoredResult {
+  std::vector<double> field;      ///< final global grid
+  double checksum = 0.0;
+  std::vector<double> residuals;  ///< per iteration: global sum of squared
+                                  ///< cell deltas (new - old)^2
+  double vtime = 0.0;
+  double steady_vtime = 0.0;      ///< per-iteration virtual time, last step
+};
+
+/// Composition-layer implementation: a two-stage PatternGraph whose sweep
+/// stage runs a StencilReduce (7-point update + residual reduction) and
+/// hands the residual to a monitor stage through a pooled buffer. With
+/// `fused` the residual emit rides the sweep's tile loop; without, the
+/// reference second grid pass computes it. Field, checksum and residuals
+/// are bit-identical between the two modes and across executor widths —
+/// only the virtual time differs (fused saves the extra pass + barrier).
+/// Collective.
+MonitoredResult run_framework_monitored(minimpi::Communicator& comm,
+                                        const pattern::EnvOptions& options,
+                                        const Params& params,
+                                        std::span<const double> field,
+                                        bool fused);
+
 /// Single-core reference.
 Result run_sequential(const Params& params, std::span<const double> field);
 

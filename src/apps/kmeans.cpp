@@ -1,5 +1,6 @@
 #include "apps/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -44,7 +45,71 @@ DEVICE void kmeans_reduce(void* dst, const void* src) {
   for (int d = 0; d < kDims; ++d) a->sum[d] += b->sum[d];
   a->count += b->count;
 }
+// [psf-user-code-end]
 
+// The fused-variant helpers below are composition-layer demo code (beyond
+// the paper), so they sit outside the Figure 6 LoC markers: the counted
+// user code is the paper-parity port alone.
+
+/// Distance of one point to its nearest center (shared by the fused and
+/// inertia-only emits, so both stage the exact same doubles).
+DEVICE double kmeans_best_dist(const float* point,
+                               const EmitParameter* param, int* best_out) {
+  int best = 0;
+  double best_dist = 0.0;
+  for (int c = 0; c < param->num_clusters; ++c) {
+    double dist = 0.0;
+    for (int d = 0; d < kDims; ++d) {
+      const double diff =
+          static_cast<double>(point[d]) - param->centers[c * kDims + d];
+      dist += diff * diff;
+    }
+    if (c == 0 || dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  *best_out = best;
+  return best_dist;
+}
+
+/// Fused emit: one pass accumulates the cluster assignment AND the point's
+/// inertia contribution (staged under the reserved key `num_clusters` with
+/// the distance in sum[0]) — the second emit pass the unfused sequence pays
+/// for disappears.
+DEVICE void kmeans_emit_fused(pattern::ReductionObject* obj,
+                              const void* input, std::size_t /*index*/,
+                              const void* parameter) {
+  const auto* param = static_cast<const EmitParameter*>(parameter);
+  const auto* point = static_cast<const float*>(input);
+  int best = 0;
+  const double best_dist = kmeans_best_dist(point, param, &best);
+  ClusterAccum accum;
+  for (int d = 0; d < kDims; ++d) accum.sum[d] = point[d];
+  accum.count = 1;
+  obj->insert(static_cast<std::uint64_t>(best), &accum);
+  ClusterAccum inertia;
+  inertia.sum[0] = best_dist;
+  inertia.count = 1;
+  obj->insert(static_cast<std::uint64_t>(param->num_clusters), &inertia);
+}
+
+/// Inertia-only emit for the unfused reference: a full second pass over the
+/// points against the SAME (pre-update) centers the assignment pass used.
+DEVICE void kmeans_emit_inertia(pattern::ReductionObject* obj,
+                                const void* input, std::size_t /*index*/,
+                                const void* parameter) {
+  const auto* param = static_cast<const EmitParameter*>(parameter);
+  const auto* point = static_cast<const float*>(input);
+  int best = 0;
+  const double best_dist = kmeans_best_dist(point, param, &best);
+  ClusterAccum inertia;
+  inertia.sum[0] = best_dist;
+  inertia.count = 1;
+  obj->insert(static_cast<std::uint64_t>(param->num_clusters), &inertia);
+}
+
+// [psf-user-code-begin]
 /// Recompute centers from a combined reduction object; clusters that lost
 /// all points keep their previous center.
 void centers_from_reduction(const pattern::ReductionObject& object,
@@ -131,6 +196,76 @@ Result run_framework(minimpi::Communicator& comm,
   return result;
 }
 // [psf-user-code-end]
+
+// Outside the LoC markers: the monitored fused/unfused comparison harness
+// is a benchmark fixture, not part of the paper's user-code comparison.
+MonitoredResult run_framework_monitored(minimpi::Communicator& comm,
+                                        const pattern::EnvOptions& options,
+                                        const Params& params,
+                                        std::span<const float> points,
+                                        bool fused) {
+  pattern::RuntimeEnv env(comm, options);
+  PSF_CHECK(env.init().is_ok());
+  auto* gr = env.get_GR();
+
+  std::vector<double> centers = initial_centers(params, points);
+  EmitParameter parameter{centers.data(), params.num_clusters};
+  const std::size_t k = static_cast<std::size_t>(params.num_clusters);
+
+  gr->set_reduce_func(kmeans_reduce);
+  gr->set_input(points.data(), sizeof(float) * kDims, params.num_points);
+  gr->set_parameter(&parameter);
+  // One extra slot for the reserved inertia key; the capacity is the same
+  // in both modes so the object layout (and GPU shared-memory localization
+  // decision) — and therefore every staged byte — matches exactly.
+  gr->configure_object(k * 2 + 2, sizeof(ClusterAccum));
+
+  MonitoredResult result;
+  result.inertia.reserve(static_cast<std::size_t>(params.iterations));
+  const std::uint64_t inertia_key = static_cast<std::uint64_t>(k);
+
+  const double t0 = comm.timeline().now();
+  for (int iteration = 0; iteration < params.iterations; ++iteration) {
+    if (fused) {
+      // One pass, one combine: assignments and inertia together.
+      gr->set_emit_func(kmeans_emit_fused);
+      PSF_CHECK(gr->start().is_ok());
+      const auto& global = gr->get_global_reduction();
+      ClusterAccum inertia;
+      if (global.lookup(inertia_key, &inertia)) {
+        result.inertia.push_back(inertia.sum[0]);
+      } else {
+        result.inertia.push_back(0.0);
+      }
+      centers_from_reduction(global, centers, params.num_clusters);
+    } else {
+      // Reference sequence: assignment pass + combine, then a full second
+      // pass + combine for the inertia — against the SAME pre-update
+      // centers, so the values match the fused path bit for bit.
+      gr->set_emit_func(kmeans_emit);
+      PSF_CHECK(gr->start().is_ok());
+      std::vector<double> new_centers = centers;
+      centers_from_reduction(gr->get_global_reduction(), new_centers,
+                             params.num_clusters);
+      gr->set_emit_func(kmeans_emit_inertia);
+      PSF_CHECK(gr->start().is_ok());
+      const auto& global = gr->get_global_reduction();
+      ClusterAccum inertia;
+      if (global.lookup(inertia_key, &inertia)) {
+        result.inertia.push_back(inertia.sum[0]);
+      } else {
+        result.inertia.push_back(0.0);
+      }
+      // In-place so `parameter` keeps pointing at valid storage.
+      std::copy(new_centers.begin(), new_centers.end(), centers.begin());
+    }
+  }
+  result.centers = std::move(centers);
+  result.vtime = comm.timeline().now() - t0;
+  result.steady_vtime = result.vtime / params.iterations;
+  env.finalize();
+  return result;
+}
 
 Result run_sequential(const Params& params, std::span<const float> points) {
   std::vector<double> centers = initial_centers(params, points);

@@ -55,6 +55,28 @@ Result run_framework(minimpi::Communicator& comm,
                      const pattern::EnvOptions& options, const Params& params,
                      std::span<const float> points);
 
+/// Result of the monitored (assignment + per-iteration inertia) pipeline.
+struct MonitoredResult {
+  std::vector<double> centers;  ///< k * kDims, row per cluster
+  std::vector<double> inertia;  ///< per iteration: sum of squared distances
+                                ///< to the assigned (pre-update) center
+  double vtime = 0.0;
+  double steady_vtime = 0.0;
+};
+
+/// Framework implementation that also tracks the clustering inertia every
+/// iteration. With `fused` a single generalized-reduction pass accumulates
+/// cluster sums AND inertia (inertia staged under the reserved key
+/// `num_clusters`), paying one combine per iteration; without, the
+/// reference sequence runs a second emit pass + combine for the inertia.
+/// Centers and inertia are bit-identical between the two modes; only the
+/// virtual time differs. Collective.
+MonitoredResult run_framework_monitored(minimpi::Communicator& comm,
+                                        const pattern::EnvOptions& options,
+                                        const Params& params,
+                                        std::span<const float> points,
+                                        bool fused);
+
 /// Single-core reference implementation (ground truth for tests and the
 /// speedup baseline).
 Result run_sequential(const Params& params, std::span<const float> points);

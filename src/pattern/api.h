@@ -18,6 +18,13 @@
 //     gr->set_emit_func(my_emit);
 //     ...
 //   });
+//
+// NOTE: the raw function-pointer setters (set_emit_func & friends) are kept
+// for paper parity but deprecated for new code. Prefer the typed facades in
+// pattern/typed.h (TypedGReduce, TypedIReduce, TypedStencil) and the
+// composition layer in pattern/compose.h (TypedStencilReduce,
+// PatternGraph), which add compile-time typing, fused stencil+reduce steps
+// and multi-stage pipelines over the same runtimes.
 #pragma once
 
 #include "pattern/greduction.h"

@@ -492,6 +492,28 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
       ObjectLayout::kHash, object_capacity_, value_size_, reduce_);
   global_result_->merge_from(*local_result_);
 
+  const std::uint64_t combine_span = combine_and_broadcast(
+      comm, *global_result_, env_->options().trace, "gr global combine");
+
+  stats_.combine_vtime = comm.timeline().now() - t0;
+  PSF_METRIC_ADD("pattern.gr.global_combines", 1);
+  PSF_METRIC_OBSERVE("pattern.gr.combine_vtime", stats_.combine_vtime);
+  if (combine_span != 0) {
+    // The combine consumes every device's local chunk results.
+    for (const std::uint64_t chunk_span : chunk_span_ids_) {
+      env_->options().trace->record_edge(chunk_span, combine_span, "chunk");
+    }
+  }
+  have_global_ = true;
+  return *global_result_;
+}
+
+std::uint64_t combine_and_broadcast(minimpi::Communicator& comm,
+                                    ReductionObject& object,
+                                    timemodel::TraceRecorder* trace,
+                                    const char* span_name) {
+  const double t0 = comm.timeline().now();
+
   // Parallel binary tree combine to rank 0 (paper Section III-B), then a
   // broadcast so the result is valid everywhere.
   constexpr int kTag = 0x6f0001;
@@ -501,43 +523,34 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
     if ((rank & step) != 0) {
       // Pack the combine blob straight into a pooled payload (zero-copy
       // send; no per-combine heap allocation in the steady state).
-      auto blob = comm.acquire_buffer(global_result_->serialized_size());
-      global_result_->serialize_into(blob.bytes());
+      auto blob = comm.acquire_buffer(object.serialized_size());
+      object.serialize_into(blob.bytes());
       comm.send_pooled(rank - step, kTag, std::move(blob));
       break;
     }
     if (rank + step < size) {
       auto message = comm.recv_any(rank + step, kTag);
-      global_result_->merge_serialized(message.payload.bytes());
+      object.merge_serialized(message.payload.bytes());
     }
   }
 
   std::uint64_t blob_bytes = 0;
-  if (rank == 0) blob_bytes = global_result_->serialized_size();
+  if (rank == 0) blob_bytes = object.serialized_size();
   comm.bcast(std::as_writable_bytes(std::span<std::uint64_t>(&blob_bytes, 1)),
              0);
   auto blob = comm.acquire_buffer(blob_bytes);
-  if (rank == 0) global_result_->serialize_into(blob.bytes());
+  if (rank == 0) object.serialize_into(blob.bytes());
   comm.bcast(blob.bytes(), 0);
   if (rank != 0) {
-    global_result_->clear();
-    global_result_->merge_serialized(blob.bytes());
+    object.clear();
+    object.merge_serialized(blob.bytes());
   }
 
-  stats_.combine_vtime = comm.timeline().now() - t0;
-  PSF_METRIC_ADD("pattern.gr.global_combines", 1);
-  PSF_METRIC_OBSERVE("pattern.gr.combine_vtime", stats_.combine_vtime);
-  if (auto* trace = env_->options().trace) {
-    const std::uint64_t combine_span =
-        trace->record("gr global combine", "comm", comm.rank(), 0, t0,
-                      comm.timeline().now());
-    // The combine consumes every device's local chunk results.
-    for (const std::uint64_t chunk_span : chunk_span_ids_) {
-      trace->record_edge(chunk_span, combine_span, "chunk");
-    }
+  if (trace != nullptr) {
+    return trace->record(span_name, "comm", comm.rank(), 0, t0,
+                         comm.timeline().now());
   }
-  have_global_ = true;
-  return *global_result_;
+  return 0;
 }
 
 }  // namespace psf::pattern

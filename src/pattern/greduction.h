@@ -21,7 +21,15 @@
 #include "devsim/device.h"
 #include "pattern/reduction_object.h"
 #include "pattern/scheduler.h"
+#include "support/compat.h"
 #include "support/error.h"
+
+namespace psf::minimpi {
+class Communicator;
+}
+namespace psf::timemodel {
+class TraceRecorder;
+}
 
 namespace psf::pattern {
 
@@ -51,10 +59,19 @@ class GReductionRuntime {
 
   // --- configuration --------------------------------------------------------
 
+  PSF_DEPRECATED(
+      "raw emit registration is deprecated; use psf::pattern::TypedGReduce "
+      "(pattern/typed.h) or the composition facades in pattern/compose.h")
   void set_emit_func(GrEmitFn emit) { emit_ = emit; }
+  PSF_DEPRECATED(
+      "raw reduce registration is deprecated; use psf::pattern::TypedGReduce "
+      "(pattern/typed.h) or the composition facades in pattern/compose.h")
   void set_reduce_func(ReduceFn reduce) { reduce_ = reduce; }
   /// Paper spelling (Listing 2 uses set_reduc_func).
-  void set_reduc_func(ReduceFn reduce) { set_reduce_func(reduce); }
+  PSF_DEPRECATED(
+      "raw reduce registration is deprecated; use psf::pattern::TypedGReduce "
+      "(pattern/typed.h) or the composition facades in pattern/compose.h")
+  void set_reduc_func(ReduceFn reduce) { reduce_ = reduce; }
 
   /// The global input: `num_units` units of `unit_bytes` each, contiguous at
   /// `data`. Every process sees the full input (the simulated shared file
@@ -139,5 +156,18 @@ class GReductionRuntime {
   /// global combine can record chunk -> combine dependency edges.
   std::vector<std::uint64_t> chunk_span_ids_;
 };
+
+/// Combine `object` across all ranks of `comm` in binary tree order (the
+/// paper's parallel combination, Section III-C) and broadcast the result, so
+/// on return every rank's `object` holds the global reduction. Collective
+/// call; the tree shape depends only on the communicator size, so the merge
+/// order — and therefore the result bytes — is identical at every executor
+/// width. Shared by GReductionRuntime::get_global_reduction() and the
+/// composition layer's StencilReduce. Records one `span_name` trace span
+/// per rank when `trace` is non-null and returns its id (0 otherwise).
+std::uint64_t combine_and_broadcast(minimpi::Communicator& comm,
+                                    ReductionObject& object,
+                                    timemodel::TraceRecorder* trace,
+                                    const char* span_name);
 
 }  // namespace psf::pattern

@@ -20,6 +20,7 @@
 #include "pattern/partition.h"
 #include "pattern/reduction_object.h"
 #include "pattern/scheduler.h"
+#include "support/compat.h"
 #include "support/error.h"
 
 namespace psf::pattern {
@@ -65,7 +66,13 @@ class IReductionRuntime {
 
   // --- configuration --------------------------------------------------------
 
+  PSF_DEPRECATED(
+      "raw edge-compute registration is deprecated; use "
+      "psf::pattern::TypedIReduce (pattern/typed.h)")
   void set_edge_comp_func(IrEdgeComputeFn fn) { edge_compute_ = fn; }
+  PSF_DEPRECATED(
+      "raw node-reduce registration is deprecated; use "
+      "psf::pattern::TypedIReduce (pattern/typed.h)")
   void set_node_reduc_func(ReduceFn fn) { node_reduce_ = fn; }
 
   /// Global node array: `num_nodes` records of `node_bytes` each. The

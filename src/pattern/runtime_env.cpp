@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "pattern/compose.h"
 #include "pattern/greduction.h"
 #include "pattern/ireduction.h"
 #include "pattern/stencil.h"
@@ -123,6 +124,7 @@ support::Status RuntimeEnv::validate_options() const {
 support::Status RuntimeEnv::init() { return init_status_; }
 
 void RuntimeEnv::finalize() {
+  sr_.reset();  // before st_: the composition borrows the stencil runtime
   gr_.reset();
   ir_.reset();
   st_.reset();
@@ -147,6 +149,11 @@ IReductionRuntime* RuntimeEnv::get_IR() {
 StencilRuntime* RuntimeEnv::get_ST() {
   if (!st_) st_ = std::make_unique<StencilRuntime>(*this);
   return st_.get();
+}
+
+StencilReduce* RuntimeEnv::get_SR() {
+  if (!sr_) sr_ = std::make_unique<StencilReduce>(*this);
+  return sr_.get();
 }
 
 std::vector<devsim::Device*> RuntimeEnv::active_devices() {

@@ -25,6 +25,7 @@ namespace psf::pattern {
 class GReductionRuntime;
 class IReductionRuntime;
 class StencilRuntime;
+class StencilReduce;
 
 /// Environment configuration: device selection, optimization toggles and
 /// cost-model calibration.
@@ -196,6 +197,9 @@ class RuntimeEnv {
   GReductionRuntime* get_GR();
   IReductionRuntime* get_IR();
   StencilRuntime* get_ST();
+  /// Fused stencil+reduction composition (pattern/compose.h). Shares the
+  /// environment's StencilRuntime, executor and buffer pool.
+  StencilReduce* get_SR();
 
   [[nodiscard]] minimpi::Communicator& comm() noexcept { return *comm_; }
   [[nodiscard]] const EnvOptions& options() const noexcept { return options_; }
@@ -239,6 +243,7 @@ class RuntimeEnv {
   std::unique_ptr<GReductionRuntime> gr_;
   std::unique_ptr<IReductionRuntime> ir_;
   std::unique_ptr<StencilRuntime> st_;
+  std::unique_ptr<StencilReduce> sr_;
 };
 
 }  // namespace psf::pattern

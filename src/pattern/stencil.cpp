@@ -381,16 +381,34 @@ std::size_t StencilRuntime::exchange_dim(int dim) {
 
 void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
                                   std::size_t row_end, bool want_inner) {
+  walk_rows(device_index, row_begin, row_end, want_inner,
+            /*apply_stencil=*/true, fused_emit_, fused_emit_parameter_,
+            fused_sink_, in_.data(), out_.data());
+}
+
+void StencilRuntime::walk_rows(int device_index, std::size_t row_begin,
+                               std::size_t row_end, bool want_inner,
+                               bool apply_stencil, CellEmitFn emit,
+                               const void* emit_parameter,
+                               StencilEmitSink* sink,
+                               const std::byte* old_grid,
+                               std::byte* new_grid) {
   if (row_begin >= row_end) return;
   auto devices = env_->active_devices();
   devsim::Device& device = *devices[static_cast<std::size_t>(device_index)];
 
   const int blocks = device.descriptor().compute_units;
   const BlockPartition split(row_end - row_begin, blocks);
-  const std::byte* in = in_.data();
-  std::byte* out = out_.data();
+  const std::byte* in = old_grid;
+  std::byte* out = new_grid;
 
   const auto body = [&](const devsim::BlockContext& ctx) {
+    // A fresh staging object per block launch keeps host replay after a
+    // device loss idempotent (the sink resets the slot on fetch).
+    ReductionObject* staged =
+        (emit != nullptr && sink != nullptr)
+            ? sink->block_object(device_index, ctx.block_id, want_inner)
+            : nullptr;
     int offset_user[kMaxDims];
     int size_user[kMaxDims];
     for (int d = 0; d < ndims_; ++d) {
@@ -419,17 +437,28 @@ void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
             }
           }
           if (fixed) {
-            if (!want_inner) {
+            // Fixed cells belong to the boundary pass (skip on inner).
+            if (want_inner) continue;
+            if (apply_stencil) {
               std::memcpy(out + padded_index(c) * elem_bytes_,
                           in + padded_index(c) * elem_bytes_, elem_bytes_);
             }
-            continue;
+          } else {
+            if (is_boundary_cell(c) == want_inner) continue;
+            offset_user[0] = c[0];
+            if (ndims_ >= 2) offset_user[1] = c[1];
+            if (ndims_ >= 3) offset_user[2] = c[2];
+            if (apply_stencil) {
+              stencil_(in, out, offset_user, size_user, parameter_);
+            }
           }
-          if (is_boundary_cell(c) == want_inner) continue;
-          offset_user[0] = c[0];
-          if (ndims_ >= 2) offset_user[1] = c[1];
-          if (ndims_ >= 3) offset_user[2] = c[2];
-          stencil_(in, out, offset_user, size_user, parameter_);
+          if (staged != nullptr) {
+            offset_user[0] = c[0];
+            if (ndims_ >= 2) offset_user[1] = c[1];
+            if (ndims_ >= 3) offset_user[2] = c[2];
+            emit(staged, old_grid, new_grid, offset_user, size_user,
+                 emit_parameter);
+          }
         }
       }
     }
@@ -441,6 +470,90 @@ void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
     // re-execution writes the exact bytes the device would have.
     device.host_replay(blocks, 0, body);
   }
+}
+
+support::Status StencilRuntime::reduce_pass(CellEmitFn emit,
+                                            const void* emit_parameter,
+                                            StencilEmitSink* sink) {
+  if (emit == nullptr || sink == nullptr) {
+    return support::Status::invalid_argument(
+        "stencil: reduce_pass() needs a cell emit function and a staging "
+        "sink; see pattern/compose.h (StencilReduce runs this for you)");
+  }
+  if (!ready_ || stats_.iterations == 0 || last_sweep_row_bounds_.empty()) {
+    return support::Status::failed_precondition(
+        "stencil: reduce_pass() must follow a completed sweep — call "
+        "start() first");
+  }
+
+  auto& comm = env_->comm();
+  const auto devices = env_->active_devices();
+  const auto specs = env_->device_specs(/*gpu_resident_data=*/true);
+  const double scale = env_->options().workload_scale;
+  const auto& overheads = env_->options().preset.overheads;
+  const double fork = comm.timeline().now();
+
+  // After start()'s buffer swap the sweep's OUTPUT lives in in_ and its
+  // input in out_, so the emit sees (old = out_, new = in_). The walk
+  // repeats the sweep's exact device/block/inner-then-boundary structure
+  // over the sweep's row split, so the per-key combine order matches the
+  // fused path bit for bit. A device lost during the sweep executes
+  // nothing here and walk_rows host-replays its blocks, same as the sweep.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool want_inner = pass == 0;
+    exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
+      walk_rows(static_cast<int>(d), last_sweep_row_bounds_[d],
+                last_sweep_row_bounds_[d + 1], want_inner,
+                /*apply_stencil=*/false, emit, emit_parameter, sink,
+                out_.data(), in_.data());
+    });
+  }
+
+  // Price a full extra grid pass: per device one launch plus every interior
+  // cell of its rows, on a forked lane set joined at the end — the pass (and
+  // barrier) the fused emit eliminates. Deliberately NOT fed into
+  // iteration_device_seconds_, so the adaptive repartition sees identical
+  // profiles in fused and unfused modes. Lost devices are priced at the
+  // first survivor's (host) rate, mirroring price_pass.
+  double host_rate = 0.0;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (!devices[d]->lost()) {
+      host_rate = specs[d].units_per_s;
+      break;
+    }
+  }
+  const double interior_plane =
+      static_cast<double>(ext3_[1]) * static_cast<double>(ext3_[2]);
+  timemodel::LaneSet lanes(devices.size(), fork);
+  reduce_span_ids_.assign(devices.size(), 0);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const double rows = static_cast<double>(last_sweep_row_bounds_[d + 1] -
+                                            last_sweep_row_bounds_[d]);
+    if (rows == 0.0) continue;
+    const double cells = rows * interior_plane;
+    double rate = specs[d].units_per_s;
+    if (devices[d]->lost()) {
+      PSF_CHECK_MSG(host_rate > 0.0, "stencil: every device is lost");
+      rate = host_rate;
+    }
+    const double launches = devices[d]->is_accelerator()
+                                ? overheads.kernel_launch_s
+                                : overheads.thread_fork_s;
+    lanes.advance(d, launches + cells * scale / rate);
+  }
+  if (auto* trace = env_->options().trace) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (last_sweep_row_bounds_[d + 1] == last_sweep_row_bounds_[d]) continue;
+      reduce_span_ids_[d] =
+          trace->record("reduce pass", "compute", comm.rank(),
+                        static_cast<int>(d) + 1, fork, lanes.time(d));
+    }
+  }
+  lanes.join(comm.timeline());
+  last_reduce_pass_vtime_ = comm.timeline().now() - fork;
+  PSF_METRIC_ADD("pattern.st.reduce_passes", 1);
+  PSF_METRIC_OBSERVE("pattern.st.reduce_pass_vtime", last_reduce_pass_vtime_);
+  return support::Status::ok();
 }
 
 support::Status StencilRuntime::start() {
@@ -456,6 +569,11 @@ support::Status StencilRuntime::start() {
   const double t0 = comm.timeline().now();
 
   iteration_device_seconds_.assign(devices.size(), 0.0);
+  // Snapshot the row split this sweep computes with: a following
+  // reduce_pass (unfused stencil_reduce) must walk the same structure even
+  // after the end-of-sweep repartition or a device drop moves the bounds.
+  last_sweep_row_bounds_ = device_row_bounds_;
+  boundary_span_ids_.assign(devices.size(), 0);
 
   // Device-loss injection: arm any loss due this sweep. The armed device
   // dies on its first launch (executing nothing); compute_rows replays its
@@ -665,6 +783,7 @@ support::Status StencilRuntime::start() {
         const std::uint64_t span =
             trace->record("boundary tiles", "compute", comm.rank(),
                           static_cast<int>(d) + 1, fork, lanes.time(d));
+        boundary_span_ids_[d] = span;
         // Boundary cells read the halo the exchange delivered and the rows
         // the inner pass of this device produced.
         trace->record_edge(exchange_span, span, "exchange");

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -20,11 +21,13 @@
 #include "minimpi/cart.h"
 #include "pattern/scheduler.h"
 #include "support/buffer.h"
+#include "support/compat.h"
 #include "support/error.h"
 
 namespace psf::pattern {
 
 class RuntimeEnv;
+class ReductionObject;
 
 /// User-defined stencil function (Table I): computes ONE output element.
 /// `offset` is the element's coordinate in the local padded grid (outermost
@@ -32,6 +35,28 @@ class RuntimeEnv;
 /// the get helpers in pattern/api.h.
 using StencilFn = void (*)(const void* input, void* output, const int* offset,
                            const int* size, const void* parameter);
+
+/// Per-cell emit hook for the fused stencil_reduce composition
+/// (pattern/compose.h): called right after a sweep pass computes the cell at
+/// `offset`. `old_grid` is the sweep's input buffer and `new_grid` its
+/// output; read only the cell at `offset` in either grid (neighbor cells of
+/// `new_grid` may not have been written yet).
+using CellEmitFn = void (*)(ReductionObject* obj, const void* old_grid,
+                            const void* new_grid, const int* offset,
+                            const int* size, const void* parameter);
+
+/// Supplier of per-(device, block, pass) staging reduction objects for the
+/// fused emit path. Owned by the composition layer; the runtime fetches one
+/// object per block launch. The returned object must be RESET for this
+/// launch — block bodies can be replayed after a device loss, and a fresh
+/// staging object on entry is what makes the replay idempotent (the same
+/// contract GReduction's per-block staging upholds).
+class StencilEmitSink {
+ public:
+  virtual ~StencilEmitSink() = default;
+  virtual ReductionObject* block_object(int device, int block,
+                                        bool inner_pass) = 0;
+};
 
 /// Stencil pattern runtime. Obtain from RuntimeEnv::get_ST().
 class StencilRuntime {
@@ -44,6 +69,10 @@ class StencilRuntime {
 
   // --- configuration --------------------------------------------------------
 
+  PSF_DEPRECATED(
+      "raw stencil registration is deprecated; use "
+      "psf::pattern::TypedStencil (pattern/typed.h) or the composition "
+      "facades in pattern/compose.h")
   void set_stencil_func(StencilFn fn) { stencil_ = fn; }
 
   /// Global grid: `ndims` extents (outermost first), elements of
@@ -81,6 +110,49 @@ class StencilRuntime {
   /// Distributed write-back: each rank copies its interior into the global
   /// output array (same extents as the input grid).
   void write_back(void* global_out) const;
+
+  // --- fused reduction hooks (pattern/compose.h) ----------------------------
+
+  /// Install the fused stencil_reduce emit: while installed, every compute
+  /// pass also calls `emit` for each interior cell right after writing it,
+  /// into the sink's per-(device, block, pass) staging objects. Costs no
+  /// extra virtual time — the emit rides the tile loop's memory traffic
+  /// (Aldinucci et al.'s stencil+reduce fusion).
+  void set_fused_emit(CellEmitFn emit, const void* parameter,
+                      StencilEmitSink* sink) {
+    fused_emit_ = emit;
+    fused_emit_parameter_ = parameter;
+    fused_sink_ = sink;
+  }
+  void clear_fused_emit() {
+    fused_emit_ = nullptr;
+    fused_emit_parameter_ = nullptr;
+    fused_sink_ = nullptr;
+  }
+
+  /// Reference (unfused) reduction pass: after a sweep, visit every interior
+  /// cell again — with the SAME device/block/inner-boundary structure the
+  /// sweep used — and emit into the sink. Priced as a full extra grid pass
+  /// plus its join barrier, on the sweep's row split; exactly the cost the
+  /// fused emit eliminates. Does not feed the adaptive partitioner, so the
+  /// split trajectory is identical in fused and unfused modes.
+  support::Status reduce_pass(CellEmitFn emit, const void* parameter,
+                              StencilEmitSink* sink);
+
+  /// Trace span ids of the latest sweep's per-device boundary-tile spans /
+  /// the latest reduce_pass's per-device spans (0 entries when tracing is
+  /// off) — the composition layer records combine dependency edges off them.
+  [[nodiscard]] const std::vector<std::uint64_t>& last_compute_span_ids()
+      const noexcept {
+    return boundary_span_ids_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& last_reduce_span_ids()
+      const noexcept {
+    return reduce_span_ids_;
+  }
+  [[nodiscard]] double last_reduce_pass_vtime() const noexcept {
+    return last_reduce_pass_vtime_;
+  }
 
   // --- checkpoint / restore (rank-failure recovery) -------------------------
 
@@ -144,6 +216,14 @@ class StencilRuntime {
   void compute_rows(int device_index, std::size_t row_begin,
                     std::size_t row_end, bool want_inner);
 
+  /// Shared cell walk behind compute_rows and reduce_pass: one device's
+  /// rows, one cell class, optionally applying the stencil and/or emitting
+  /// into `sink`. `old_grid`/`new_grid` are the sweep's input/output.
+  void walk_rows(int device_index, std::size_t row_begin, std::size_t row_end,
+                 bool want_inner, bool apply_stencil, CellEmitFn emit,
+                 const void* emit_parameter, StencilEmitSink* sink,
+                 const std::byte* old_grid, std::byte* new_grid);
+
   /// True if the cell needs halo data (lies within `halo_` of a face that
   /// has a neighbor rank).
   [[nodiscard]] bool is_boundary_cell(const std::array<int, kMaxDims>& c)
@@ -185,6 +265,17 @@ class StencilRuntime {
   std::vector<std::size_t> device_row_bounds_;  ///< interior row split
   std::vector<double> iteration_device_seconds_;
   Stats stats_;
+
+  // Fused stencil_reduce state (pattern/compose.h). The sweep's row split is
+  // snapshotted so reduce_pass walks the SAME structure even after the
+  // end-of-sweep adaptive repartition or a device drop changed the bounds.
+  CellEmitFn fused_emit_ = nullptr;
+  const void* fused_emit_parameter_ = nullptr;
+  StencilEmitSink* fused_sink_ = nullptr;
+  std::vector<std::size_t> last_sweep_row_bounds_;
+  std::vector<std::uint64_t> boundary_span_ids_;
+  std::vector<std::uint64_t> reduce_span_ids_;
+  double last_reduce_pass_vtime_ = 0.0;
   /// Per-clause fired flags for `rank:...` fault triggers (run() loop).
   std::vector<bool> rank_fault_fired_;
 };

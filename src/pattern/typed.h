@@ -73,6 +73,8 @@ class TypedGR {
     static_assert(std::is_empty_v<Fn>,
                   "emit callables must be captureless (like CUDA kernels); "
                   "pass state through set_parameter");
+    // The typed facade is the sanctioned caller of the raw setter.
+    PSF_SUPPRESS_DEPRECATED_BEGIN
     runtime_->set_emit_func(
         [](ReductionObject* obj, const void* input, std::size_t index,
            const void* parameter) {
@@ -80,15 +82,18 @@ class TypedGR {
           Fn{}(typed, *static_cast<const Unit*>(input), index,
                static_cast<const Parameter*>(parameter));
         });
+    PSF_SUPPRESS_DEPRECATED_END
   }
 
   /// Register a captureless reduce callable.
   template <typename Fn>
   void set_reduce(Fn) {
     static_assert(std::is_empty_v<Fn>, "reduce callables must be captureless");
+    PSF_SUPPRESS_DEPRECATED_BEGIN
     runtime_->set_reduce_func([](void* dst, const void* src) {
       Fn{}(*static_cast<Value*>(dst), *static_cast<const Value*>(src));
     });
+    PSF_SUPPRESS_DEPRECATED_END
   }
 
   void set_input(std::span<const Unit> units) {
@@ -106,6 +111,22 @@ class TypedGR {
   }
 
   support::Status start() { return runtime_->start(); }
+
+  /// Pattern-interface entry point (pattern/compose.h): each iteration is
+  /// one local pass plus the global tree combine, so after run() the global
+  /// reduction is valid on every rank.
+  support::Status run(int iterations) {
+    if (iterations <= 0) {
+      return support::Status::invalid_argument(
+          "typed_greduce: run(iterations = " + std::to_string(iterations) +
+          ") — iterations must be positive");
+    }
+    for (int i = 0; i < iterations; ++i) {
+      PSF_RETURN_IF_ERROR(runtime_->start());
+      (void)runtime_->get_global_reduction();
+    }
+    return support::Status::ok();
+  }
 
   [[nodiscard]] bool lookup_local(std::uint64_t key, Value* out) const {
     return runtime_->get_local_reduction().lookup(key, out);
@@ -134,6 +155,7 @@ class TypedIR {
   void set_edge_compute(Fn) {
     static_assert(std::is_empty_v<Fn>,
                   "edge callables must be captureless; use set_parameter");
+    PSF_SUPPRESS_DEPRECATED_BEGIN
     runtime_->set_edge_comp_func(
         [](ReductionObject* obj, const EdgeView& edge,
            const void* /*edge_data*/, const void* node_data,
@@ -142,14 +164,17 @@ class TypedIR {
           Fn{}(typed, edge, static_cast<const Node*>(node_data),
                static_cast<const Parameter*>(parameter));
         });
+    PSF_SUPPRESS_DEPRECATED_END
   }
 
   template <typename Fn>
   void set_node_reduce(Fn) {
     static_assert(std::is_empty_v<Fn>, "reduce callables must be captureless");
+    PSF_SUPPRESS_DEPRECATED_BEGIN
     runtime_->set_node_reduc_func([](void* dst, const void* src) {
       Fn{}(*static_cast<Value*>(dst), *static_cast<const Value*>(src));
     });
+    PSF_SUPPRESS_DEPRECATED_END
   }
 
   /// Captureless per-node update: (node, value-or-null, parameter).
@@ -186,6 +211,20 @@ class TypedIR {
   }
 
   support::Status start() { return runtime_->start(); }
+
+  /// Pattern-interface entry point (pattern/compose.h): one collective
+  /// edge-compute + node-combine pass per iteration.
+  support::Status run(int iterations) {
+    if (iterations <= 0) {
+      return support::Status::invalid_argument(
+          "typed_ireduce: run(iterations = " + std::to_string(iterations) +
+          ") — iterations must be positive");
+    }
+    for (int i = 0; i < iterations; ++i) {
+      PSF_RETURN_IF_ERROR(runtime_->start());
+    }
+    return support::Status::ok();
+  }
 
   [[nodiscard]] bool lookup_local(std::uint32_t local_node, Value* out) const {
     return runtime_->get_local_reduction().lookup(local_node, out);
@@ -270,6 +309,7 @@ class TypedST {
   void set_stencil(Fn) {
     static_assert(std::is_empty_v<Fn>,
                   "stencil callables must be captureless; use set_parameter");
+    PSF_SUPPRESS_DEPRECATED_BEGIN
     runtime_->set_stencil_func([](const void* input, void* output,
                                   const int* offset, const int* size,
                                   const void* parameter) {
@@ -277,6 +317,7 @@ class TypedST {
       MutableGridView<T, N> out(output, size);
       Fn{}(in, out, offset, static_cast<const Parameter*>(parameter));
     });
+    PSF_SUPPRESS_DEPRECATED_END
   }
 
   void set_grid(std::span<const T> grid,
@@ -322,5 +363,13 @@ class TypedST {
 /// macros in pattern/api.h.
 template <typename T, int Dims>
 using TypedStencil = TypedST<T, Dims>;
+
+/// Preferred names for the typed reduction runtimes, completing the typed
+/// surface: all three patterns (TypedGReduce, TypedIReduce, TypedStencil)
+/// model the Pattern concept in pattern/compose.h and compose through it.
+template <typename Unit, typename Value>
+using TypedGReduce = TypedGR<Unit, Value>;
+template <typename Node, typename Value>
+using TypedIReduce = TypedIR<Node, Value>;
 
 }  // namespace psf::pattern

@@ -1,0 +1,31 @@
+// PSF — Pattern Specification Framework
+// API deprecation shims.
+//
+// The raw C-style registration entry points (set_emit_func & friends) are
+// the paper's historical surface; new code goes through the typed facades in
+// pattern/typed.h and the composition layer in pattern/compose.h. Marking
+// the raw setters deprecated steers users there while paper-parity targets
+// (src/apps, the listing-style examples, the test suite) opt out with a
+// target-level PSF_ALLOW_DEPRECATED definition, keeping -Werror builds
+// clean.
+#pragma once
+
+// Marks a raw registration entry point as deprecated in favor of the typed
+// API. Expands to nothing on targets that define PSF_ALLOW_DEPRECATED
+// (paper-parity code that intentionally uses the C-style surface).
+#if defined(PSF_ALLOW_DEPRECATED)
+#define PSF_DEPRECATED(msg)
+#else
+#define PSF_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+// Suppression block for the framework's own lowering shims: the typed
+// facades are the sanctioned callers of the raw setters, so their call
+// sites wrap the call in PSF_SUPPRESS_DEPRECATED_BEGIN/END instead of
+// defining PSF_ALLOW_DEPRECATED for every downstream target that merely
+// includes pattern/typed.h. GCC and Clang both honor the GCC pragma
+// spelling.
+#define PSF_SUPPRESS_DEPRECATED_BEGIN \
+  _Pragma("GCC diagnostic push")      \
+  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define PSF_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")

@@ -39,9 +39,10 @@ struct TraceSpan {
 /// A causal dependency between two spans: `to` cannot complete (message
 /// edges) or start (ordering edges) independently of `from`. Kinds used by
 /// the runtimes: "message" (minimpi send -> recv), "stream" (devsim copy ->
-/// kernel), "chunk" (GR device chunks -> global combine), "exchange" (halo /
-/// node-data exchange -> dependent compute), "join" (forked lane -> join
-/// successor).
+/// kernel), "chunk" (GR/SR device chunks -> global combine), "exchange"
+/// (halo / node-data exchange -> dependent compute), "join" (forked lane ->
+/// join successor), "handoff" (PatternGraph stage output -> consuming
+/// stage).
 struct TraceEdge {
   std::uint64_t from = 0;
   std::uint64_t to = 0;

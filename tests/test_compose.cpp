@@ -1,0 +1,497 @@
+// PSF — tests for the pattern composition layer (pattern/compose.h): the
+// fused stencil_reduce must be bit-identical to the unfused sweep+reduce
+// sequence at every executor width (while strictly cheaper in virtual
+// time), and the PatternGraph runner must schedule deterministically, hand
+// buffers off through the pool without steady-state misses, validate its
+// wiring with actionable errors, and recover bit-identically from a device
+// loss mid-pipeline.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/heat3d.h"
+#include "apps/kmeans.h"
+#include "minimpi/communicator.h"
+#include "pattern/compose.h"
+#include "support/buffer_pool.h"
+#include "support/metrics.h"
+
+namespace psf::pattern {
+namespace {
+
+EnvOptions cpu_options() {
+  EnvOptions options;
+  options.use_cpu = true;
+  options.use_gpus = 0;
+  return options;
+}
+
+EnvOptions hybrid_options(const std::string& profile) {
+  EnvOptions options;
+  options.app_profile = profile;
+  options.use_cpu = true;
+  options.use_gpus = 2;
+  options.workload_scale = 100.0;
+  return options;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return metrics::Registry::global().counter(name).value();
+}
+
+// ---------------------------------------------------------------------------
+// Fused vs unfused bit-identity
+// ---------------------------------------------------------------------------
+
+apps::heat3d::MonitoredResult run_heat3d(const apps::heat3d::Params& params,
+                                         std::span<const double> field,
+                                         bool fused, int num_threads,
+                                         const std::string& fault_plan = "") {
+  apps::heat3d::MonitoredResult result;
+  minimpi::World world(2);
+  world.run([&](minimpi::Communicator& comm) {
+    auto options = hybrid_options("heat3d");
+    options.num_threads = num_threads;
+    options.fault_plan = fault_plan;
+    auto local = apps::heat3d::run_framework_monitored(comm, options, params,
+                                                       field, fused);
+    if (comm.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
+void expect_same_heat3d(const apps::heat3d::MonitoredResult& a,
+                        const apps::heat3d::MonitoredResult& b) {
+  ASSERT_EQ(a.field.size(), b.field.size());
+  ASSERT_EQ(std::memcmp(a.field.data(), b.field.data(),
+                        a.field.size() * sizeof(double)),
+            0)
+      << "grids differ";
+  ASSERT_EQ(a.residuals.size(), b.residuals.size());
+  for (std::size_t i = 0; i < a.residuals.size(); ++i) {
+    ASSERT_EQ(a.residuals[i], b.residuals[i]) << "residual " << i;
+  }
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(StencilReduceFusion, BitIdenticalToUnfusedAtWidths1And7) {
+  apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 20;
+  params.iterations = 3;
+  const auto field = apps::heat3d::generate_field(params);
+
+  const auto fused_w1 = run_heat3d(params, field, /*fused=*/true, 1);
+  const auto unfused_w1 = run_heat3d(params, field, /*fused=*/false, 1);
+  const auto fused_w7 = run_heat3d(params, field, /*fused=*/true, 7);
+  const auto unfused_w7 = run_heat3d(params, field, /*fused=*/false, 7);
+
+  ASSERT_EQ(fused_w1.residuals.size(),
+            static_cast<std::size_t>(params.iterations));
+  // The reduction must have measured something real.
+  EXPECT_GT(fused_w1.residuals.front(), 0.0);
+
+  expect_same_heat3d(fused_w1, unfused_w1);
+  expect_same_heat3d(fused_w1, fused_w7);
+  expect_same_heat3d(fused_w1, unfused_w7);
+
+  // The fused emit must not perturb the sweep itself: the grid matches the
+  // plain (monitor-free) stencil app bit for bit.
+  minimpi::World world(2);
+  apps::heat3d::Result plain;
+  world.run([&](minimpi::Communicator& comm) {
+    auto local = apps::heat3d::run_framework(comm, hybrid_options("heat3d"),
+                                             params, field);
+    if (comm.rank() == 0) plain = std::move(local);
+  });
+  ASSERT_EQ(plain.field.size(), fused_w1.field.size());
+  ASSERT_EQ(std::memcmp(plain.field.data(), fused_w1.field.data(),
+                        plain.field.size() * sizeof(double)),
+            0);
+}
+
+TEST(StencilReduceFusion, FusedSavesTheReductionPassVtime) {
+  apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 20;
+  params.iterations = 3;
+  const auto field = apps::heat3d::generate_field(params);
+
+  const auto fused = run_heat3d(params, field, /*fused=*/true, 4);
+  const auto unfused = run_heat3d(params, field, /*fused=*/false, 4);
+  // Same functional work, but the unfused pipeline pays a full second grid
+  // pass plus a barrier every iteration.
+  EXPECT_LT(fused.vtime, unfused.vtime);
+  EXPECT_LT(fused.steady_vtime, unfused.steady_vtime);
+}
+
+apps::kmeans::MonitoredResult run_kmeans(const apps::kmeans::Params& params,
+                                         std::span<const float> points,
+                                         bool fused, int num_threads) {
+  apps::kmeans::MonitoredResult result;
+  minimpi::World world(2);
+  world.run([&](minimpi::Communicator& comm) {
+    auto options = hybrid_options("kmeans");
+    options.num_threads = num_threads;
+    auto local = apps::kmeans::run_framework_monitored(comm, options, params,
+                                                       points, fused);
+    if (comm.rank() == 0) result = std::move(local);
+  });
+  return result;
+}
+
+TEST(KmeansFusion, BitIdenticalCentersAndInertia) {
+  apps::kmeans::Params params;
+  params.num_points = 6000;
+  params.num_clusters = 16;
+  params.iterations = 3;
+  const auto points = apps::kmeans::generate_points(params);
+
+  const auto fused_w1 = run_kmeans(params, points, /*fused=*/true, 1);
+  const auto unfused_w1 = run_kmeans(params, points, /*fused=*/false, 1);
+  const auto fused_w7 = run_kmeans(params, points, /*fused=*/true, 7);
+  const auto unfused_w7 = run_kmeans(params, points, /*fused=*/false, 7);
+
+  for (const auto* other : {&unfused_w1, &fused_w7, &unfused_w7}) {
+    ASSERT_EQ(fused_w1.centers.size(), other->centers.size());
+    for (std::size_t i = 0; i < fused_w1.centers.size(); ++i) {
+      ASSERT_EQ(fused_w1.centers[i], other->centers[i]) << "center " << i;
+    }
+    ASSERT_EQ(fused_w1.inertia.size(), other->inertia.size());
+    for (std::size_t i = 0; i < fused_w1.inertia.size(); ++i) {
+      ASSERT_EQ(fused_w1.inertia[i], other->inertia[i]) << "inertia " << i;
+    }
+  }
+  EXPECT_GT(fused_w1.inertia.front(), 0.0);
+  // One pass + one combine beats two of each.
+  EXPECT_LT(fused_w1.vtime, unfused_w1.vtime);
+}
+
+// ---------------------------------------------------------------------------
+// StencilReduce validation
+// ---------------------------------------------------------------------------
+
+TEST(StencilReduceValidation, MissingConfigurationIsActionable) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    auto* sr = env.get_SR();
+    auto status = sr->step();
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("set_cell_emit"), std::string::npos);
+
+    sr->set_cell_emit([](ReductionObject*, const void*, const void*,
+                         const int*, const int*, const void*) {});
+    status = sr->step();
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("set_combine"), std::string::npos);
+
+    sr->set_combine([](void*, const void*) {});
+    status = sr->step();
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("configure_object"), std::string::npos);
+
+    EXPECT_EQ(sr->run(0).code(), support::ErrorCode::kInvalidArgument);
+    env.finalize();
+  });
+}
+
+TEST(StencilReduceValidation, ReducePassRequiresSweepFirst) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    auto* st = env.get_ST();
+    auto status = st->reduce_pass(nullptr, nullptr, nullptr);
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+
+    auto emit = [](ReductionObject*, const void*, const void*, const int*,
+                   const int*, const void*) {};
+    struct NullSink : StencilEmitSink {
+      ReductionObject* block_object(int, int, bool) override {
+        return nullptr;
+      }
+    } sink;
+    status = st->reduce_pass(emit, nullptr, &sink);
+    EXPECT_EQ(status.code(), support::ErrorCode::kFailedPrecondition);
+    EXPECT_NE(status.message().find("start()"), std::string::npos);
+    env.finalize();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// PatternGraph: determinism, validation, pooling
+// ---------------------------------------------------------------------------
+
+TEST(PatternGraph, TopologicalOrderIsDeterministic) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    auto noop = [](StageContext&) { return support::Status::ok(); };
+    // Diamond (a -> b, a -> c, b -> d, c -> d) plus a sink stage inserted
+    // FIRST but depending on d — ties always break by insertion index, so
+    // the order is a pure function of the graph, not of build order luck.
+    const auto build = [&](PatternGraph& graph) {
+      ASSERT_TRUE(graph.add_stage("z", noop).is_ok());
+      ASSERT_TRUE(graph.add_stage("a", noop).is_ok());
+      ASSERT_TRUE(graph.add_stage("b", noop).is_ok());
+      ASSERT_TRUE(graph.add_stage("c", noop).is_ok());
+      ASSERT_TRUE(graph.add_stage("d", noop).is_ok());
+      ASSERT_TRUE(graph.connect("a", "b").is_ok());
+      ASSERT_TRUE(graph.connect("a", "c").is_ok());
+      ASSERT_TRUE(graph.connect("b", "d").is_ok());
+      ASSERT_TRUE(graph.connect("c", "d").is_ok());
+      ASSERT_TRUE(graph.connect("d", "z").is_ok());
+      ASSERT_TRUE(graph.compile().is_ok());
+    };
+    const std::vector<std::string> expected{"a", "b", "c", "d", "z"};
+    PatternGraph graph(env);
+    build(graph);
+    EXPECT_EQ(graph.topo_order(), expected);
+    // An identically-built second graph compiles to the same order.
+    PatternGraph again(env);
+    build(again);
+    EXPECT_EQ(again.topo_order(), expected);
+    env.finalize();
+  });
+}
+
+TEST(PatternGraph, WiringErrorsAreActionable) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    auto noop = [](StageContext&) { return support::Status::ok(); };
+    PatternGraph graph(env);
+
+    EXPECT_EQ(graph.add_stage("", noop).code(),
+              support::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(graph.add_stage("a", nullptr).code(),
+              support::ErrorCode::kInvalidArgument);
+    ASSERT_TRUE(graph.add_stage("a", noop).is_ok());
+    auto status = graph.add_stage("a", noop);
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+
+    status = graph.connect("a", "ghost");
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("unknown stage 'ghost'"),
+              std::string::npos);
+    EXPECT_NE(status.message().find("known stages: 'a'"), std::string::npos)
+        << "message should list the known stages";
+
+    EXPECT_EQ(graph.connect("a", "a").code(),
+              support::ErrorCode::kInvalidArgument);
+
+    ASSERT_TRUE(graph.add_stage("b", noop).is_ok());
+    ASSERT_TRUE(graph.connect("a", "b", 16).is_ok());
+    EXPECT_EQ(graph.connect("a", "b").code(),
+              support::ErrorCode::kInvalidArgument);
+
+    // Conflicting declared sizes on one producer surface at compile().
+    ASSERT_TRUE(graph.add_stage("c", noop).is_ok());
+    ASSERT_TRUE(graph.connect("a", "c", 32).is_ok());
+    status = graph.compile();
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("conflicting"), std::string::npos);
+
+    // Empty graphs cannot run.
+    PatternGraph empty(env);
+    EXPECT_EQ(empty.run().code(), support::ErrorCode::kFailedPrecondition);
+    env.finalize();
+  });
+}
+
+TEST(PatternGraph, CyclesAreRejectedWithStageNames) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    auto noop = [](StageContext&) { return support::Status::ok(); };
+    PatternGraph graph(env);
+    ASSERT_TRUE(graph.add_stage("a", noop).is_ok());
+    ASSERT_TRUE(graph.add_stage("b", noop).is_ok());
+    ASSERT_TRUE(graph.add_stage("c", noop).is_ok());
+    ASSERT_TRUE(graph.connect("a", "b").is_ok());
+    ASSERT_TRUE(graph.connect("b", "c").is_ok());
+    ASSERT_TRUE(graph.connect("c", "a").is_ok());
+    const auto status = graph.compile();
+    EXPECT_EQ(status.code(), support::ErrorCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("cycle"), std::string::npos);
+    EXPECT_NE(status.message().find("'a'"), std::string::npos);
+    EXPECT_NE(status.message().find("'b'"), std::string::npos);
+    EXPECT_NE(status.message().find("'c'"), std::string::npos);
+    env.finalize();
+  });
+}
+
+TEST(PatternGraph, RuntimeHandoffErrorsAreActionable) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    auto noop = [](StageContext&) { return support::Status::ok(); };
+    // Producer that never publishes.
+    {
+      PatternGraph graph(env);
+      ASSERT_TRUE(graph.add_stage("quiet", noop).is_ok());
+      ASSERT_TRUE(graph.add_stage("reader", noop).is_ok());
+      ASSERT_TRUE(graph.connect("quiet", "reader").is_ok());
+      const auto status = graph.run();
+      EXPECT_EQ(status.code(), support::ErrorCode::kFailedPrecondition);
+      EXPECT_NE(status.message().find("published nothing"),
+                std::string::npos);
+    }
+    // Published size contradicts the connect() declaration.
+    {
+      PatternGraph graph(env);
+      ASSERT_TRUE(graph
+                      .add_stage("short",
+                                 [](StageContext& ctx) {
+                                   const double value = 1.0;
+                                   return ctx.publish(std::as_bytes(
+                                       std::span<const double>(&value, 1)));
+                                 })
+                      .is_ok());
+      ASSERT_TRUE(graph.add_stage("reader", noop).is_ok());
+      ASSERT_TRUE(graph.connect("short", "reader", 64).is_ok());
+      const auto status = graph.run();
+      EXPECT_EQ(status.code(), support::ErrorCode::kFailedPrecondition);
+      EXPECT_NE(status.message().find("declared 64"), std::string::npos);
+    }
+    // Publishing twice in one round is rejected.
+    {
+      PatternGraph graph(env);
+      ASSERT_TRUE(graph
+                      .add_stage("greedy",
+                                 [](StageContext& ctx) {
+                                   const double value = 2.0;
+                                   const auto bytes = std::as_bytes(
+                                       std::span<const double>(&value, 1));
+                                   PSF_RETURN_IF_ERROR(ctx.publish(bytes));
+                                   return ctx.publish(bytes);
+                                 })
+                      .is_ok());
+      const auto status = graph.run();
+      EXPECT_EQ(status.code(), support::ErrorCode::kFailedPrecondition);
+      EXPECT_NE(status.message().find("already published"),
+                std::string::npos);
+    }
+    // A failing stage is reported with its name and round.
+    {
+      PatternGraph graph(env);
+      ASSERT_TRUE(graph
+                      .add_stage("boom",
+                                 [](StageContext&) {
+                                   return support::Status::internal("kaput");
+                                 })
+                      .is_ok());
+      const auto status = graph.run();
+      EXPECT_EQ(status.code(), support::ErrorCode::kInternal);
+      EXPECT_NE(status.message().find("'boom'"), std::string::npos);
+      EXPECT_NE(status.message().find("kaput"), std::string::npos);
+    }
+    env.finalize();
+  });
+}
+
+TEST(PatternGraph, PooledHandoffsHaveZeroSteadyStateMisses) {
+  minimpi::World world(1);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    PatternGraph graph(env);
+    ASSERT_TRUE(graph
+                    .add_stage("produce",
+                               [](StageContext& ctx) {
+                                 auto out = ctx.reserve_output(1024);
+                                 if (!out.is_ok()) return out.status();
+                                 std::memset(out.value().data(), 7, 1024);
+                                 return support::Status::ok();
+                               })
+                    .is_ok());
+    ASSERT_TRUE(graph
+                    .add_stage("consume",
+                               [](StageContext& ctx) {
+                                 if (ctx.input(0).size() != 1024) {
+                                   return support::Status::internal(
+                                       "bad handoff size");
+                                 }
+                                 return support::Status::ok();
+                               })
+                    .is_ok());
+    ASSERT_TRUE(graph.connect("produce", "consume", 1024).is_ok());
+
+    // Warm-up rounds may allocate; steady-state rounds must only recycle.
+    ASSERT_TRUE(graph.run(3).is_ok());
+    const std::uint64_t misses = support::BufferPool::global().misses();
+    const std::uint64_t hits = support::BufferPool::global().hits();
+    ASSERT_TRUE(graph.run(10).is_ok());
+    EXPECT_EQ(support::BufferPool::global().misses(), misses)
+        << "steady-state rounds must not allocate";
+    EXPECT_GE(support::BufferPool::global().hits(), hits + 10);
+    env.finalize();
+  });
+}
+
+TEST(PatternGraph, PatternStagesComposeThroughTheConcept) {
+  // A TypedGReduce dropped straight into a graph stage via the Pattern
+  // overload of add_stage: histogram of 2000 values over 8 buckets.
+  constexpr std::size_t kN = 2000;
+  std::vector<std::uint32_t> data(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    data[i] = static_cast<std::uint32_t>(i % 8);
+  }
+  minimpi::World world(2);
+  world.run([&](minimpi::Communicator& comm) {
+    RuntimeEnv env(comm, cpu_options());
+    PSF_CHECK(env.init().is_ok());
+    TypedGReduce<std::uint32_t, std::uint64_t> gr(env);
+    gr.set_emit([](TypedObject<std::uint64_t>& obj, const std::uint32_t& unit,
+                   std::size_t /*index*/, const void* /*parameter*/) {
+      obj.insert(unit, 1);
+    });
+    gr.set_reduce(
+        [](std::uint64_t& dst, const std::uint64_t& src) { dst += src; });
+    gr.set_input(std::span<const std::uint32_t>(data));
+    gr.configure(16);
+
+    PatternGraph graph(env);
+    ASSERT_TRUE(graph.add_stage("histogram", gr).is_ok());
+    ASSERT_TRUE(graph.run().is_ok());
+
+    for (std::uint64_t bucket = 0; bucket < 8; ++bucket) {
+      std::uint64_t count = 0;
+      ASSERT_TRUE(gr.lookup_global(bucket, &count));
+      EXPECT_EQ(count, kN / 8);
+    }
+    env.finalize();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery mid-pipeline
+// ---------------------------------------------------------------------------
+
+TEST(ComposeFault, DeviceLossMidPipelineRecoversBitIdentically) {
+  apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 16;
+  params.iterations = 4;
+  const auto field = apps::heat3d::generate_field(params);
+
+  const auto clean = run_heat3d(params, field, /*fused=*/true, 4);
+  const std::uint64_t recoveries = counter_value("fault.recoveries");
+  const auto faulty =
+      run_heat3d(params, field, /*fused=*/true, 4, "device:*.gpu1@iter=2");
+  EXPECT_GT(counter_value("fault.recoveries"), recoveries);
+
+  expect_same_heat3d(clean, faulty);
+  // Survivors absorb the lost device's rows and the runtime pays the
+  // detection latency.
+  EXPECT_GT(faulty.vtime, clean.vtime);
+}
+
+}  // namespace
+}  // namespace psf::pattern
