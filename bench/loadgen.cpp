@@ -1,0 +1,361 @@
+// loadgen — serving-mode load generator for psf-serve (docs/SERVING.md).
+//
+// Drives a Server with thousands of small kmeans/sobel jobs UNDER a
+// long-running low-priority heat3d background job, all multiplexed onto
+// one shared work-stealing executor and the shared BufferPool. Reports
+// jobs/sec and latency percentiles, and checks the two serving
+// guarantees CI enforces:
+//
+//   * throughput floor: measured jobs/sec >= --min-jobs-per-s (0 = off);
+//   * steady-state zero-alloc: after the warm phase prewarmed the pool,
+//     the measured phase takes ZERO BufferPool misses (asserted here
+//     programmatically AND exported via --steady-metrics for
+//     validate_metrics.py --assert-zero support.pool.misses).
+//
+// The per-job virtual times are executor- and load-independent, so the
+// "vtime" of each report row (the sum over the fixed measured job set) is
+// bit-identical across hosts and widths — compare_bench.py checks it
+// against bench/LOADGEN_baseline.json. Wall-clock numbers (jobs/sec,
+// p50/p99 latency) vary by machine; compare_bench --check-latency applies
+// loose thresholds to those.
+//
+//   loadgen [--jobs N] [--workers N] [--threads N] [--queue-depth N]
+//           [--min-jobs-per-s X] [--out PATH] [--hist PATH]
+//           [--steady-metrics PATH] [--smoke]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/jobs.h"
+#include "serve/serve.h"
+#include "support/buffer_pool.h"
+#include "support/metrics.h"
+
+namespace {
+
+using psf::serve::JobHandle;
+using psf::serve::JobResult;
+using psf::serve::JobSpec;
+using psf::serve::JobState;
+using psf::serve::Server;
+using psf::serve::ServerOptions;
+using psf::serve::jobs::WorkloadOptions;
+
+/// The small-job mix: parameters deliberately tiny (a serving workload is
+/// many small requests, not one big sweep) but fixed, so the vtime sum is
+/// a deterministic fingerprint of the mix.
+JobSpec make_small_job(int index) {
+  JobSpec spec;
+  if (index % 2 == 0) {
+    psf::apps::kmeans::Params params;
+    params.num_points = 1000;
+    params.num_clusters = 4;
+    params.iterations = 1;
+    params.seed = 42 + static_cast<std::uint64_t>(index % 8);
+    spec.with_name("kmeans-" + std::to_string(index))
+        .with_fn(psf::serve::jobs::kmeans(params, WorkloadOptions{}));
+  } else {
+    psf::apps::sobel::Params params;
+    params.height = 48;
+    params.width = 48;
+    params.iterations = 1;
+    params.seed = 5 + static_cast<std::uint64_t>(index % 8);
+    spec.with_name("sobel-" + std::to_string(index))
+        .with_fn(psf::serve::jobs::sobel(params, WorkloadOptions{}));
+  }
+  return spec;
+}
+
+JobSpec make_background_job() {
+  psf::apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 24;
+  params.iterations = 8;
+  return JobSpec{}
+      .with_name("heat3d-bg")
+      .with_priority(-1)  // yields to every interactive job
+      .with_fn(psf::serve::jobs::heat3d(params, WorkloadOptions{}));
+}
+
+double fmt_ms(double seconds) { return seconds * 1e3; }
+
+/// Percentile of a SORTED latency vector (nearest-rank on n-1).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 1000;
+  ServerOptions server_options;
+  server_options.workers = 4;
+  server_options.queue_depth = 4096;
+  double min_jobs_per_s = 0.0;
+  std::string out_path;
+  std::string hist_path;
+  std::string steady_path;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      server_options.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      server_options.executor_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
+      server_options.queue_depth =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-jobs-per-s") == 0 && i + 1 < argc) {
+      min_jobs_per_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--hist") == 0 && i + 1 < argc) {
+      hist_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--steady-metrics") == 0 && i + 1 < argc) {
+      steady_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      jobs = 64;
+    } else {
+      std::fprintf(stderr,
+                   "usage: loadgen [--jobs N] [--workers N] [--threads N] "
+                   "[--queue-depth N] [--min-jobs-per-s X] [--out PATH] "
+                   "[--hist PATH] [--steady-metrics PATH] [--smoke]\n");
+      return 2;
+    }
+  }
+  jobs = std::max(2, jobs);
+
+  Server server(server_options);
+  auto& pool = psf::support::BufferPool::global();
+
+  // --- warm phase: touch every size class the measured mix will need ------
+  std::printf("loadgen: warm phase (%d workers, executor_threads=%d)...\n",
+              server_options.workers, server_options.executor_threads);
+  {
+    std::vector<JobHandle> warm;
+    auto bg = server.submit(make_background_job());
+    if (bg.is_ok()) warm.push_back(bg.value());
+    for (int i = 0; i < 16; ++i) {
+      auto handle = server.submit(make_small_job(i));
+      if (!handle.is_ok()) {
+        std::fprintf(stderr, "loadgen: warm submit failed: %s\n",
+                     handle.status().to_string().c_str());
+        return 1;
+      }
+      warm.push_back(handle.value());
+    }
+    server.drain();
+    for (const auto& handle : warm) {
+      if (handle.wait().state != JobState::kDone) {
+        std::fprintf(stderr, "loadgen: warm job failed\n");
+        return 1;
+      }
+    }
+  }
+  // Headroom against scheduling variance: the measured phase may hold more
+  // buffers of one class in flight than any warm job happened to.
+  pool.prewarm();
+  const std::uint64_t misses_before = pool.misses();
+
+  // --- measured phase -----------------------------------------------------
+  std::printf("loadgen: measured phase (%d jobs + background heat3d)...\n",
+              jobs);
+  const auto start = std::chrono::steady_clock::now();
+  auto background = server.submit(make_background_job());
+  if (!background.is_ok()) {
+    std::fprintf(stderr, "loadgen: background submit failed: %s\n",
+                 background.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    // Submit-side backpressure: admission control may reject under a small
+    // queue depth; retry after helping the queue drain a little.
+    for (;;) {
+      auto handle = server.submit(make_small_job(i));
+      if (handle.is_ok()) {
+        handles.push_back(handle.value());
+        break;
+      }
+      if (handle.status().code() !=
+          psf::support::ErrorCode::kResourceExhausted) {
+        std::fprintf(stderr, "loadgen: submit failed: %s\n",
+                     handle.status().to_string().c_str());
+        return 1;
+      }
+      std::this_thread::yield();
+    }
+  }
+  server.drain();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  double vtime_sum = 0.0;
+  std::vector<double> latencies;  // submit -> terminal, seconds
+  latencies.reserve(handles.size());
+  for (const auto& handle : handles) {
+    const JobResult result = handle.wait();
+    if (result.state != JobState::kDone) {
+      std::fprintf(stderr, "loadgen: job #%llu ended %s: %s\n",
+                   static_cast<unsigned long long>(handle.id()),
+                   std::string(to_string(result.state)).c_str(),
+                   result.status.to_string().c_str());
+      return 1;
+    }
+    vtime_sum += result.vtime;
+    latencies.push_back(result.queue_wall_s + result.run_wall_s);
+  }
+  const JobResult bg_result = background.value().wait();
+  if (bg_result.state != JobState::kDone) {
+    std::fprintf(stderr, "loadgen: background job ended %s\n",
+                 std::string(to_string(bg_result.state)).c_str());
+    return 1;
+  }
+
+  const std::uint64_t steady_misses = pool.misses() - misses_before;
+  std::sort(latencies.begin(), latencies.end());
+  const double p50_ms = fmt_ms(percentile(latencies, 0.50));
+  const double p99_ms = fmt_ms(percentile(latencies, 0.99));
+  const double jobs_per_s = static_cast<double>(jobs) / elapsed_s;
+
+  std::printf("loadgen: %d jobs in %.2fs -> %.1f jobs/s, "
+              "p50 %.2f ms, p99 %.2f ms, steady pool misses %llu\n",
+              jobs, elapsed_s, jobs_per_s, p50_ms, p99_ms,
+              static_cast<unsigned long long>(steady_misses));
+
+  // --- reports ------------------------------------------------------------
+  char buffer[64];
+  if (!out_path.empty()) {
+    std::string report = "{\"schema\":\"psf.bench\",\"version\":1,"
+                         "\"smoke\":false,\"benches\":[";
+    auto append_num = [&](double value) {
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      report += buffer;
+    };
+    report += "{\"name\":\"loadgen_mixed\",\"vtime\":";
+    append_num(vtime_sum);
+    report += ",\"speedup\":1,\"wall\":";
+    append_num(elapsed_s);
+    report += ",\"recovered\":0,\"jobs\":" + std::to_string(jobs) +
+              ",\"jobs_per_s\":";
+    append_num(jobs_per_s);
+    report += ",\"p50_ms\":";
+    append_num(p50_ms);
+    report += ",\"p99_ms\":";
+    append_num(p99_ms);
+    report += "},{\"name\":\"loadgen_heat3d_bg\",\"vtime\":";
+    append_num(bg_result.vtime);
+    report += ",\"speedup\":1,\"wall\":";
+    append_num(bg_result.run_wall_s);
+    report += ",\"recovered\":0}]}";
+    if (!psf::metrics::validate_json(report) ||
+        !write_file(out_path, report)) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote bench report to %s\n", out_path.c_str());
+  }
+
+  if (!hist_path.empty()) {
+    // Latency histogram: power-of-two millisecond buckets, "le"-labelled
+    // cumulative-style upper bounds (the last bucket is open-ended).
+    std::vector<double> bounds_ms;
+    for (double bound = 0.5; bound <= 4096.0; bound *= 2.0) {
+      bounds_ms.push_back(bound);
+    }
+    std::vector<std::uint64_t> counts(bounds_ms.size() + 1, 0);
+    for (const double latency : latencies) {
+      const double ms = fmt_ms(latency);
+      std::size_t bucket = bounds_ms.size();  // overflow bucket
+      for (std::size_t b = 0; b < bounds_ms.size(); ++b) {
+        if (ms <= bounds_ms[b]) {
+          bucket = b;
+          break;
+        }
+      }
+      ++counts[bucket];
+    }
+    std::string hist = "{\"schema\":\"psf.loadgen\",\"version\":1,"
+                       "\"jobs\":" + std::to_string(jobs) + ",\"jobs_per_s\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", jobs_per_s);
+    hist += buffer;
+    hist += ",\"p50_ms\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", p50_ms);
+    hist += buffer;
+    hist += ",\"p99_ms\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", p99_ms);
+    hist += buffer;
+    hist += ",\"steady_pool_misses\":" + std::to_string(steady_misses);
+    hist += ",\"buckets\":[";
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (b > 0) hist += ",";
+      hist += "{\"le_ms\":";
+      if (b < bounds_ms.size()) {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", bounds_ms[b]);
+        hist += buffer;
+      } else {
+        hist += "\"inf\"";
+      }
+      hist += ",\"count\":" + std::to_string(counts[b]) + "}";
+    }
+    hist += "]}";
+    if (!psf::metrics::validate_json(hist) || !write_file(hist_path, hist)) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", hist_path.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote latency histogram to %s\n",
+                hist_path.c_str());
+  }
+
+  if (!steady_path.empty()) {
+    // Export the programmatic pool counters as a psf.metrics report so CI
+    // can `validate_metrics.py --assert-zero support.pool.misses`. Per-job
+    // registries fragment the macro-level view under serving, but the
+    // BufferPool's own counters are process-wide and registry-independent.
+    psf::metrics::Registry scratch;
+    scratch.counter("support.pool.misses")
+        .add(steady_misses);
+    scratch.counter("support.pool.hits").add(pool.hits());
+    scratch.counter("serve.jobs_completed")
+        .add(static_cast<std::uint64_t>(jobs) + 1);
+    if (!scratch.write_json(steady_path)) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", steady_path.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote steady-state metrics to %s\n",
+                steady_path.c_str());
+  }
+
+  if (steady_misses != 0) {
+    std::fprintf(stderr,
+                 "loadgen: FAIL — %llu BufferPool misses in the measured "
+                 "phase (steady state must be allocation-free)\n",
+                 static_cast<unsigned long long>(steady_misses));
+    return 1;
+  }
+  if (min_jobs_per_s > 0.0 && jobs_per_s < min_jobs_per_s) {
+    std::fprintf(stderr,
+                 "loadgen: FAIL — %.1f jobs/s is below the %.1f floor\n",
+                 jobs_per_s, min_jobs_per_s);
+    return 1;
+  }
+  return 0;
+}

@@ -19,9 +19,19 @@ below the unfused reference (heat3d_fused:heat3d_unfused,
 kmeans_fused:kmeans_unfused) — an optimization that stops optimizing fails
 the build, not just the eyeball test.
 
+--check-latency compares the serving-latency columns (p50_ms/p99_ms, rows
+produced by bench/loadgen) against the baseline with the loose
+--latency-threshold, and --max-p99-ms puts an absolute ceiling on p99 so a
+pathological stall fails even if the baseline was captured on a slow host.
+Latencies are wall-clock and host-dependent, so the load-smoke CI job uses
+generous margins; the hard guarantees there are the jobs/sec floor and the
+zero-pool-miss assertion, which loadgen enforces itself.
+
 Usage:
   scripts/compare_bench.py BASELINE.json NEW.json [--threshold PCT]
                            [--check-wall] [--wall-threshold PCT]
+                           [--check-latency] [--latency-threshold PCT]
+                           [--max-p99-ms MS]
                            [--assert-faster FAST:SLOW]...
 """
 
@@ -35,11 +45,9 @@ def load_benches(path: str) -> dict:
         report = json.load(f)
     if report.get("schema") != "psf.bench":
         raise SystemExit(f"{path}: not a psf.bench report")
-    # Older baselines predate the wall field; treat it as absent.
-    return {
-        b["name"]: (b["vtime"], b.get("wall"))
-        for b in report.get("benches", [])
-    }
+    # Keep the whole row: older baselines predate the wall field and only
+    # serving rows (loadgen) carry p50_ms/p99_ms; absent keys read as None.
+    return {b["name"]: b for b in report.get("benches", [])}
 
 
 def format_wall(base_wall, new_wall) -> str:
@@ -47,6 +55,25 @@ def format_wall(base_wall, new_wall) -> str:
         return ""
     delta_pct = (new_wall - base_wall) / base_wall * 100.0
     return f"  wall {base_wall:8.4f} -> {new_wall:8.4f} ({delta_pct:+.1f}%)"
+
+
+def check_latency_column(
+    name: str, column: str, base_row: dict, new_row: dict,
+    threshold_pct: float, failures: list
+) -> str:
+    base_ms = base_row.get(column)
+    new_ms = new_row.get(column)
+    if base_ms is None or new_ms is None or base_ms <= 0:
+        return ""
+    delta_pct = (new_ms - base_ms) / base_ms * 100.0
+    text = f"  {column} {base_ms:8.3f} -> {new_ms:8.3f} ({delta_pct:+.1f}%)"
+    if delta_pct > threshold_pct:
+        failures.append(
+            f"{name}: {column} {base_ms:.4g}ms -> {new_ms:.4g}ms "
+            f"(+{delta_pct:.1f}%, latency threshold {threshold_pct}%)"
+        )
+        text += "  LATENCY-REGRESSED"
+    return text
 
 
 def main() -> int:
@@ -73,6 +100,27 @@ def main() -> int:
         "(default 50)",
     )
     parser.add_argument(
+        "--check-latency",
+        action="store_true",
+        help="also compare the p50_ms/p99_ms serving-latency columns "
+        "(loadgen rows) against --latency-threshold",
+    )
+    parser.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=100.0,
+        help="allowed p50/p99 regression in percent with --check-latency "
+        "(default 100: wall latencies are host-dependent)",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --check-latency, absolute ceiling on every p99_ms in the "
+        "new report (baseline-independent backstop)",
+    )
+    parser.add_argument(
         "--assert-faster",
         action="append",
         default=[],
@@ -96,14 +144,18 @@ def main() -> int:
     failures = []
     improvements = 0
     skipped = 0
-    for name, (base_vtime, base_wall) in sorted(baseline.items()):
+    for name, base_row in sorted(baseline.items()):
         if name not in new:
             if args.require_all:
                 failures.append(f"{name}: missing from new report")
             else:
                 skipped += 1
             continue
-        new_vtime, new_wall = new[name]
+        new_row = new[name]
+        base_vtime = base_row["vtime"]
+        base_wall = base_row.get("wall")
+        new_vtime = new_row["vtime"]
+        new_wall = new_row.get("wall")
         delta_pct = (new_vtime - base_vtime) / base_vtime * 100.0
         marker = ""
         if delta_pct > args.threshold:
@@ -129,9 +181,24 @@ def main() -> int:
                     f"{args.wall_threshold}%)"
                 )
                 marker += "  WALL-REGRESSED"
+        latency = ""
+        if args.check_latency:
+            for column in ("p50_ms", "p99_ms"):
+                latency += check_latency_column(
+                    name, column, base_row, new_row,
+                    args.latency_threshold, failures)
         print(f"  {name:32s} {base_vtime:12.6g} -> {new_vtime:12.6g} "
               f"({delta_pct:+.2f}%){format_wall(base_wall, new_wall)}"
-              f"{marker}")
+              f"{latency}{marker}")
+
+    if args.check_latency and args.max_p99_ms is not None:
+        for name, row in sorted(new.items()):
+            p99 = row.get("p99_ms")
+            if p99 is not None and p99 > args.max_p99_ms:
+                failures.append(
+                    f"{name}: p99 {p99:.4g}ms exceeds the absolute ceiling "
+                    f"--max-p99-ms {args.max_p99_ms:g}"
+                )
 
     extra = sorted(set(new) - set(baseline))
     for name in extra:
@@ -144,9 +211,10 @@ def main() -> int:
             )
         fast_prefix, slow_prefix = pair.split(":", 1)
         pairs = 0
-        for name, (fast_vtime, _) in sorted(new.items()):
+        for name, row in sorted(new.items()):
             if not name.startswith(fast_prefix + "/"):
                 continue
+            fast_vtime = row["vtime"]
             counterpart = slow_prefix + name[len(fast_prefix):]
             if counterpart not in new:
                 failures.append(
@@ -155,7 +223,7 @@ def main() -> int:
                 )
                 continue
             pairs += 1
-            slow_vtime = new[counterpart][0]
+            slow_vtime = new[counterpart]["vtime"]
             saved_pct = (slow_vtime - fast_vtime) / slow_vtime * 100.0
             marker = ""
             if not fast_vtime < slow_vtime:

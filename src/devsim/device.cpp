@@ -61,7 +61,7 @@ Device::Device(DeviceDescriptor descriptor, timemodel::Timeline& host,
     pool_ = owned_pool_.get();
   }
 #ifndef PSF_DISABLE_METRICS
-  auto& registry = metrics::Registry::global();
+  auto& registry = metrics::Registry::current();
   const std::string prefix = "devsim." + descriptor_.name() + ".";
   metric_kernel_launches_ = &registry.counter(prefix + "kernel_launches");
   metric_block_launches_ = &registry.counter(prefix + "block_launches");
@@ -106,8 +106,8 @@ void Device::run_blocks(
     // device is dead from here on. The caller recovers via host_replay().
     lost_ = true;
     PSF_METRIC_ADD("fault.device_losses", 1);
-    if (fault::FaultLog::global().enabled()) {
-      fault::FaultLog::global().record(
+    if (fault::FaultLog::current().enabled()) {
+      fault::FaultLog::current().record(
           trace_rank_, "device_loss " + descriptor_.name());
     }
     return;

@@ -108,8 +108,12 @@ struct ForState {
         }
       }
       if (victim == slots.size()) {
-        // All ranges dry — this participant retires from the loop.
-        PSF_METRIC_ADD("exec.steal_failures", 1);
+        // All ranges dry — this participant retires from the loop. This is
+        // the one instrumentation point that can run AFTER another
+        // participant finished the last index and released the caller, so
+        // it must not touch an ambient per-job registry (it may already be
+        // destroyed); the steal family records globally.
+        PSF_METRIC_GLOBAL_ADD("exec.steal_failures", 1);
         return false;
       }
       auto& theirs = slots[victim];
@@ -135,7 +139,11 @@ struct ForState {
         mine.next.store(lo + 1, std::memory_order_relaxed);
         mine.end.store(hi, std::memory_order_relaxed);
       }
-      PSF_METRIC_ADD("exec.steals", 1);
+      // Same global routing as steal_failures so the family stays whole.
+      // (This site is pinned by the just-claimed index — done cannot open
+      // before this participant calls finish — but keeping both sites
+      // lifetime-independent is cheaper than relying on that ordering.)
+      PSF_METRIC_GLOBAL_ADD("exec.steals", 1);
       *index = lo;
       return true;
     }

@@ -5,28 +5,16 @@
 #include <string>
 
 #include "exec/parallel_for.h"
+#include "support/ambient.h"
 #include "support/metrics.h"
 
 namespace psf::exec {
 
 namespace {
 
-/// Execute one pool task, accounting "exec.tasks_executed" and the thread's
-/// busy wall-time. Tasks are chunky (a device lane, one parallel_for
-/// participant), so two clock reads per task are noise.
-void run_task_instrumented(std::packaged_task<void()>& task) {
-#ifndef PSF_DISABLE_METRICS
-  const auto start = std::chrono::steady_clock::now();
-#endif
-  task();
-#ifndef PSF_DISABLE_METRICS
-  PSF_METRIC_ADD("exec.tasks_executed", 1);
-  PSF_METRIC_OBSERVE(
-      "exec.task_busy_wall",
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
-#endif
-}
+/// Execute one pool task (already wrapped by submit() with its submitter's
+/// ambient context). Exceptions land in the task's future.
+void run_task(std::packaged_task<void()>& task) { task(); }
 
 }  // namespace
 
@@ -36,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t num_workers) {
   // the full exec.* family — the serial engine (0 workers) never submits
   // tasks or steals, and absent keys read as "not instrumented" rather
   // than "no events".
-  auto& registry = metrics::Registry::global();
+  auto& registry = metrics::Registry::current();
   registry.counter("exec.tasks_submitted");
   registry.counter("exec.tasks_executed");
   registry.counter("exec.steals");
@@ -64,10 +52,41 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   PSF_CHECK_MSG(task != nullptr, "submitting an empty task");
   PSF_METRIC_ADD("exec.tasks_submitted", 1);
-  std::packaged_task<void()> packaged(std::move(task));
+  // Wrap the task with the submitter's ambient context (per-job metrics
+  // registry, fault log, job context) and the execution instrumentation.
+  // Whatever thread ultimately runs it — a worker, a helping waiter from
+  // another job, or the submitter inline — executes under the submitting
+  // job's context, so attribution survives work stealing. Tasks are chunky
+  // (a device lane, one parallel_for participant), so two clock reads per
+  // task are noise.
+  std::packaged_task<void()> packaged(
+      [snapshot = support::ambient::Snapshot::capture(),
+       body = std::move(task)] {
+#ifndef PSF_DISABLE_METRICS
+        const auto start = std::chrono::steady_clock::now();
+#endif
+        {
+          const support::ambient::ScopedSnapshot scope(snapshot);
+          body();
+        }
+        // Executor stats record AFTER the submitter's scope is restored:
+        // the last statement of body() may release a waiter (parallel_for's
+        // latch), at which point the submitting job — and its registry —
+        // may legally be destroyed. The stats land in this thread's own
+        // routing instead (process-global on a pool worker), which is fine:
+        // exec.* is the scheduling-dependent family, excluded from per-job
+        // determinism comparisons anyway.
+#ifndef PSF_DISABLE_METRICS
+        PSF_METRIC_ADD("exec.tasks_executed", 1);
+        PSF_METRIC_OBSERVE("exec.task_busy_wall",
+                           std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+#endif
+      });
   std::future<void> future = packaged.get_future();
   if (workers_.empty()) {
-    run_task_instrumented(packaged);  // serial engine: inline, deterministic
+    run_task(packaged);  // serial engine: inline, deterministic
     return future;
   }
   {
@@ -88,7 +107,7 @@ bool ThreadPool::try_run_pending_task() {
     queue_.pop_front();
   }
   // Exceptions land in the task's future, never escape here.
-  run_task_instrumented(task);
+  run_task(task);
   return true;
 }
 
@@ -129,7 +148,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    run_task_instrumented(task);
+    run_task(task);
   }
 }
 

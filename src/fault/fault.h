@@ -48,6 +48,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/ambient.h"
 #include "support/error.h"
 
 namespace psf::fault {
@@ -161,6 +162,16 @@ class FaultLog {
  public:
   static FaultLog& global();
 
+  /// The log fault-event sites resolve against on the calling thread: the
+  /// scoped override installed by ScopedFaultLog (directly or through
+  /// serve::JobScope, propagated across executor task submission), or
+  /// global() when none is installed. Per-job logs keep one tenant's
+  /// injected faults out of another tenant's event stream.
+  [[nodiscard]] static FaultLog& current() noexcept {
+    void* scoped = support::ambient::get(support::ambient::Slot::kFaultLog);
+    return scoped != nullptr ? *static_cast<FaultLog*>(scoped) : global();
+  }
+
   void set_enabled(bool enabled) noexcept {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
@@ -176,6 +187,25 @@ class FaultLog {
   mutable std::mutex mutex_;
   std::atomic<bool> enabled_{false};
   std::map<int, std::vector<std::string>> events_;
+};
+
+/// RAII: route the calling thread's fault events into `log` instead of the
+/// global one. Scopes nest; destruction restores the previous override.
+/// The log must outlive the scope and any executor tasks submitted under
+/// it (see support/ambient.h).
+class ScopedFaultLog {
+ public:
+  explicit ScopedFaultLog(FaultLog* log) noexcept
+      : previous_(
+            support::ambient::swap(support::ambient::Slot::kFaultLog, log)) {}
+  ScopedFaultLog(const ScopedFaultLog&) = delete;
+  ScopedFaultLog& operator=(const ScopedFaultLog&) = delete;
+  ~ScopedFaultLog() {
+    support::ambient::swap(support::ambient::Slot::kFaultLog, previous_);
+  }
+
+ private:
+  void* previous_;
 };
 
 }  // namespace psf::fault

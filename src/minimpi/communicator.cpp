@@ -209,7 +209,7 @@ void Communicator::deliver(int dest, int tag,
     auto& mine = faults->per_rank[static_cast<std::size_t>(rank_)];
     crc = support::crc32(payload.bytes());
     send_seq = mine.next_send_seq++;
-    auto& log = fault::FaultLog::global();
+    auto& log = fault::FaultLog::current();
     const auto log_event = [&](const char* what) {
       if (log.enabled()) {
         log.record(rank_, std::string(what) + " dest=" + std::to_string(dest) +
@@ -365,7 +365,7 @@ bool Communicator::accept_message(const Message& message) {
     // Corrupted delivery: discard silently — the sender's retransmission
     // timer has already queued (or will queue) a clean copy.
     PSF_METRIC_ADD("minimpi.crc_rejects", 1);
-    auto& log = fault::FaultLog::global();
+    auto& log = fault::FaultLog::current();
     if (log.enabled()) {
       log.record(rank_, "crc_reject src=" + std::to_string(message.source) +
                             " tag=" + std::to_string(message.tag) +

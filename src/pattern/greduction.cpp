@@ -218,7 +218,7 @@ support::Status GReductionRuntime::start() {
   PSF_METRIC_ADD("pattern.gr.chunks", priced->chunks.size());
   PSF_METRIC_ADD("pattern.gr.units", my_units);
   {
-    auto& registry = metrics::Registry::global();
+    auto& registry = metrics::Registry::current();
     std::vector<std::size_t> chunks_per_device(specs.size(), 0);
     for (const auto& chunk : priced->chunks) {
       ++chunks_per_device[static_cast<std::size_t>(chunk.device)];
@@ -242,8 +242,8 @@ support::Status GReductionRuntime::start() {
                     priced->device_finish[static_cast<std::size_t>(armed)],
                     priced->makespan);
     }
-    if (fault::FaultLog::global().enabled()) {
-      fault::FaultLog::global().record(
+    if (fault::FaultLog::current().enabled()) {
+      fault::FaultLog::current().record(
           comm.rank(),
           "gr requeue " + devices[static_cast<std::size_t>(armed)]
                               ->descriptor()
@@ -475,8 +475,8 @@ const ReductionObject& GReductionRuntime::get_global_reduction() {
           trace->record("rank restart", "fault", comm.rank(), 0, restart_t0,
                         comm.timeline().now());
         }
-        if (fault::FaultLog::global().enabled()) {
-          fault::FaultLog::global().record(
+        if (fault::FaultLog::current().enabled()) {
+          fault::FaultLog::current().record(
               comm.rank(),
               "rank_restart gr boundary=" + std::to_string(boundary) +
                   " bytes=" + std::to_string(blob.size()));

@@ -258,7 +258,7 @@ void IReductionRuntime::build_device_plans(
   }
 #ifndef PSF_DISABLE_METRICS
   {
-    auto& registry = metrics::Registry::global();
+    auto& registry = metrics::Registry::current();
     for (std::size_t i = 0; i < weights.size(); ++i) {
       registry.gauge("pattern.ir.split." + devices[i]->descriptor().name())
           .set(stats_.device_split[i]);
@@ -676,7 +676,7 @@ support::Status IReductionRuntime::start() {
       trace->record("device loss recovery", "fault", comm.rank(), 0,
                     detect_begin, comm.timeline().now());
     }
-    fault::FaultLog::global().record(
+    fault::FaultLog::current().record(
         comm.rank(),
         "ir recover " +
             devices[static_cast<std::size_t>(armed)]->descriptor().name() +
@@ -713,7 +713,7 @@ support::Status IReductionRuntime::start() {
   PSF_METRIC_ADD("pattern.ir.runs", 1);
   PSF_METRIC_OBSERVE("pattern.ir.compute_vtime", stats_.last_compute_vtime);
   {
-    auto& registry = metrics::Registry::global();
+    auto& registry = metrics::Registry::current();
     for (std::size_t d = 0; d < devices.size(); ++d) {
       registry.counter("pattern.ir.edges." + devices[d]->descriptor().name())
           .add(iteration_device_edges_[d]);

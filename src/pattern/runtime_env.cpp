@@ -36,7 +36,7 @@ RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
     }
     if (!parsed.value().empty()) {
       fault_plan_ = std::make_unique<fault::FaultPlan>(std::move(parsed).value());
-      fault::FaultLog::global().set_enabled(true);
+      fault::FaultLog::current().set_enabled(true);
       if (fault_plan_->msg() != nullptr) {
         // First-call-wins across the rank threads racing through SPMD setup;
         // every rank parses the same spec, so any winner installs the same
@@ -45,11 +45,15 @@ RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
       }
     }
   }
-  executor_ = std::make_unique<exec::ThreadPool>(
-      exec::ThreadPool::resolve_workers(options_.num_threads));
+  if (options_.shared_executor != nullptr) {
+    executor_ = options_.shared_executor;
+  } else {
+    owned_executor_ = std::make_unique<exec::ThreadPool>(
+        exec::ThreadPool::resolve_workers(options_.num_threads));
+    executor_ = owned_executor_.get();
+  }
   devices_ = devsim::make_node_devices(options_.preset, comm_->timeline(),
-                                       kDefaultGpuMemoryBytes,
-                                       executor_.get());
+                                       kDefaultGpuMemoryBytes, executor_);
   const auto active = active_devices();
   for (devsim::Device* device : active) device->set_owner_rank(comm_->rank());
   if (options_.trace != nullptr) {
@@ -129,7 +133,7 @@ void RuntimeEnv::finalize() {
   ir_.reset();
   st_.reset();
   if (!options_.metrics_path.empty()) {
-    if (!metrics::Registry::global().write_json(options_.metrics_path)) {
+    if (!metrics::Registry::current().write_json(options_.metrics_path)) {
       PSF_LOG(kWarn, "metrics")
           << "failed to write metrics report to " << options_.metrics_path;
     }

@@ -96,10 +96,12 @@ struct EnvOptions {
   /// export. Not owned; must outlive the environment.
   timemodel::TraceRecorder* trace = nullptr;
 
-  /// When non-empty, RuntimeEnv::finalize() writes the process-wide
-  /// metrics registry as JSON to this path (same report the `PSF_METRICS`
-  /// environment variable produces at process exit). The registry is
-  /// process-global, so the report covers every rank, not just this one.
+  /// When non-empty, RuntimeEnv::finalize() writes the CURRENT metrics
+  /// registry (metrics::Registry::current(): the per-job registry under
+  /// psf-serve, otherwise the process-global one — same report the
+  /// `PSF_METRICS` environment variable produces at process exit) as JSON
+  /// to this path. The global registry spans every rank, so single-job
+  /// reports cover the whole run, not just this rank.
   std::string metrics_path;
 
   /// Fault-injection plan (docs/RESILIENCE.md grammar, e.g.
@@ -107,6 +109,14 @@ struct EnvOptions {
   /// The `PSF_FAULT_PLAN` environment variable is used when this is empty.
   /// Parse errors surface from RuntimeEnv::init().
   std::string fault_plan;
+
+  /// When set, the environment runs its device lanes and block loops on
+  /// this executor instead of constructing a private one (num_threads is
+  /// then ignored). Not owned; must outlive the environment. psf-serve
+  /// points every concurrent job at one process-wide work-stealing pool so
+  /// N jobs share cores instead of oversubscribing them N-fold. Virtual
+  /// times are executor-independent, so sharing changes wall clock only.
+  exec::ThreadPool* shared_executor = nullptr;
 
   // --- fluent named setters -------------------------------------------------
   // Each returns *this so configuration reads as one chained expression.
@@ -175,6 +185,10 @@ struct EnvOptions {
     fault_plan = std::move(value);
     return *this;
   }
+  EnvOptions& with_shared_executor(exec::ThreadPool* value) {
+    shared_executor = value;
+    return *this;
+  }
 };
 
 /// Per-rank runtime environment.
@@ -238,7 +252,8 @@ class RuntimeEnv {
   timemodel::AppRates rates_;
   support::Status init_status_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;
-  std::unique_ptr<exec::ThreadPool> executor_;
+  std::unique_ptr<exec::ThreadPool> owned_executor_;  ///< null when shared
+  exec::ThreadPool* executor_ = nullptr;
   std::vector<std::unique_ptr<devsim::Device>> devices_;
   std::unique_ptr<GReductionRuntime> gr_;
   std::unique_ptr<IReductionRuntime> ir_;

@@ -807,7 +807,7 @@ support::Status StencilRuntime::start() {
   PSF_METRIC_OBSERVE("pattern.st.iteration_vtime",
                      stats_.last_iteration_vtime);
   {
-    auto& registry = metrics::Registry::global();
+    auto& registry = metrics::Registry::current();
     for (std::size_t d = 0; d < devices.size(); ++d) {
       const std::string name = devices[d]->descriptor().name();
       registry.counter("pattern.st.rows." + name)
@@ -834,7 +834,7 @@ support::Status StencilRuntime::start() {
     for (std::size_t d = 0; d < devices.size(); ++d) {
       stats_.device_split[d] = partitioner_.speeds()[d] / sum;
 #ifndef PSF_DISABLE_METRICS
-      metrics::Registry::global()
+      metrics::Registry::current()
           .gauge("pattern.st.split." + devices[d]->descriptor().name())
           .set(stats_.device_split[d]);
 #endif
@@ -852,8 +852,8 @@ support::Status StencilRuntime::start() {
       trace->record("device loss recovery", "fault", comm.rank(), 0,
                     detect_t0, comm.timeline().now());
     }
-    if (fault::FaultLog::global().enabled()) {
-      fault::FaultLog::global().record(
+    if (fault::FaultLog::current().enabled()) {
+      fault::FaultLog::current().record(
           comm.rank(),
           "st recover " +
               devices[static_cast<std::size_t>(armed)]->descriptor().name() +
@@ -1023,8 +1023,8 @@ support::Status StencilRuntime::run(int iterations) {
           trace->record("rank restart", "fault", comm.rank(), 0, restart_t0,
                         comm.timeline().now());
         }
-        if (fault::FaultLog::global().enabled()) {
-          fault::FaultLog::global().record(
+        if (fault::FaultLog::current().enabled()) {
+          fault::FaultLog::current().record(
               comm.rank(),
               "rank_restart st iter=" + std::to_string(stats_.iterations) +
                   " bytes=" + std::to_string(snapshot.size()));

@@ -1,0 +1,17 @@
+#include "serve/job_context.h"
+
+namespace psf::serve {
+
+support::Status run_world(
+    JobContext& context, minimpi::World& world,
+    const std::function<void(minimpi::Communicator&)>& rank_main) {
+  if (context.trace() != nullptr && world.trace() == nullptr) {
+    world.set_trace(context.trace());
+  }
+  return world.try_run([&context, &rank_main](minimpi::Communicator& comm) {
+    const JobScope scope(context);
+    rank_main(comm);
+  });
+}
+
+}  // namespace psf::serve

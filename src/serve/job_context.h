@@ -1,0 +1,144 @@
+// PSF — Pattern Specification Framework
+// psf::serve — per-job isolation context (docs/SERVING.md).
+//
+// A JobContext bundles everything that must be private to one job when many
+// jobs share a process: its metrics Registry, its FaultLog, an optional
+// TraceRecorder, and its cooperative-cancellation flag. JobScope installs
+// the context into the thread-local ambient slots (support/ambient.h), so
+// every PSF_METRIC_* site, fault-event record and trace span executed under
+// the scope — including on executor worker threads, which inherit the
+// submitter's ambient snapshot — lands in this job's instances instead of
+// the process-global ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exec/thread_pool.h"
+#include "fault/fault.h"
+#include "minimpi/communicator.h"
+#include "support/ambient.h"
+#include "support/error.h"
+#include "support/metrics.h"
+#include "timemodel/trace.h"
+
+namespace psf::serve {
+
+/// Everything one job owns privately. Created by the Server per submitted
+/// job (or stack-constructed in tests); outlives every thread that runs
+/// under it — the Server keeps the owning Job alive until the handle is
+/// dropped and the job is terminal.
+class JobContext {
+ public:
+  /// `record_trace` allocates a per-job TraceRecorder; without it trace()
+  /// is nullptr and span recording is disabled for this job.
+  JobContext(std::uint64_t id, std::string name, bool record_trace)
+      : id_(id),
+        name_(std::move(name)),
+        trace_(record_trace ? std::make_unique<timemodel::TraceRecorder>()
+                            : nullptr) {}
+
+  JobContext(const JobContext&) = delete;
+  JobContext& operator=(const JobContext&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The job's private metrics registry — what Registry::current() resolves
+  /// to under a JobScope.
+  [[nodiscard]] metrics::Registry& metrics() noexcept { return registry_; }
+
+  /// The job's private fault-event log — what FaultLog::current() resolves
+  /// to under a JobScope. Always enabled: per-job logs exist to be read.
+  [[nodiscard]] fault::FaultLog& fault_log() noexcept { return fault_log_; }
+
+  /// Per-job schedule recorder, or nullptr when tracing was not requested.
+  [[nodiscard]] timemodel::TraceRecorder* trace() noexcept {
+    return trace_.get();
+  }
+
+  /// The server's shared work-stealing executor, or nullptr when the job
+  /// runs outside a Server. Job bodies pass this to
+  /// EnvOptions::with_shared_executor so concurrent jobs share cores.
+  [[nodiscard]] exec::ThreadPool* shared_executor() const noexcept {
+    return shared_executor_;
+  }
+  void set_shared_executor(exec::ThreadPool* pool) noexcept {
+    shared_executor_ = pool;
+  }
+
+  /// Cooperative cancellation: request_cancel() flips a flag that job
+  /// bodies poll at phase boundaries (check_cancelled()); nothing is
+  /// preempted. A cancelled job returns Status (code kCancelled) and the
+  /// Server records it as JobState::kCancelled.
+  void request_cancel() noexcept {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+  /// OK while the job should keep running, kCancelled once cancellation
+  /// was requested — job bodies `PSF_RETURN_IF_ERROR(ctx.check_cancelled())`
+  /// between phases.
+  [[nodiscard]] support::Status check_cancelled() const {
+    if (!cancel_requested()) return support::Status::ok();
+    return support::Status::cancelled("job \"" + name_ + "\" (#" +
+                                      std::to_string(id_) + ") cancelled");
+  }
+
+  /// The job context installed on the calling thread (by JobScope, possibly
+  /// propagated through executor task submission), or nullptr outside any
+  /// job.
+  [[nodiscard]] static JobContext* current() noexcept {
+    return static_cast<JobContext*>(
+        support::ambient::get(support::ambient::Slot::kJobContext));
+  }
+
+ private:
+  const std::uint64_t id_;
+  const std::string name_;
+  metrics::Registry registry_;
+  fault::FaultLog fault_log_;
+  std::unique_ptr<timemodel::TraceRecorder> trace_;
+  exec::ThreadPool* shared_executor_ = nullptr;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+/// RAII: route the calling thread's metrics, fault events and
+/// JobContext::current() to `context` until scope exit. Scopes nest (an
+/// inner job on the same thread shadows the outer one); destruction
+/// restores the previous routing. The context must outlive the scope and
+/// any executor tasks submitted under it.
+class JobScope {
+ public:
+  explicit JobScope(JobContext& context) noexcept
+      : registry_scope_(&context.metrics()),
+        fault_scope_(&context.fault_log()),
+        previous_job_(support::ambient::swap(
+            support::ambient::Slot::kJobContext, &context)) {}
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+  ~JobScope() {
+    support::ambient::swap(support::ambient::Slot::kJobContext,
+                           previous_job_);
+  }
+
+ private:
+  metrics::ScopedRegistry registry_scope_;
+  fault::ScopedFaultLog fault_scope_;
+  void* previous_job_;
+};
+
+/// Run a minimpi World under `context`: every rank thread executes
+/// `rank_main` inside a JobScope, so the whole SPMD run — rank threads plus
+/// every executor task they submit — is attributed to the job. This is the
+/// bridge serve needs because World::run spawns fresh rank threads whose
+/// ambient slots start empty.
+support::Status run_world(
+    JobContext& context, minimpi::World& world,
+    const std::function<void(minimpi::Communicator&)>& rank_main);
+
+}  // namespace psf::serve

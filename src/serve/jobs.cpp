@@ -1,0 +1,81 @@
+#include "serve/jobs.h"
+
+#include <utility>
+
+namespace psf::serve::jobs {
+
+pattern::EnvOptions base_env(JobContext& context,
+                             const WorkloadOptions& workload) {
+  pattern::EnvOptions env;
+  env.use_cpu = workload.cpu;
+  env.use_gpus = workload.gpus;
+  // Outside a server (null shared executor) a canned job runs serially on
+  // its rank threads — deterministic and oversubscription-free either way.
+  env.num_threads = 1;
+  env.shared_executor = context.shared_executor();
+  env.trace = context.trace();
+  env.fault_plan = workload.fault_plan;
+  return env;
+}
+
+JobFn kmeans(apps::kmeans::Params params, WorkloadOptions workload) {
+  return [params, workload = std::move(workload)](
+             JobContext& ctx) -> support::StatusOr<double> {
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    const auto points = apps::kmeans::generate_points(params);
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    minimpi::World world(workload.ranks);
+    const pattern::EnvOptions env = base_env(ctx, workload);
+    double vtime = 0.0;
+    PSF_RETURN_IF_ERROR(run_world(
+        ctx, world, [&](minimpi::Communicator& comm) {
+          const auto result =
+              apps::kmeans::run_framework(comm, env, params, points);
+          if (comm.rank() == 0) vtime = result.vtime;
+        }));
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    return vtime;
+  };
+}
+
+JobFn sobel(apps::sobel::Params params, WorkloadOptions workload) {
+  return [params, workload = std::move(workload)](
+             JobContext& ctx) -> support::StatusOr<double> {
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    const auto image = apps::sobel::generate_image(params);
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    minimpi::World world(workload.ranks);
+    const pattern::EnvOptions env = base_env(ctx, workload);
+    double vtime = 0.0;
+    PSF_RETURN_IF_ERROR(run_world(
+        ctx, world, [&](minimpi::Communicator& comm) {
+          const auto result =
+              apps::sobel::run_framework(comm, env, params, image);
+          if (comm.rank() == 0) vtime = result.vtime;
+        }));
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    return vtime;
+  };
+}
+
+JobFn heat3d(apps::heat3d::Params params, WorkloadOptions workload) {
+  return [params, workload = std::move(workload)](
+             JobContext& ctx) -> support::StatusOr<double> {
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    const auto field = apps::heat3d::generate_field(params);
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    minimpi::World world(workload.ranks);
+    const pattern::EnvOptions env = base_env(ctx, workload);
+    double vtime = 0.0;
+    PSF_RETURN_IF_ERROR(run_world(
+        ctx, world, [&](minimpi::Communicator& comm) {
+          const auto result =
+              apps::heat3d::run_framework(comm, env, params, field);
+          if (comm.rank() == 0) vtime = result.vtime;
+        }));
+    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    return vtime;
+  };
+}
+
+}  // namespace psf::serve::jobs

@@ -1,0 +1,70 @@
+// PSF — Pattern Specification Framework
+// psf::serve::jobs — canned pattern workloads packaged as serve::JobFn.
+//
+// Each factory captures an app's Params plus a WorkloadOptions (cluster
+// shape, fault plan) and returns a self-contained job body: it synthesizes
+// the input, spins up a private minimpi World, runs the app's framework
+// implementation on the server's SHARED executor, and returns the run's
+// virtual time. Inputs, Worlds and results are private per job; only the
+// executor and the BufferPool are shared, so a job's vtime is identical to
+// the same run on the single-job CLI.
+//
+// Cancellation is cooperative at phase boundaries: before input synthesis,
+// before the SPMD run, and after it. A cancel that lands mid-run finishes
+// the run and then reports kCancelled.
+#pragma once
+
+#include <string>
+
+#include "apps/heat3d.h"
+#include "apps/kmeans.h"
+#include "apps/sobel.h"
+#include "serve/serve.h"
+
+namespace psf::serve::jobs {
+
+/// Cluster shape and fault state for a canned job. Deliberately small:
+/// loadgen and the psf-serve CLI build thousands of these.
+struct WorkloadOptions {
+  int ranks = 2;           ///< SPMD World size (one thread per rank)
+  int gpus = 1;            ///< GPUs per rank (0..preset limit)
+  bool cpu = true;         ///< use the CPU device
+  std::string fault_plan;  ///< RESILIENCE.md spec; empty = fault-free
+
+  WorkloadOptions& with_ranks(int value) {
+    ranks = value;
+    return *this;
+  }
+  WorkloadOptions& with_gpus(int value) {
+    gpus = value;
+    return *this;
+  }
+  WorkloadOptions& with_cpu(bool value = true) {
+    cpu = value;
+    return *this;
+  }
+  WorkloadOptions& with_fault_plan(std::string value) {
+    fault_plan = std::move(value);
+    return *this;
+  }
+};
+
+/// K-means (generalized reduction) job.
+[[nodiscard]] JobFn kmeans(apps::kmeans::Params params,
+                           WorkloadOptions workload = {});
+
+/// Sobel (2-D stencil) job.
+[[nodiscard]] JobFn sobel(apps::sobel::Params params,
+                          WorkloadOptions workload = {});
+
+/// Heat3D (3-D stencil) job.
+[[nodiscard]] JobFn heat3d(apps::heat3d::Params params,
+                           WorkloadOptions workload = {});
+
+/// The EnvOptions every canned job starts from: the job's shared executor
+/// and trace recorder wired in, the workload's devices and fault plan
+/// selected. Exposed so custom JobFns match the canned jobs' environment.
+[[nodiscard]] pattern::EnvOptions base_env(JobContext& context,
+                                           const WorkloadOptions& workload);
+
+}  // namespace psf::serve::jobs

@@ -1,0 +1,308 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/log.h"
+#include "support/metrics.h"
+
+namespace psf::serve {
+
+namespace detail {
+
+/// The server-side job record. Shared between the Server's queue, the
+/// runner executing it and every JobHandle; lives until the last reference
+/// drops, so handles stay answerable after completion.
+struct Job {
+  Job(std::uint64_t id_in, std::uint64_t seq_in, JobSpec spec, Server* owner)
+      : id(id_in),
+        seq(seq_in),
+        priority(spec.priority),
+        name(spec.name),
+        fn(std::move(spec.fn)),
+        context(id_in, std::move(spec.name), spec.record_trace),
+        server(owner),
+        submit_tp(std::chrono::steady_clock::now()) {}
+
+  const std::uint64_t id;
+  const std::uint64_t seq;
+  const int priority;
+  const std::string name;
+  JobFn fn;
+  JobContext context;
+  Server* const server;
+  const std::chrono::steady_clock::time_point submit_tp;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  support::Status status;
+  double vtime = 0.0;
+  std::chrono::steady_clock::time_point start_tp;
+  double queue_wall_s = 0.0;
+  double run_wall_s = 0.0;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::Job;
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+// --- JobHandle ---------------------------------------------------------------
+
+std::uint64_t JobHandle::id() const {
+  PSF_CHECK_MSG(job_ != nullptr, "id() on an invalid JobHandle");
+  return job_->id;
+}
+
+JobState JobHandle::state() const {
+  PSF_CHECK_MSG(job_ != nullptr, "state() on an invalid JobHandle");
+  std::lock_guard<std::mutex> guard(job_->mutex);
+  return job_->state;
+}
+
+JobResult JobHandle::wait() const {
+  PSF_CHECK_MSG(job_ != nullptr, "wait() on an invalid JobHandle");
+  std::unique_lock<std::mutex> lock(job_->mutex);
+  job_->cv.wait(lock, [this] {
+    return job_->state != JobState::kQueued &&
+           job_->state != JobState::kRunning;
+  });
+  JobResult result;
+  result.state = job_->state;
+  result.status = job_->status;
+  result.vtime = job_->vtime;
+  result.queue_wall_s = job_->queue_wall_s;
+  result.run_wall_s = job_->run_wall_s;
+  return result;
+}
+
+bool JobHandle::cancel() const {
+  PSF_CHECK_MSG(job_ != nullptr, "cancel() on an invalid JobHandle");
+  return job_->server->cancel_job(job_);
+}
+
+JobContext& JobHandle::context() const {
+  PSF_CHECK_MSG(job_ != nullptr, "context() on an invalid JobHandle");
+  return job_->context;
+}
+
+// --- Server ------------------------------------------------------------------
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      pool_(exec::ThreadPool::resolve_workers(options.executor_threads)) {
+  options_.workers = std::max(1, options_.workers);
+  started_ = !options_.start_paused;
+  runners_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+support::StatusOr<JobHandle> Server::submit(JobSpec spec) {
+  if (!spec.fn) {
+    return support::Status::invalid_argument(
+        "JobSpec.fn is empty; provide a job body (see serve/jobs.h for "
+        "canned workloads)");
+  }
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return support::Status::failed_precondition(
+          "submit() on a shut-down server");
+    }
+    if (queue_.size() >= options_.queue_depth) {
+      ++rejected_;
+      PSF_METRIC_ADD("serve.jobs_rejected", 1);
+      return support::Status::resource_exhausted(
+          "admission control: " + std::to_string(queue_.size()) +
+          " jobs already queued (queue_depth = " +
+          std::to_string(options_.queue_depth) + "); retry later");
+    }
+    job = std::make_shared<Job>(next_id_++, next_seq_++, std::move(spec),
+                                this);
+    job->context.set_shared_executor(&pool_);
+    queue_.emplace(QueueKey{-static_cast<long long>(job->priority), job->seq},
+                   job);
+    ++submitted_;
+  }
+  PSF_METRIC_ADD("serve.jobs_submitted", 1);
+  dispatch_cv_.notify_one();
+  return JobHandle(job);
+}
+
+void Server::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+  }
+  dispatch_cv_.notify_all();
+}
+
+void Server::drain() {
+  start();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_ && runners_.empty()) return;
+    shutting_down_ = true;
+    started_ = true;  // a paused server still drains its queue
+  }
+  dispatch_cv_.notify_all();
+  for (auto& runner : runners_) runner.join();
+  runners_.clear();
+  idle_cv_.notify_all();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats stats;
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.completed = completed_;
+  stats.failed = failed_;
+  stats.cancelled = cancelled_;
+  stats.queued = queue_.size();
+  stats.running = running_;
+  return stats;
+}
+
+void Server::runner_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      dispatch_cv_.wait(lock, [this] {
+        return shutting_down_ || (started_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;  // raced with another runner for the last job
+      }
+      job = queue_.begin()->second;
+      queue_.erase(queue_.begin());
+      ++running_;
+    }
+    run_job(job);
+    note_runner_idle();
+  }
+}
+
+void Server::run_job(const std::shared_ptr<Job>& job) {
+  if (job->context.cancel_requested()) {
+    // Cancelled between admission and dispatch but after the cancel lost
+    // the queue-erase race to this runner: honour it without running.
+    finish_job(job, JobState::kCancelled,
+               support::Status::cancelled("job \"" + job->name +
+                                          "\" cancelled before dispatch"),
+               0.0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(job->mutex);
+    job->state = JobState::kRunning;
+    job->start_tp = std::chrono::steady_clock::now();
+    job->queue_wall_s = seconds_between(job->submit_tp, job->start_tp);
+  }
+  support::StatusOr<double> result =
+      support::Status::internal("job body did not produce a result");
+  try {
+    const JobScope scope(job->context);
+    result = job->fn(job->context);
+  } catch (const std::exception& e) {
+    result = support::Status::internal("job \"" + job->name +
+                                       "\" threw: " + e.what());
+  } catch (...) {
+    result = support::Status::internal("job \"" + job->name +
+                                       "\" threw a non-std exception");
+  }
+  if (result.is_ok()) {
+    finish_job(job, JobState::kDone, support::Status::ok(), result.value());
+  } else if (result.status().code() == support::ErrorCode::kCancelled) {
+    finish_job(job, JobState::kCancelled, result.status(), 0.0);
+  } else {
+    PSF_LOG(kWarn, "serve") << "job \"" << job->name << "\" (#" << job->id
+                            << ") failed: " << result.status().to_string();
+    finish_job(job, JobState::kFailed, result.status(), 0.0);
+  }
+}
+
+void Server::finish_job(const std::shared_ptr<Job>& job, JobState state,
+                        support::Status status, double vtime) {
+  {
+    std::lock_guard<std::mutex> guard(job->mutex);
+    if (job->state == JobState::kRunning) {
+      job->run_wall_s =
+          seconds_between(job->start_tp, std::chrono::steady_clock::now());
+    }
+    job->state = state;
+    job->status = std::move(status);
+    job->vtime = vtime;
+  }
+  job->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state) {
+      case JobState::kDone: ++completed_; break;
+      case JobState::kFailed: ++failed_; break;
+      case JobState::kCancelled: ++cancelled_; break;
+      case JobState::kQueued:
+      case JobState::kRunning: break;  // not terminal; unreachable here
+    }
+  }
+  switch (state) {
+    case JobState::kDone: PSF_METRIC_ADD("serve.jobs_completed", 1); break;
+    case JobState::kFailed: PSF_METRIC_ADD("serve.jobs_failed", 1); break;
+    case JobState::kCancelled:
+      PSF_METRIC_ADD("serve.jobs_cancelled", 1);
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning: break;
+  }
+}
+
+bool Server::cancel_job(const std::shared_ptr<detail::Job>& job) {
+  job->context.request_cancel();
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    removed = queue_.erase(QueueKey{-static_cast<long long>(job->priority),
+                                    job->seq}) > 0;
+    if (removed && queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+  if (removed) {
+    finish_job(job, JobState::kCancelled,
+               support::Status::cancelled("job \"" + job->name +
+                                          "\" cancelled while queued"),
+               0.0);
+    return true;
+  }
+  // Already dispatched: the running body will observe the flag at its next
+  // cooperative check. Report whether the request can still have an effect.
+  std::lock_guard<std::mutex> guard(job->mutex);
+  return job->state == JobState::kQueued || job->state == JobState::kRunning;
+}
+
+void Server::note_runner_idle() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --running_;
+  if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+}
+
+}  // namespace psf::serve

@@ -1,0 +1,261 @@
+// PSF — Pattern Specification Framework
+// psf::serve — a multi-tenant job server over the pattern runtimes
+// (docs/SERVING.md).
+//
+// A Server multiplexes N concurrent pattern jobs (kmeans, sobel, heat3d,
+// or any user-provided JobFn wrapping TypedStencilReduce / TypedGReduce /
+// PatternGraph work) onto ONE shared work-stealing executor and the shared
+// BufferPool. Each job gets a private JobContext — metrics registry, fault
+// log, optional trace recorder, cancellation flag — so tenants cannot see
+// each other's counters or fault events even while their tasks interleave
+// on the same worker threads.
+//
+// Lifecycle:  submit() -> [admission control] -> queued -> running ->
+//             done | failed | cancelled
+//
+// Admission control bounds the QUEUED depth (running jobs do not count):
+// when `queue_depth` jobs are already waiting, submit() returns
+// kResourceExhausted and the caller sheds load or retries. Dispatch order
+// is strict priority (higher first), FIFO within a priority level —
+// deterministic for a fixed submission sequence once started.
+//
+// Virtual times are unaffected by serving: a job's vtime depends only on
+// its own workload and options (the executor changes wall clock, never the
+// time model), so a job run through a Server matches the same run on the
+// single-job CLI bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "serve/job_context.h"
+#include "support/error.h"
+
+namespace psf::serve {
+
+/// Terminal and in-flight job states. Queued/running jobs transition;
+/// done/failed/cancelled are terminal.
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,       ///< fn returned OK; JobResult::vtime holds its virtual time
+  kFailed,     ///< fn returned a non-cancellation error or threw
+  kCancelled,  ///< cancelled while queued, or fn honoured request_cancel()
+};
+
+[[nodiscard]] constexpr std::string_view to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kDone: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+/// A job body: runs the workload under the job's context (already
+/// installed via JobScope on the calling runner thread) and returns the
+/// run's virtual time, or an error. Return ctx.check_cancelled()'s status
+/// (code kCancelled) to acknowledge cooperative cancellation.
+using JobFn = std::function<support::StatusOr<double>(JobContext&)>;
+
+/// What to run and how urgently.
+struct JobSpec {
+  std::string name = "job";  ///< label for logs, stats and traces
+  int priority = 0;          ///< higher runs first; FIFO within a level
+  bool record_trace = false; ///< allocate a per-job TraceRecorder
+  JobFn fn;                  ///< required
+
+  JobSpec& with_name(std::string value) {
+    name = std::move(value);
+    return *this;
+  }
+  JobSpec& with_priority(int value) {
+    priority = value;
+    return *this;
+  }
+  JobSpec& with_trace(bool value = true) {
+    record_trace = value;
+    return *this;
+  }
+  JobSpec& with_fn(JobFn value) {
+    fn = std::move(value);
+    return *this;
+  }
+};
+
+/// Outcome of one job, available from JobHandle::wait().
+struct JobResult {
+  JobState state = JobState::kQueued;
+  support::Status status;    ///< OK for kDone; the error otherwise
+  double vtime = 0.0;        ///< virtual seconds (kDone only)
+  double queue_wall_s = 0.0; ///< wall time from admission to dispatch
+  double run_wall_s = 0.0;   ///< wall time from dispatch to terminal state
+};
+
+namespace detail {
+struct Job;
+}  // namespace detail
+
+class Server;
+
+/// Caller-side reference to a submitted job. Copyable; the underlying job
+/// record lives until the last handle drops. Valid only while the Server
+/// that issued it is alive (the Server joins all jobs on shutdown, so
+/// waiting on a handle after shutdown returns immediately).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const;
+  [[nodiscard]] JobState state() const;
+
+  /// Block until the job reaches a terminal state; returns its outcome.
+  JobResult wait() const;
+
+  /// Request cancellation. A queued job is removed and terminally
+  /// cancelled immediately; a running job gets its context flag set and
+  /// cancels at its next cooperative check. Returns true when the request
+  /// had any effect (the job was not already terminal).
+  bool cancel() const;
+
+  /// The job's isolation context — read its metrics/fault log/trace after
+  /// completion.
+  [[nodiscard]] JobContext& context() const;
+
+ private:
+  friend class Server;
+  explicit JobHandle(std::shared_ptr<detail::Job> job)
+      : job_(std::move(job)) {}
+  std::shared_ptr<detail::Job> job_;
+};
+
+/// Server sizing and dispatch policy.
+struct ServerOptions {
+  /// Concurrent jobs (runner threads). Each runner drives one job's SPMD
+  /// World at a time; all jobs share the executor below.
+  int workers = 2;
+  /// Admission bound on QUEUED jobs; submit() beyond it is rejected with
+  /// kResourceExhausted.
+  std::size_t queue_depth = 256;
+  /// Shared executor width, EnvOptions::num_threads semantics (0 =
+  /// hardware concurrency, 1 = serial/inline). `PSF_THREADS` overrides.
+  int executor_threads = 0;
+  /// Construct paused: jobs queue but nothing dispatches until start().
+  /// Tests use this to make dispatch order independent of submission
+  /// timing.
+  bool start_paused = false;
+
+  ServerOptions& with_workers(int value) {
+    workers = value;
+    return *this;
+  }
+  ServerOptions& with_queue_depth(std::size_t value) {
+    queue_depth = value;
+    return *this;
+  }
+  ServerOptions& with_executor_threads(int value) {
+    executor_threads = value;
+    return *this;
+  }
+  ServerOptions& with_start_paused(bool value = true) {
+    start_paused = value;
+    return *this;
+  }
+};
+
+/// Monotonic server counters plus an instantaneous queue/running view.
+struct ServerStats {
+  std::uint64_t submitted = 0;  ///< accepted by admission control
+  std::uint64_t rejected = 0;   ///< refused by admission control
+  std::uint64_t completed = 0;  ///< reached kDone
+  std::uint64_t failed = 0;     ///< reached kFailed
+  std::uint64_t cancelled = 0;  ///< reached kCancelled
+  std::size_t queued = 0;       ///< currently waiting
+  std::size_t running = 0;      ///< currently executing
+};
+
+/// The job server. Construction spawns the runner threads and the shared
+/// executor; destruction (or shutdown()) drains the queue and joins
+/// everything.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit a job. Fails with kInvalidArgument (no fn), kFailedPrecondition
+  /// (server shut down) or kResourceExhausted (queue full). On success the
+  /// job owns a fresh JobContext wired to the shared executor.
+  support::StatusOr<JobHandle> submit(JobSpec spec);
+
+  /// Release a paused server's runners. Idempotent; a server constructed
+  /// with start_paused = false is born started.
+  void start();
+
+  /// Block until no job is queued or running. Starts a paused server
+  /// first (otherwise queued work could never drain).
+  void drain();
+
+  /// Stop admitting, drain every queued job (they still run to a terminal
+  /// state), join the runners. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// The process-wide executor all jobs share.
+  [[nodiscard]] exec::ThreadPool& executor() noexcept { return pool_; }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  friend class JobHandle;
+
+  /// Dispatch key: (-priority, admission sequence) — map order is highest
+  /// priority first, FIFO within a level.
+  using QueueKey = std::pair<long long, std::uint64_t>;
+
+  void runner_loop();
+  void run_job(const std::shared_ptr<detail::Job>& job);
+  void finish_job(const std::shared_ptr<detail::Job>& job, JobState state,
+                  support::Status status, double vtime);
+  bool cancel_job(const std::shared_ptr<detail::Job>& job);
+  void note_runner_idle();
+
+  ServerOptions options_;
+  exec::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable dispatch_cv_;  ///< runners wait for work here
+  std::condition_variable idle_cv_;      ///< drain() waits here
+  std::map<QueueKey, std::shared_ptr<detail::Job>> queue_;
+  bool started_ = false;
+  bool shutting_down_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t running_ = 0;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace psf::serve

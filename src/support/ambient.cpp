@@ -1,0 +1,9 @@
+#include "support/ambient.h"
+
+namespace psf::support::ambient::detail {
+
+// Zero-initialized: every thread starts with no overrides, resolving every
+// subsystem to its process-global singleton.
+thread_local std::array<void*, kNumSlots> tls_slots{};
+
+}  // namespace psf::support::ambient::detail

@@ -52,6 +52,7 @@ enum class ErrorCode : std::uint8_t {
   kInternal,          ///< framework bug surfaced as recoverable error
   kDeviceLost,        ///< simulated accelerator died mid-run (fault plan)
   kDeadlineExceeded,  ///< blocking receive timed out (recv_deadline)
+  kCancelled,         ///< job cancelled before or during execution (serve)
 };
 
 /// Human-readable name for an ErrorCode.
@@ -66,6 +67,7 @@ constexpr std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kDeviceLost: return "DEVICE_LOST";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -102,6 +104,9 @@ class [[nodiscard]] Status {
   }
   static Status deadline_exceeded(std::string msg) {
     return {ErrorCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {ErrorCode::kCancelled, std::move(msg)};
   }
 
   [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }

@@ -51,6 +51,12 @@ std::mutex& file_mutex() {
 
 }  // namespace
 
+Registry::Registry()
+    : uid_([] {
+        static std::atomic<std::uint64_t> next_uid{1};
+        return next_uid.fetch_add(1, std::memory_order_relaxed);
+      }()) {}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> guard(mutex_);
   auto it = counters_.find(name);

@@ -16,6 +16,13 @@
 // Everything except `exec.*` and `*_wall` is deterministic for a fixed
 // workload — identical under any PSF_THREADS value (see docs/EXECUTOR.md).
 //
+// Multi-tenancy: instruments resolve against Registry::current() — the
+// thread's scoped registry (installed by ScopedRegistry / serve::JobScope,
+// propagated across executor task submission) or, absent any override, the
+// process-global Registry::global(). A single-job process never installs an
+// override, so its reports are byte-identical to the pre-serve behaviour.
+// See docs/SERVING.md for the per-job isolation contract.
+//
 // A run dumps a versioned JSON report when either the `PSF_METRICS`
 // environment variable names a file (written at process exit) or
 // `EnvOptions::with_metrics_path` is set (written by RuntimeEnv::finalize).
@@ -34,6 +41,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+
+#include "support/ambient.h"
 
 namespace psf::metrics {
 
@@ -128,9 +137,17 @@ class ScopedTimer {
 /// instrument but never invalidates references.
 class Registry {
  public:
+  Registry();
+
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
+
+  /// Process-unique, never-reused id (1-based). The PSF_METRIC_* macros key
+  /// their per-thread instrument caches on it, so a cache entry resolved
+  /// against one registry can never serve another — not even a new registry
+  /// allocated at a recycled address.
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
 
   /// Zero every instrument, keeping all registrations (and references).
   void reset_values();
@@ -152,16 +169,49 @@ class Registry {
   /// finalizers never interleave writes. Returns false on I/O failure.
   bool write_json(const std::string& path) const;
 
-  /// The process-wide registry every PSF subsystem reports into. First use
-  /// arms an atexit hook that dumps to $PSF_METRICS when set.
+  /// The process-wide registry every PSF subsystem reports into by
+  /// default. First use arms an atexit hook that dumps to $PSF_METRICS
+  /// when set.
   static Registry& global();
 
+  /// The registry instrumentation resolves against on the calling thread:
+  /// the scoped override installed by ScopedRegistry (directly or through
+  /// serve::JobScope), or global() when none is installed.
+  [[nodiscard]] static Registry& current() noexcept {
+    void* scoped =
+        support::ambient::get(support::ambient::Slot::kMetricsRegistry);
+    return scoped != nullptr ? *static_cast<Registry*>(scoped) : global();
+  }
+
  private:
+  const std::uint64_t uid_;
   mutable std::mutex mutex_;
   // Node-based maps: values never move, so returned references are stable.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// RAII: route the calling thread's instrumentation into `registry` (a
+/// per-job registry, a test scratch registry) instead of the global one.
+/// Scopes nest; destruction restores the previous override. Pass nullptr
+/// to restore global resolution inside an outer scope. The registry must
+/// outlive the scope AND any executor tasks submitted under it (tasks
+/// capture the override at submission; see support/ambient.h).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* registry) noexcept
+      : previous_(support::ambient::swap(
+            support::ambient::Slot::kMetricsRegistry, registry)) {}
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+  ~ScopedRegistry() {
+    support::ambient::swap(support::ambient::Slot::kMetricsRegistry,
+                           previous_);
+  }
+
+ private:
+  void* previous_;
 };
 
 /// Structural JSON validity check (objects, arrays, strings, numbers,
@@ -172,33 +222,76 @@ class Registry {
 }  // namespace psf::metrics
 
 // --- hot-path macros ---------------------------------------------------------
-// Each expands to a function-local static lookup + one relaxed atomic op,
-// or to nothing under -DPSF_DISABLE_METRICS. The name must be a string
-// literal (or otherwise stable for the life of the call site).
+// Each expands to a thread-local instrument cache keyed on the current
+// registry's uid + one relaxed atomic op, or to nothing under
+// -DPSF_DISABLE_METRICS. The name must be a string literal (or otherwise
+// stable for the life of the call site). The cache re-resolves only when
+// the thread's current registry changes (a job switch on a shared worker);
+// the steady-state cost within one job stays a TLS compare + atomic op.
 #ifndef PSF_DISABLE_METRICS
 #define PSF_METRIC_ADD(name, n)                                         \
+  do {                                                                  \
+    static thread_local std::uint64_t psf_metric_uid_ = 0;              \
+    static thread_local ::psf::metrics::Counter* psf_metric_counter_ =  \
+        nullptr;                                                        \
+    ::psf::metrics::Registry& psf_metric_registry_ =                    \
+        ::psf::metrics::Registry::current();                            \
+    if (psf_metric_uid_ != psf_metric_registry_.uid()) {                \
+      psf_metric_counter_ = &psf_metric_registry_.counter(name);        \
+      psf_metric_uid_ = psf_metric_registry_.uid();                     \
+    }                                                                   \
+    psf_metric_counter_->add(n);                                        \
+  } while (0)
+#define PSF_METRIC_GAUGE_SET(name, v)                                   \
+  do {                                                                  \
+    static thread_local std::uint64_t psf_metric_uid_ = 0;              \
+    static thread_local ::psf::metrics::Gauge* psf_metric_gauge_ =      \
+        nullptr;                                                        \
+    ::psf::metrics::Registry& psf_metric_registry_ =                    \
+        ::psf::metrics::Registry::current();                            \
+    if (psf_metric_uid_ != psf_metric_registry_.uid()) {                \
+      psf_metric_gauge_ = &psf_metric_registry_.gauge(name);            \
+      psf_metric_uid_ = psf_metric_registry_.uid();                     \
+    }                                                                   \
+    psf_metric_gauge_->set(v);                                          \
+  } while (0)
+#define PSF_METRIC_GAUGE_MAX(name, v)                                   \
+  do {                                                                  \
+    static thread_local std::uint64_t psf_metric_uid_ = 0;              \
+    static thread_local ::psf::metrics::Gauge* psf_metric_gauge_ =      \
+        nullptr;                                                        \
+    ::psf::metrics::Registry& psf_metric_registry_ =                    \
+        ::psf::metrics::Registry::current();                            \
+    if (psf_metric_uid_ != psf_metric_registry_.uid()) {                \
+      psf_metric_gauge_ = &psf_metric_registry_.gauge(name);            \
+      psf_metric_uid_ = psf_metric_registry_.uid();                     \
+    }                                                                   \
+    psf_metric_gauge_->merge_max(v);                                    \
+  } while (0)
+#define PSF_METRIC_OBSERVE(name, seconds)                               \
+  do {                                                                  \
+    static thread_local std::uint64_t psf_metric_uid_ = 0;              \
+    static thread_local ::psf::metrics::Timer* psf_metric_timer_ =      \
+        nullptr;                                                        \
+    ::psf::metrics::Registry& psf_metric_registry_ =                    \
+        ::psf::metrics::Registry::current();                            \
+    if (psf_metric_uid_ != psf_metric_registry_.uid()) {                \
+      psf_metric_timer_ = &psf_metric_registry_.timer(name);            \
+      psf_metric_uid_ = psf_metric_registry_.uid();                     \
+    }                                                                   \
+    psf_metric_timer_->observe(seconds);                                \
+  } while (0)
+// Process-global variant: bypasses Registry::current() and records into
+// Registry::global() unconditionally. For instrumentation that may execute
+// AFTER the surrounding work's completion signal (e.g. a parallel_for
+// participant retiring after another participant finished the last index),
+// where an ambient per-job registry could already be destroyed. The global
+// registry is immortal, so a plain function-local static cache is safe.
+#define PSF_METRIC_GLOBAL_ADD(name, n)                                  \
   do {                                                                  \
     static ::psf::metrics::Counter& psf_metric_counter_ =               \
         ::psf::metrics::Registry::global().counter(name);               \
     psf_metric_counter_.add(n);                                         \
-  } while (0)
-#define PSF_METRIC_GAUGE_SET(name, v)                                   \
-  do {                                                                  \
-    static ::psf::metrics::Gauge& psf_metric_gauge_ =                   \
-        ::psf::metrics::Registry::global().gauge(name);                 \
-    psf_metric_gauge_.set(v);                                           \
-  } while (0)
-#define PSF_METRIC_GAUGE_MAX(name, v)                                   \
-  do {                                                                  \
-    static ::psf::metrics::Gauge& psf_metric_gauge_ =                   \
-        ::psf::metrics::Registry::global().gauge(name);                 \
-    psf_metric_gauge_.merge_max(v);                                     \
-  } while (0)
-#define PSF_METRIC_OBSERVE(name, seconds)                               \
-  do {                                                                  \
-    static ::psf::metrics::Timer& psf_metric_timer_ =                   \
-        ::psf::metrics::Registry::global().timer(name);                 \
-    psf_metric_timer_.observe(seconds);                                 \
   } while (0)
 #else
 #define PSF_METRIC_ADD(name, n) \
@@ -212,5 +305,8 @@ class Registry {
   } while (0)
 #define PSF_METRIC_OBSERVE(name, seconds) \
   do {                                    \
+  } while (0)
+#define PSF_METRIC_GLOBAL_ADD(name, n) \
+  do {                                 \
   } while (0)
 #endif

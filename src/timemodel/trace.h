@@ -52,6 +52,10 @@ struct TraceEdge {
 /// Thread-safe collector of trace spans and dependency edges. Attach one to
 /// EnvOptions::trace (and minimpi::World::set_trace / devsim::Device::
 /// set_trace) to capture a run; nullptr (the default) disables recording.
+/// Under serving mode each serve::JobContext can own a private recorder
+/// (serve::run_world attaches it to the job's World), so concurrent jobs
+/// capture disjoint schedules; the span/edge metrics recorded here resolve
+/// through Registry::current() and follow the same per-job routing.
 class TraceRecorder {
  public:
   /// Record a span and return its id. An inverted span (end < begin) is

@@ -217,5 +217,68 @@ TEST(Metrics, DeterministicFamiliesAreIdenticalForAnyExecutorWidth) {
   EXPECT_GT(timers_serial.at("pattern.st.iteration_vtime").count, 0u);
 }
 
+#ifndef PSF_DISABLE_METRICS
+TEST(Metrics, ScopedRegistryRedirectsMacrosAndRestores) {
+  Registry scoped;
+  const std::uint64_t global_before =
+      Registry::global().counter("metrics.scoped_redirect").value();
+  {
+    ScopedRegistry scope(&scoped);
+    EXPECT_EQ(&Registry::current(), &scoped);
+    PSF_METRIC_ADD("metrics.scoped_redirect", 3);
+  }
+  EXPECT_EQ(&Registry::current(), &Registry::global());
+  PSF_METRIC_ADD("metrics.scoped_redirect", 2);
+  EXPECT_EQ(scoped.counter("metrics.scoped_redirect").value(), 3u);
+  EXPECT_EQ(Registry::global().counter("metrics.scoped_redirect").value(),
+            global_before + 2);
+}
+
+/// The macro-site instrument cache is keyed on the registry uid, so one
+/// code site alternating between registries on one thread must attribute
+/// every increment correctly — a stale cached pointer would misroute or
+/// dangle after a registry dies.
+TEST(Metrics, MacroCacheFollowsRegistrySwitches) {
+  Registry a;
+  {
+    Registry b;
+    for (int i = 0; i < 3; ++i) {
+      {
+        ScopedRegistry scope(&a);
+        PSF_METRIC_ADD("metrics.switch_site", 1);
+      }
+      {
+        ScopedRegistry scope(&b);
+        PSF_METRIC_ADD("metrics.switch_site", 2);
+      }
+    }
+    EXPECT_EQ(a.counter("metrics.switch_site").value(), 3u);
+    EXPECT_EQ(b.counter("metrics.switch_site").value(), 6u);
+  }
+  // `b` is gone; a fresh registry (possibly at the same address, but with
+  // a new uid) must not inherit the cached instrument pointer.
+  Registry c;
+  {
+    ScopedRegistry scope(&c);
+    PSF_METRIC_ADD("metrics.switch_site", 5);
+  }
+  EXPECT_EQ(c.counter("metrics.switch_site").value(), 5u);
+  EXPECT_EQ(a.counter("metrics.switch_site").value(), 3u);
+}
+
+TEST(Metrics, ScopedRegistryNests) {
+  Registry outer;
+  Registry inner;
+  ScopedRegistry outer_scope(&outer);
+  {
+    ScopedRegistry inner_scope(&inner);
+    PSF_METRIC_ADD("metrics.nested", 1);
+  }
+  PSF_METRIC_ADD("metrics.nested", 1);
+  EXPECT_EQ(inner.counter("metrics.nested").value(), 1u);
+  EXPECT_EQ(outer.counter("metrics.nested").value(), 1u);
+}
+#endif  // PSF_DISABLE_METRICS
+
 }  // namespace
 }  // namespace psf::metrics

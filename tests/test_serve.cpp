@@ -1,0 +1,399 @@
+// PSF — tests for psf::serve: dispatch order, admission control,
+// cooperative cancellation, per-job isolation (metrics, fault log, trace)
+// and single-job parity with the direct (CLI-style) run path. Suites are
+// named Serve* so scripts/check.sh picks them up for the TSan pass.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "serve/job_context.h"
+#include "serve/jobs.h"
+#include "serve/serve.h"
+#include "support/metrics.h"
+
+namespace psf::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+JobFn trivial_job(double vtime = 1.0) {
+  return [vtime](JobContext&) -> support::StatusOr<double> { return vtime; };
+}
+
+/// Dispatch must be highest priority first, FIFO within a level —
+/// deterministic for any executor width because ONE runner consumes a
+/// fully pre-queued (paused) submission sequence.
+TEST(Serve, PriorityOrderingIsDeterministic) {
+  for (const int executor_threads : {1, 7}) {
+    Server server(ServerOptions{}
+                      .with_workers(1)
+                      .with_executor_threads(executor_threads)
+                      .with_start_paused());
+    std::mutex order_mutex;
+    std::vector<std::string> order;
+    auto record = [&](std::string label) -> JobFn {
+      return [&, label = std::move(label)](
+                 JobContext&) -> support::StatusOr<double> {
+        std::lock_guard<std::mutex> guard(order_mutex);
+        order.push_back(label);
+        return 0.0;
+      };
+    };
+    ASSERT_TRUE(server
+                    .submit(JobSpec{}.with_name("low-a").with_priority(-1).with_fn(
+                        record("low-a")))
+                    .is_ok());
+    ASSERT_TRUE(server
+                    .submit(JobSpec{}.with_name("mid-a").with_priority(0).with_fn(
+                        record("mid-a")))
+                    .is_ok());
+    ASSERT_TRUE(server
+                    .submit(JobSpec{}.with_name("high-a").with_priority(5).with_fn(
+                        record("high-a")))
+                    .is_ok());
+    ASSERT_TRUE(server
+                    .submit(JobSpec{}.with_name("mid-b").with_priority(0).with_fn(
+                        record("mid-b")))
+                    .is_ok());
+    ASSERT_TRUE(server
+                    .submit(JobSpec{}.with_name("high-b").with_priority(5).with_fn(
+                        record("high-b")))
+                    .is_ok());
+    server.drain();
+    const std::vector<std::string> expected = {"high-a", "high-b", "mid-a",
+                                               "mid-b", "low-a"};
+    EXPECT_EQ(order, expected) << "executor_threads=" << executor_threads;
+  }
+}
+
+TEST(Serve, AdmissionControlRejectsWhenQueueIsFull) {
+  Server server(ServerOptions{}
+                    .with_workers(1)
+                    .with_executor_threads(1)
+                    .with_queue_depth(2)
+                    .with_start_paused());
+  ASSERT_TRUE(server.submit(JobSpec{}.with_fn(trivial_job())).is_ok());
+  ASSERT_TRUE(server.submit(JobSpec{}.with_fn(trivial_job())).is_ok());
+  auto rejected = server.submit(JobSpec{}.with_fn(trivial_job()));
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.status().code(), support::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  server.drain();
+  EXPECT_EQ(server.stats().completed, 2u);
+}
+
+TEST(Serve, SubmitWithoutBodyIsInvalid) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  auto submitted = server.submit(JobSpec{});
+  ASSERT_FALSE(submitted.is_ok());
+  EXPECT_EQ(submitted.status().code(), support::ErrorCode::kInvalidArgument);
+}
+
+TEST(Serve, CancelQueuedJobNeverRuns) {
+  Server server(ServerOptions{}
+                    .with_workers(1)
+                    .with_executor_threads(1)
+                    .with_start_paused());
+  std::atomic<bool> ran{false};
+  auto victim = server.submit(JobSpec{}.with_name("victim").with_fn(
+      [&ran](JobContext&) -> support::StatusOr<double> {
+        ran.store(true);
+        return 0.0;
+      }));
+  ASSERT_TRUE(victim.is_ok());
+  EXPECT_TRUE(victim.value().cancel());
+  server.drain();
+  const JobResult result = victim.value().wait();
+  EXPECT_EQ(result.state, JobState::kCancelled);
+  EXPECT_EQ(result.status.code(), support::ErrorCode::kCancelled);
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST(Serve, CancelRunningJobCooperatively) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  std::atomic<bool> entered{false};
+  auto handle = server.submit(JobSpec{}.with_name("looper").with_fn(
+      [&entered](JobContext& ctx) -> support::StatusOr<double> {
+        entered.store(true);
+        // Cooperative loop: poll the cancel flag like a long pattern job
+        // polling between iterations. Bounded so a lost cancel fails the
+        // test instead of hanging it.
+        for (int i = 0; i < 10000; ++i) {
+          PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+          std::this_thread::sleep_for(milliseconds(1));
+        }
+        return support::Status::internal("cancel never observed");
+      }));
+  ASSERT_TRUE(handle.is_ok());
+  while (!entered.load()) std::this_thread::yield();
+  EXPECT_TRUE(handle.value().cancel());
+  const JobResult result = handle.value().wait();
+  EXPECT_EQ(result.state, JobState::kCancelled);
+  EXPECT_EQ(result.status.code(), support::ErrorCode::kCancelled);
+}
+
+TEST(Serve, ThrowingJobReportsFailed) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  auto handle = server.submit(JobSpec{}.with_name("thrower").with_fn(
+      [](JobContext&) -> support::StatusOr<double> {
+        throw std::runtime_error("boom");
+      }));
+  ASSERT_TRUE(handle.is_ok());
+  const JobResult result = handle.value().wait();
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_EQ(result.status.code(), support::ErrorCode::kInternal);
+  EXPECT_NE(result.status.message().find("boom"), std::string::npos);
+}
+
+TEST(Serve, SubmitAfterShutdownFailsPrecondition) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  server.shutdown();
+  auto submitted = server.submit(JobSpec{}.with_fn(trivial_job()));
+  ASSERT_FALSE(submitted.is_ok());
+  EXPECT_EQ(submitted.status().code(),
+            support::ErrorCode::kFailedPrecondition);
+}
+
+/// Concurrent submission from several threads while runners execute:
+/// everything completes exactly once and the counters add up. Exercised
+/// under TSan by scripts/check.sh.
+TEST(Serve, ConcurrentSubmissionCompletesEverything) {
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsPerSubmitter = 25;
+  Server server(ServerOptions{}.with_workers(3).with_executor_threads(2));
+  std::atomic<int> executed{0};
+  std::vector<std::thread> submitters;
+  std::mutex handles_mutex;
+  std::vector<JobHandle> handles;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kJobsPerSubmitter; ++i) {
+        auto handle = server.submit(JobSpec{}.with_fn(
+            [&executed](JobContext&) -> support::StatusOr<double> {
+              executed.fetch_add(1);
+              return 1.0;
+            }));
+        ASSERT_TRUE(handle.is_ok());
+        std::lock_guard<std::mutex> guard(handles_mutex);
+        handles.push_back(handle.value());
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  server.drain();
+  EXPECT_EQ(executed.load(), kSubmitters * kJobsPerSubmitter);
+  for (const auto& handle : handles) {
+    EXPECT_EQ(handle.wait().state, JobState::kDone);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kSubmitters * kJobsPerSubmitter));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+#ifndef PSF_DISABLE_METRICS
+/// Two concurrent jobs bump the same counter name; each sees only its own
+/// increments, and the process-global registry sees none of them.
+TEST(Serve, PerJobMetricsAreIsolated) {
+  const char* kCounter = "serve.test.isolated_counter";
+  const std::uint64_t global_before =
+      metrics::Registry::global().counter(kCounter).value();
+  Server server(ServerOptions{}.with_workers(2).with_executor_threads(2));
+  auto make_job = [&](int amount) {
+    return JobSpec{}.with_fn(
+        [amount, kCounter](JobContext&) -> support::StatusOr<double> {
+          for (int i = 0; i < amount; ++i) PSF_METRIC_ADD(kCounter, 1);
+          return 0.0;
+        });
+  };
+  auto a = server.submit(make_job(3));
+  auto b = server.submit(make_job(7));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  server.drain();
+  EXPECT_EQ(a.value().wait().state, JobState::kDone);
+  EXPECT_EQ(b.value().wait().state, JobState::kDone);
+  EXPECT_EQ(a.value().context().metrics().counter(kCounter).value(), 3u);
+  EXPECT_EQ(b.value().context().metrics().counter(kCounter).value(), 7u);
+  EXPECT_EQ(metrics::Registry::global().counter(kCounter).value(),
+            global_before);
+}
+#endif  // PSF_DISABLE_METRICS
+
+/// The ambient snapshot must ride executor task submission: a task run on
+/// a pool worker under a JobScope resolves the JOB registry, and the
+/// thread reverts to the global one after the task.
+TEST(ServeJobContext, AmbientContextPropagatesThroughExecutor) {
+  JobContext context(99, "ambient-test", /*record_trace=*/false);
+  exec::ThreadPool pool(2);
+  metrics::Registry* seen_in_task = nullptr;
+  JobContext* seen_context = nullptr;
+  {
+    const JobScope scope(context);
+    pool.submit([&] {
+        seen_in_task = &metrics::Registry::current();
+        seen_context = JobContext::current();
+      }).wait();
+  }
+  EXPECT_EQ(seen_in_task, &context.metrics());
+  EXPECT_EQ(seen_context, &context);
+  EXPECT_EQ(&metrics::Registry::current(), &metrics::Registry::global());
+  EXPECT_EQ(JobContext::current(), nullptr);
+  // The worker thread's ambient state must be restored too: a task run
+  // outside any scope resolves the global registry.
+  metrics::Registry* seen_outside = nullptr;
+  pool.submit([&] { seen_outside = &metrics::Registry::current(); }).wait();
+  EXPECT_EQ(seen_outside, &metrics::Registry::global());
+}
+
+/// Message faults injected for one job land in ITS fault log, not the
+/// global one — the FaultPlan/FaultLog leg of per-job isolation.
+TEST(ServeJobContext, FaultEventsLandInTheJobLog) {
+  fault::FaultLog::global().reset();
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  apps::kmeans::Params params;
+  params.num_points = 500;
+  params.num_clusters = 4;
+  params.iterations = 2;
+  auto handle = server.submit(
+      JobSpec{}.with_name("faulty-kmeans").with_fn(jobs::kmeans(
+          params, jobs::WorkloadOptions{}.with_ranks(2).with_fault_plan(
+                      "msg_drop:p=0.3,seed=7"))));
+  ASSERT_TRUE(handle.is_ok());
+  const JobResult result = handle.value().wait();
+  ASSERT_EQ(result.state, JobState::kDone) << result.status.to_string();
+  EXPECT_FALSE(handle.value().context().fault_log().snapshot().empty())
+      << "injected message faults must be recorded in the job's own log";
+  EXPECT_TRUE(fault::FaultLog::global().snapshot().empty())
+      << "per-job fault events must not leak into the global log";
+}
+
+/// A job submitted with record_trace captures its schedule in its own
+/// recorder; jobs without tracing record nothing.
+TEST(ServeJobContext, PerJobTraceIsCaptured) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  apps::kmeans::Params params;
+  params.num_points = 500;
+  params.num_clusters = 4;
+  params.iterations = 1;
+  auto traced = server.submit(JobSpec{}
+                                  .with_name("traced")
+                                  .with_trace()
+                                  .with_fn(jobs::kmeans(params)));
+  auto untraced = server.submit(
+      JobSpec{}.with_name("untraced").with_fn(jobs::kmeans(params)));
+  ASSERT_TRUE(traced.is_ok());
+  ASSERT_TRUE(untraced.is_ok());
+  ASSERT_EQ(traced.value().wait().state, JobState::kDone);
+  ASSERT_EQ(untraced.value().wait().state, JobState::kDone);
+  ASSERT_NE(traced.value().context().trace(), nullptr);
+  EXPECT_GT(traced.value().context().trace()->size(), 0u);
+  EXPECT_EQ(untraced.value().context().trace(), nullptr);
+}
+
+/// Serving must not perturb the time model: the same kmeans run submitted
+/// through a Server (shared executor, any width) and run directly
+/// (private serial executor, CLI-style) produces bit-identical centers
+/// and virtual time.
+TEST(ServeParity, SingleJobMatchesDirectRunBitIdentical) {
+  apps::kmeans::Params params;
+  params.num_points = 2000;
+  params.num_clusters = 8;
+  params.iterations = 3;
+  const auto points = apps::kmeans::generate_points(params);
+
+  // Direct run: the pre-serve code path, serial executor.
+  minimpi::World direct_world(2);
+  pattern::EnvOptions direct_env;
+  direct_env.use_cpu = true;
+  direct_env.use_gpus = 1;
+  direct_env.num_threads = 1;
+  apps::kmeans::Result direct_result;
+  direct_world.run([&](minimpi::Communicator& comm) {
+    auto result = apps::kmeans::run_framework(comm, direct_env, params, points);
+    if (comm.rank() == 0) direct_result = std::move(result);
+  });
+
+  for (const int executor_threads : {1, 7}) {
+    Server server(
+        ServerOptions{}.with_workers(2).with_executor_threads(executor_threads));
+    std::vector<double> served_centers;
+    auto handle = server.submit(JobSpec{}.with_name("kmeans").with_fn(
+        [&](JobContext& ctx) -> support::StatusOr<double> {
+          minimpi::World world(2);
+          const pattern::EnvOptions env =
+              jobs::base_env(ctx, jobs::WorkloadOptions{});
+          double vtime = 0.0;
+          PSF_RETURN_IF_ERROR(run_world(
+              ctx, world, [&](minimpi::Communicator& comm) {
+                auto result =
+                    apps::kmeans::run_framework(comm, env, params, points);
+                if (comm.rank() == 0) {
+                  served_centers = std::move(result.centers);
+                  vtime = result.vtime;
+                }
+              }));
+          return vtime;
+        }));
+    ASSERT_TRUE(handle.is_ok());
+    const JobResult result = handle.value().wait();
+    ASSERT_EQ(result.state, JobState::kDone) << result.status.to_string();
+    EXPECT_EQ(result.vtime, direct_result.vtime)
+        << "executor_threads=" << executor_threads;
+    ASSERT_EQ(served_centers.size(), direct_result.centers.size());
+    for (std::size_t i = 0; i < served_centers.size(); ++i) {
+      EXPECT_EQ(served_centers[i], direct_result.centers[i])
+          << "center " << i << " at executor_threads=" << executor_threads;
+    }
+  }
+}
+
+/// Canned jobs report the same deterministic vtime when multiplexed
+/// concurrently as when run alone — tenants cannot perturb each other's
+/// virtual time.
+TEST(ServeParity, ConcurrentTenantsDoNotPerturbVtime) {
+  apps::sobel::Params params;
+  params.height = 48;
+  params.width = 48;
+  params.iterations = 2;
+
+  double solo_vtime = 0.0;
+  {
+    Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+    auto handle =
+        server.submit(JobSpec{}.with_name("solo").with_fn(jobs::sobel(params)));
+    ASSERT_TRUE(handle.is_ok());
+    const JobResult result = handle.value().wait();
+    ASSERT_EQ(result.state, JobState::kDone);
+    solo_vtime = result.vtime;
+  }
+
+  Server server(ServerOptions{}.with_workers(4).with_executor_threads(3));
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    auto handle = server.submit(
+        JobSpec{}.with_name("tenant-" + std::to_string(i))
+            .with_fn(jobs::sobel(params)));
+    ASSERT_TRUE(handle.is_ok());
+    handles.push_back(handle.value());
+  }
+  server.drain();
+  for (const auto& handle : handles) {
+    const JobResult result = handle.wait();
+    ASSERT_EQ(result.state, JobState::kDone);
+    EXPECT_EQ(result.vtime, solo_vtime);
+  }
+}
+
+}  // namespace
+}  // namespace psf::serve

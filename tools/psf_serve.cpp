@@ -1,0 +1,363 @@
+// psf-serve — the PSF job server CLI (docs/SERVING.md).
+//
+// Usage:
+//   psf-serve [--workers N] [--queue-depth N] [--threads N]
+//             [--metrics-dir DIR] [--trace-dir DIR]
+//             [--script FILE | --demo N]
+//
+// Reads one command per line from stdin (or FILE with --script) and
+// multiplexes the submitted jobs onto one shared executor:
+//
+//   kmeans [points=N] [clusters=K] [iters=I] [seed=S]
+//          [ranks=R] [gpus=G] [priority=P] [trace] [fault=SPEC]
+//   sobel  [height=H] [width=W] [iters=I] [ranks=R] [gpus=G] ...
+//   heat3d [nx=N] [ny=N] [nz=N] [iters=I] [ranks=R] [gpus=G] ...
+//   wait <ID|all>      block until the job(s) finish, print the outcome
+//   cancel <ID>        request cancellation
+//   stats              print server counters
+//   quit               drain and exit
+//
+// Each job prints `job <ID> submitted` on admission; `wait` prints
+// `job <ID> DONE vtime=... queue_ms=... run_ms=...` (or FAILED/CANCELLED).
+// With --metrics-dir the job's private metrics registry is written to
+// DIR/job-<ID>.json when waited on; --trace-dir does the same for Chrome
+// traces of jobs submitted with `trace`.
+//
+// --demo N is a self-driving smoke mode: N mixed kmeans/sobel jobs plus a
+// background heat3d, drain, print stats, exit non-zero unless everything
+// completed. CI and ctest use it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/jobs.h"
+#include "serve/serve.h"
+
+namespace {
+
+using psf::serve::JobHandle;
+using psf::serve::JobResult;
+using psf::serve::JobSpec;
+using psf::serve::JobState;
+using psf::serve::Server;
+using psf::serve::ServerOptions;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue-depth N] [--threads N]\n"
+               "          [--metrics-dir DIR] [--trace-dir DIR]\n"
+               "          [--script FILE | --demo N]\n",
+               argv0);
+}
+
+/// "key=value" tokens of a job command; bare words map to "word" -> "".
+std::map<std::string, std::string> parse_kv(std::istringstream& in) {
+  std::map<std::string, std::string> kv;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      kv[token] = "";
+    } else {
+      kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return kv;
+}
+
+std::uint64_t get_u64(const std::map<std::string, std::string>& kv,
+                      const std::string& key, std::uint64_t fallback) {
+  const auto it = kv.find(key);
+  if (it == kv.end() || it->second.empty()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+struct PendingJob {
+  JobHandle handle;
+  bool traced = false;
+};
+
+/// Print a finished job's outcome; dump its metrics/trace when requested.
+void report(std::uint64_t id, const PendingJob& job, const JobResult& result,
+            const std::string& metrics_dir, const std::string& trace_dir) {
+  std::printf("job %llu %s", static_cast<unsigned long long>(id),
+              std::string(to_string(result.state)).c_str());
+  if (result.state == JobState::kDone) {
+    std::printf(" vtime=%.9g queue_ms=%.3f run_ms=%.3f", result.vtime,
+                result.queue_wall_s * 1e3, result.run_wall_s * 1e3);
+  } else if (!result.status.is_ok()) {
+    std::printf(" (%s)", result.status.to_string().c_str());
+  }
+  std::printf("\n");
+  if (!metrics_dir.empty()) {
+    const std::string path =
+        metrics_dir + "/job-" + std::to_string(id) + ".json";
+    if (!job.handle.context().metrics().write_json(path)) {
+      std::fprintf(stderr, "psf-serve: cannot write %s\n", path.c_str());
+    }
+  }
+  if (!trace_dir.empty() && job.traced &&
+      job.handle.context().trace() != nullptr) {
+    const std::string path =
+        trace_dir + "/job-" + std::to_string(id) + ".trace.json";
+    if (!job.handle.context().trace()->write_chrome_json(path)) {
+      std::fprintf(stderr, "psf-serve: cannot write %s\n", path.c_str());
+    }
+  }
+}
+
+void print_stats(const Server& server) {
+  const auto stats = server.stats();
+  std::printf("stats submitted=%llu rejected=%llu completed=%llu "
+              "failed=%llu cancelled=%llu queued=%zu running=%zu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.cancelled),
+              stats.queued, stats.running);
+}
+
+int run_demo(Server& server, int jobs) {
+  using psf::serve::jobs::WorkloadOptions;
+  std::vector<JobHandle> handles;
+  // A long low-priority background job under the interactive mix.
+  psf::apps::heat3d::Params heat;
+  heat.nx = heat.ny = heat.nz = 24;
+  heat.iterations = 6;
+  auto background = server.submit(JobSpec{}
+                                      .with_name("heat3d-bg")
+                                      .with_priority(-1)
+                                      .with_fn(psf::serve::jobs::heat3d(
+                                          heat, WorkloadOptions{})));
+  if (!background.is_ok()) {
+    std::fprintf(stderr, "psf-serve: demo submit failed: %s\n",
+                 background.status().to_string().c_str());
+    return 1;
+  }
+  handles.push_back(background.value());
+  for (int i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    if (i % 2 == 0) {
+      psf::apps::kmeans::Params params;
+      params.num_points = 2000;
+      params.num_clusters = 8;
+      params.iterations = 2;
+      params.seed = 42 + static_cast<std::uint64_t>(i);
+      spec.with_name("kmeans-" + std::to_string(i))
+          .with_fn(psf::serve::jobs::kmeans(params, WorkloadOptions{}));
+    } else {
+      psf::apps::sobel::Params params;
+      params.height = 64;
+      params.width = 64;
+      params.iterations = 2;
+      spec.with_name("sobel-" + std::to_string(i))
+          .with_fn(psf::serve::jobs::sobel(params, WorkloadOptions{}));
+    }
+    auto submitted = server.submit(std::move(spec));
+    if (!submitted.is_ok()) {
+      std::fprintf(stderr, "psf-serve: demo submit failed: %s\n",
+                   submitted.status().to_string().c_str());
+      return 1;
+    }
+    handles.push_back(submitted.value());
+  }
+  server.drain();
+  int failures = 0;
+  for (const auto& handle : handles) {
+    const auto result = handle.wait();
+    if (result.state != JobState::kDone) ++failures;
+  }
+  print_stats(server);
+  if (failures != 0) {
+    std::fprintf(stderr, "psf-serve: %d demo job(s) did not complete\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  std::string metrics_dir;
+  std::string trace_dir;
+  std::string script;
+  int demo_jobs = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (++i >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--workers") {
+      options.workers = std::atoi(next());
+    } else if (arg == "--queue-depth") {
+      options.queue_depth = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      options.executor_threads = std::atoi(next());
+    } else if (arg == "--metrics-dir") {
+      metrics_dir = next();
+    } else if (arg == "--trace-dir") {
+      trace_dir = next();
+    } else if (arg == "--script") {
+      script = next();
+    } else if (arg == "--demo") {
+      demo_jobs = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "psf-serve: unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Output directories are created up front so a typo'd path fails before
+  // any job runs, not after the whole session's work is done.
+  std::error_code fs_error;
+  for (const std::string& dir : {metrics_dir, trace_dir}) {
+    if (dir.empty()) continue;
+    std::filesystem::create_directories(dir, fs_error);
+    if (fs_error) {
+      std::fprintf(stderr, "psf-serve: cannot create %s: %s\n", dir.c_str(),
+                   fs_error.message().c_str());
+      return 2;
+    }
+  }
+
+  Server server(options);
+  if (demo_jobs >= 0) return run_demo(server, demo_jobs);
+
+  std::ifstream script_file;
+  if (!script.empty()) {
+    script_file.open(script);
+    if (!script_file) {
+      std::fprintf(stderr, "psf-serve: cannot open %s\n", script.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = script.empty() ? std::cin : script_file;
+
+  std::map<std::uint64_t, PendingJob> pending;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string command;
+    if (!(tokens >> command) || command[0] == '#') continue;
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "stats") {
+      print_stats(server);
+      continue;
+    }
+    if (command == "wait") {
+      std::string which;
+      tokens >> which;
+      if (which == "all" || which.empty()) {
+        for (auto& [id, job] : pending) {
+          report(id, job, job.handle.wait(), metrics_dir, trace_dir);
+        }
+        pending.clear();
+      } else {
+        const std::uint64_t id = std::strtoull(which.c_str(), nullptr, 10);
+        const auto it = pending.find(id);
+        if (it == pending.end()) {
+          std::fprintf(stderr, "psf-serve: no pending job %s\n",
+                       which.c_str());
+          continue;
+        }
+        report(id, it->second, it->second.handle.wait(), metrics_dir,
+               trace_dir);
+        pending.erase(it);
+      }
+      continue;
+    }
+    if (command == "cancel") {
+      std::string which;
+      tokens >> which;
+      const std::uint64_t id = std::strtoull(which.c_str(), nullptr, 10);
+      const auto it = pending.find(id);
+      if (it == pending.end()) {
+        std::fprintf(stderr, "psf-serve: no pending job %s\n", which.c_str());
+        continue;
+      }
+      std::printf("job %llu cancel %s\n",
+                  static_cast<unsigned long long>(id),
+                  it->second.handle.cancel() ? "requested" : "too-late");
+      continue;
+    }
+
+    if (command != "kmeans" && command != "sobel" && command != "heat3d") {
+      std::fprintf(stderr, "psf-serve: unknown command \"%s\"\n",
+                   command.c_str());
+      continue;
+    }
+    const auto kv = parse_kv(tokens);
+    psf::serve::jobs::WorkloadOptions workload;
+    workload.ranks = static_cast<int>(get_u64(kv, "ranks", 2));
+    workload.gpus = static_cast<int>(get_u64(kv, "gpus", 1));
+    if (const auto it = kv.find("fault"); it != kv.end()) {
+      workload.fault_plan = it->second;
+    }
+    JobSpec spec;
+    spec.priority = static_cast<int>(
+        std::strtoll(kv.count("priority") ? kv.at("priority").c_str() : "0",
+                     nullptr, 10));
+    spec.record_trace = kv.count("trace") > 0;
+    if (command == "kmeans") {
+      psf::apps::kmeans::Params params;
+      params.num_points = get_u64(kv, "points", 2000);
+      params.num_clusters = static_cast<int>(get_u64(kv, "clusters", 8));
+      params.iterations = static_cast<int>(get_u64(kv, "iters", 2));
+      params.seed = get_u64(kv, "seed", 42);
+      spec.fn = psf::serve::jobs::kmeans(params, workload);
+    } else if (command == "sobel") {
+      psf::apps::sobel::Params params;
+      params.height = get_u64(kv, "height", 64);
+      params.width = get_u64(kv, "width", 64);
+      params.iterations = static_cast<int>(get_u64(kv, "iters", 2));
+      spec.fn = psf::serve::jobs::sobel(params, workload);
+    } else {
+      psf::apps::heat3d::Params params;
+      params.nx = get_u64(kv, "nx", 24);
+      params.ny = get_u64(kv, "ny", 24);
+      params.nz = get_u64(kv, "nz", 24);
+      params.iterations = static_cast<int>(get_u64(kv, "iters", 3));
+      spec.fn = psf::serve::jobs::heat3d(params, workload);
+    }
+    spec.name = command;
+    const bool traced = spec.record_trace;
+    auto submitted = server.submit(std::move(spec));
+    if (!submitted.is_ok()) {
+      std::fprintf(stderr, "psf-serve: submit failed: %s\n",
+                   submitted.status().to_string().c_str());
+      continue;
+    }
+    const std::uint64_t id = submitted.value().id();
+    pending[id] = PendingJob{submitted.value(), traced};
+    std::printf("job %llu submitted\n", static_cast<unsigned long long>(id));
+  }
+
+  // Implicit `wait all` on EOF/quit so scripts cannot lose results.
+  for (auto& [id, job] : pending) {
+    report(id, job, job.handle.wait(), metrics_dir, trace_dir);
+  }
+  server.shutdown();
+  return 0;
+}
