@@ -3,32 +3,50 @@
 // Drives a Server with thousands of small kmeans/sobel jobs UNDER a
 // long-running low-priority heat3d background job, all multiplexed onto
 // one shared work-stealing executor and the shared BufferPool. Reports
-// jobs/sec and latency percentiles, and checks the two serving
-// guarantees CI enforces:
+// jobs/sec and latency quantiles, and checks the serving guarantees CI
+// enforces:
 //
 //   * throughput floor: measured jobs/sec >= --min-jobs-per-s (0 = off);
 //   * steady-state zero-alloc: after the warm phase prewarmed the pool,
 //     the measured phase takes ZERO BufferPool misses (asserted here
 //     programmatically AND exported via --steady-metrics for
-//     validate_metrics.py --assert-zero support.pool.misses).
+//     validate_metrics.py --assert-zero support.pool.misses);
+//   * SLOs: --slo rules (docs/OBSERVABILITY.md grammar, e.g.
+//     "p99_latency_ms<5000;pool_misses==0") are watched live against the
+//     telemetry snapshots of the measured phase; any breach fails the run
+//     with a structured slo_report.
+//
+// Latency quantiles come from the Server's own serve.queue_wait_ms /
+// serve.run_ms / serve.latency_ms histograms (reset after the warm phase),
+// so queue wait and run time are reported separately — compare_bench.py
+// --check-queue-wait thresholds the queue columns independently of the
+// end-to-end ones.
 //
 // The per-job virtual times are executor- and load-independent, so the
 // "vtime" of each report row (the sum over the fixed measured job set) is
 // bit-identical across hosts and widths — compare_bench.py checks it
 // against bench/LOADGEN_baseline.json. Wall-clock numbers (jobs/sec,
-// p50/p99 latency) vary by machine; compare_bench --check-latency applies
+// latency quantiles) vary by machine; compare_bench --check-latency applies
 // loose thresholds to those.
 //
 //   loadgen [--jobs N] [--workers N] [--threads N] [--queue-depth N]
 //           [--min-jobs-per-s X] [--out PATH] [--hist PATH]
-//           [--steady-metrics PATH] [--smoke]
+//           [--steady-metrics PATH] [--telemetry PATH] [--slo RULES]
+//           [--smoke]
+//
+// --telemetry (or $PSF_TELEMETRY) streams psf.telemetry v1 JSONL covering
+// exactly the measured phase; loadgen owns the stream lifecycle, so the
+// environment variable is consumed here rather than arming the global
+// streamer at server construction.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +55,8 @@
 #include "serve/serve.h"
 #include "support/buffer_pool.h"
 #include "support/metrics.h"
+#include "telemetry/slo.h"
+#include "telemetry/streamer.h"
 
 namespace {
 
@@ -83,16 +103,6 @@ JobSpec make_background_job() {
       .with_fn(psf::serve::jobs::heat3d(params, WorkloadOptions{}));
 }
 
-double fmt_ms(double seconds) { return seconds * 1e3; }
-
-/// Percentile of a SORTED latency vector (nearest-rank on n-1).
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto index = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(index, sorted.size() - 1)];
-}
-
 bool write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::trunc);
   out << content << "\n";
@@ -110,6 +120,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string hist_path;
   std::string steady_path;
+  std::string telemetry_path;
+  std::string slo_spec;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -129,20 +141,52 @@ int main(int argc, char** argv) {
       hist_path = argv[++i];
     } else if (std::strcmp(argv[i], "--steady-metrics") == 0 && i + 1 < argc) {
       steady_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       jobs = 64;
     } else {
       std::fprintf(stderr,
                    "usage: loadgen [--jobs N] [--workers N] [--threads N] "
                    "[--queue-depth N] [--min-jobs-per-s X] [--out PATH] "
-                   "[--hist PATH] [--steady-metrics PATH] [--smoke]\n");
+                   "[--hist PATH] [--steady-metrics PATH] [--telemetry PATH] "
+                   "[--slo RULES] [--smoke]\n");
       return 2;
     }
   }
   jobs = std::max(2, jobs);
 
+  // loadgen owns its telemetry stream so it covers exactly the measured
+  // phase: consume $PSF_TELEMETRY here (and drop it from the environment,
+  // otherwise Server construction would arm the global streamer on the
+  // same file from process start).
+  if (telemetry_path.empty()) {
+    if (const char* env = std::getenv("PSF_TELEMETRY")) telemetry_path = env;
+  }
+#ifndef _WIN32
+  unsetenv("PSF_TELEMETRY");
+#endif
+
+  std::unique_ptr<psf::telemetry::slo::Watchdog> watchdog;
+  if (!slo_spec.empty()) {
+    auto rules = psf::telemetry::slo::parse_rules(slo_spec);
+    if (!rules.is_ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   rules.status().to_string().c_str());
+      return 2;
+    }
+    watchdog = std::make_unique<psf::telemetry::slo::Watchdog>(
+        std::move(rules).value());
+  }
+
   Server server(server_options);
   auto& pool = psf::support::BufferPool::global();
+  auto& registry = psf::metrics::Registry::global();
+  auto& queue_wait_hist = registry.histogram("serve.queue_wait_ms");
+  auto& run_hist = registry.histogram("serve.run_ms");
+  auto& latency_hist = registry.histogram("serve.latency_ms");
 
   // --- warm phase: touch every size class the measured mix will need ------
   std::printf("loadgen: warm phase (%d workers, executor_threads=%d)...\n",
@@ -172,6 +216,27 @@ int main(int argc, char** argv) {
   // buffers of one class in flight than any warm job happened to.
   pool.prewarm();
   const std::uint64_t misses_before = pool.misses();
+  // Quantiles describe the measured phase only; the server is idle here so
+  // no writer races the reset.
+  queue_wait_hist.reset();
+  run_hist.reset();
+  latency_hist.reset();
+
+  // The stream starts AFTER the warm phase, so since-start counters (and
+  // SLO rules like pool_misses==0) see only steady-state behaviour.
+  std::unique_ptr<psf::telemetry::SnapshotStreamer> streamer;
+  if (!telemetry_path.empty() || watchdog != nullptr) {
+    psf::telemetry::SnapshotStreamer::Options stream_options;
+    stream_options.path = telemetry_path;
+    stream_options.watchdog = watchdog.get();
+    if (const char* period = std::getenv("PSF_TELEMETRY_PERIOD_MS")) {
+      const int parsed = std::atoi(period);
+      if (parsed > 0) stream_options.snapshot_period_ms = parsed;
+    }
+    streamer =
+        std::make_unique<psf::telemetry::SnapshotStreamer>(stream_options);
+    streamer->start();
+  }
 
   // --- measured phase -----------------------------------------------------
   std::printf("loadgen: measured phase (%d jobs + background heat3d)...\n",
@@ -209,8 +274,6 @@ int main(int argc, char** argv) {
           .count();
 
   double vtime_sum = 0.0;
-  std::vector<double> latencies;  // submit -> terminal, seconds
-  latencies.reserve(handles.size());
   for (const auto& handle : handles) {
     const JobResult result = handle.wait();
     if (result.state != JobState::kDone) {
@@ -221,7 +284,6 @@ int main(int argc, char** argv) {
       return 1;
     }
     vtime_sum += result.vtime;
-    latencies.push_back(result.queue_wall_s + result.run_wall_s);
   }
   const JobResult bg_result = background.value().wait();
   if (bg_result.state != JobState::kDone) {
@@ -229,16 +291,26 @@ int main(int argc, char** argv) {
                  std::string(to_string(bg_result.state)).c_str());
     return 1;
   }
+  // Final snapshot + watchdog pass over the terminal state, then flush.
+  if (streamer != nullptr) streamer->stop();
 
   const std::uint64_t steady_misses = pool.misses() - misses_before;
-  std::sort(latencies.begin(), latencies.end());
-  const double p50_ms = fmt_ms(percentile(latencies, 0.50));
-  const double p99_ms = fmt_ms(percentile(latencies, 0.99));
+  const auto latency = latency_hist.snapshot();
+  const auto queue_wait = queue_wait_hist.snapshot();
+  const auto run = run_hist.snapshot();
+  const double p50_ms = latency.quantile(0.50);
+  const double p99_ms = latency.quantile(0.99);
+  const double queue_p50_ms = queue_wait.quantile(0.50);
+  const double queue_p99_ms = queue_wait.quantile(0.99);
+  const double run_p50_ms = run.quantile(0.50);
+  const double run_p99_ms = run.quantile(0.99);
   const double jobs_per_s = static_cast<double>(jobs) / elapsed_s;
 
   std::printf("loadgen: %d jobs in %.2fs -> %.1f jobs/s, "
-              "p50 %.2f ms, p99 %.2f ms, steady pool misses %llu\n",
-              jobs, elapsed_s, jobs_per_s, p50_ms, p99_ms,
+              "p50 %.2f ms, p99 %.2f ms (queue %.2f/%.2f, run %.2f/%.2f), "
+              "steady pool misses %llu\n",
+              jobs, elapsed_s, jobs_per_s, p50_ms, p99_ms, queue_p50_ms,
+              queue_p99_ms, run_p50_ms, run_p99_ms,
               static_cast<unsigned long long>(steady_misses));
 
   // --- reports ------------------------------------------------------------
@@ -261,6 +333,14 @@ int main(int argc, char** argv) {
     append_num(p50_ms);
     report += ",\"p99_ms\":";
     append_num(p99_ms);
+    report += ",\"queue_p50_ms\":";
+    append_num(queue_p50_ms);
+    report += ",\"queue_p99_ms\":";
+    append_num(queue_p99_ms);
+    report += ",\"run_p50_ms\":";
+    append_num(run_p50_ms);
+    report += ",\"run_p99_ms\":";
+    append_num(run_p99_ms);
     report += "},{\"name\":\"loadgen_heat3d_bg\",\"vtime\":";
     append_num(bg_result.vtime);
     report += ",\"speedup\":1,\"wall\":";
@@ -275,24 +355,8 @@ int main(int argc, char** argv) {
   }
 
   if (!hist_path.empty()) {
-    // Latency histogram: power-of-two millisecond buckets, "le"-labelled
-    // cumulative-style upper bounds (the last bucket is open-ended).
-    std::vector<double> bounds_ms;
-    for (double bound = 0.5; bound <= 4096.0; bound *= 2.0) {
-      bounds_ms.push_back(bound);
-    }
-    std::vector<std::uint64_t> counts(bounds_ms.size() + 1, 0);
-    for (const double latency : latencies) {
-      const double ms = fmt_ms(latency);
-      std::size_t bucket = bounds_ms.size();  // overflow bucket
-      for (std::size_t b = 0; b < bounds_ms.size(); ++b) {
-        if (ms <= bounds_ms[b]) {
-          bucket = b;
-          break;
-        }
-      }
-      ++counts[bucket];
-    }
+    // Latency histogram: the serve.latency_ms instrument's own log-spaced
+    // buckets, "le"-labelled upper bounds (the last bucket is open-ended).
     std::string hist = "{\"schema\":\"psf.loadgen\",\"version\":1,"
                        "\"jobs\":" + std::to_string(jobs) + ",\"jobs_per_s\":";
     std::snprintf(buffer, sizeof(buffer), "%.17g", jobs_per_s);
@@ -305,16 +369,17 @@ int main(int argc, char** argv) {
     hist += buffer;
     hist += ",\"steady_pool_misses\":" + std::to_string(steady_misses);
     hist += ",\"buckets\":[";
-    for (std::size_t b = 0; b < counts.size(); ++b) {
+    for (std::size_t b = 0; b < latency.buckets.size(); ++b) {
       if (b > 0) hist += ",";
       hist += "{\"le_ms\":";
-      if (b < bounds_ms.size()) {
-        std::snprintf(buffer, sizeof(buffer), "%.17g", bounds_ms[b]);
+      const double upper = latency.buckets[b].first;
+      if (std::isfinite(upper)) {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", upper);
         hist += buffer;
       } else {
         hist += "\"inf\"";
       }
-      hist += ",\"count\":" + std::to_string(counts[b]) + "}";
+      hist += ",\"count\":" + std::to_string(latency.buckets[b].second) + "}";
     }
     hist += "]}";
     if (!psf::metrics::validate_json(hist) || !write_file(hist_path, hist)) {
@@ -356,6 +421,24 @@ int main(int argc, char** argv) {
                  "loadgen: FAIL — %.1f jobs/s is below the %.1f floor\n",
                  jobs_per_s, min_jobs_per_s);
     return 1;
+  }
+  if (watchdog != nullptr) {
+    const std::string report = watchdog->report_json();
+    std::printf("%s\n", report.c_str());
+    if (!telemetry_path.empty()) {
+      std::ofstream out(telemetry_path, std::ios::app);
+      out << report << "\n";
+    }
+    if (watchdog->breach_count() != 0) {
+      std::fprintf(stderr,
+                   "loadgen: FAIL — %llu SLO breach(es) against \"%s\" "
+                   "(see slo_report above)\n",
+                   static_cast<unsigned long long>(watchdog->breach_count()),
+                   slo_spec.c_str());
+      return 1;
+    }
+    std::printf("loadgen: all %zu SLO rule(s) held\n",
+                watchdog->rules().size());
   }
   return 0;
 }

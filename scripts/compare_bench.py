@@ -23,6 +23,11 @@ the build, not just the eyeball test.
 produced by bench/loadgen) against the baseline with the loose
 --latency-threshold, and --max-p99-ms puts an absolute ceiling on p99 so a
 pathological stall fails even if the baseline was captured on a slow host.
+--check-queue-wait additionally compares the queue_p50_ms/queue_p99_ms
+columns (loadgen reports them separately from run time since the serve
+histograms split admission-to-dispatch from dispatch-to-done) against the
+same --latency-threshold: a scheduling regression that leaves run time flat
+but parks jobs in the queue is caught on its own column.
 Latencies are wall-clock and host-dependent, so the load-smoke CI job uses
 generous margins; the hard guarantees there are the jobs/sec floor and the
 zero-pool-miss assertion, which loadgen enforces itself.
@@ -31,7 +36,7 @@ Usage:
   scripts/compare_bench.py BASELINE.json NEW.json [--threshold PCT]
                            [--check-wall] [--wall-threshold PCT]
                            [--check-latency] [--latency-threshold PCT]
-                           [--max-p99-ms MS]
+                           [--check-queue-wait] [--max-p99-ms MS]
                            [--assert-faster FAST:SLOW]...
 """
 
@@ -113,6 +118,12 @@ def main() -> int:
         "(default 100: wall latencies are host-dependent)",
     )
     parser.add_argument(
+        "--check-queue-wait",
+        action="store_true",
+        help="also compare the queue_p50_ms/queue_p99_ms queue-wait columns "
+        "(loadgen rows) against --latency-threshold",
+    )
+    parser.add_argument(
         "--max-p99-ms",
         type=float,
         default=None,
@@ -184,6 +195,11 @@ def main() -> int:
         latency = ""
         if args.check_latency:
             for column in ("p50_ms", "p99_ms"):
+                latency += check_latency_column(
+                    name, column, base_row, new_row,
+                    args.latency_threshold, failures)
+        if args.check_queue_wait:
+            for column in ("queue_p50_ms", "queue_p99_ms"):
                 latency += check_latency_column(
                     name, column, base_row, new_row,
                     args.latency_threshold, failures)

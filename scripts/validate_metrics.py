@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
 """Validate a PSF JSON report against its schema (stdlib only).
 
-Three report kinds:
-  metrics  — psf.metrics v1, written by the runtime registry
-             (PSF_METRICS=out.json or EnvOptions::with_metrics_path)
-  bench    — psf.bench v1, written by bench/run_all
-  analysis — psf.analysis v1, written by tools/psf-analyze --json
+Four report kinds:
+  metrics   — psf.metrics v1, written by the runtime registry
+              (PSF_METRICS=out.json or EnvOptions::with_metrics_path)
+  bench     — psf.bench v1, written by bench/run_all
+  analysis  — psf.analysis v1, written by tools/psf-analyze --json
+  telemetry — psf.telemetry v1 JSONL stream, written by the telemetry
+              SnapshotStreamer (PSF_TELEMETRY=out.jsonl or
+              EnvOptions::with_telemetry_path); one object per line,
+              kinds "snapshot", "breach" and "slo_report"
 
 Usage:
-  scripts/validate_metrics.py [--kind metrics|bench|analysis]
+  scripts/validate_metrics.py [--kind metrics|bench|analysis|telemetry]
                               [--assert-zero COUNTER]...
-                              [--assert-positive COUNTER]... REPORT.json
+                              [--assert-positive COUNTER]...
+                              [--assert-no-breach] REPORT.json
+
+--assert-no-breach (telemetry kind only) fails the check if the stream
+contains any SLO breach event or an slo_report with breaches != 0. The
+CI telemetry-smoke step uses it to pin "baseline load meets its SLOs".
 
 --assert-zero (metrics kind only, repeatable) fails the check unless the
 named counter exists and is exactly zero. CI uses it on the steady-state
@@ -33,6 +42,25 @@ def fail(message: str) -> None:
     raise SystemExit(f"validate_metrics: {message}")
 
 
+def check_histogram_section(histograms, where: str) -> None:
+    if not isinstance(histograms, dict):
+        fail(f"histograms section in {where} is not an object")
+    for name, digest in histograms.items():
+        if not isinstance(digest, dict):
+            fail(f"histogram {name!r} in {where} is not an object")
+        count = digest.get("count")
+        if not isinstance(count, int) or count < 0:
+            fail(f"histogram {name!r} count is invalid: {count!r}")
+        for stat in ("sum", "min", "max", "p50", "p90", "p99"):
+            if not isinstance(digest.get(stat), numbers.Real):
+                fail(
+                    f"histogram {name!r} {stat} is not a number: "
+                    f"{digest.get(stat)!r}"
+                )
+        if count > 0 and not digest["min"] <= digest["p50"] <= digest["max"]:
+            fail(f"histogram {name!r} p50 outside [min, max]: {digest!r}")
+
+
 def check_metrics(report: dict) -> None:
     if report.get("schema") != "psf.metrics":
         fail(f"schema is {report.get('schema')!r}, want 'psf.metrics'")
@@ -41,6 +69,9 @@ def check_metrics(report: dict) -> None:
     for section in ("counters", "gauges", "timers"):
         if not isinstance(report.get(section), dict):
             fail(f"missing object section {section!r}")
+    # Optional since telemetry landed: histogram digests ride along.
+    if "histograms" in report:
+        check_histogram_section(report["histograms"], "metrics report")
     for name, value in report["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail(f"counter {name!r} is not a non-negative integer: {value!r}")
@@ -167,12 +198,89 @@ def check_analysis(report: dict) -> None:
             fail(f"what_if.projected_makespan invalid: {projected!r}")
 
 
+def check_breach_fields(event: dict, line_no: int) -> None:
+    for key in ("rule", "metric"):
+        if not isinstance(event.get(key), str) or not event[key]:
+            fail(f"line {line_no}: breach {key} is invalid: {event.get(key)!r}")
+    for key in ("value", "bound"):
+        if not isinstance(event.get(key), numbers.Real):
+            fail(f"line {line_no}: breach {key} is not a number: "
+                 f"{event.get(key)!r}")
+
+
+def check_telemetry(path: str, assert_no_breach: bool) -> None:
+    snapshots = 0
+    breaches = 0
+    try:
+        with open(path) as stream:
+            lines = stream.readlines()
+    except OSError as error:
+        fail(str(error))
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"line {line_no}: not valid JSON: {error}")
+        if not isinstance(event, dict):
+            fail(f"line {line_no}: not a JSON object")
+        if event.get("schema") != "psf.telemetry":
+            fail(f"line {line_no}: schema is {event.get('schema')!r}, "
+                 "want 'psf.telemetry'")
+        if event.get("version") != 1:
+            fail(f"line {line_no}: version is {event.get('version')!r}, want 1")
+        kind = event.get("kind")
+        if kind == "snapshot":
+            snapshots += 1
+            seq = event.get("seq")
+            if not isinstance(seq, int) or seq < 0:
+                fail(f"line {line_no}: snapshot seq invalid: {seq!r}")
+            uptime = event.get("uptime_s")
+            if not isinstance(uptime, numbers.Real) or uptime < 0:
+                fail(f"line {line_no}: snapshot uptime_s invalid: {uptime!r}")
+            for section in ("counters", "deltas", "gauges", "profile"):
+                if not isinstance(event.get(section), dict):
+                    fail(f"line {line_no}: snapshot missing object section "
+                         f"{section!r}")
+            if not isinstance(event.get("workers"), list):
+                fail(f"line {line_no}: snapshot missing workers array")
+            check_histogram_section(
+                event.get("histograms"), f"snapshot line {line_no}"
+            )
+        elif kind == "breach":
+            breaches += 1
+            check_breach_fields(event, line_no)
+        elif kind == "slo_report":
+            if not isinstance(event.get("rules"), int):
+                fail(f"line {line_no}: slo_report rules invalid")
+            reported = event.get("breaches")
+            if not isinstance(reported, int) or reported < 0:
+                fail(f"line {line_no}: slo_report breaches invalid")
+            events = event.get("events")
+            if not isinstance(events, list):
+                fail(f"line {line_no}: slo_report events is not an array")
+            for sub in events:
+                check_breach_fields(sub, line_no)
+            breaches = max(breaches, reported)
+        else:
+            fail(f"line {line_no}: unknown kind {kind!r}")
+    if snapshots == 0:
+        fail("telemetry stream contains no snapshot events")
+    if assert_no_breach and breaches != 0:
+        fail(f"--assert-no-breach: stream records {breaches} SLO breach(es)")
+    print(
+        f"validate_metrics: {snapshots} snapshot(s), {breaches} breach(es)"
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="JSON report to validate")
     parser.add_argument(
         "--kind",
-        choices=("metrics", "bench", "analysis"),
+        choices=("metrics", "bench", "analysis", "telemetry"),
         default="metrics",
         help="report schema to check against (default: metrics)",
     )
@@ -192,11 +300,27 @@ def main() -> int:
         help="require this counter to be present and strictly positive "
         "(metrics kind only, repeatable)",
     )
+    parser.add_argument(
+        "--assert-no-breach",
+        action="store_true",
+        help="fail if the stream records any SLO breach "
+        "(telemetry kind only)",
+    )
     args = parser.parse_args()
     if args.assert_zero and args.kind != "metrics":
         parser.error("--assert-zero only applies to --kind metrics")
     if args.assert_positive and args.kind != "metrics":
         parser.error("--assert-positive only applies to --kind metrics")
+    if args.assert_no_breach and args.kind != "telemetry":
+        parser.error("--assert-no-breach only applies to --kind telemetry")
+
+    if args.kind == "telemetry":
+        # JSONL: validated line by line, not as one JSON document.
+        check_telemetry(args.report, args.assert_no_breach)
+        print(
+            f"validate_metrics: {args.report} is a valid psf.telemetry stream"
+        )
+        return 0
 
     try:
         with open(args.report) as f:

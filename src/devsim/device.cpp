@@ -7,6 +7,7 @@
 
 #include "fault/fault.h"
 #include "support/sync.h"
+#include "telemetry/prof.h"
 
 namespace psf::devsim {
 
@@ -157,6 +158,7 @@ void Device::run_blocks_impl(
 
   pool_->parallel_for(
       static_cast<std::size_t>(num_blocks), [&](std::size_t block) {
+        PSF_PROF_SCOPE("dev.block");
         std::size_t slot;
         {
           std::lock_guard<support::SpinLock> guard(arena_lock_);

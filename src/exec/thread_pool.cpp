@@ -7,6 +7,7 @@
 #include "exec/parallel_for.h"
 #include "support/ambient.h"
 #include "support/metrics.h"
+#include "telemetry/prof.h"
 
 namespace psf::exec {
 
@@ -67,6 +68,9 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 #endif
         {
           const support::ambient::ScopedSnapshot scope(snapshot);
+          // Default occupancy tag for the sampling profiler; pattern code
+          // inside body() narrows it ("st.sweep", "gr.chunk", ...).
+          PSF_PROF_SCOPE("exec.task");
           body();
         }
         // Executor stats record AFTER the submitter's scope is restored:
@@ -139,6 +143,11 @@ std::size_t ThreadPool::resolve_workers(int requested) {
 }
 
 void ThreadPool::worker_loop() {
+#ifndef PSF_DISABLE_METRICS
+  // Claim a profiler slot up front so idle workers appear in occupancy
+  // reports (busy = 0) instead of being invisible until their first task.
+  telemetry::prof::register_this_thread();
+#endif
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -179,6 +179,7 @@ void Communicator::deliver(int dest, int tag,
   PSF_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank " << dest);
   PSF_METRIC_ADD("minimpi.messages_sent", 1);
   PSF_METRIC_ADD("minimpi.bytes_sent", payload.size());
+  PSF_METRIC_HIST_RECORD("minimpi.msg_bytes", payload.size());
   // A fresh (non-recycled) payload means this send heap-allocated; the
   // steady-state contract is that this counter stops moving once the pool
   // is warm (asserted on the bench-smoke report in CI).

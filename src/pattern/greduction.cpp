@@ -10,6 +10,7 @@
 #include "pattern/runtime_env.h"
 #include "support/log.h"
 #include "support/metrics.h"
+#include "telemetry/prof.h"
 
 namespace psf::pattern {
 
@@ -199,6 +200,7 @@ support::Status GReductionRuntime::start() {
   // order, so the result is independent of lane timing.
   std::vector<std::unique_ptr<ReductionObject>> device_results(specs.size());
   exec::parallel_for(env_->executor(), specs.size(), [&](std::size_t d) {
+    PSF_PROF_SCOPE("gr.chunk");
     device_results[d] =
         execute_device_chunks(static_cast<int>(d), my_begin, schedule);
   });

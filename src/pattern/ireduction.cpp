@@ -11,6 +11,7 @@
 #include "pattern/runtime_env.h"
 #include "support/log.h"
 #include "support/metrics.h"
+#include "telemetry/prof.h"
 #include "timemodel/timeline.h"
 
 namespace psf::pattern {
@@ -412,6 +413,7 @@ double IReductionRuntime::compute_edges(bool include_local,
   // the dense local result are disjoint and the outcome is independent of
   // lane interleaving.
   exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
+    PSF_PROF_SCOPE("ir.edges");
     const auto& plan = device_plans_[d];
     if (include_local) {
       run_device_edges(static_cast<int>(d), plan.local_edges);

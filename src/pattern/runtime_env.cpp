@@ -10,6 +10,7 @@
 #include "pattern/stencil.h"
 #include "support/log.h"
 #include "support/metrics.h"
+#include "telemetry/streamer.h"
 
 namespace psf::pattern {
 
@@ -24,6 +25,13 @@ RuntimeEnv::RuntimeEnv(minimpi::Communicator& comm, EnvOptions options)
       rates_(timemodel::app_rates(options_.app_profile)),
       init_status_(validate_options()) {
   if (!init_status_.is_ok()) return;  // init() reports; nothing to build
+  // Arm the live telemetry stream (off the time model, so vtimes are
+  // unaffected). Explicit path wins; otherwise $PSF_TELEMETRY, if set.
+  if (!options_.telemetry_path.empty()) {
+    telemetry::SnapshotStreamer::ensure_global(options_.telemetry_path);
+  } else {
+    telemetry::SnapshotStreamer::ensure_global_from_env();
+  }
   std::string plan_spec = options_.fault_plan;
   if (plan_spec.empty()) {
     if (const char* env = std::getenv("PSF_FAULT_PLAN")) plan_spec = env;

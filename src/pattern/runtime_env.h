@@ -104,6 +104,13 @@ struct EnvOptions {
   /// reports cover the whole run, not just this rank.
   std::string metrics_path;
 
+  /// When non-empty, arms the process-global telemetry stream at this path
+  /// (telemetry::SnapshotStreamer::ensure_global — first caller wins; the
+  /// `PSF_TELEMETRY` environment variable is the no-code-change
+  /// equivalent). Live snapshots of the GLOBAL registry, JSONL, schema
+  /// psf.telemetry v1; see docs/OBSERVABILITY.md "Live telemetry".
+  std::string telemetry_path;
+
   /// Fault-injection plan (docs/RESILIENCE.md grammar, e.g.
   /// "device:*.gpu1@iter=2;msg_drop:p=0.01,seed=42"). Empty = no faults.
   /// The `PSF_FAULT_PLAN` environment variable is used when this is empty.
@@ -179,6 +186,10 @@ struct EnvOptions {
   }
   EnvOptions& with_metrics_path(std::string value) {
     metrics_path = std::move(value);
+    return *this;
+  }
+  EnvOptions& with_telemetry_path(std::string value) {
+    telemetry_path = std::move(value);
     return *this;
   }
   EnvOptions& with_fault_plan(std::string value) {

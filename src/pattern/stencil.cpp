@@ -15,6 +15,7 @@
 #include "pattern/runtime_env.h"
 #include "support/log.h"
 #include "support/metrics.h"
+#include "telemetry/prof.h"
 #include "timemodel/timeline.h"
 
 namespace psf::pattern {
@@ -502,6 +503,7 @@ support::Status StencilRuntime::reduce_pass(CellEmitFn emit,
   for (int pass = 0; pass < 2; ++pass) {
     const bool want_inner = pass == 0;
     exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
+      PSF_PROF_SCOPE("st.emit");
       walk_rows(static_cast<int>(d), last_sweep_row_bounds_[d],
                 last_sweep_row_bounds_[d + 1], want_inner,
                 /*apply_stencil=*/false, emit, emit_parameter, sink,
@@ -727,6 +729,7 @@ support::Status StencilRuntime::start() {
 
     // Device lanes run concurrently; rows are disjoint between devices.
     exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
+      PSF_PROF_SCOPE("st.inner");
       compute_rows(static_cast<int>(d), device_row_bounds_[d],
                    device_row_bounds_[d + 1], /*want_inner=*/true);
     });
@@ -774,6 +777,7 @@ support::Status StencilRuntime::start() {
     const double fork = comm.timeline().now();
     timemodel::LaneSet lanes(devices.size(), fork);
     exec::parallel_for(env_->executor(), devices.size(), [&](std::size_t d) {
+      PSF_PROF_SCOPE("st.boundary");
       compute_rows(static_cast<int>(d), device_row_bounds_[d],
                    device_row_bounds_[d + 1], /*want_inner=*/false);
     });

@@ -118,10 +118,14 @@ class JobScope {
       : registry_scope_(&context.metrics()),
         fault_scope_(&context.fault_log()),
         previous_job_(support::ambient::swap(
-            support::ambient::Slot::kJobContext, &context)) {}
+            support::ambient::Slot::kJobContext, &context)),
+        previous_job_id_(support::ambient::swap(
+            support::ambient::Slot::kJobId,
+            support::ambient::encode_job_id(context.id()))) {}
   JobScope(const JobScope&) = delete;
   JobScope& operator=(const JobScope&) = delete;
   ~JobScope() {
+    support::ambient::swap(support::ambient::Slot::kJobId, previous_job_id_);
     support::ambient::swap(support::ambient::Slot::kJobContext,
                            previous_job_);
   }
@@ -130,6 +134,7 @@ class JobScope {
   metrics::ScopedRegistry registry_scope_;
   fault::ScopedFaultLog fault_scope_;
   void* previous_job_;
+  void* previous_job_id_;
 };
 
 /// Run a minimpi World under `context`: every rank thread executes

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "support/log.h"
 #include "support/metrics.h"
+#include "telemetry/streamer.h"
 
 namespace psf::serve {
 
@@ -101,6 +103,14 @@ Server::Server(ServerOptions options)
     : options_(options),
       pool_(exec::ThreadPool::resolve_workers(options.executor_threads)) {
   options_.workers = std::max(1, options_.workers);
+  // Any serving entry point arms the $PSF_TELEMETRY stream, same as
+  // RuntimeEnv does for single-job runs.
+  telemetry::SnapshotStreamer::ensure_global_from_env();
+  auto& registry = metrics::Registry::global();
+  queue_wait_ms_hist_ = &registry.histogram("serve.queue_wait_ms");
+  run_ms_hist_ = &registry.histogram("serve.run_ms");
+  latency_ms_hist_ = &registry.histogram("serve.latency_ms");
+  queue_depth_gauge_ = &registry.gauge("serve.queue_depth");
   started_ = !options_.start_paused;
   runners_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -137,6 +147,7 @@ support::StatusOr<JobHandle> Server::submit(JobSpec spec) {
     queue_.emplace(QueueKey{-static_cast<long long>(job->priority), job->seq},
                    job);
     ++submitted_;
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
   }
   PSF_METRIC_ADD("serve.jobs_submitted", 1);
   dispatch_cv_.notify_one();
@@ -183,6 +194,30 @@ ServerStats Server::stats() const {
   return stats;
 }
 
+std::string Server::stats_json() const {
+  const ServerStats now = stats();
+  std::ostringstream json;
+  json << "{\"schema\":\"psf.serve\",\"version\":1,\"submitted\":"
+       << now.submitted << ",\"rejected\":" << now.rejected
+       << ",\"completed\":" << now.completed << ",\"failed\":" << now.failed
+       << ",\"cancelled\":" << now.cancelled << ",\"queued\":" << now.queued
+       << ",\"running\":" << now.running << ",\"histograms\":{";
+  bool first = true;
+  const std::pair<const char*, metrics::Histogram*> hists[] = {
+      {"serve.queue_wait_ms", queue_wait_ms_hist_},
+      {"serve.run_ms", run_ms_hist_},
+      {"serve.latency_ms", latency_ms_hist_},
+  };
+  for (const auto& [name, hist] : hists) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << name
+         << "\":" << metrics::histogram_snapshot_json(hist->snapshot());
+  }
+  json << "}}";
+  return json.str();
+}
+
 void Server::runner_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
@@ -198,6 +233,7 @@ void Server::runner_loop() {
       job = queue_.begin()->second;
       queue_.erase(queue_.begin());
       ++running_;
+      queue_depth_gauge_->set(static_cast<double>(queue_.size()));
     }
     run_job(job);
     note_runner_idle();
@@ -245,6 +281,8 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
 
 void Server::finish_job(const std::shared_ptr<Job>& job, JobState state,
                         support::Status status, double vtime) {
+  double queue_wall_s = 0.0;
+  double run_wall_s = 0.0;
   {
     std::lock_guard<std::mutex> guard(job->mutex);
     if (job->state == JobState::kRunning) {
@@ -254,8 +292,19 @@ void Server::finish_job(const std::shared_ptr<Job>& job, JobState state,
     job->state = state;
     job->status = std::move(status);
     job->vtime = vtime;
+    queue_wall_s = job->queue_wall_s;
+    run_wall_s = job->run_wall_s;
   }
   job->cv.notify_all();
+  if (state == JobState::kDone) {
+    // Latency histograms describe SUCCESSFUL serving; failed/cancelled
+    // jobs would skew quantiles with near-zero or truncated times. This
+    // runs after the JobScope was torn down, so the records land in the
+    // process-global registry the Server cached at construction.
+    queue_wait_ms_hist_->record(queue_wall_s * 1e3);
+    run_ms_hist_->record(run_wall_s * 1e3);
+    latency_ms_hist_->record((queue_wall_s + run_wall_s) * 1e3);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     switch (state) {
@@ -284,6 +333,7 @@ bool Server::cancel_job(const std::shared_ptr<detail::Job>& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     removed = queue_.erase(QueueKey{-static_cast<long long>(job->priority),
                                     job->seq}) > 0;
+    if (removed) queue_depth_gauge_->set(static_cast<double>(queue_.size()));
     if (removed && queue_.empty() && running_ == 0) idle_cv_.notify_all();
   }
   if (removed) {

@@ -39,6 +39,7 @@
 #include "exec/thread_pool.h"
 #include "serve/job_context.h"
 #include "support/error.h"
+#include "support/metrics.h"
 
 namespace psf::serve {
 
@@ -218,6 +219,13 @@ class Server {
   [[nodiscard]] exec::ThreadPool& executor() noexcept { return pool_; }
 
   [[nodiscard]] ServerStats stats() const;
+
+  /// One-line JSON view of stats() plus the server's latency histograms
+  /// (serve.queue_wait_ms / serve.run_ms / serve.latency_ms digests from
+  /// the process-global registry). psf-top attaches here when no telemetry
+  /// stream is armed.
+  [[nodiscard]] std::string stats_json() const;
+
   [[nodiscard]] const ServerOptions& options() const noexcept {
     return options_;
   }
@@ -254,6 +262,15 @@ class Server {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
+
+  // Serving instruments live in the PROCESS-GLOBAL registry (not per-job):
+  // queue wait and dispatch latency describe the server, and finish_job
+  // runs after the JobScope is torn down anyway. Cached once at
+  // construction — Registry's node-based map keeps references stable.
+  metrics::Histogram* queue_wait_ms_hist_;
+  metrics::Histogram* run_ms_hist_;
+  metrics::Histogram* latency_ms_hist_;
+  metrics::Gauge* queue_depth_gauge_;
 
   std::vector<std::thread> runners_;
 };

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
 namespace psf::support::ambient {
 
@@ -34,8 +35,11 @@ enum class Slot : std::size_t {
   kMetricsRegistry = 0,  ///< metrics::Registry* (metrics::ScopedRegistry)
   kFaultLog = 1,         ///< fault::FaultLog* (fault::ScopedFaultLog)
   kJobContext = 2,       ///< serve::JobContext* (serve::JobScope)
+  kJobId = 3,            ///< job id + 1 encoded as void* (serve::JobScope);
+                         ///< lets support/log.cpp attribute lines to the
+                         ///< ambient job without depending on serve
 };
-inline constexpr std::size_t kNumSlots = 3;
+inline constexpr std::size_t kNumSlots = 4;
 
 namespace detail {
 extern thread_local std::array<void*, kNumSlots> tls_slots;
@@ -53,6 +57,19 @@ inline void* swap(Slot slot, void* value) noexcept {
   void* previous = entry;
   entry = value;
   return previous;
+}
+
+/// Encode `id` for the kJobId slot: id + 1, so an empty slot (nullptr)
+/// reads as "no job" without colliding with job id 0.
+[[nodiscard]] inline void* encode_job_id(std::uint64_t id) noexcept {
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(id + 1));
+}
+
+/// Decode the kJobId slot: the ambient job id, or 0 when the calling thread
+/// runs outside any job (serve issues ids starting at 1).
+[[nodiscard]] inline std::uint64_t current_job_id() noexcept {
+  const auto raw = reinterpret_cast<std::uintptr_t>(get(Slot::kJobId));
+  return raw == 0 ? 0 : static_cast<std::uint64_t>(raw - 1);
 }
 
 /// Point-in-time copy of every slot. exec::ThreadPool captures one per

@@ -19,6 +19,7 @@ std::size_t BufferPool::class_index(std::size_t bytes) noexcept {
 
 PooledBuffer BufferPool::acquire(std::size_t bytes) {
   if (bytes == 0) return PooledBuffer();
+  PSF_METRIC_HIST_RECORD("support.pool.acquire_bytes", bytes);
 
   const std::size_t index = class_index(bytes);
   if (index < kNumClasses) {

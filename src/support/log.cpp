@@ -1,10 +1,16 @@
 #include "support/log.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
+#include <utility>
+
+#include "support/ambient.h"
 
 namespace psf::support {
 
@@ -20,9 +26,31 @@ std::atomic<LogLevel>& level_storage() {
   return level;
 }
 
+std::atomic<LogFormat>& format_storage() {
+  static std::atomic<LogFormat> format = [] {
+    if (const char* env = std::getenv("PSF_LOG_FORMAT")) {
+      std::string lower;
+      for (const char* c = env; *c != '\0'; ++c) {
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*c))));
+      }
+      if (lower == "json") return LogFormat::kJson;
+    }
+    return LogFormat::kText;
+  }();
+  return format;
+}
+
 std::mutex& sink_mutex() {
   static std::mutex m;
   return m;
+}
+
+using TestSink = void (*)(LogLevel, const std::string&);
+
+TestSink& test_sink() {
+  static TestSink sink = nullptr;
+  return sink;
 }
 
 constexpr const char* level_tag(LogLevel level) {
@@ -34,6 +62,131 @@ constexpr const char* level_tag(LogLevel level) {
     case LogLevel::kTrace: return "T";
   }
   return "?";
+}
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "unknown";
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Format one line (no trailing newline) in the active format.
+std::string format_line(LogLevel level, std::string_view component,
+                        std::string_view message) {
+  if (format_storage().load(std::memory_order_relaxed) == LogFormat::kText) {
+    std::string line = "[psf:";
+    line += level_tag(level);
+    line += "] ";
+    line.append(component);
+    line += ": ";
+    line.append(message);
+    return line;
+  }
+  const double ts_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - process_start())
+          .count();
+  char ts_buffer[48];
+  std::snprintf(ts_buffer, sizeof(ts_buffer), "%.3f", ts_ms);
+  std::string line = "{\"ts_ms\":";
+  line += ts_buffer;
+  line += ",\"level\":\"";
+  line += level_name(level);
+  line += "\",\"component\":\"";
+  append_json_escaped(line, component);
+  line += "\"";
+  // Ambient job id: non-zero only under a serve JobScope (or a snapshot
+  // propagated from one onto an executor worker).
+  if (const std::uint64_t job = ambient::current_job_id(); job != 0) {
+    char job_buffer[32];
+    std::snprintf(job_buffer, sizeof(job_buffer), "%llu",
+                  static_cast<unsigned long long>(job));
+    line += ",\"job\":";
+    line += job_buffer;
+  }
+  line += ",\"msg\":\"";
+  append_json_escaped(line, message);
+  line += "\"}";
+  return line;
+}
+
+/// Already holding the sink mutex: hand the formatted line to the test
+/// sink or stderr.
+void emit_line(LogLevel level, std::string_view component,
+               std::string_view message) {
+  const std::string line = format_line(level, component, message);
+  if (test_sink() != nullptr) {
+    test_sink()(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+// --- duplicate rate limiting -------------------------------------------------
+
+struct RateConfig {
+  double burst = 8.0;        ///< identical lines passing before suppression
+  double per_second = 2.0;   ///< refill rate once the burst is spent
+};
+
+RateConfig& rate_config() {
+  static RateConfig config;
+  return config;
+}
+
+/// Token bucket + duplicate tracker for one (level, component) key.
+struct RateState {
+  double tokens = 0.0;
+  bool initialized = false;
+  std::chrono::steady_clock::time_point last_refill;
+  std::string last_message;
+  std::uint64_t suppressed = 0;
+};
+
+std::map<std::pair<int, std::string>, RateState>& rate_states() {
+  static auto* states =
+      new std::map<std::pair<int, std::string>, RateState>();
+  return *states;
+}
+
+/// Emit the pending "suppressed N duplicates" summary for `state`, if any.
+void flush_suppressed(LogLevel level, std::string_view component,
+                      RateState& state) {
+  if (state.suppressed == 0) return;
+  std::string summary = "suppressed " + std::to_string(state.suppressed) +
+                        " duplicate" + (state.suppressed == 1 ? "" : "s") +
+                        " of: " + state.last_message;
+  state.suppressed = 0;
+  emit_line(level, component, summary);
 }
 
 }  // namespace
@@ -58,12 +211,70 @@ LogLevel Log::parse_level(std::string_view text) noexcept {
   return LogLevel::kWarn;
 }
 
+LogFormat Log::format() noexcept {
+  return format_storage().load(std::memory_order_relaxed);
+}
+
+void Log::set_format(LogFormat format) noexcept {
+  format_storage().store(format, std::memory_order_relaxed);
+}
+
+void Log::set_rate_limit(double burst, double per_second) noexcept {
+  std::lock_guard<std::mutex> guard(sink_mutex());
+  rate_config().burst = burst;
+  rate_config().per_second = per_second < 0.0 ? 0.0 : per_second;
+  rate_states().clear();
+}
+
+void Log::set_sink_for_testing(void (*sink)(LogLevel, const std::string&)) {
+  std::lock_guard<std::mutex> guard(sink_mutex());
+  test_sink() = sink;
+}
+
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   std::lock_guard<std::mutex> guard(sink_mutex());
-  std::fprintf(stderr, "[psf:%s] %.*s: %.*s\n", level_tag(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+
+  // Duplicate suppression guards the levels that repeat under failure
+  // storms (a lost device warns once per retry, a flaky link per message);
+  // info and below are already opt-in via the level threshold.
+  const RateConfig config = rate_config();
+  if (config.burst > 0.0 &&
+      (level == LogLevel::kError || level == LogLevel::kWarn)) {
+    auto& state = rate_states()[{static_cast<int>(level),
+                                 std::string(component)}];
+    const auto now = std::chrono::steady_clock::now();
+    if (!state.initialized) {
+      state.initialized = true;
+      state.tokens = config.burst;
+      state.last_refill = now;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - state.last_refill).count();
+      state.tokens = std::min(config.burst,
+                              state.tokens + elapsed * config.per_second);
+      state.last_refill = now;
+    }
+    if (message != state.last_message) {
+      // A distinct line always passes; settle the previous run first so
+      // the summary lands next to its duplicates.
+      flush_suppressed(level, component, state);
+      state.last_message = std::string(message);
+      if (state.tokens >= 1.0) state.tokens -= 1.0;
+      emit_line(level, component, message);
+      return;
+    }
+    if (state.tokens < 1.0) {
+      ++state.suppressed;
+      return;
+    }
+    state.tokens -= 1.0;
+    flush_suppressed(level, component, state);
+    emit_line(level, component, message);
+    return;
+  }
+
+  emit_line(level, component, message);
 }
 
 }  // namespace psf::support

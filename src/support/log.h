@@ -1,6 +1,18 @@
 // PSF — Pattern Specification Framework
 // Minimal leveled logger. Thread-safe, writes to stderr. Controlled by
 // PSF_LOG_LEVEL (env var or set_level): error < warn < info < debug < trace.
+//
+// Output format (PSF_LOG_FORMAT or set_format):
+//   text (default)  [psf:W] component: message
+//   json            one JSON object per line with a monotonic timestamp,
+//                   level, component, the ambient job id (when the line was
+//                   emitted under a serve JobScope) and the message —
+//                   machine-tailable alongside the psf.telemetry stream.
+//
+// Repeated IDENTICAL warn/error lines are rate-limited with a token bucket
+// per (level, component): a burst passes through, further duplicates are
+// swallowed and later acknowledged with one "suppressed N duplicates"
+// summary line. Distinct messages are never suppressed.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +30,11 @@ enum class LogLevel : std::uint8_t {
   kTrace = 4,
 };
 
+enum class LogFormat : std::uint8_t {
+  kText = 0,
+  kJson = 1,
+};
+
 /// Global logger configuration and sink.
 class Log {
  public:
@@ -27,6 +44,21 @@ class Log {
 
   /// Parse "error"/"warn"/"info"/"debug"/"trace" (case-insensitive).
   static LogLevel parse_level(std::string_view text) noexcept;
+
+  /// Current output format (PSF_LOG_FORMAT=json selects JSON at startup).
+  static LogFormat format() noexcept;
+  static void set_format(LogFormat format) noexcept;
+
+  /// Duplicate rate limit for warn/error lines: up to `burst` identical
+  /// lines pass immediately, then one more token per `per_second` interval.
+  /// `burst <= 0` disables suppression. Applies per (level, component).
+  static void set_rate_limit(double burst, double per_second) noexcept;
+
+  /// Test hook: when non-null, fully formatted lines (minus the trailing
+  /// newline) go to `sink` instead of stderr. Suppression summaries pass
+  /// through the same sink. Reset with nullptr.
+  static void set_sink_for_testing(void (*sink)(LogLevel level,
+                                                const std::string& line));
 
   /// Emit one line (already formatted) at `level`.
   static void write(LogLevel level, std::string_view component,

@@ -1,6 +1,8 @@
 #include "support/metrics.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,7 +51,150 @@ std::mutex& file_mutex() {
   return mutex;
 }
 
+/// JSON has no infinity literal; the overflow bucket's bound (and a
+/// recorded +/-inf extremum) serialize as the largest finite double.
+std::string fmt_double_json(double value) {
+  if (std::isinf(value)) {
+    value = std::copysign(std::numeric_limits<double>::max(), value);
+  } else if (std::isnan(value)) {
+    value = 0.0;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 }  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+namespace {
+
+/// Lock-free monotonic min/max merge on an atomic double.
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(double value) noexcept {
+  if (!(value > 0.0) || std::isinf(value)) {
+    // Zero, negatives and NaN share the underflow bucket; +inf overflows.
+    return std::isinf(value) && value > 0.0 ? kNumBuckets - 1 : 0;
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  if (exp <= kMinExp) return 0;
+  if (exp > kMaxExp) return kNumBuckets - 1;
+  const auto sub = static_cast<std::size_t>(
+      (mantissa - 0.5) * 2.0 * static_cast<double>(kSubBuckets));
+  std::size_t index = static_cast<std::size_t>(exp - 1 - kMinExp) * kSubBuckets +
+                      std::min<std::size_t>(sub, kSubBuckets - 1) + 1;
+  // Buckets are (lower, upper]: a value landing exactly on its bucket's lower
+  // bound (e.g. an exact power of two) belongs to the previous bucket.
+  if (value <= bucket_upper(index - 1)) --index;
+  return index;
+}
+
+double Histogram::bucket_upper(std::size_t index) noexcept {
+  if (index == 0) return std::ldexp(1.0, kMinExp);  // underflow bound
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t linear = index - 1;
+  const int exp = kMinExp + static_cast<int>(linear / kSubBuckets);
+  const auto sub = static_cast<double>(linear % kSubBuckets);
+  return std::ldexp(0.5 + (sub + 1.0) / (2.0 * kSubBuckets), exp + 1);
+}
+
+void Histogram::record(double value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const { return snapshot().quantile(q); }
+
+void Histogram::merge_from(const Histogram& other) noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  const std::uint64_t other_count =
+      other.count_.load(std::memory_order_relaxed);
+  if (other_count == 0) return;
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  const double other_sum = other.sum_.load(std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + other_sum,
+                                     std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+  atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.min = min();
+  snap.max = max();
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) snap.buckets.emplace_back(bucket_upper(b), n);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q >= 1.0) return max;
+  if (q <= 0.0) return min;
+  const double clamped = q;
+  // Nearest rank: the ceil(q * count)-th sample (1-based), at least the 1st.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (const auto& [upper, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank) return std::clamp(upper, min, max);
+  }
+  return max;  // unreachable when buckets and count agree
+}
 
 Registry::Registry()
     : uid_([] {
@@ -85,11 +230,22 @@ Timer& Registry::timer(std::string_view name) {
   return *it->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 void Registry::reset_values() {
   std::lock_guard<std::mutex> guard(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, timer] : timers_) timer->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
 std::map<std::string, std::uint64_t> Registry::counters() const {
@@ -115,10 +271,39 @@ std::map<std::string, Registry::TimerSample> Registry::timers() const {
   return out;
 }
 
+std::string histogram_snapshot_json(const Histogram::Snapshot& snap) {
+  std::ostringstream json;
+  json << "{\"count\":" << snap.count << ",\"sum\":"
+       << fmt_double_json(snap.sum) << ",\"min\":"
+       << fmt_double_json(snap.min) << ",\"max\":"
+       << fmt_double_json(snap.max) << ",\"p50\":"
+       << fmt_double_json(snap.quantile(0.50)) << ",\"p90\":"
+       << fmt_double_json(snap.quantile(0.90)) << ",\"p99\":"
+       << fmt_double_json(snap.quantile(0.99)) << ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [upper, count] : snap.buckets) {
+    if (!first) json << ",";
+    first = false;
+    json << "[" << fmt_double_json(upper) << "," << count << "]";
+  }
+  json << "]}";
+  return json.str();
+}
+
+std::map<std::string, Histogram::Snapshot> Registry::histograms() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out[name] = histogram->snapshot();
+  }
+  return out;
+}
+
 std::string Registry::to_json() const {
   const auto counter_values = counters();
   const auto gauge_values = gauges();
   const auto timer_values = timers();
+  const auto histogram_values = histograms();
 
   std::ostringstream json;
   json << "{\"schema\":\"psf.metrics\",\"version\":1,";
@@ -135,6 +320,13 @@ std::string Registry::to_json() const {
     if (!first) json << ",";
     first = false;
     json << "\"" << escape(name) << "\":" << fmt_double(value);
+  }
+  json << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : histogram_values) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << escape(name) << "\":" << histogram_snapshot_json(snap);
   }
   json << "},\"timers\":{";
   first = true;

@@ -9,6 +9,9 @@
 //     (makespans, adaptive split ratios, overlap efficiency).
 //   * Timer — accumulated duration + sample count. Virtual-time code calls
 //     `observe(seconds)`; wall-clock sections use the RAII ScopedTimer.
+//   * Histogram — log-bucketed value distribution (queue-wait/run latency
+//     in ms, message/buffer sizes in bytes) with mergeable bucket counts
+//     and bounded-error quantiles (p50/p99 within 6.25%; max exact).
 //
 // Naming convention: dotted hierarchy, subsystem first
 // ("minimpi.bytes_sent", "pattern.gr.units.gpu1"). Timers carrying VIRTUAL
@@ -33,14 +36,18 @@
 // registry itself stays available (tests and reports still link).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "support/ambient.h"
 
@@ -107,6 +114,84 @@ class Timer {
   std::atomic<std::uint64_t> count_{0};
 };
 
+/// Log-bucketed value distribution (latencies in ms, payload sizes in
+/// bytes). Thread-safe lock-free recording: one relaxed bucket increment
+/// plus count/sum/min/max updates per sample. Buckets subdivide each power
+/// of two into kSubBuckets log-spaced slices, so any quantile read from the
+/// bucket counts is exact in rank and carries at most 1/kSubBuckets
+/// (6.25%) relative value error — except max, which is tracked exactly.
+/// Histograms with the same geometry merge associatively (bucket-count
+/// addition), so per-worker or per-rank instances can be combined without
+/// keeping raw samples.
+class Histogram {
+ public:
+  /// Slices per power of two; relative bucket width = 1/kSubBuckets.
+  static constexpr int kSubBuckets = 16;
+  /// Covered magnitude range: [2^kMinExp, 2^kMaxExp) ~ [9e-13, 1.1e12].
+  /// Values outside (and zero/negatives) land in the underflow/overflow
+  /// buckets, still counted exactly.
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 40;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Smallest / largest recorded value (exact); 0 when empty.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Nearest-rank quantile from the bucket counts: the bucket upper bound
+  /// holding the q-ranked sample, clamped to the exact max (so
+  /// quantile(1.0) == max()). Within 1/kSubBuckets relative error of the
+  /// exact sample. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Add `other`'s samples into this histogram. Associative and
+  /// commutative up to floating-point sum ordering; bucket counts, count,
+  /// min and max merge exactly.
+  void merge_from(const Histogram& other) noexcept;
+
+  /// Zero every bucket and the count/sum/min/max. Not atomic with respect
+  /// to concurrent record() calls — callers quiesce writers first (the
+  /// same contract as Registry::reset_values).
+  void reset() noexcept;
+
+  /// Bucket geometry (static, shared by every instance).
+  [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
+  [[nodiscard]] static double bucket_upper(std::size_t index) noexcept;
+
+  /// Point-in-time copy: totals plus the non-empty buckets as
+  /// (upper_bound, count) pairs in increasing bound order.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    /// Same semantics as Histogram::quantile, evaluated on the copy.
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
 /// RAII wall-clock span feeding a Timer. Scopes nest freely — each scope
 /// reports to its own timer, so an outer span includes its inner spans.
 class ScopedTimer {
@@ -142,6 +227,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Process-unique, never-reused id (1-based). The PSF_METRIC_* macros key
   /// their per-thread instrument caches on it, so a cache entry resolved
@@ -160,6 +246,7 @@ class Registry {
     double seconds = 0.0;
   };
   [[nodiscard]] std::map<std::string, TimerSample> timers() const;
+  [[nodiscard]] std::map<std::string, Histogram::Snapshot> histograms() const;
 
   /// Versioned JSON report; deterministic (names sorted, fixed number
   /// formatting). Schema documented in docs/OBSERVABILITY.md.
@@ -190,6 +277,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 /// RAII: route the calling thread's instrumentation into `registry` (a
@@ -213,6 +301,14 @@ class ScopedRegistry {
  private:
   void* previous_;
 };
+
+/// One histogram snapshot as a JSON object: {"count":..,"sum":..,"min":..,
+/// "max":..,"p50":..,"p90":..,"p99":..,"buckets":[[upper,count],...]}.
+/// Deterministic formatting; non-finite bounds clamp to the largest finite
+/// double (JSON has no infinity). Shared by Registry::to_json and the
+/// telemetry snapshot streamer.
+[[nodiscard]] std::string histogram_snapshot_json(
+    const Histogram::Snapshot& snap);
 
 /// Structural JSON validity check (objects, arrays, strings, numbers,
 /// literals — no extensions). Used by tests and the bench driver to
@@ -281,6 +377,19 @@ class ScopedRegistry {
     }                                                                   \
     psf_metric_timer_->observe(seconds);                                \
   } while (0)
+#define PSF_METRIC_HIST_RECORD(name, value)                              \
+  do {                                                                   \
+    static thread_local std::uint64_t psf_metric_uid_ = 0;               \
+    static thread_local ::psf::metrics::Histogram* psf_metric_hist_ =    \
+        nullptr;                                                         \
+    ::psf::metrics::Registry& psf_metric_registry_ =                     \
+        ::psf::metrics::Registry::current();                             \
+    if (psf_metric_uid_ != psf_metric_registry_.uid()) {                 \
+      psf_metric_hist_ = &psf_metric_registry_.histogram(name);          \
+      psf_metric_uid_ = psf_metric_registry_.uid();                      \
+    }                                                                    \
+    psf_metric_hist_->record(static_cast<double>(value));                \
+  } while (0)
 // Process-global variant: bypasses Registry::current() and records into
 // Registry::global() unconditionally. For instrumentation that may execute
 // AFTER the surrounding work's completion signal (e.g. a parallel_for
@@ -305,6 +414,9 @@ class ScopedRegistry {
   } while (0)
 #define PSF_METRIC_OBSERVE(name, seconds) \
   do {                                    \
+  } while (0)
+#define PSF_METRIC_HIST_RECORD(name, value) \
+  do {                                      \
   } while (0)
 #define PSF_METRIC_GLOBAL_ADD(name, n) \
   do {                                 \

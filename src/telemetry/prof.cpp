@@ -1,0 +1,109 @@
+#include "telemetry/prof.h"
+
+#include <cstring>
+
+namespace psf::telemetry::prof {
+
+void TagSlot::publish(const char* tag) noexcept {
+  // Seqlock write: odd while the bytes are torn, even when consistent.
+  seq_.fetch_add(1, std::memory_order_release);
+  std::size_t i = 0;
+  if (tag != nullptr) {
+    for (; i + 1 < kMaxTag && tag[i] != '\0'; ++i) {
+      tag_[i].store(tag[i], std::memory_order_relaxed);
+    }
+  }
+  tag_[i].store('\0', std::memory_order_relaxed);
+  seq_.fetch_add(1, std::memory_order_release);
+}
+
+bool TagSlot::read(char (&out)[kMaxTag]) const noexcept {
+  for (;;) {
+    const std::uint32_t before = seq_.load(std::memory_order_acquire);
+    if ((before & 1u) != 0) continue;  // mid-publish; retry
+    for (std::size_t i = 0; i < kMaxTag; ++i) {
+      out[i] = tag_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == before) {
+      out[kMaxTag - 1] = '\0';
+      return out[0] != '\0';
+    }
+  }
+}
+
+void TagSlot::read_own(char (&out)[kMaxTag]) const noexcept {
+  for (std::size_t i = 0; i < kMaxTag; ++i) {
+    out[i] = tag_[i].load(std::memory_order_relaxed);
+  }
+  out[kMaxTag - 1] = '\0';
+}
+
+SlotTable& SlotTable::global() noexcept {
+  // Leaked on purpose: slots are touched from worker threads that may
+  // outlive main()'s statics (same rationale as metrics::Registry::global).
+  static SlotTable* table = new SlotTable();
+  return *table;
+}
+
+TagSlot* SlotTable::acquire() noexcept {
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (slots_[i].in_use_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      // Grow the iteration bound monotonically to cover this slot.
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      return &slots_[i];
+    }
+  }
+  return nullptr;
+}
+
+void SlotTable::release(TagSlot* slot) noexcept {
+  if (slot == nullptr) return;
+  slot->publish(nullptr);
+  slot->in_use_.store(false, std::memory_order_release);
+}
+
+namespace {
+
+/// Thread-local slot holder: acquires lazily, releases at thread exit so
+/// short-lived rank threads recycle the pool.
+struct SlotHolder {
+  TagSlot* slot = nullptr;
+  bool tried = false;
+
+  TagSlot* get() noexcept {
+    if (!tried) {
+      tried = true;
+      slot = SlotTable::global().acquire();
+    }
+    return slot;
+  }
+
+  ~SlotHolder() { SlotTable::global().release(slot); }
+};
+
+thread_local SlotHolder tls_slot_holder;
+
+}  // namespace
+
+TagSlot* this_thread_slot() noexcept { return tls_slot_holder.get(); }
+
+void register_this_thread() noexcept { (void)this_thread_slot(); }
+
+Scope::Scope(const char* tag) noexcept : slot_(this_thread_slot()) {
+  previous_[0] = '\0';
+  if (slot_ == nullptr) return;
+  slot_->read_own(previous_);
+  slot_->publish(tag);
+}
+
+Scope::~Scope() {
+  if (slot_ != nullptr) slot_->publish(previous_);
+}
+
+}  // namespace psf::telemetry::prof

@@ -1,0 +1,133 @@
+// PSF — Pattern Specification Framework
+// psf::telemetry::prof — the executor sampling profiler's publication side
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+// Each thread that executes pattern work publishes its CURRENT task tag (a
+// short component label like "st.sweep" or "gr.chunk") into a per-thread
+// seqlock slot. Publication is wait-free and costs a handful of relaxed
+// atomic stores — cheap enough for per-block launch loops. The
+// SnapshotStreamer's sampler thread reads every slot periodically and
+// aggregates tag occupancy into a per-component time profile, so an
+// operator sees WHERE the executor spends its time without any
+// instrumentation on the virtual-time model (vtimes stay bit-identical
+// whether or not a sampler is attached).
+//
+// The seqlock protocol: the owning thread is the only writer. It bumps the
+// version to odd, stores the tag bytes, bumps to even. A reader retries
+// until it observes the same even version on both sides of its copy. All
+// accesses go through atomics, so the race is benign under TSan too.
+//
+// Use via the RAII macro (compiled out with -DPSF_DISABLE_METRICS):
+//
+//   void run_chunk() {
+//     PSF_PROF_SCOPE("gr.chunk");   // publishes, restores previous on exit
+//     ...
+//   }
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace psf::telemetry::prof {
+
+/// Longest published tag including the terminating NUL; longer tags are
+/// truncated.
+inline constexpr std::size_t kMaxTag = 32;
+
+/// Slot pool size — the high-water mark of CONCURRENT publishing threads
+/// (executor workers + rank threads + runners). Threads release their slot
+/// at exit, so thousands of short-lived rank threads recycle a few slots.
+/// When the pool is exhausted a thread simply publishes nothing.
+inline constexpr std::size_t kMaxSlots = 256;
+
+/// One thread's published tag. Writer: the owning thread only. Readers
+/// (the sampler) copy under the seqlock version check.
+class TagSlot {
+ public:
+  /// Publish `tag` (nullptr or "" = idle). Owner thread only.
+  void publish(const char* tag) noexcept;
+
+  /// Copy the current tag into `out` (NUL-terminated, kMaxTag bytes).
+  /// Returns false when the slot is idle (empty tag). Retries while the
+  /// owner is mid-publish; wait-free for the owner.
+  bool read(char (&out)[kMaxTag]) const noexcept;
+
+  /// Owner-side copy of the current tag, no seqlock needed (the owner is
+  /// the only writer). Used to save/restore around nested scopes.
+  void read_own(char (&out)[kMaxTag]) const noexcept;
+
+  [[nodiscard]] bool in_use() const noexcept {
+    return in_use_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class SlotTable;
+  std::atomic<std::uint32_t> seq_{0};
+  std::array<std::atomic<char>, kMaxTag> tag_{};
+  std::atomic<bool> in_use_{false};
+};
+
+/// The process-wide slot pool. Threads acquire lazily on first publish and
+/// release at thread exit; the sampler iterates the registered prefix.
+class SlotTable {
+ public:
+  static SlotTable& global() noexcept;
+
+  /// Claim a free slot, or nullptr when the pool is exhausted.
+  TagSlot* acquire() noexcept;
+  /// Return a slot to the pool (clears its tag first).
+  void release(TagSlot* slot) noexcept;
+
+  /// Slots ever registered (high-water index bound for iteration).
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] TagSlot& slot(std::size_t index) noexcept {
+    return slots_[index];
+  }
+
+ private:
+  std::array<TagSlot, kMaxSlots> slots_{};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+/// The calling thread's slot, acquired on first use and released at thread
+/// exit. nullptr when the pool is exhausted.
+TagSlot* this_thread_slot() noexcept;
+
+/// Eagerly register the calling thread (an executor worker) so it shows up
+/// in occupancy reports as idle even before its first tagged task.
+void register_this_thread() noexcept;
+
+/// RAII tag publication: publishes `tag` on entry, restores the previous
+/// tag on exit (scopes nest — an inner "st.exchange" shadows the outer
+/// "st.sweep" for its duration).
+class Scope {
+ public:
+  explicit Scope(const char* tag) noexcept;
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  ~Scope();
+
+ private:
+  TagSlot* slot_;
+  char previous_[kMaxTag];
+};
+
+}  // namespace psf::telemetry::prof
+
+// Token-pasting helper so multiple scopes coexist in one block.
+#define PSF_PROF_SCOPE_CAT2(a, b) a##b
+#define PSF_PROF_SCOPE_CAT(a, b) PSF_PROF_SCOPE_CAT2(a, b)
+
+#ifndef PSF_DISABLE_METRICS
+#define PSF_PROF_SCOPE(tag)                       \
+  ::psf::telemetry::prof::Scope PSF_PROF_SCOPE_CAT( \
+      psf_prof_scope_, __LINE__)(tag)
+#else
+#define PSF_PROF_SCOPE(tag) \
+  do {                      \
+  } while (0)
+#endif

@@ -1,0 +1,225 @@
+#include "telemetry/slo.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace psf::telemetry::slo {
+
+namespace {
+
+using telemetry::detail::json_escape;
+using telemetry::detail::json_num;
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Expand the serving-rule aliases; any other selector passes through.
+std::string_view expand_alias(std::string_view selector) {
+  if (selector == "p50_latency_ms") return "serve.latency_ms.p50";
+  if (selector == "p99_latency_ms") return "serve.latency_ms.p99";
+  if (selector == "max_latency_ms") return "serve.latency_ms.max";
+  if (selector == "queue_depth") return "serve.queue_depth";
+  if (selector == "pool_misses") return "support.pool.misses";
+  return selector;
+}
+
+/// Histogram stat suffix -> accessor; nullopt when `stat` is not a stat.
+std::optional<double> histogram_stat(const HistogramStat& digest,
+                                     std::string_view stat) {
+  if (stat == "count") return static_cast<double>(digest.count);
+  if (digest.count == 0) {
+    // An empty histogram has no meaningful value stats.
+    return stat == "sum" ? std::optional<double>(0.0) : std::nullopt;
+  }
+  if (stat == "sum") return digest.sum;
+  if (stat == "min") return digest.min;
+  if (stat == "max") return digest.max;
+  if (stat == "mean") {
+    return digest.sum / static_cast<double>(digest.count);
+  }
+  if (stat == "p50") return digest.p50;
+  if (stat == "p90") return digest.p90;
+  if (stat == "p99") return digest.p99;
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Rule::holds(double value) const noexcept {
+  switch (op) {
+    case Op::kLt: return value < bound;
+    case Op::kLe: return value <= bound;
+    case Op::kGt: return value > bound;
+    case Op::kGe: return value >= bound;
+    case Op::kEq: return value == bound;
+    case Op::kNe: return value != bound;
+  }
+  return true;
+}
+
+support::StatusOr<std::vector<Rule>> parse_rules(std::string_view spec) {
+  std::vector<Rule> rules;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view raw = trim(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (raw.empty()) continue;
+
+    // Find the operator: two-char forms first so "<=" never parses as "<".
+    static constexpr struct {
+      std::string_view token;
+      Op op;
+    } kOps[] = {
+        {"<=", Op::kLe}, {">=", Op::kGe}, {"==", Op::kEq},
+        {"!=", Op::kNe}, {"<", Op::kLt},  {">", Op::kGt},
+    };
+    std::size_t op_pos = std::string_view::npos;
+    std::size_t op_len = 0;
+    Op op = Op::kLt;
+    for (const auto& candidate : kOps) {
+      const std::size_t pos = raw.find(candidate.token);
+      if (pos != std::string_view::npos &&
+          (op_pos == std::string_view::npos || pos < op_pos ||
+           (pos == op_pos && candidate.token.size() > op_len))) {
+        op_pos = pos;
+        op_len = candidate.token.size();
+        op = candidate.op;
+      }
+    }
+    if (op_pos == std::string_view::npos) {
+      return support::Status::invalid_argument(
+          "SLO rule \"" + std::string(raw) +
+          "\" has no comparison operator; expected METRIC OP NUMBER, e.g. "
+          "\"p99_latency_ms<250\" (ops: < <= > >= == !=)");
+    }
+    const std::string_view metric = trim(raw.substr(0, op_pos));
+    const std::string_view number = trim(raw.substr(op_pos + op_len));
+    if (metric.empty()) {
+      return support::Status::invalid_argument(
+          "SLO rule \"" + std::string(raw) + "\" is missing the metric name");
+    }
+    if (number.empty()) {
+      return support::Status::invalid_argument(
+          "SLO rule \"" + std::string(raw) + "\" is missing the bound");
+    }
+    const std::string number_str(number);
+    char* parse_end = nullptr;
+    const double bound = std::strtod(number_str.c_str(), &parse_end);
+    if (parse_end == number_str.c_str() || *parse_end != '\0') {
+      return support::Status::invalid_argument(
+          "SLO rule \"" + std::string(raw) + "\": bound \"" + number_str +
+          "\" is not a number");
+    }
+    Rule rule;
+    rule.metric = std::string(metric);
+    rule.op = op;
+    rule.bound = bound;
+    rule.text = rule.metric + std::string(to_string(op)) + number_str;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::optional<double> resolve(const Snapshot& snapshot,
+                              std::string_view selector) {
+  const std::string_view expanded = expand_alias(trim(selector));
+
+  // `name.stat` histogram selector: try the longest name first so dotted
+  // metric names ("serve.latency_ms.p99") split at the final dot.
+  const std::size_t dot = expanded.rfind('.');
+  if (dot != std::string_view::npos && dot + 1 < expanded.size()) {
+    const std::string name(expanded.substr(0, dot));
+    const auto hist_it = snapshot.histograms.find(name);
+    if (hist_it != snapshot.histograms.end()) {
+      const auto value =
+          histogram_stat(hist_it->second, expanded.substr(dot + 1));
+      if (value.has_value()) return value;
+    }
+  }
+
+  const std::string name(expanded);
+  const auto gauge_it = snapshot.gauges.find(name);
+  if (gauge_it != snapshot.gauges.end()) return gauge_it->second;
+  const auto counter_it = snapshot.counters.find(name);
+  if (counter_it != snapshot.counters.end()) {
+    return static_cast<double>(counter_it->second);
+  }
+  return std::nullopt;
+}
+
+std::string breach_json(const Breach& breach) {
+  std::ostringstream json;
+  json << "{\"schema\":\"psf.telemetry\",\"version\":1,"
+       << "\"kind\":\"breach\",\"seq\":" << breach.seq
+       << ",\"uptime_s\":" << json_num(breach.uptime_s) << ",\"rule\":\""
+       << json_escape(breach.rule) << "\",\"metric\":\""
+       << json_escape(breach.metric) << "\",\"value\":"
+       << json_num(breach.value) << ",\"bound\":" << json_num(breach.bound)
+       << "}";
+  return json.str();
+}
+
+std::vector<Breach> Watchdog::evaluate(const Snapshot& snapshot) {
+  std::vector<Breach> found;
+  for (const auto& rule : rules_) {
+    const auto value = resolve(snapshot, rule.metric);
+    if (!value.has_value()) continue;  // no data is not a breach
+    if (rule.holds(*value)) continue;
+    Breach breach;
+    breach.seq = snapshot.seq;
+    breach.uptime_s = snapshot.uptime_s;
+    breach.rule = rule.text;
+    breach.metric = rule.metric;
+    breach.value = *value;
+    breach.bound = rule.bound;
+    found.push_back(std::move(breach));
+  }
+  if (!found.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_breaches_ += found.size();
+    for (const auto& breach : found) {
+      if (retained_.size() < kMaxRetained) retained_.push_back(breach);
+    }
+  }
+  return found;
+}
+
+std::uint64_t Watchdog::breach_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_breaches_;
+}
+
+std::vector<Breach> Watchdog::breaches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_;
+}
+
+std::string Watchdog::report_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream json;
+  json << "{\"schema\":\"psf.telemetry\",\"version\":1,"
+       << "\"kind\":\"slo_report\",\"rules\":" << rules_.size()
+       << ",\"breaches\":" << total_breaches_ << ",\"events\":[";
+  bool first = true;
+  for (const auto& breach : retained_) {
+    if (!first) json << ",";
+    first = false;
+    json << breach_json(breach);
+  }
+  json << "]}";
+  return json.str();
+}
+
+}  // namespace psf::telemetry::slo

@@ -1,0 +1,124 @@
+// PSF — Pattern Specification Framework
+// psf::telemetry::slo — declarative service-level-objective rules evaluated
+// against live telemetry snapshots (docs/OBSERVABILITY.md, "Live
+// telemetry").
+//
+// Rule grammar (parsed from --slo / $PSF_SLO):
+//
+//   spec   := rule (';' rule)*
+//   rule   := metric op number
+//   op     := '<' | '<=' | '>' | '>=' | '==' | '!='
+//   metric := alias | name | name '.' stat
+//   stat   := 'p50' | 'p90' | 'p99' | 'max' | 'min' | 'mean'
+//           | 'count' | 'sum'
+//
+// A bare `name` resolves against the snapshot's gauges first, then its
+// counters (counted SINCE STREAM START, so a warm-up phase cannot trip
+// `pool_misses==0`). A `name.stat` selector reads the named histogram's
+// digest. Aliases keep the common serving rules short:
+//
+//   p50_latency_ms  -> serve.latency_ms.p50
+//   p99_latency_ms  -> serve.latency_ms.p99
+//   max_latency_ms  -> serve.latency_ms.max
+//   queue_depth     -> serve.queue_depth        (gauge)
+//   pool_misses     -> support.pool.misses      (counter since start)
+//
+// A rule whose metric is absent from a snapshot (or whose histogram is
+// still empty) is skipped for that snapshot — "no data" is not a breach.
+// Every violated rule produces one structured Breach event, appended to
+// the telemetry stream as a `"kind":"breach"` JSONL line and retained for
+// the caller's structured report / nonzero exit path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+#include "telemetry/streamer.h"
+
+namespace psf::telemetry::slo {
+
+enum class Op : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+[[nodiscard]] constexpr std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+  }
+  return "?";
+}
+
+/// One parsed rule: `metric op bound`.
+struct Rule {
+  std::string metric;  ///< selector as written (aliases not yet expanded)
+  Op op = Op::kLt;
+  double bound = 0.0;
+  std::string text;    ///< normalized rule text, for reports
+
+  [[nodiscard]] bool holds(double value) const noexcept;
+};
+
+/// Parse a rule spec (see grammar above). Whitespace around tokens is
+/// ignored; an empty spec yields an empty rule set. Errors name the
+/// offending rule and position.
+[[nodiscard]] support::StatusOr<std::vector<Rule>> parse_rules(
+    std::string_view spec);
+
+/// Resolve `selector` against `snapshot` (aliases, gauges, counters,
+/// histogram stats). nullopt = no such metric / histogram still empty.
+[[nodiscard]] std::optional<double> resolve(const Snapshot& snapshot,
+                                            std::string_view selector);
+
+/// One rule violation at one snapshot.
+struct Breach {
+  std::uint64_t seq = 0;      ///< snapshot sequence number
+  double uptime_s = 0.0;      ///< stream uptime at detection
+  std::string rule;           ///< normalized rule text
+  std::string metric;         ///< resolved selector
+  double value = 0.0;         ///< observed value
+  double bound = 0.0;         ///< rule bound
+};
+
+/// One breach as a psf.telemetry v1 JSONL line (kind "breach").
+[[nodiscard]] std::string breach_json(const Breach& breach);
+
+/// Evaluates a rule set against successive snapshots and retains the
+/// breach log. Thread-safe: the streamer thread evaluates, any thread may
+/// read counts/reports.
+class Watchdog {
+ public:
+  explicit Watchdog(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  /// Check every rule against `snapshot`; record and return the breaches.
+  std::vector<Breach> evaluate(const Snapshot& snapshot);
+
+  [[nodiscard]] std::uint64_t breach_count() const;
+  /// The retained breach log (bounded to the first kMaxRetained breaches).
+  [[nodiscard]] std::vector<Breach> breaches() const;
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// Structured report: {"schema":"psf.telemetry","version":1,
+  /// "kind":"slo_report","rules":N,"breaches":N,"events":[...]}. loadgen
+  /// prints this on exit when any rule fired.
+  [[nodiscard]] std::string report_json() const;
+
+  static constexpr std::size_t kMaxRetained = 1024;
+
+ private:
+  const std::vector<Rule> rules_;
+  mutable std::mutex mutex_;
+  std::uint64_t total_breaches_ = 0;
+  std::vector<Breach> retained_;
+};
+
+}  // namespace psf::telemetry::slo

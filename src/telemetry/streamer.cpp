@@ -1,0 +1,367 @@
+#include "telemetry/streamer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "support/log.h"
+#include "telemetry/prof.h"
+#include "telemetry/slo.h"
+
+namespace psf::telemetry {
+
+namespace detail {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_num(double value) {
+  if (std::isinf(value)) {
+    value = std::copysign(std::numeric_limits<double>::max(), value);
+  } else if (std::isnan(value)) {
+    value = 0.0;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::json_escape;
+using detail::json_num;
+
+HistogramStat digest(const metrics::Histogram::Snapshot& snap) {
+  HistogramStat stat;
+  stat.count = snap.count;
+  stat.sum = snap.sum;
+  stat.min = snap.min;
+  stat.max = snap.max;
+  stat.p50 = snap.quantile(0.50);
+  stat.p90 = snap.quantile(0.90);
+  stat.p99 = snap.quantile(0.99);
+  return stat;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::ostringstream json;
+  json << "{\"schema\":\"psf.telemetry\",\"version\":1,"
+       << "\"kind\":\"snapshot\",\"seq\":" << seq
+       << ",\"uptime_s\":" << json_num(uptime_s) << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << json_escape(name) << "\":" << value;
+  }
+  json << "},\"deltas\":{";
+  first = true;
+  for (const auto& [name, value] : deltas) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << json_escape(name) << "\":" << value;
+  }
+  json << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << json_escape(name) << "\":" << json_num(value);
+  }
+  json << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stat] : histograms) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << json_escape(name) << "\":{\"count\":" << stat.count
+         << ",\"sum\":" << json_num(stat.sum)
+         << ",\"min\":" << json_num(stat.min)
+         << ",\"max\":" << json_num(stat.max)
+         << ",\"p50\":" << json_num(stat.p50)
+         << ",\"p90\":" << json_num(stat.p90)
+         << ",\"p99\":" << json_num(stat.p99) << "}";
+  }
+  json << "},\"profile\":{";
+  first = true;
+  for (const auto& [tag, ticks] : profile) {
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << json_escape(tag) << "\":" << ticks;
+  }
+  json << "},\"workers\":[";
+  first = true;
+  for (const auto& worker : workers) {
+    if (!first) json << ",";
+    first = false;
+    json << "[" << worker.slot << "," << worker.busy << "," << worker.ticks
+         << "]";
+  }
+  json << "]}";
+  return json.str();
+}
+
+SnapshotStreamer::SnapshotStreamer(Options options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &metrics::Registry::global();
+  }
+  options_.snapshot_period_ms = std::max(1, options_.snapshot_period_ms);
+  options_.profile_period_ms =
+      std::min(std::max(1, options_.profile_period_ms),
+               options_.snapshot_period_ms);
+  options_.ring_capacity = std::max<std::size_t>(1, options_.ring_capacity);
+}
+
+SnapshotStreamer::~SnapshotStreamer() { stop(); }
+
+void SnapshotStreamer::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_) return;
+  start_tp_ = std::chrono::steady_clock::now();
+  baseline_ = options_.registry->counters();
+  previous_.clear();
+  profile_window_.clear();
+  worker_window_.clear();
+  ring_.clear();
+  next_seq_ = 1;
+  if (!options_.path.empty()) {
+    out_.open(options_.path, std::ios::trunc);
+    if (!out_) {
+      PSF_LOG(kWarn, "telemetry")
+          << "cannot open telemetry stream " << options_.path
+          << "; streaming to memory only";
+    }
+  }
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void SnapshotStreamer::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!running_ || stop_requested_) return;  // not running / another stop
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Final snapshot: short runs still get at least one line, and the last
+  // line always reflects the terminal state.
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_tp_)
+          .count();
+  emit(take_snapshot_locked(uptime_s));
+  if (out_.is_open()) out_.close();
+  running_ = false;
+  stop_requested_ = false;
+}
+
+bool SnapshotStreamer::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::vector<Snapshot> SnapshotStreamer::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+Snapshot SnapshotStreamer::snapshot_now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double uptime_s =
+      running_ ? std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_tp_)
+                     .count()
+               : 0.0;
+  Snapshot snapshot = take_snapshot_locked(uptime_s);
+  emit(snapshot);
+  return snapshot;
+}
+
+void SnapshotStreamer::set_watchdog(slo::Watchdog* watchdog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.watchdog = watchdog;
+}
+
+void SnapshotStreamer::run() {
+  const auto profile_period =
+      std::chrono::milliseconds(options_.profile_period_ms);
+  auto next_snapshot_tp =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.snapshot_period_ms);
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cv_.wait_for(lock, profile_period,
+                     [this] { return stop_requested_; })) {
+      return;  // stop() takes the final snapshot under its own lock
+    }
+    sample_profile();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= next_snapshot_tp) {
+      next_snapshot_tp =
+          now + std::chrono::milliseconds(options_.snapshot_period_ms);
+      const double uptime_s =
+          std::chrono::duration<double>(now - start_tp_).count();
+      emit(take_snapshot_locked(uptime_s));
+    }
+  }
+}
+
+void SnapshotStreamer::sample_profile() {
+  auto& table = prof::SlotTable::global();
+  const std::size_t bound = table.high_water();
+  if (worker_window_.size() < bound) worker_window_.resize(bound);
+  for (std::size_t i = 0; i < bound; ++i) {
+    auto& slot = table.slot(i);
+    if (!slot.in_use()) continue;
+    worker_window_[i].slot = i;
+    ++worker_window_[i].ticks;
+    char tag[prof::kMaxTag];
+    if (slot.read(tag)) {
+      ++worker_window_[i].busy;
+      ++profile_window_[tag];
+    }
+  }
+}
+
+Snapshot SnapshotStreamer::take_snapshot_locked(double uptime_s) {
+  Snapshot snapshot;
+  snapshot.seq = next_seq_++;
+  snapshot.uptime_s = uptime_s;
+
+  // Counters relative to the stream-start baseline; deltas vs the previous
+  // snapshot. Counters born after start() baseline at zero.
+  const auto current = options_.registry->counters();
+  for (const auto& [name, value] : current) {
+    const auto base_it = baseline_.find(name);
+    const std::uint64_t base =
+        base_it == baseline_.end() ? 0 : base_it->second;
+    const std::uint64_t since_start = value >= base ? value - base : 0;
+    snapshot.counters[name] = since_start;
+    const auto prev_it = previous_.find(name);
+    const std::uint64_t prev = prev_it == previous_.end() ? 0 : prev_it->second;
+    snapshot.deltas[name] =
+        since_start >= prev ? since_start - prev : 0;
+  }
+  previous_ = snapshot.counters;
+
+  snapshot.gauges = options_.registry->gauges();
+  for (const auto& [name, hist] : options_.registry->histograms()) {
+    snapshot.histograms[name] = digest(hist);
+  }
+
+  snapshot.profile = std::move(profile_window_);
+  profile_window_.clear();
+  for (const auto& worker : worker_window_) {
+    if (worker.ticks != 0) snapshot.workers.push_back(worker);
+  }
+  for (auto& worker : worker_window_) {
+    worker.busy = 0;
+    worker.ticks = 0;
+  }
+  return snapshot;
+}
+
+void SnapshotStreamer::emit(const Snapshot& snapshot) {
+  ring_.push_back(snapshot);
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  if (out_.is_open()) {
+    out_ << snapshot.to_json() << "\n";
+    out_.flush();
+  }
+  if (options_.watchdog != nullptr) {
+    const auto breaches = options_.watchdog->evaluate(snapshot);
+    for (const auto& breach : breaches) {
+      PSF_LOG(kWarn, "telemetry")
+          << "SLO breach: " << breach.rule << " (observed "
+          << breach.value << ")";
+      if (out_.is_open()) {
+        out_ << slo::breach_json(breach) << "\n";
+        out_.flush();
+      }
+    }
+  }
+}
+
+// --- process-global streamer -------------------------------------------------
+
+namespace {
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+SnapshotStreamer*& global_slot() {
+  static SnapshotStreamer* streamer = nullptr;
+  return streamer;
+}
+
+}  // namespace
+
+SnapshotStreamer* SnapshotStreamer::global() noexcept {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  return global_slot();
+}
+
+SnapshotStreamer* SnapshotStreamer::ensure_global_from_env() {
+  const char* path = std::getenv("PSF_TELEMETRY");
+  if (path == nullptr || *path == '\0') return global();
+  return ensure_global(path);
+}
+
+SnapshotStreamer* SnapshotStreamer::ensure_global(const std::string& path) {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  SnapshotStreamer*& slot = global_slot();
+  if (slot != nullptr) return slot;  // first caller wins
+  Options options;
+  options.path = path;
+  if (const char* period = std::getenv("PSF_TELEMETRY_PERIOD_MS")) {
+    const int parsed = std::atoi(period);
+    if (parsed > 0) options.snapshot_period_ms = parsed;
+  }
+  // Leaked on purpose (same as Registry::global()); the atexit hook stops
+  // the thread and flushes the stream before static teardown.
+  slot = new SnapshotStreamer(options);
+  slot->start();
+  std::atexit([] {
+    SnapshotStreamer* streamer = nullptr;
+    {
+      std::lock_guard<std::mutex> exit_lock(global_mutex());
+      streamer = global_slot();
+    }
+    if (streamer != nullptr) streamer->stop();
+  });
+  return slot;
+}
+
+}  // namespace psf::telemetry

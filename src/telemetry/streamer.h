@@ -1,0 +1,203 @@
+// PSF — Pattern Specification Framework
+// psf::telemetry — live metric snapshot streaming (docs/OBSERVABILITY.md,
+// "Live telemetry").
+//
+// The post-mortem observability layers (metrics JSON at exit, causal
+// traces) explain a run AFTER it finished. The SnapshotStreamer watches it
+// WHILE it runs: a background thread periodically snapshots a metrics
+// Registry (the process-global one by default) plus the sampling profiler's
+// per-worker occupancy, computes counter deltas against the previous
+// snapshot, keeps a bounded ring of recent snapshots in memory, and appends
+// each snapshot as one JSON line (schema `psf.telemetry` v1) to the path
+// named by $PSF_TELEMETRY / EnvOptions::with_telemetry_path.
+//
+// Strictly off the hot path: the streamer only READS relaxed atomics and
+// mutex-guarded name maps that the workload already maintains; it never
+// feeds anything back into the time model, so all virtual times are
+// bit-identical with telemetry on or off (pinned by TelemetryDeterminism
+// tests at executor widths 1 and 7).
+//
+// An optional slo::Watchdog is evaluated against every snapshot; breaches
+// are appended to the same stream as `"kind":"breach"` lines and counted
+// for the caller's exit path (bench/loadgen --slo).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+#include <condition_variable>
+
+#include "support/metrics.h"
+
+namespace psf::telemetry {
+
+namespace slo {
+class Watchdog;
+}  // namespace slo
+
+namespace detail {
+/// Shared JSONL formatting helpers (deterministic %.17g numbers with
+/// non-finite values clamped to the largest finite double, JSON string
+/// escaping). Used by Snapshot::to_json and slo::breach_json.
+[[nodiscard]] std::string json_escape(std::string_view text);
+[[nodiscard]] std::string json_num(double value);
+}  // namespace detail
+
+/// Quantile digest of one histogram at snapshot time — the bucket array is
+/// collapsed to the stats an operator (or SLO rule) actually reads, keeping
+/// JSONL lines small.
+struct HistogramStat {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One timestamped observation of the watched registry + profiler.
+/// Counters are reported RELATIVE TO STREAM START (a warm-up phase before
+/// start() does not pollute SLO rules like `pool_misses==0`); `deltas`
+/// holds the change since the previous snapshot (jobs/sec etc. derive from
+/// it); gauges and histograms are instantaneous/cumulative views.
+struct Snapshot {
+  std::uint64_t seq = 0;     ///< 1-based snapshot number within the stream
+  double uptime_s = 0.0;     ///< monotonic seconds since stream start
+  std::map<std::string, std::uint64_t> counters;  ///< since stream start
+  std::map<std::string, std::uint64_t> deltas;    ///< since prev snapshot
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStat> histograms;
+  std::map<std::string, std::uint64_t> profile;   ///< sampler tag ticks (window)
+  /// Per-worker occupancy over the window: busy sampler ticks out of total.
+  struct WorkerSample {
+    std::size_t slot = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t ticks = 0;
+  };
+  std::vector<WorkerSample> workers;
+
+  /// One JSONL line, schema psf.telemetry v1, kind "snapshot".
+  /// Deterministic key order; validated by
+  /// scripts/validate_metrics.py --kind telemetry.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Background snapshot/sampling thread. Construct, start(), and the stream
+/// runs until stop() (or destruction). All public methods are thread-safe.
+class SnapshotStreamer {
+ public:
+  struct Options {
+    /// Snapshot cadence. The final snapshot on stop() always fires, so
+    /// short runs still produce at least one line.
+    int snapshot_period_ms = 100;
+    /// Profiler sampling cadence (several samples per snapshot window).
+    int profile_period_ms = 5;
+    /// Bounded in-memory history for recent()/psf-top attachment.
+    std::size_t ring_capacity = 256;
+    /// JSONL output path; empty = in-memory ring only.
+    std::string path;
+    /// Registry to watch; nullptr = metrics::Registry::global().
+    metrics::Registry* registry = nullptr;
+    /// Evaluated per snapshot; breaches land in the stream. Not owned.
+    slo::Watchdog* watchdog = nullptr;
+
+    Options& with_snapshot_period_ms(int value) {
+      snapshot_period_ms = value;
+      return *this;
+    }
+    Options& with_profile_period_ms(int value) {
+      profile_period_ms = value;
+      return *this;
+    }
+    Options& with_ring_capacity(std::size_t value) {
+      ring_capacity = value;
+      return *this;
+    }
+    Options& with_path(std::string value) {
+      path = std::move(value);
+      return *this;
+    }
+    Options& with_registry(metrics::Registry* value) {
+      registry = value;
+      return *this;
+    }
+    Options& with_watchdog(slo::Watchdog* value) {
+      watchdog = value;
+      return *this;
+    }
+  };
+
+  explicit SnapshotStreamer(Options options);
+  ~SnapshotStreamer();
+
+  SnapshotStreamer(const SnapshotStreamer&) = delete;
+  SnapshotStreamer& operator=(const SnapshotStreamer&) = delete;
+
+  /// Baseline the counters, truncate/open the output file, launch the
+  /// background thread. Idempotent while running.
+  void start();
+
+  /// Take a final snapshot, flush, join the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Copy of the in-memory ring, oldest first.
+  [[nodiscard]] std::vector<Snapshot> recent() const;
+
+  /// Take one snapshot immediately (also appended to ring/file/watchdog).
+  Snapshot snapshot_now();
+
+  /// Swap the watchdog evaluated on subsequent snapshots (nullptr
+  /// detaches). Lets a caller attach rules to an already-armed global
+  /// streamer (bench/loadgen --slo).
+  void set_watchdog(slo::Watchdog* watchdog);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// The process-wide streamer armed by $PSF_TELEMETRY (or the first
+  /// EnvOptions::with_telemetry_path), or nullptr when none is armed.
+  static SnapshotStreamer* global() noexcept;
+
+  /// Arm the global streamer from $PSF_TELEMETRY if set and not yet armed.
+  /// Called by RuntimeEnv and serve::Server construction, so any entry
+  /// point picks the variable up. Returns the global streamer or nullptr.
+  static SnapshotStreamer* ensure_global_from_env();
+
+  /// Arm the global streamer at `path` (first caller wins; later calls
+  /// with any path return the existing streamer). The streamer is stopped
+  /// and flushed at process exit.
+  static SnapshotStreamer* ensure_global(const std::string& path);
+
+ private:
+  void run();
+  Snapshot take_snapshot_locked(double uptime_s);
+  void sample_profile();
+  void emit(const Snapshot& snapshot);
+
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point start_tp_;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::string, std::uint64_t> baseline_;  ///< counters at start()
+  std::map<std::string, std::uint64_t> previous_;  ///< counters last snapshot
+  std::map<std::string, std::uint64_t> profile_window_;
+  std::vector<Snapshot::WorkerSample> worker_window_;
+  std::deque<Snapshot> ring_;
+  std::ofstream out_;
+};
+
+}  // namespace psf::telemetry

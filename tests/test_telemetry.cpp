@@ -1,0 +1,482 @@
+// PSF — tests for psf::telemetry and the Histogram instrument: bucket
+// geometry, concurrent exact-once recording, merge associativity, quantile
+// accuracy against a sorted reference, the sampling profiler's seqlock
+// scopes, SLO rule parsing/evaluation, snapshot streaming (JSONL shape,
+// ring, counter baselines, breach events), structured/rate-limited
+// logging, and the headline guarantee: virtual times are bit-identical
+// with telemetry on or off at executor widths 1 and 7.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.h"
+#include "apps/heat3d.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "support/log.h"
+#include "support/metrics.h"
+#include "telemetry/prof.h"
+#include "telemetry/slo.h"
+#include "telemetry/streamer.h"
+
+namespace psf::telemetry {
+namespace {
+
+using metrics::Histogram;
+using metrics::Registry;
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesBracketTheValue) {
+  // Every recorded value must land in a bucket whose upper bound is >= the
+  // value and whose predecessor's upper bound is < the value.
+  for (const double value :
+       {1e-9, 0.001, 0.5, 0.9999, 1.0, 1.0001, 3.7, 1024.0, 1e9}) {
+    const std::size_t index = Histogram::bucket_index(value);
+    ASSERT_GT(index, 0u) << value;
+    ASSERT_LT(index, Histogram::kNumBuckets - 1) << value;
+    EXPECT_LE(value, Histogram::bucket_upper(index)) << value;
+    EXPECT_GT(value, Histogram::bucket_upper(index - 1)) << value;
+  }
+  // Non-positive, tiny and NaN-ish inputs land in the underflow bucket;
+  // +inf in the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, RecordsExactlyOnceUnderConcurrency) {
+  Histogram histogram;
+  exec::ThreadPool pool(7);
+  constexpr std::size_t kItems = 20000;
+  exec::parallel_for(pool, kItems, [&](std::size_t i) {
+    histogram.record(static_cast<double>(i % 100) + 1.0);
+  });
+  EXPECT_EQ(histogram.count(), kItems);
+  // Sum of (i % 100) + 1 over 20000 items = 200 * (1 + ... + 100).
+  EXPECT_DOUBLE_EQ(histogram.sum(), 200.0 * 5050.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+}
+
+TEST(Histogram, MergeIsAssociativeOnSnapshots) {
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.01, 1000.0);
+  for (int i = 0; i < 300; ++i) a.record(dist(rng));
+  for (int i = 0; i < 200; ++i) b.record(dist(rng));
+  for (int i = 0; i < 100; ++i) c.record(dist(rng));
+
+  Histogram left;   // (a + b) + c
+  left.merge_from(a);
+  left.merge_from(b);
+  left.merge_from(c);
+  Histogram bc;     // a + (b + c)
+  bc.merge_from(b);
+  bc.merge_from(c);
+  Histogram right;
+  right.merge_from(a);
+  right.merge_from(bc);
+
+  const auto ls = left.snapshot();
+  const auto rs = right.snapshot();
+  EXPECT_EQ(ls.count, rs.count);
+  EXPECT_DOUBLE_EQ(ls.sum, rs.sum);
+  EXPECT_DOUBLE_EQ(ls.min, rs.min);
+  EXPECT_DOUBLE_EQ(ls.max, rs.max);
+  EXPECT_EQ(ls.buckets, rs.buckets);
+}
+
+TEST(Histogram, QuantilesTrackASortedReference) {
+  Histogram histogram;
+  std::vector<double> values;
+  std::mt19937_64 rng(13);
+  // Log-uniform spread exercises many powers of two.
+  std::uniform_real_distribution<double> exponent(-6.0, 9.0);
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(std::exp2(exponent(rng)));
+    histogram.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  const auto snapshot = histogram.snapshot();
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(std::max<long long>(
+        1, static_cast<long long>(
+               std::ceil(q * static_cast<double>(values.size())))));
+    const double exact = values[rank - 1];
+    const double estimate = snapshot.quantile(q);
+    // A bucket spans a factor of at most 2^(1/16) per sub-bucket slice of
+    // the mantissa range, i.e. <= 1/16 relative width.
+    EXPECT_NEAR(estimate, exact, exact / 16.0 + 1e-12) << "q=" << q;
+  }
+  // The top quantile is exact, not a bucket bound.
+  EXPECT_DOUBLE_EQ(snapshot.quantile(1.0), values.back());
+  EXPECT_DOUBLE_EQ(snapshot.quantile(0.0), values.front());
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, RegistryJsonCarriesHistogramSection) {
+  Registry registry;
+  registry.histogram("test.latency_ms").record(2.0);
+  registry.histogram("test.latency_ms").record(8.0);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(metrics::validate_json(json)) << json;
+  EXPECT_NE(json.find("\"histograms\":{\"test.latency_ms\":{\"count\":2"),
+            std::string::npos)
+      << json;
+  // Registered-but-empty histograms still appear (count 0, no buckets).
+  Registry empty;
+  empty.histogram("test.idle");
+  EXPECT_NE(empty.to_json().find("\"test.idle\":{\"count\":0"),
+            std::string::npos);
+}
+
+// --- sampling profiler -------------------------------------------------------
+
+TEST(Prof, ScopesNestAndRestore) {
+  prof::register_this_thread();
+  prof::TagSlot* slot = prof::this_thread_slot();
+  ASSERT_NE(slot, nullptr);
+  char tag[prof::kMaxTag];
+  {
+    PSF_PROF_SCOPE("outer");
+    ASSERT_TRUE(slot->read(tag));
+    EXPECT_STREQ(tag, "outer");
+    {
+      PSF_PROF_SCOPE("inner");
+      ASSERT_TRUE(slot->read(tag));
+      EXPECT_STREQ(tag, "inner");
+    }
+    ASSERT_TRUE(slot->read(tag));
+    EXPECT_STREQ(tag, "outer");
+  }
+  EXPECT_FALSE(slot->read(tag));  // idle again after the outer scope
+}
+
+TEST(Prof, ReaderSeesConsistentTagsUnderConcurrentPublish) {
+  prof::register_this_thread();
+  prof::TagSlot* slot = prof::this_thread_slot();
+  ASSERT_NE(slot, nullptr);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    char tag[prof::kMaxTag];
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (slot->read(tag)) {
+        // A torn read would mix the two tags; accept only whole ones.
+        EXPECT_TRUE(std::string(tag) == "aaaaaaaaaaaaaaa" ||
+                    std::string(tag) == "bbbbbbbbbbbbbbb")
+            << tag;
+      }
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    PSF_PROF_SCOPE(i % 2 == 0 ? "aaaaaaaaaaaaaaa" : "bbbbbbbbbbbbbbb");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+}
+
+// --- SLO rules ---------------------------------------------------------------
+
+TEST(Slo, ParsesRulesAndAliases) {
+  auto rules = slo::parse_rules(
+      " p99_latency_ms < 250 ; pool_misses==0;serve.run_ms.mean<=10 ");
+  ASSERT_TRUE(rules.is_ok()) << rules.status().to_string();
+  ASSERT_EQ(rules.value().size(), 3u);
+  EXPECT_EQ(rules.value()[0].metric, "p99_latency_ms");
+  EXPECT_EQ(rules.value()[0].op, slo::Op::kLt);
+  EXPECT_DOUBLE_EQ(rules.value()[0].bound, 250.0);
+  EXPECT_EQ(rules.value()[1].text, "pool_misses==0");
+
+  EXPECT_FALSE(slo::parse_rules("p99_latency_ms").is_ok());
+  EXPECT_FALSE(slo::parse_rules("<5").is_ok());
+  EXPECT_FALSE(slo::parse_rules("queue_depth<abc").is_ok());
+  EXPECT_TRUE(slo::parse_rules("").is_ok());  // no rules is fine
+}
+
+Snapshot make_snapshot() {
+  Snapshot snapshot;
+  snapshot.seq = 3;
+  snapshot.uptime_s = 1.25;
+  snapshot.counters["support.pool.misses"] = 2;
+  snapshot.gauges["serve.queue_depth"] = 7.0;
+  HistogramStat latency;
+  latency.count = 100;
+  latency.sum = 1000.0;
+  latency.min = 1.0;
+  latency.max = 80.0;
+  latency.p50 = 9.0;
+  latency.p90 = 30.0;
+  latency.p99 = 75.0;
+  snapshot.histograms["serve.latency_ms"] = latency;
+  return snapshot;
+}
+
+TEST(Slo, ResolvesAliasesGaugesCountersAndHistogramStats) {
+  const Snapshot snapshot = make_snapshot();
+  EXPECT_DOUBLE_EQ(slo::resolve(snapshot, "p99_latency_ms").value(), 75.0);
+  EXPECT_DOUBLE_EQ(slo::resolve(snapshot, "queue_depth").value(), 7.0);
+  EXPECT_DOUBLE_EQ(slo::resolve(snapshot, "pool_misses").value(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      slo::resolve(snapshot, "serve.latency_ms.mean").value(), 10.0);
+  EXPECT_DOUBLE_EQ(
+      slo::resolve(snapshot, "serve.latency_ms.count").value(), 100.0);
+  EXPECT_FALSE(slo::resolve(snapshot, "no.such.metric").has_value());
+}
+
+TEST(Slo, WatchdogRecordsBreachesAndReports) {
+  auto rules = slo::parse_rules("p99_latency_ms<50;queue_depth<100");
+  ASSERT_TRUE(rules.is_ok());
+  slo::Watchdog watchdog(std::move(rules).value());
+  const auto breaches = watchdog.evaluate(make_snapshot());
+  ASSERT_EQ(breaches.size(), 1u);  // p99 75 >= 50 breaches; depth 7 holds
+  EXPECT_EQ(breaches[0].metric, "p99_latency_ms");
+  EXPECT_DOUBLE_EQ(breaches[0].value, 75.0);
+  EXPECT_EQ(watchdog.breach_count(), 1u);
+
+  const std::string breach_line = slo::breach_json(breaches[0]);
+  auto parsed = analysis::parse_json(breach_line);
+  ASSERT_TRUE(parsed.is_ok()) << breach_line;
+  EXPECT_EQ(parsed.value().string_or("kind", ""), "breach");
+  EXPECT_DOUBLE_EQ(parsed.value().number_or("value", 0.0), 75.0);
+
+  auto report = analysis::parse_json(watchdog.report_json());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().string_or("kind", ""), "slo_report");
+  EXPECT_DOUBLE_EQ(report.value().number_or("breaches", 0.0), 1.0);
+  ASSERT_NE(report.value().find("events"), nullptr);
+  EXPECT_EQ(report.value().find("events")->as_array().size(), 1u);
+}
+
+TEST(Slo, MissingMetricIsNotABreach) {
+  auto rules = slo::parse_rules("no.such.histogram.p99<1");
+  ASSERT_TRUE(rules.is_ok());
+  slo::Watchdog watchdog(std::move(rules).value());
+  EXPECT_TRUE(watchdog.evaluate(make_snapshot()).empty());
+  EXPECT_EQ(watchdog.breach_count(), 0u);
+}
+
+// --- SnapshotStreamer --------------------------------------------------------
+
+TEST(Streamer, StreamsValidJsonlWithBaselinedCounters) {
+  Registry registry;
+  registry.counter("warm.events").add(42);  // pre-start noise
+  registry.histogram("job.latency_ms").record(5.0);
+
+  const std::string path =
+      testing::TempDir() + "/psf_streamer_test.jsonl";
+  SnapshotStreamer::Options options;
+  options.path = path;
+  options.registry = &registry;
+  options.snapshot_period_ms = 5;
+  options.profile_period_ms = 1;
+  SnapshotStreamer streamer(options);
+  streamer.start();
+  registry.counter("warm.events").add(8);
+  registry.counter("measured.events").add(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  streamer.stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  double last_warm = 0.0;
+  double last_uptime = -1.0;
+  while (std::getline(in, line)) {
+    auto parsed = analysis::parse_json(line);
+    ASSERT_TRUE(parsed.is_ok()) << line;
+    const auto& snapshot = parsed.value();
+    EXPECT_EQ(snapshot.string_or("schema", ""), "psf.telemetry");
+    EXPECT_DOUBLE_EQ(snapshot.number_or("version", 0.0), 1.0);
+    EXPECT_EQ(snapshot.string_or("kind", ""), "snapshot");
+    const double uptime = snapshot.number_or("uptime_s", -1.0);
+    EXPECT_GT(uptime, last_uptime);
+    last_uptime = uptime;
+    const analysis::JsonValue* counters = snapshot.find("counters");
+    ASSERT_NE(counters, nullptr);
+    last_warm = counters->number_or("warm.events", -1.0);
+    ++lines;
+  }
+  ASSERT_GE(lines, 2u);  // periodic snapshots plus the final one on stop
+  // Counters are SINCE STREAM START: the pre-start 42 is baselined away.
+  EXPECT_DOUBLE_EQ(last_warm, 8.0);
+
+  const auto ring = streamer.recent();
+  ASSERT_EQ(ring.size(), lines);
+  EXPECT_EQ(ring.back().counters.at("measured.events"), 3u);
+  EXPECT_EQ(ring.back().histograms.at("job.latency_ms").count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Streamer, WatchdogBreachesLandInTheStream) {
+  Registry registry;
+  registry.histogram("serve.latency_ms").record(100.0);
+  auto rules = slo::parse_rules("p99_latency_ms<1");
+  ASSERT_TRUE(rules.is_ok());
+  slo::Watchdog watchdog(std::move(rules).value());
+
+  const std::string path = testing::TempDir() + "/psf_breach_test.jsonl";
+  SnapshotStreamer::Options options;
+  options.path = path;
+  options.registry = &registry;
+  options.watchdog = &watchdog;
+  options.snapshot_period_ms = 1000;  // only the final stop() snapshot
+  SnapshotStreamer streamer(options);
+  streamer.start();
+  streamer.stop();
+
+  EXPECT_GE(watchdog.breach_count(), 1u);
+  std::ifstream in(path);
+  std::string line;
+  bool saw_breach = false;
+  while (std::getline(in, line)) {
+    auto parsed = analysis::parse_json(line);
+    ASSERT_TRUE(parsed.is_ok()) << line;
+    if (parsed.value().string_or("kind", "") == "breach") {
+      saw_breach = true;
+      EXPECT_EQ(parsed.value().string_or("metric", ""), "p99_latency_ms");
+    }
+  }
+  EXPECT_TRUE(saw_breach);
+  std::remove(path.c_str());
+}
+
+TEST(Streamer, RingIsBounded) {
+  Registry registry;
+  SnapshotStreamer::Options options;
+  options.registry = &registry;
+  options.ring_capacity = 3;
+  SnapshotStreamer streamer(options);
+  streamer.start();
+  for (int i = 0; i < 8; ++i) streamer.snapshot_now();
+  const auto ring = streamer.recent();
+  EXPECT_EQ(ring.size(), 3u);
+  // Oldest-first, consecutive sequence numbers ending at the newest.
+  EXPECT_EQ(ring.back().seq, ring.front().seq + 2);
+  streamer.stop();
+}
+
+// --- structured / rate-limited logging ---------------------------------------
+
+std::vector<std::string>& captured_lines() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void capture_sink(support::LogLevel /*level*/, const std::string& line) {
+  captured_lines().push_back(line);
+}
+
+class LogCapture {
+ public:
+  LogCapture() {
+    captured_lines().clear();
+    support::Log::set_sink_for_testing(&capture_sink);
+  }
+  ~LogCapture() {
+    support::Log::set_sink_for_testing(nullptr);
+    support::Log::set_format(support::LogFormat::kText);
+    support::Log::set_rate_limit(8.0, 2.0);  // restore the defaults
+  }
+};
+
+TEST(Log, JsonFormatEmitsOneObjectPerLine) {
+  LogCapture capture;
+  support::Log::set_format(support::LogFormat::kJson);
+  PSF_LOG(kWarn, "unit-test") << "hello \"world\"\n";
+  ASSERT_EQ(captured_lines().size(), 1u);
+  auto parsed = analysis::parse_json(captured_lines()[0]);
+  ASSERT_TRUE(parsed.is_ok()) << captured_lines()[0];
+  EXPECT_EQ(parsed.value().string_or("level", ""), "warn");
+  EXPECT_EQ(parsed.value().string_or("component", ""), "unit-test");
+  EXPECT_EQ(parsed.value().string_or("msg", ""), "hello \"world\"\n");
+  EXPECT_GE(parsed.value().number_or("ts_ms", -1.0), 0.0);
+  // Outside any JobScope there is no job field.
+  EXPECT_EQ(parsed.value().find("job"), nullptr);
+}
+
+TEST(Log, DuplicateWarningsAreRateLimitedWithASummary) {
+  LogCapture capture;
+  support::Log::set_rate_limit(2.0, 0.0);  // 2 pass, no refill: deterministic
+  for (int i = 0; i < 7; ++i) {
+    PSF_LOG(kWarn, "dup-test") << "same line";
+  }
+  PSF_LOG(kWarn, "dup-test") << "different line";
+  ASSERT_EQ(captured_lines().size(), 4u);
+  EXPECT_NE(captured_lines()[0].find("same line"), std::string::npos);
+  EXPECT_NE(captured_lines()[1].find("same line"), std::string::npos);
+  EXPECT_NE(captured_lines()[2].find("suppressed 5 duplicates"),
+            std::string::npos)
+      << captured_lines()[2];
+  EXPECT_NE(captured_lines()[3].find("different line"), std::string::npos);
+}
+
+TEST(Log, DistinctLinesAreNeverSuppressed) {
+  LogCapture capture;
+  support::Log::set_rate_limit(1.0, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    PSF_LOG(kError, "distinct-test") << "line " << i;
+  }
+  ASSERT_EQ(captured_lines().size(), 5u);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(TelemetryDeterminism, VtimesAreBitIdenticalWithTelemetryOn) {
+#ifdef PSF_DISABLE_METRICS
+  GTEST_SKIP() << "instrumentation compiled out (PSF_DISABLE_METRICS)";
+#endif
+  apps::heat3d::Params params;
+  params.nx = params.ny = params.nz = 16;
+  params.iterations = 3;
+  const auto field = apps::heat3d::generate_field(params);
+
+  const auto run = [&](int num_threads, bool telemetry) {
+    SnapshotStreamer streamer{SnapshotStreamer::Options{}
+                                  .with_snapshot_period_ms(2)
+                                  .with_profile_period_ms(1)};
+    if (telemetry) streamer.start();
+    apps::heat3d::Result result;
+    pattern::EnvOptions options;
+    options.app_profile = "heat3d";
+    options.use_cpu = true;
+    options.use_gpus = 2;
+    options.num_threads = num_threads;
+    options.workload_scale = 100.0;
+    minimpi::World world(2);
+    world.run([&](minimpi::Communicator& comm) {
+      apps::heat3d::Result local =
+          apps::heat3d::run_framework(comm, options, params, field);
+      if (comm.rank() == 0) result = std::move(local);
+    });
+    if (telemetry) streamer.stop();
+    return result;
+  };
+
+  for (const int width : {1, 7}) {
+    const auto off = run(width, /*telemetry=*/false);
+    const auto on = run(width, /*telemetry=*/true);
+    // Bit-identical, not just close: the streamer and profiler never touch
+    // the time model.
+    EXPECT_EQ(off.vtime, on.vtime) << "width " << width;
+    EXPECT_EQ(off.steady_vtime, on.steady_vtime) << "width " << width;
+    EXPECT_EQ(off.checksum, on.checksum) << "width " << width;
+  }
+}
+
+}  // namespace
+}  // namespace psf::telemetry

@@ -15,6 +15,8 @@
 //   wait <ID|all>      block until the job(s) finish, print the outcome
 //   cancel <ID>        request cancellation
 //   stats              print server counters
+//   statsjson          print counters + latency histogram digests as one
+//                      psf.serve JSON line (psf-top reads it)
 //   quit               drain and exit
 //
 // Each job prints `job <ID> submitted` on admission; `wait` prints
@@ -264,6 +266,12 @@ int main(int argc, char** argv) {
     if (command == "quit" || command == "exit") break;
     if (command == "stats") {
       print_stats(server);
+      continue;
+    }
+    if (command == "statsjson") {
+      // One psf.serve JSON line (counters + latency histogram digests) —
+      // psf-top renders it when no psf.telemetry stream is armed.
+      std::printf("%s\n", server.stats_json().c_str());
       continue;
     }
     if (command == "wait") {

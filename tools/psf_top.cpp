@@ -1,0 +1,322 @@
+// psf-top — terminal dashboard for the live telemetry stream
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+// Tails the JSONL file written by $PSF_TELEMETRY /
+// EnvOptions::with_telemetry_path / loadgen --telemetry and renders the
+// latest psf.telemetry snapshot: jobs/sec (from counter deltas), latency
+// quantiles (serve.queue_wait_ms / serve.run_ms / serve.latency_ms
+// digests), per-worker occupancy bars from the sampling profiler, the
+// per-component time profile, pool health and any SLO breaches seen so
+// far. Also renders a psf.serve stats_json() line (psf-serve `statsjson`),
+// detected by schema.
+//
+//   psf-top FILE            render the final state of FILE once
+//   psf-top --follow FILE   re-render every --interval ms until Ctrl-C
+//                           (keeps reading as the producer appends)
+//   psf-top --selftest      render canned snapshots through the real
+//                           parse/render path; exits nonzero on mismatch
+//
+// Reading is passive: psf-top never writes to the stream and can attach to
+// a live producer or a finished run's file equally.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.h"
+
+namespace {
+
+using psf::analysis::JsonValue;
+using psf::analysis::parse_json;
+
+/// Rolling view over the stream: the last two snapshots (for rates) plus
+/// breach bookkeeping.
+struct StreamState {
+  JsonValue latest;        ///< last "snapshot" (or psf.serve) object
+  bool have_latest = false;
+  double prev_uptime_s = 0.0;
+  std::map<std::string, double> prev_counters;
+  std::uint64_t snapshots = 0;
+  std::uint64_t breaches = 0;
+  std::string last_breach;
+  std::size_t consumed_bytes = 0;  ///< file offset of the next unread line
+};
+
+double counter(const JsonValue& snapshot, const char* section,
+               const std::string& name) {
+  const JsonValue* object = snapshot.find(section);
+  if (object == nullptr) return 0.0;
+  const JsonValue* value = object->find(name);
+  return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+}
+
+/// Consume one JSONL line; updates rates/breach state.
+void ingest_line(StreamState& state, const std::string& line) {
+  if (line.empty()) return;
+  auto parsed = parse_json(line);
+  if (!parsed.is_ok()) return;  // torn tail line of a live producer
+  const JsonValue& value = parsed.value();
+  const std::string schema = value.string_or("schema", "");
+  if (schema == "psf.serve") {
+    state.latest = value;
+    state.have_latest = true;
+    ++state.snapshots;
+    return;
+  }
+  if (schema != "psf.telemetry") return;
+  const std::string kind = value.string_or("kind", "");
+  if (kind == "breach") {
+    ++state.breaches;
+    state.last_breach = value.string_or("rule", "?");
+    return;
+  }
+  if (kind == "slo_report") {
+    state.breaches = static_cast<std::uint64_t>(
+        value.number_or("breaches", static_cast<double>(state.breaches)));
+    return;
+  }
+  if (kind != "snapshot") return;
+  if (state.have_latest) {
+    state.prev_uptime_s = state.latest.number_or("uptime_s", 0.0);
+    state.prev_counters.clear();
+    if (const JsonValue* counters = state.latest.find("counters")) {
+      for (const auto& [name, entry] : counters->as_object()) {
+        if (entry.is_number()) state.prev_counters[name] = entry.as_number();
+      }
+    }
+  }
+  state.latest = value;
+  state.have_latest = true;
+  ++state.snapshots;
+}
+
+/// Read any newly appended complete lines from `path`.
+void ingest_file(StreamState& state, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  in.seekg(static_cast<std::streamoff>(state.consumed_bytes));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof() && !line.empty() && line.back() != '}') {
+      return;  // partial tail line; re-read on the next pass
+    }
+    state.consumed_bytes += line.size() + 1;
+    ingest_line(state, line);
+  }
+}
+
+std::string occupancy_bar(double fraction, int width = 10) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string bar(static_cast<std::size_t>(filled), '#');
+  bar.append(static_cast<std::size_t>(width - filled), '-');
+  return bar;
+}
+
+void render_histogram_row(const JsonValue& histograms, const char* name,
+                          const char* label) {
+  const JsonValue* digest = histograms.find(name);
+  if (digest == nullptr) return;
+  std::printf("  %-16s n=%-7.0f p50 %8.2f  p90 %8.2f  p99 %8.2f  max %8.2f\n",
+              label, digest->number_or("count", 0.0),
+              digest->number_or("p50", 0.0), digest->number_or("p90", 0.0),
+              digest->number_or("p99", 0.0), digest->number_or("max", 0.0));
+}
+
+void render(const StreamState& state, const std::string& source) {
+  if (!state.have_latest) {
+    std::printf("psf-top: waiting for snapshots from %s\n", source.c_str());
+    return;
+  }
+  const JsonValue& snap = state.latest;
+
+  if (snap.string_or("schema", "") == "psf.serve") {
+    std::printf("psf-top — %s (psf.serve stats)\n", source.c_str());
+    std::printf(
+        "jobs: %.0f done  %.0f failed  %.0f cancelled  %.0f rejected  "
+        "queued %.0f  running %.0f\n",
+        snap.number_or("completed", 0.0), snap.number_or("failed", 0.0),
+        snap.number_or("cancelled", 0.0), snap.number_or("rejected", 0.0),
+        snap.number_or("queued", 0.0), snap.number_or("running", 0.0));
+    if (const JsonValue* histograms = snap.find("histograms")) {
+      std::printf("latency (ms):\n");
+      render_histogram_row(*histograms, "serve.latency_ms", "end-to-end");
+      render_histogram_row(*histograms, "serve.queue_wait_ms", "queue wait");
+      render_histogram_row(*histograms, "serve.run_ms", "run");
+    }
+    return;
+  }
+
+  const double uptime_s = snap.number_or("uptime_s", 0.0);
+  std::printf("psf-top — %s  snapshot #%.0f  uptime %.1fs\n", source.c_str(),
+              snap.number_or("seq", 0.0), uptime_s);
+
+  // Throughput from the since-start counters of the last two snapshots.
+  const double completed = counter(snap, "counters", "serve.jobs_completed");
+  const double window_s = uptime_s - state.prev_uptime_s;
+  double rate = 0.0;
+  if (window_s > 0.0) {
+    const auto prev = state.prev_counters.find("serve.jobs_completed");
+    const double prev_completed =
+        prev == state.prev_counters.end() ? 0.0 : prev->second;
+    rate = (completed - prev_completed) / window_s;
+  }
+  std::printf("jobs: %.0f done (%.1f/s)  queue depth %.0f  rejected %.0f\n",
+              completed, rate, counter(snap, "gauges", "serve.queue_depth"),
+              counter(snap, "counters", "serve.jobs_rejected"));
+
+  if (const JsonValue* histograms = snap.find("histograms")) {
+    std::printf("latency (ms):\n");
+    render_histogram_row(*histograms, "serve.latency_ms", "end-to-end");
+    render_histogram_row(*histograms, "serve.queue_wait_ms", "queue wait");
+    render_histogram_row(*histograms, "serve.run_ms", "run");
+  }
+
+  std::printf("pool: hits %.0f  misses %.0f    messages %.0f  sent %.0f B\n",
+              counter(snap, "counters", "support.pool.hits"),
+              counter(snap, "counters", "support.pool.misses"),
+              counter(snap, "counters", "minimpi.messages_sent"),
+              counter(snap, "counters", "minimpi.bytes_sent"));
+
+  // Per-component time profile over the sampling window.
+  if (const JsonValue* profile = snap.find("profile");
+      profile != nullptr && !profile->as_object().empty()) {
+    double total = 0.0;
+    for (const auto& [tag, ticks] : profile->as_object()) {
+      if (ticks.is_number()) total += ticks.as_number();
+    }
+    std::printf("profile:");
+    for (const auto& [tag, ticks] : profile->as_object()) {
+      if (!ticks.is_number() || total <= 0.0) continue;
+      std::printf("  %s %.0f%%", tag.c_str(),
+                  100.0 * ticks.as_number() / total);
+    }
+    std::printf("\n");
+  }
+
+  // Worker occupancy bars: [slot, busy, ticks] triples.
+  if (const JsonValue* workers = snap.find("workers");
+      workers != nullptr && !workers->as_array().empty()) {
+    for (const JsonValue& worker : workers->as_array()) {
+      const auto& triple = worker.as_array();
+      if (triple.size() != 3) continue;
+      const double busy = triple[1].as_number();
+      const double ticks = triple[2].as_number();
+      const double fraction = ticks > 0.0 ? busy / ticks : 0.0;
+      std::printf("worker %2.0f [%s] %3.0f%%\n", triple[0].as_number(),
+                  occupancy_bar(fraction).c_str(), 100.0 * fraction);
+    }
+  }
+
+  if (state.breaches > 0) {
+    std::printf("SLO breaches: %llu%s%s\n",
+                static_cast<unsigned long long>(state.breaches),
+                state.last_breach.empty() ? "" : "  last: ",
+                state.last_breach.c_str());
+  }
+}
+
+int selftest() {
+  StreamState state;
+  ingest_line(state,
+              R"({"schema":"psf.telemetry","version":1,"kind":"snapshot",)"
+              R"("seq":1,"uptime_s":0.5,"counters":{"serve.jobs_completed":10,)"
+              R"("support.pool.hits":100,"support.pool.misses":0},"deltas":{},)"
+              R"("gauges":{"serve.queue_depth":3},"histograms":{},)"
+              R"("profile":{},"workers":[]})");
+  ingest_line(state,
+              R"({"schema":"psf.telemetry","version":1,"kind":"snapshot",)"
+              R"("seq":2,"uptime_s":1.5,"counters":{"serve.jobs_completed":30,)"
+              R"("support.pool.hits":200,"support.pool.misses":0},"deltas":{},)"
+              R"("gauges":{"serve.queue_depth":1},)"
+              R"("histograms":{"serve.latency_ms":{"count":30,"sum":300,)"
+              R"("min":2,"max":40,"p50":9,"p90":20,"p99":38}},)"
+              R"("profile":{"exec.task":10,"st.inner":30},)"
+              R"("workers":[[0,8,10],[1,2,10]]})");
+  ingest_line(state,
+              R"({"schema":"psf.telemetry","version":1,"kind":"breach",)"
+              R"("seq":2,"uptime_s":1.5,"rule":"p99_latency_ms<10",)"
+              R"("metric":"p99_latency_ms","value":38,"bound":10})");
+  if (!state.have_latest || state.snapshots != 2 || state.breaches != 1) {
+    std::fprintf(stderr, "psf-top: selftest ingest failed\n");
+    return 1;
+  }
+  // (30 - 10) jobs over (1.5 - 0.5) s = 20/s drives the rate line.
+  const double completed =
+      counter(state.latest, "counters", "serve.jobs_completed");
+  if (completed != 30.0 || state.prev_counters.at("serve.jobs_completed") !=
+                               10.0) {
+    std::fprintf(stderr, "psf-top: selftest rate state failed\n");
+    return 1;
+  }
+  render(state, "selftest");
+
+  StreamState serve_state;
+  ingest_line(serve_state,
+              R"({"schema":"psf.serve","version":1,"submitted":5,)"
+              R"("rejected":0,"completed":5,"failed":0,"cancelled":0,)"
+              R"("queued":0,"running":0,"histograms":{)"
+              R"("serve.latency_ms":{"count":5,"sum":50,"min":5,"max":15,)"
+              R"("p50":10,"p90":14,"p99":15,"buckets":[[16,5]]}}})");
+  if (!serve_state.have_latest) {
+    std::fprintf(stderr, "psf-top: selftest psf.serve ingest failed\n");
+    return 1;
+  }
+  render(serve_state, "selftest");
+  std::printf("psf-top: selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  int interval_ms = 500;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      follow = false;
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_ms = std::max(50, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--selftest") == 0) {
+      return selftest();
+    } else if (argv[i][0] != '-' && path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: psf-top [--follow] [--once] [--interval MS] FILE\n"
+                   "       psf-top --selftest\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "psf-top: no stream file given (see --help text "
+                 "above); run with --selftest to check the binary\n");
+    return 2;
+  }
+
+  StreamState state;
+  if (!follow) {
+    ingest_file(state, path);
+    render(state, path);
+    return state.have_latest ? 0 : 1;
+  }
+  for (;;) {
+    ingest_file(state, path);
+    // ANSI clear + home; keeps the dashboard in place like top(1).
+    std::printf("\x1b[2J\x1b[H");
+    render(state, path);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
