@@ -5,6 +5,7 @@
 
 #include "pattern/api.h"
 #include "support/rng.h"
+#include "support/simd.h"
 
 namespace psf::apps::sobel {
 
@@ -33,6 +34,35 @@ DEVICE void sobel_fp(const void* input, void* output, const int* offset,
   GET_FLOAT2(output, size, y, x) = magnitude > 255.0f ? 255.0f : magnitude;
 // [psf-user-code-end]
 }
+
+// [psf-user-code-begin]
+/// Row variant of sobel_fp: `count` pixels along x from `offset`. Each
+/// lane repeats the scalar expression term-for-term (no reassociation), so
+/// the bytes match sobel_fp exactly whether or not the loop vectorizes.
+DEVICE void sobel_row_fp(const void* input, void* output, const int* offset,
+                         const int* size, int count,
+                         const void* /*parameter*/) {
+  const int y = offset[0];
+  const int x0 = offset[1];
+  const auto* in = static_cast<const float*>(input);
+  auto* out = static_cast<float*>(output);
+  const auto stride = static_cast<std::size_t>(size[1]);
+  const float* rm = in + static_cast<std::size_t>(y - 1) * stride;
+  const float* r0 = in + static_cast<std::size_t>(y) * stride;
+  const float* rp = in + static_cast<std::size_t>(y + 1) * stride;
+  float* dst = out + static_cast<std::size_t>(y) * stride;
+  PSF_SIMD_LOOP
+  for (int i = 0; i < count; ++i) {
+    const int x = x0 + i;
+    const float gx = rm[x + 1] + 2.0f * r0[x + 1] + rp[x + 1] - rm[x - 1] -
+                     2.0f * r0[x - 1] - rp[x - 1];
+    const float gy = rp[x - 1] + 2.0f * rp[x] + rp[x + 1] - rm[x - 1] -
+                     2.0f * rm[x] - rm[x + 1];
+    const float magnitude = std::sqrt(gx * gx + gy * gy);
+    dst[x] = magnitude > 255.0f ? 255.0f : magnitude;
+  }
+}
+// [psf-user-code-end]
 
 /// Same operator on a plain global grid (reference kernel).
 inline float sobel_reference(const std::vector<float>& in, std::size_t width,
@@ -90,6 +120,7 @@ Result run_framework(minimpi::Communicator& comm,
   auto* st = env.get_ST();
 
   st->set_stencil_func(sobel_fp);
+  st->set_row_func(sobel_row_fp);
   st->set_grid(image.data(), sizeof(float), {params.height, params.width});
   st->set_halo(1);
 

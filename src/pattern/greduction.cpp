@@ -185,6 +185,51 @@ support::Status GReductionRuntime::start() {
     priced = &priced_storage;
   }
 
+  // Double-buffered stream pricing (EnvOptions::stream_pipeline): replace
+  // each streaming accelerator's analytic steady-state makespan with a
+  // replay of its chunk sequence through a two-stream ping-pong pipeline.
+  // Each chunk splits into two pinned-memory blocks (paper III-D); the H2D
+  // copy of block k+1 overlaps the kernel of block k, and the replay
+  // records real h2d/kernel spans plus copy -> kernel "stream" edges on the
+  // device's trace lane. The functional schedule is untouched — this is a
+  // pricing substitution only, so results stay bit-identical.
+  ScheduleResult pipelined_storage;
+  if (env_->options().stream_pipeline) {
+    const auto sched_options = env_->scheduler_options();
+    bool any_pipelined = false;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (!devices[d]->is_accelerator() || lost_before[d]) continue;
+      // The armed device keeps its analytic half-chunk + detection price.
+      if (static_cast<int>(d) == armed) continue;
+      if (specs[d].bytes_per_unit <= 0.0 || priced->device_units[d] == 0) {
+        continue;
+      }
+      if (!any_pipelined) pipelined_storage = *priced;
+      any_pipelined = true;
+      devsim::StreamPipeline pipeline(*devices[d]);
+      for (const auto& chunk : priced->chunks) {
+        if (chunk.device != static_cast<int>(d)) continue;
+        pipeline.charge_acquire(sched_options.overheads.chunk_acquire_s);
+        const double scaled = static_cast<double>(chunk.end - chunk.begin) *
+                              sched_options.workload_scale;
+        const double block_compute =
+            sched_options.overheads.kernel_launch_s +
+            0.5 * scaled / specs[d].units_per_s;
+        const auto block_bytes =
+            static_cast<std::size_t>(0.5 * scaled * specs[d].bytes_per_unit);
+        pipeline.step(block_bytes, block_compute, "gr chunk kernel");
+        pipeline.step(block_bytes, block_compute, "gr chunk kernel");
+      }
+      pipelined_storage.device_finish[d] = pipeline.finish();
+    }
+    if (any_pipelined) {
+      pipelined_storage.makespan =
+          *std::max_element(pipelined_storage.device_finish.begin(),
+                            pipelined_storage.device_finish.end());
+      priced = &pipelined_storage;
+    }
+  }
+
   // Stats flags are computed on this thread before the lanes launch so the
   // lane tasks never write shared runtime state. used_shared_memory follows
   // the canonical (functional) schedule.

@@ -64,6 +64,14 @@ struct EnvOptions {
   bool overlap = true;
   /// Grid tiling for stencils (paper Section III-E).
   bool tiling = true;
+  /// Double-buffered copy/compute stream pipelines (devsim::StreamPipeline):
+  /// GR GPU chunks are priced by replaying the chunk schedule through a
+  /// two-stream ping-pong pipeline (real h2d/kernel spans + "stream" trace
+  /// edges instead of the analytic steady-state makespan), and stencil halo
+  /// uploads ride the copy stream asynchronously, overlapping later
+  /// exchange dims and inner-tile compute. Off by default: it changes
+  /// vtimes, so the BENCH baseline pins it per variant.
+  bool stream_pipeline = false;
   /// Shared-memory reduction localization (paper Section III-E).
   bool reduction_localization = true;
   /// Price the workload as `workload_scale` times its functional size, so a
@@ -158,6 +166,10 @@ struct EnvOptions {
   }
   EnvOptions& with_tiling(bool value = true) {
     tiling = value;
+    return *this;
+  }
+  EnvOptions& with_stream_pipeline(bool value = true) {
+    stream_pipeline = value;
     return *this;
   }
   EnvOptions& with_reduction_localization(bool value = true) {

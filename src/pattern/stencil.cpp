@@ -15,6 +15,7 @@
 #include "pattern/runtime_env.h"
 #include "support/log.h"
 #include "support/metrics.h"
+#include "support/simd.h"
 #include "telemetry/prof.h"
 #include "timemodel/timeline.h"
 
@@ -347,21 +348,35 @@ std::size_t StencilRuntime::exchange_dim(int dim) {
   }
 
   // Steps 4-5: receive and unpack into the halo regions (for GPUs via the
-  // host-mapped buffer and an unpack kernel).
+  // host-mapped buffer and an unpack kernel). Under
+  // EnvOptions::stream_pipeline the PCIe upload and the unpack kernel ride
+  // the accelerator's double-buffered streams asynchronously — they overlap
+  // the recv waits of later dims and the concurrent inner tiles, and the
+  // host only waits for them at the boundary-pass drain in start(). The
+  // host-side staging copy stays on the host timeline either way.
   const auto& pcie = env_->options().preset.pcie;
+  devsim::StreamPipeline* pipeline =
+      (any_gpu && env_->options().stream_pipeline) ? halo_pipeline() : nullptr;
+  auto price_unpack = [&](std::size_t payload_bytes) {
+    comm.timeline().advance(static_cast<double>(payload_bytes) * scale /
+                            kHostCopyBw);
+    if (!any_gpu) return;
+    const auto upload_bytes = static_cast<std::size_t>(
+        static_cast<double>(payload_bytes) * scale);
+    if (pipeline != nullptr) {
+      pipeline->step(upload_bytes, overheads.kernel_launch_s, "halo unpack");
+    } else {
+      comm.timeline().advance(overheads.kernel_launch_s +
+                              pcie.cost(upload_bytes));
+    }
+  };
   if (lo_rank != minimpi::kNoNeighbor) {
     auto message = comm.recv_any(lo_rank, tag_hi);
     face(/*low=*/true, /*halo_region=*/true, lo, hi);
     PSF_CHECK_MSG(message.payload.size() == box_bytes(lo, hi),
                   "halo size mismatch on dim " << dim);
     unpack_box(lo, hi, message.payload.data());
-    comm.timeline().advance(
-        static_cast<double>(message.payload.size()) * scale / kHostCopyBw +
-        (any_gpu ? overheads.kernel_launch_s +
-                       pcie.cost(static_cast<std::size_t>(
-                           static_cast<double>(message.payload.size()) *
-                           scale))
-                 : 0.0));
+    price_unpack(message.payload.size());
   }
   if (hi_rank != minimpi::kNoNeighbor) {
     auto message = comm.recv_any(hi_rank, tag_lo);
@@ -369,15 +384,22 @@ std::size_t StencilRuntime::exchange_dim(int dim) {
     PSF_CHECK_MSG(message.payload.size() == box_bytes(lo, hi),
                   "halo size mismatch on dim " << dim);
     unpack_box(lo, hi, message.payload.data());
-    comm.timeline().advance(
-        static_cast<double>(message.payload.size()) * scale / kHostCopyBw +
-        (any_gpu ? overheads.kernel_launch_s +
-                       pcie.cost(static_cast<std::size_t>(
-                           static_cast<double>(message.payload.size()) *
-                           scale))
-                 : 0.0));
+    price_unpack(message.payload.size());
   }
   return sent;
+}
+
+devsim::StreamPipeline* StencilRuntime::halo_pipeline() {
+  if (!halo_pipeline_probed_) {
+    halo_pipeline_probed_ = true;
+    for (auto* device : env_->active_devices()) {
+      if (device->is_accelerator()) {
+        halo_pipeline_ = std::make_unique<devsim::StreamPipeline>(*device);
+        break;
+      }
+    }
+  }
+  return halo_pipeline_.get();
 }
 
 void StencilRuntime::compute_rows(int device_index, std::size_t row_begin,
@@ -403,6 +425,13 @@ void StencilRuntime::walk_rows(int device_index, std::size_t row_begin,
   const std::byte* in = old_grid;
   std::byte* out = new_grid;
 
+  // Row-vectorized dispatch (support/simd.h): batch maximal memory-
+  // contiguous runs of stencil cells into one row_fn_ call. Only for pure
+  // sweep passes — the fused emit hook reads each output cell right after
+  // the scalar call writes it, so emitting passes keep the per-cell path.
+  const bool use_rows = apply_stencil && emit == nullptr &&
+                        row_fn_ != nullptr && support::simd::enabled();
+
   const auto body = [&](const devsim::BlockContext& ctx) {
     // A fresh staging object per block launch keeps host replay after a
     // device loss idempotent (the sink resets the slot on fetch).
@@ -410,11 +439,19 @@ void StencilRuntime::walk_rows(int device_index, std::size_t row_begin,
         (emit != nullptr && sink != nullptr)
             ? sink->block_object(device_index, ctx.block_id, want_inner)
             : nullptr;
-    int offset_user[kMaxDims];
-    int size_user[kMaxDims];
+    int offset_user[kMaxDims] = {0, 0, 0};
+    int size_user[kMaxDims] = {0, 0, 0};
     for (int d = 0; d < ndims_; ++d) {
       size_user[d] = static_cast<int>(padded_[static_cast<std::size_t>(d)]);
     }
+    int run_offset[kMaxDims] = {0, 0, 0};
+    int run_count = 0;
+    std::size_t run_next = 0;  ///< padded index the next run cell must have
+    const auto flush_run = [&] {
+      if (run_count == 0) return;
+      row_fn_(in, out, run_offset, size_user, run_count, parameter_);
+      run_count = 0;
+    };
     for (std::size_t row = row_begin + split.begin(ctx.block_id);
          row < row_begin + split.end(ctx.block_id); ++row) {
       const int c0 = static_cast<int>(row) + halo3_[0];
@@ -450,7 +487,25 @@ void StencilRuntime::walk_rows(int device_index, std::size_t row_begin,
             if (ndims_ >= 2) offset_user[1] = c[1];
             if (ndims_ >= 3) offset_user[2] = c[2];
             if (apply_stencil) {
-              stencil_(in, out, offset_user, size_user, parameter_);
+              if (use_rows) {
+                // Extend the current run while cells stay contiguous in the
+                // padded grid (fixed/skipped cells and the halo gap between
+                // user rows both break contiguity and flush).
+                const std::size_t idx = padded_index(c);
+                if (run_count > 0 && idx == run_next) {
+                  ++run_count;
+                  ++run_next;
+                } else {
+                  flush_run();
+                  run_offset[0] = offset_user[0];
+                  run_offset[1] = offset_user[1];
+                  run_offset[2] = offset_user[2];
+                  run_count = 1;
+                  run_next = idx + 1;
+                }
+              } else {
+                stencil_(in, out, offset_user, size_user, parameter_);
+              }
             }
           }
           if (staged != nullptr) {
@@ -463,6 +518,7 @@ void StencilRuntime::walk_rows(int device_index, std::size_t row_begin,
         }
       }
     }
+    flush_run();
   };
   device.run_blocks(blocks, 0, body);
   if (device.lost()) {
@@ -770,6 +826,14 @@ support::Status StencilRuntime::start() {
       sync_span = trace->record("boundary sync", "copy", comm.rank(), 0,
                                 sync_begin, comm.timeline().now());
     }
+  }
+
+  // Pipelined halo uploads drain here: boundary tiles read the halos, so
+  // the host waits for the copy/unpack streams only now — everything that
+  // ran since each upload was enqueued (later exchange dims, inner tiles,
+  // the inter-device sync) hid that transfer time.
+  if (halo_pipeline_ != nullptr && env_->options().stream_pipeline) {
+    halo_pipeline_->drain(comm.timeline());
   }
 
   // Step 7: boundary tiles (grouped into one launch when tiling is on).

@@ -24,6 +24,10 @@
 #include "support/compat.h"
 #include "support/error.h"
 
+namespace psf::devsim {
+class StreamPipeline;
+}  // namespace psf::devsim
+
 namespace psf::pattern {
 
 class RuntimeEnv;
@@ -35,6 +39,16 @@ class ReductionObject;
 /// the get helpers in pattern/api.h.
 using StencilFn = void (*)(const void* input, void* output, const int* offset,
                            const int* size, const void* parameter);
+
+/// Optional row-vectorized companion to StencilFn (SIMD host-kernel
+/// dispatch, support/simd.h): computes `count` output elements starting at
+/// `offset`, consecutive along the innermost user dimension and contiguous
+/// in padded-grid memory. Must write bytes identical to `count` scalar
+/// StencilFn calls — the runtime may pick either at any time, and tests
+/// byte-compare the two paths (docs/PERFORMANCE.md).
+using StencilRowFn = void (*)(const void* input, void* output,
+                              const int* offset, const int* size, int count,
+                              const void* parameter);
 
 /// Per-cell emit hook for the fused stencil_reduce composition
 /// (pattern/compose.h): called right after a sweep pass computes the cell at
@@ -74,6 +88,12 @@ class StencilRuntime {
       "psf::pattern::TypedStencil (pattern/typed.h) or the composition "
       "facades in pattern/compose.h")
   void set_stencil_func(StencilFn fn) { stencil_ = fn; }
+
+  /// Register a row-vectorized variant of the stencil function. Dispatch is
+  /// gated on support::simd::enabled() (build option PSF_SIMD + env var
+  /// PSF_SIMD); without it — or on passes that stage per-cell emits — the
+  /// runtime falls back to the scalar per-cell function.
+  void set_row_func(StencilRowFn fn) { row_fn_ = fn; }
 
   /// Global grid: `ndims` extents (outermost first), elements of
   /// `elem_bytes`. The runtime scatters sub-grids from this array; elements
@@ -210,6 +230,12 @@ class StencilRuntime {
   /// Halo exchange for one dimension (both directions); returns bytes sent.
   std::size_t exchange_dim(int dim);
 
+  /// Lazily-built double-buffered upload pipeline on the first accelerator
+  /// (EnvOptions::stream_pipeline): halo unpack uploads ride its copy
+  /// stream so they overlap later exchange dims and inner-tile compute.
+  /// Null when the device mix has no accelerator.
+  devsim::StreamPipeline* halo_pipeline();
+
   /// Apply the stencil to all cells in rows [row_begin, row_end) of dim 0,
   /// where each cell is classified inner/boundary; `want_inner` selects
   /// which class to compute this pass.
@@ -237,6 +263,7 @@ class StencilRuntime {
 
   RuntimeEnv* env_;
   StencilFn stencil_ = nullptr;
+  StencilRowFn row_fn_ = nullptr;
   const std::byte* global_grid_ = nullptr;
   std::size_t elem_bytes_ = 0;
   std::vector<std::size_t> global_dims_;
@@ -260,6 +287,9 @@ class StencilRuntime {
   std::array<bool, kMaxDims> wrap_ = {false, false, false};
   support::AlignedBuffer in_;
   support::AlignedBuffer out_;
+
+  std::unique_ptr<devsim::StreamPipeline> halo_pipeline_;
+  bool halo_pipeline_probed_ = false;
 
   AdaptivePartitioner partitioner_{1};
   std::vector<std::size_t> device_row_bounds_;  ///< interior row split
