@@ -3,45 +3,48 @@
 // Drives a Server with thousands of small kmeans/sobel jobs UNDER a
 // long-running low-priority heat3d background job, all multiplexed onto
 // one shared work-stealing executor and the shared BufferPool. Reports
-// jobs/sec and latency quantiles, and checks the serving guarantees CI
-// enforces:
+// jobs/sec, GOODPUT (jobs completed within their deadline per second) and
+// latency quantiles, and checks the serving guarantees CI enforces:
 //
 //   * throughput floor: measured jobs/sec >= --min-jobs-per-s (0 = off);
+//   * goodput floor: goodput >= --min-goodput (0 = off);
 //   * steady-state zero-alloc: after the warm phase prewarmed the pool,
 //     the measured phase takes ZERO BufferPool misses (asserted here
 //     programmatically AND exported via --steady-metrics for
-//     validate_metrics.py --assert-zero support.pool.misses);
+//     validate_metrics.py --assert-zero support.pool.misses). Skipped
+//     under --chaos, where retries re-run bodies at unplanned times;
 //   * SLOs: --slo rules (docs/OBSERVABILITY.md grammar, e.g.
 //     "p99_latency_ms<5000;pool_misses==0") are watched live against the
 //     telemetry snapshots of the measured phase; any breach fails the run
 //     with a structured slo_report.
 //
-// Latency quantiles come from the Server's own serve.queue_wait_ms /
-// serve.run_ms / serve.latency_ms histograms (reset after the warm phase),
-// so queue wait and run time are reported separately — compare_bench.py
-// --check-queue-wait thresholds the queue columns independently of the
-// end-to-end ones.
-//
-// The per-job virtual times are executor- and load-independent, so the
-// "vtime" of each report row (the sum over the fixed measured job set) is
-// bit-identical across hosts and widths — compare_bench.py checks it
-// against bench/LOADGEN_baseline.json. Wall-clock numbers (jobs/sec,
-// latency quantiles) vary by machine; compare_bench --check-latency applies
-// loose thresholds to those.
+// Chaos mode (docs/RESILIENCE.md, "Serving resilience"): --chaos PLAN
+// arms the server-side fault plan (job_fail / runner_stall) and interprets
+// the client-side submit_burst clause here — every `every` measured
+// submissions, `count` extra jobs at `priority` are injected as overload
+// noise. The injected stall/fail sequence is seeded and keyed by admission
+// seq, so the run prints an FNV-1a digest of the global fault log: two
+// runs with the same plan and flags print the same digest. --compare-naive
+// then replays the IDENTICAL plan against a naive leg (no retry, no
+// deadline, no shedding) and fails unless the resilient leg's goodput
+// beats the naive leg's — the CI-pinned claim that degradation is graceful.
 //
 //   loadgen [--jobs N] [--workers N] [--threads N] [--queue-depth N]
-//           [--min-jobs-per-s X] [--out PATH] [--hist PATH]
-//           [--steady-metrics PATH] [--telemetry PATH] [--slo RULES]
-//           [--smoke]
+//           [--min-jobs-per-s X] [--min-goodput X] [--out PATH]
+//           [--hist PATH] [--steady-metrics PATH] [--telemetry PATH]
+//           [--slo RULES] [--chaos PLAN] [--deadline-ms N] [--retries N]
+//           [--backoff-ms X] [--retry-budget X] [--shed-watermark N]
+//           [--compare-naive] [--smoke]
 //
 // --telemetry (or $PSF_TELEMETRY) streams psf.telemetry v1 JSONL covering
-// exactly the measured phase; loadgen owns the stream lifecycle, so the
-// environment variable is consumed here rather than arming the global
-// streamer at server construction.
+// exactly the measured phase of the primary leg; loadgen owns the stream
+// lifecycle, so the environment variable is consumed here rather than
+// arming the global streamer at server construction.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "serve/jobs.h"
 #include "serve/serve.h"
 #include "support/buffer_pool.h"
@@ -64,6 +68,7 @@ using psf::serve::JobHandle;
 using psf::serve::JobResult;
 using psf::serve::JobSpec;
 using psf::serve::JobState;
+using psf::serve::RetryPolicy;
 using psf::serve::Server;
 using psf::serve::ServerOptions;
 using psf::serve::jobs::WorkloadOptions;
@@ -109,6 +114,308 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
+/// FNV-1a over the sorted fault-log snapshot: a run-to-run fingerprint of
+/// the injected chaos sequence (seq order is the map order, already
+/// deterministic; events per seq are in record order).
+std::uint64_t fault_log_digest(std::size_t* events_out) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](const std::string& text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  std::size_t events = 0;
+  for (const auto& [seq, log] : psf::fault::FaultLog::global().snapshot()) {
+    for (const auto& event : log) {
+      mix(std::to_string(seq));
+      mix(":");
+      mix(event);
+      mix("\n");
+      ++events;
+    }
+  }
+  if (events_out != nullptr) *events_out = events;
+  return hash;
+}
+
+/// One benchmark leg: a Server brought up, warmed, loaded and torn down.
+struct LegConfig {
+  const char* label = "resilient";
+  int jobs = 1000;
+  ServerOptions server_options;
+  int deadline_ms = 0;          ///< JobSpec deadline (0 = none set server-side)
+  int nominal_deadline_ms = 0;  ///< client-side goodput bound (0 = every
+                                ///< done job counts)
+  RetryPolicy retry;            ///< applied when max_attempts > 1
+  const psf::fault::SubmitBurstSpec* burst = nullptr;
+  bool chaos = false;           ///< tolerate failed/expired terminal states
+  psf::telemetry::SnapshotStreamer* streamer = nullptr;  ///< primary leg only
+};
+
+struct LegStats {
+  double elapsed_s = 0.0;
+  double vtime_sum = 0.0;  ///< over kDone measured jobs only
+  double jobs_per_s = 0.0;
+  double goodput_per_s = 0.0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t srv_shed = 0;
+  std::uint64_t srv_retried = 0;
+  std::uint64_t srv_expired = 0;
+  std::uint64_t srv_completed = 0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  double queue_p50_ms = 0.0, queue_p99_ms = 0.0;
+  double run_p50_ms = 0.0, run_p99_ms = 0.0;
+  std::uint64_t steady_misses = 0;
+  JobResult bg;
+  bool bg_done = false;
+};
+
+/// Runs one leg; returns 0 on success, nonzero to abort the whole run.
+/// "Success" means the harness ran — under cfg.chaos individual jobs may
+/// end kFailed/kExpired and are tallied rather than fatal.
+int run_leg(const LegConfig& cfg, LegStats& stats) {
+  Server server(cfg.server_options);
+  auto& pool = psf::support::BufferPool::global();
+  auto& registry = psf::metrics::Registry::global();
+  auto& queue_wait_hist = registry.histogram("serve.queue_wait_ms");
+  auto& run_hist = registry.histogram("serve.run_ms");
+  auto& latency_hist = registry.histogram("serve.latency_ms");
+
+  const bool with_retry = cfg.retry.max_attempts > 1;
+
+  // --- warm phase: touch every size class the measured mix will need ------
+  std::printf("loadgen[%s]: warm phase (%d workers, executor_threads=%d)...\n",
+              cfg.label, cfg.server_options.workers,
+              cfg.server_options.executor_threads);
+  {
+    std::vector<JobHandle> warm;
+    auto bg = server.submit(make_background_job());
+    if (bg.is_ok()) warm.push_back(bg.value());
+    for (int i = 0; i < 16; ++i) {
+      JobSpec spec = make_small_job(i);
+      // Chaos applies to warm jobs too (they consume admission seqs 1..16);
+      // retry keeps the pool warm-up reliable under injected failures.
+      if (with_retry) spec.with_retry(cfg.retry);
+      auto handle = server.submit(std::move(spec));
+      if (!handle.is_ok()) {
+        std::fprintf(stderr, "loadgen[%s]: warm submit failed: %s\n",
+                     cfg.label, handle.status().to_string().c_str());
+        return 1;
+      }
+      warm.push_back(handle.value());
+    }
+    server.drain();
+    for (const auto& handle : warm) {
+      if (handle.wait().state != JobState::kDone) {
+        if (!cfg.chaos) {
+          std::fprintf(stderr, "loadgen[%s]: warm job failed\n", cfg.label);
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "loadgen[%s]: warm job lost to chaos (continuing)\n",
+                     cfg.label);
+      }
+    }
+  }
+  // Headroom against scheduling variance: the measured phase may hold more
+  // buffers of one class in flight than any warm job happened to.
+  pool.prewarm();
+  const std::uint64_t misses_before = pool.misses();
+  // Quantiles describe the measured phase only; the server is idle here so
+  // no writer races the reset.
+  queue_wait_hist.reset();
+  run_hist.reset();
+  latency_hist.reset();
+
+  // The stream starts AFTER the warm phase, so since-start counters (and
+  // SLO rules like pool_misses==0) see only steady-state behaviour.
+  if (cfg.streamer != nullptr) cfg.streamer->start();
+
+  // --- measured phase -----------------------------------------------------
+  std::printf("loadgen[%s]: measured phase (%d jobs + background heat3d%s)"
+              "...\n",
+              cfg.label, cfg.jobs,
+              cfg.burst != nullptr ? " + submit bursts" : "");
+  const auto start = std::chrono::steady_clock::now();
+  auto background = server.submit(make_background_job());
+  if (!background.is_ok()) {
+    std::fprintf(stderr, "loadgen[%s]: background submit failed: %s\n",
+                 cfg.label, background.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(cfg.jobs));
+  std::vector<JobHandle> burst_handles;
+  int burst_serial = 0;
+  auto retryable_reject = [](const psf::support::Status& status) {
+    // Admission backpressure: a bounded queue rejects with
+    // kResourceExhausted (legacy) or kUnavailable (shedding enabled);
+    // both mean "try again shortly".
+    return status.code() == psf::support::ErrorCode::kResourceExhausted ||
+           status.code() == psf::support::ErrorCode::kUnavailable;
+  };
+  for (int i = 0; i < cfg.jobs; ++i) {
+    // Submit-side backpressure: admission control may reject under a small
+    // queue depth; retry after helping the queue drain a little.
+    for (;;) {
+      JobSpec spec = make_small_job(i);
+      if (cfg.deadline_ms > 0) spec.with_deadline_ms(cfg.deadline_ms);
+      if (with_retry) spec.with_retry(cfg.retry);
+      auto handle = server.submit(std::move(spec));
+      if (handle.is_ok()) {
+        handles.push_back(handle.value());
+        break;
+      }
+      if (!retryable_reject(handle.status())) {
+        std::fprintf(stderr, "loadgen[%s]: submit failed: %s\n", cfg.label,
+                     handle.status().to_string().c_str());
+        return 1;
+      }
+      std::this_thread::yield();
+    }
+    // Client-side chaos: the submit_burst clause injects overload noise —
+    // every `every` measured submissions, `count` extra jobs at `priority`.
+    // Best-effort: a rejected burst job IS the overload signal working.
+    if (cfg.burst != nullptr && (i + 1) % cfg.burst->every == 0) {
+      for (int b = 0; b < cfg.burst->count; ++b) {
+        JobSpec spec = make_small_job(2 * burst_serial);
+        spec.with_name("burst-" + std::to_string(burst_serial++))
+            .with_priority(cfg.burst->priority);
+        if (cfg.deadline_ms > 0) spec.with_deadline_ms(cfg.deadline_ms);
+        auto handle = server.submit(std::move(spec));
+        if (handle.is_ok()) burst_handles.push_back(handle.value());
+      }
+    }
+  }
+  server.drain();
+  stats.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  double good = 0.0;
+  for (const auto& handle : handles) {
+    const JobResult result = handle.wait();
+    switch (result.state) {
+      case JobState::kDone: {
+        ++stats.done;
+        stats.vtime_sum += result.vtime;
+        const double latency_ms =
+            (result.queue_wall_s + result.run_wall_s) * 1e3;
+        if (cfg.nominal_deadline_ms <= 0 ||
+            latency_ms <= static_cast<double>(cfg.nominal_deadline_ms)) {
+          good += 1.0;
+        }
+        break;
+      }
+      case JobState::kFailed: ++stats.failed; break;
+      case JobState::kExpired: ++stats.expired; break;
+      case JobState::kCancelled: ++stats.cancelled; break;
+      case JobState::kQueued:
+      case JobState::kRunning: break;  // unreachable after wait()
+    }
+    if (!cfg.chaos && result.state != JobState::kDone) {
+      std::fprintf(stderr, "loadgen[%s]: job #%llu ended %s: %s\n", cfg.label,
+                   static_cast<unsigned long long>(handle.id()),
+                   std::string(to_string(result.state)).c_str(),
+                   result.status.to_string().c_str());
+      return 1;
+    }
+  }
+  for (const auto& handle : burst_handles) handle.wait();  // noise; no tally
+  stats.bg = background.value().wait();
+  stats.bg_done = stats.bg.state == JobState::kDone;
+  if (!cfg.chaos && !stats.bg_done) {
+    std::fprintf(stderr, "loadgen[%s]: background job ended %s\n", cfg.label,
+                 std::string(to_string(stats.bg.state)).c_str());
+    return 1;
+  }
+  // Final snapshot + watchdog pass over the terminal state, then flush.
+  if (cfg.streamer != nullptr) cfg.streamer->stop();
+
+  const auto server_stats = server.stats();
+  stats.srv_shed = server_stats.shed;
+  stats.srv_retried = server_stats.retried;
+  stats.srv_expired = server_stats.expired;
+  stats.srv_completed = server_stats.completed;
+
+  stats.steady_misses = pool.misses() - misses_before;
+  const auto latency = latency_hist.snapshot();
+  const auto queue_wait = queue_wait_hist.snapshot();
+  const auto run = run_hist.snapshot();
+  stats.p50_ms = latency.quantile(0.50);
+  stats.p99_ms = latency.quantile(0.99);
+  stats.queue_p50_ms = queue_wait.quantile(0.50);
+  stats.queue_p99_ms = queue_wait.quantile(0.99);
+  stats.run_p50_ms = run.quantile(0.50);
+  stats.run_p99_ms = run.quantile(0.99);
+  stats.jobs_per_s = static_cast<double>(cfg.jobs) / stats.elapsed_s;
+  stats.goodput_per_s = good / stats.elapsed_s;
+
+  std::printf(
+      "loadgen[%s]: %d jobs in %.2fs -> %.1f jobs/s, goodput %.1f/s "
+      "(done %llu, failed %llu, expired %llu; server shed %llu, retried "
+      "%llu), p50 %.2f ms, p99 %.2f ms (queue %.2f/%.2f, run %.2f/%.2f), "
+      "steady pool misses %llu\n",
+      cfg.label, cfg.jobs, stats.elapsed_s, stats.jobs_per_s,
+      stats.goodput_per_s, static_cast<unsigned long long>(stats.done),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(stats.srv_shed),
+      static_cast<unsigned long long>(stats.srv_retried), stats.p50_ms,
+      stats.p99_ms, stats.queue_p50_ms, stats.queue_p99_ms, stats.run_p50_ms,
+      stats.run_p99_ms,
+      static_cast<unsigned long long>(stats.steady_misses));
+  server.shutdown();
+  return 0;
+}
+
+/// One psf.bench row for a leg. `name` distinguishes the fault-free
+/// baseline row (loadgen_mixed, vtime-checked against
+/// bench/LOADGEN_baseline.json) from the chaos rows
+/// (loadgen_chaos_resilient / loadgen_chaos_naive, wall-clock only).
+std::string bench_row(const char* name, int jobs, const LegStats& stats) {
+  char buffer[64];
+  std::string row;
+  auto append_num = [&](double value) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    row += buffer;
+  };
+  row += "{\"name\":\"";
+  row += name;
+  row += "\",\"vtime\":";
+  append_num(stats.vtime_sum);
+  row += ",\"speedup\":1,\"wall\":";
+  append_num(stats.elapsed_s);
+  row += ",\"recovered\":0,\"jobs\":" + std::to_string(jobs) +
+         ",\"jobs_per_s\":";
+  append_num(stats.jobs_per_s);
+  row += ",\"goodput_jobs_per_s\":";
+  append_num(stats.goodput_per_s);
+  row += ",\"done\":" + std::to_string(stats.done) +
+         ",\"failed\":" + std::to_string(stats.failed) +
+         ",\"expired\":" + std::to_string(stats.expired) +
+         ",\"shed\":" + std::to_string(stats.srv_shed) +
+         ",\"retried\":" + std::to_string(stats.srv_retried);
+  row += ",\"p50_ms\":";
+  append_num(stats.p50_ms);
+  row += ",\"p99_ms\":";
+  append_num(stats.p99_ms);
+  row += ",\"queue_p50_ms\":";
+  append_num(stats.queue_p50_ms);
+  row += ",\"queue_p99_ms\":";
+  append_num(stats.queue_p99_ms);
+  row += ",\"run_p50_ms\":";
+  append_num(stats.run_p50_ms);
+  row += ",\"run_p99_ms\":";
+  append_num(stats.run_p99_ms);
+  row += "}";
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,11 +424,19 @@ int main(int argc, char** argv) {
   server_options.workers = 4;
   server_options.queue_depth = 4096;
   double min_jobs_per_s = 0.0;
+  double min_goodput = 0.0;
   std::string out_path;
   std::string hist_path;
   std::string steady_path;
   std::string telemetry_path;
   std::string slo_spec;
+  std::string chaos_spec;
+  int deadline_ms = 0;
+  int retries = -1;  // -1 = default: 3 under --chaos, 1 otherwise
+  double backoff_ms = 1.0;
+  double retry_budget = 1.0;
+  std::size_t shed_watermark = 0;
+  bool compare_naive = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -135,6 +450,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--min-jobs-per-s") == 0 && i + 1 < argc) {
       min_jobs_per_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-goodput") == 0 && i + 1 < argc) {
+      min_goodput = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--hist") == 0 && i + 1 < argc) {
@@ -145,18 +462,60 @@ int main(int argc, char** argv) {
       telemetry_path = argv[++i];
     } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
       slo_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--backoff-ms") == 0 && i + 1 < argc) {
+      backoff_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--retry-budget") == 0 && i + 1 < argc) {
+      retry_budget = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shed-watermark") == 0 && i + 1 < argc) {
+      shed_watermark = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--compare-naive") == 0) {
+      compare_naive = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       jobs = 64;
     } else {
-      std::fprintf(stderr,
-                   "usage: loadgen [--jobs N] [--workers N] [--threads N] "
-                   "[--queue-depth N] [--min-jobs-per-s X] [--out PATH] "
-                   "[--hist PATH] [--steady-metrics PATH] [--telemetry PATH] "
-                   "[--slo RULES] [--smoke]\n");
+      std::fprintf(
+          stderr,
+          "usage: loadgen [--jobs N] [--workers N] [--threads N] "
+          "[--queue-depth N] [--min-jobs-per-s X] [--min-goodput X] "
+          "[--out PATH] [--hist PATH] [--steady-metrics PATH] "
+          "[--telemetry PATH] [--slo RULES] [--chaos PLAN] [--deadline-ms N] "
+          "[--retries N] [--backoff-ms X] [--retry-budget X] "
+          "[--shed-watermark N] [--compare-naive] [--smoke]\n");
       return 2;
     }
   }
   jobs = std::max(2, jobs);
+  const bool chaos = !chaos_spec.empty();
+  if (compare_naive && !chaos) {
+    std::fprintf(stderr,
+                 "loadgen: --compare-naive needs --chaos PLAN (the naive leg "
+                 "replays the same fault plan)\n");
+    return 2;
+  }
+
+  // Validate the chaos plan up front for a friendly error; the Server
+  // re-parses the same string (PSF_CHECK would abort on a bad plan).
+  psf::fault::FaultPlan chaos_plan;
+  if (chaos) {
+    auto parsed = psf::fault::FaultPlan::parse(chaos_spec);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "loadgen: bad --chaos plan: %s\n",
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+    chaos_plan = std::move(parsed).value();
+  }
+
+  RetryPolicy retry;
+  retry.with_max_attempts(retries >= 0 ? retries : (chaos ? 3 : 1))
+      .with_base_backoff_ms(backoff_ms)
+      .with_budget_ratio(retry_budget);
 
   // loadgen owns its telemetry stream so it covers exactly the measured
   // phase: consume $PSF_TELEMETRY here (and drop it from the environment,
@@ -180,50 +539,6 @@ int main(int argc, char** argv) {
     watchdog = std::make_unique<psf::telemetry::slo::Watchdog>(
         std::move(rules).value());
   }
-
-  Server server(server_options);
-  auto& pool = psf::support::BufferPool::global();
-  auto& registry = psf::metrics::Registry::global();
-  auto& queue_wait_hist = registry.histogram("serve.queue_wait_ms");
-  auto& run_hist = registry.histogram("serve.run_ms");
-  auto& latency_hist = registry.histogram("serve.latency_ms");
-
-  // --- warm phase: touch every size class the measured mix will need ------
-  std::printf("loadgen: warm phase (%d workers, executor_threads=%d)...\n",
-              server_options.workers, server_options.executor_threads);
-  {
-    std::vector<JobHandle> warm;
-    auto bg = server.submit(make_background_job());
-    if (bg.is_ok()) warm.push_back(bg.value());
-    for (int i = 0; i < 16; ++i) {
-      auto handle = server.submit(make_small_job(i));
-      if (!handle.is_ok()) {
-        std::fprintf(stderr, "loadgen: warm submit failed: %s\n",
-                     handle.status().to_string().c_str());
-        return 1;
-      }
-      warm.push_back(handle.value());
-    }
-    server.drain();
-    for (const auto& handle : warm) {
-      if (handle.wait().state != JobState::kDone) {
-        std::fprintf(stderr, "loadgen: warm job failed\n");
-        return 1;
-      }
-    }
-  }
-  // Headroom against scheduling variance: the measured phase may hold more
-  // buffers of one class in flight than any warm job happened to.
-  pool.prewarm();
-  const std::uint64_t misses_before = pool.misses();
-  // Quantiles describe the measured phase only; the server is idle here so
-  // no writer races the reset.
-  queue_wait_hist.reset();
-  run_hist.reset();
-  latency_hist.reset();
-
-  // The stream starts AFTER the warm phase, so since-start counters (and
-  // SLO rules like pool_misses==0) see only steady-state behaviour.
   std::unique_ptr<psf::telemetry::SnapshotStreamer> streamer;
   if (!telemetry_path.empty() || watchdog != nullptr) {
     psf::telemetry::SnapshotStreamer::Options stream_options;
@@ -235,117 +550,72 @@ int main(int argc, char** argv) {
     }
     streamer =
         std::make_unique<psf::telemetry::SnapshotStreamer>(stream_options);
-    streamer->start();
   }
 
-  // --- measured phase -----------------------------------------------------
-  std::printf("loadgen: measured phase (%d jobs + background heat3d)...\n",
-              jobs);
-  const auto start = std::chrono::steady_clock::now();
-  auto background = server.submit(make_background_job());
-  if (!background.is_ok()) {
-    std::fprintf(stderr, "loadgen: background submit failed: %s\n",
-                 background.status().to_string().c_str());
-    return 1;
-  }
-  std::vector<JobHandle> handles;
-  handles.reserve(static_cast<std::size_t>(jobs));
-  for (int i = 0; i < jobs; ++i) {
-    // Submit-side backpressure: admission control may reject under a small
-    // queue depth; retry after helping the queue drain a little.
-    for (;;) {
-      auto handle = server.submit(make_small_job(i));
-      if (handle.is_ok()) {
-        handles.push_back(handle.value());
-        break;
-      }
-      if (handle.status().code() !=
-          psf::support::ErrorCode::kResourceExhausted) {
-        std::fprintf(stderr, "loadgen: submit failed: %s\n",
-                     handle.status().to_string().c_str());
-        return 1;
-      }
-      std::this_thread::yield();
-    }
-  }
-  server.drain();
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  // --- primary (resilient) leg --------------------------------------------
+  LegConfig primary;
+  primary.label = chaos ? "resilient" : "mixed";
+  primary.jobs = jobs;
+  primary.server_options = server_options;
+  primary.server_options.chaos_plan = chaos_spec;
+  primary.server_options.shed_watermark = shed_watermark;
+  primary.deadline_ms = deadline_ms;
+  primary.nominal_deadline_ms = deadline_ms;
+  primary.retry = retry;
+  primary.burst = chaos ? chaos_plan.submit_burst() : nullptr;
+  primary.chaos = chaos;
+  primary.streamer = streamer.get();
+  LegStats resilient;
+  if (const int rc = run_leg(primary, resilient); rc != 0) return rc;
 
-  double vtime_sum = 0.0;
-  for (const auto& handle : handles) {
-    const JobResult result = handle.wait();
-    if (result.state != JobState::kDone) {
-      std::fprintf(stderr, "loadgen: job #%llu ended %s: %s\n",
-                   static_cast<unsigned long long>(handle.id()),
-                   std::string(to_string(result.state)).c_str(),
-                   result.status.to_string().c_str());
-      return 1;
-    }
-    vtime_sum += result.vtime;
+  if (chaos) {
+    // Digest BEFORE any naive leg appends to the same global fault log:
+    // this line is the determinism contract CI diff-checks across reruns.
+    std::size_t events = 0;
+    const std::uint64_t digest = fault_log_digest(&events);
+    std::printf("loadgen: chaos digest %016llx over %zu injected events\n",
+                static_cast<unsigned long long>(digest), events);
   }
-  const JobResult bg_result = background.value().wait();
-  if (bg_result.state != JobState::kDone) {
-    std::fprintf(stderr, "loadgen: background job ended %s\n",
-                 std::string(to_string(bg_result.state)).c_str());
-    return 1;
+
+  // --- naive comparison leg -----------------------------------------------
+  LegStats naive;
+  if (compare_naive) {
+    LegConfig leg;
+    leg.label = "naive";
+    leg.jobs = jobs;
+    leg.server_options = server_options;
+    leg.server_options.chaos_plan = chaos_spec;  // same faults, no defences
+    leg.server_options.shed_watermark = 0;
+    leg.deadline_ms = 0;  // runs every job to completion, however late
+    leg.nominal_deadline_ms = deadline_ms;  // judged against the same bound
+    leg.retry = RetryPolicy{};              // fast-fail: no retry
+    leg.burst = chaos_plan.submit_burst();
+    leg.chaos = true;
+    if (const int rc = run_leg(leg, naive); rc != 0) return rc;
   }
-  // Final snapshot + watchdog pass over the terminal state, then flush.
-  if (streamer != nullptr) streamer->stop();
-
-  const std::uint64_t steady_misses = pool.misses() - misses_before;
-  const auto latency = latency_hist.snapshot();
-  const auto queue_wait = queue_wait_hist.snapshot();
-  const auto run = run_hist.snapshot();
-  const double p50_ms = latency.quantile(0.50);
-  const double p99_ms = latency.quantile(0.99);
-  const double queue_p50_ms = queue_wait.quantile(0.50);
-  const double queue_p99_ms = queue_wait.quantile(0.99);
-  const double run_p50_ms = run.quantile(0.50);
-  const double run_p99_ms = run.quantile(0.99);
-  const double jobs_per_s = static_cast<double>(jobs) / elapsed_s;
-
-  std::printf("loadgen: %d jobs in %.2fs -> %.1f jobs/s, "
-              "p50 %.2f ms, p99 %.2f ms (queue %.2f/%.2f, run %.2f/%.2f), "
-              "steady pool misses %llu\n",
-              jobs, elapsed_s, jobs_per_s, p50_ms, p99_ms, queue_p50_ms,
-              queue_p99_ms, run_p50_ms, run_p99_ms,
-              static_cast<unsigned long long>(steady_misses));
 
   // --- reports ------------------------------------------------------------
-  char buffer[64];
   if (!out_path.empty()) {
     std::string report = "{\"schema\":\"psf.bench\",\"version\":1,"
                          "\"smoke\":false,\"benches\":[";
-    auto append_num = [&](double value) {
-      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    report += bench_row(chaos ? "loadgen_chaos_resilient" : "loadgen_mixed",
+                        jobs, resilient);
+    if (compare_naive) {
+      report += ",";
+      report += bench_row("loadgen_chaos_naive", jobs, naive);
+    }
+    if (resilient.bg_done) {
+      char buffer[64];
+      report += ",{\"name\":\"loadgen_heat3d_bg\",\"vtime\":";
+      std::snprintf(buffer, sizeof(buffer), "%.17g", resilient.bg.vtime);
       report += buffer;
-    };
-    report += "{\"name\":\"loadgen_mixed\",\"vtime\":";
-    append_num(vtime_sum);
-    report += ",\"speedup\":1,\"wall\":";
-    append_num(elapsed_s);
-    report += ",\"recovered\":0,\"jobs\":" + std::to_string(jobs) +
-              ",\"jobs_per_s\":";
-    append_num(jobs_per_s);
-    report += ",\"p50_ms\":";
-    append_num(p50_ms);
-    report += ",\"p99_ms\":";
-    append_num(p99_ms);
-    report += ",\"queue_p50_ms\":";
-    append_num(queue_p50_ms);
-    report += ",\"queue_p99_ms\":";
-    append_num(queue_p99_ms);
-    report += ",\"run_p50_ms\":";
-    append_num(run_p50_ms);
-    report += ",\"run_p99_ms\":";
-    append_num(run_p99_ms);
-    report += "},{\"name\":\"loadgen_heat3d_bg\",\"vtime\":";
-    append_num(bg_result.vtime);
-    report += ",\"speedup\":1,\"wall\":";
-    append_num(bg_result.run_wall_s);
-    report += ",\"recovered\":0}]}";
+      report += ",\"speedup\":1,\"wall\":";
+      std::snprintf(buffer, sizeof(buffer), "%.17g",
+                    resilient.bg.run_wall_s);
+      report += buffer;
+      report += ",\"recovered\":0}";
+    }
+    report += "]}";
     if (!psf::metrics::validate_json(report) ||
         !write_file(out_path, report)) {
       std::fprintf(stderr, "loadgen: cannot write %s\n", out_path.c_str());
@@ -355,20 +625,31 @@ int main(int argc, char** argv) {
   }
 
   if (!hist_path.empty()) {
-    // Latency histogram: the serve.latency_ms instrument's own log-spaced
-    // buckets, "le"-labelled upper bounds (the last bucket is open-ended).
+    // Latency histogram of the PRIMARY leg: the serve.latency_ms
+    // instrument's own log-spaced buckets, "le"-labelled upper bounds (the
+    // last bucket is open-ended). A naive comparison leg resets the live
+    // instrument, so its buckets describe the naive leg in that case; the
+    // scalar fields always describe the primary leg.
+    char buffer[64];
     std::string hist = "{\"schema\":\"psf.loadgen\",\"version\":1,"
                        "\"jobs\":" + std::to_string(jobs) + ",\"jobs_per_s\":";
-    std::snprintf(buffer, sizeof(buffer), "%.17g", jobs_per_s);
+    std::snprintf(buffer, sizeof(buffer), "%.17g", resilient.jobs_per_s);
+    hist += buffer;
+    hist += ",\"goodput_jobs_per_s\":";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", resilient.goodput_per_s);
     hist += buffer;
     hist += ",\"p50_ms\":";
-    std::snprintf(buffer, sizeof(buffer), "%.17g", p50_ms);
+    std::snprintf(buffer, sizeof(buffer), "%.17g", resilient.p50_ms);
     hist += buffer;
     hist += ",\"p99_ms\":";
-    std::snprintf(buffer, sizeof(buffer), "%.17g", p99_ms);
+    std::snprintf(buffer, sizeof(buffer), "%.17g", resilient.p99_ms);
     hist += buffer;
-    hist += ",\"steady_pool_misses\":" + std::to_string(steady_misses);
+    hist += ",\"steady_pool_misses\":" +
+            std::to_string(resilient.steady_misses);
     hist += ",\"buckets\":[";
+    const auto latency = psf::metrics::Registry::global()
+                             .histogram("serve.latency_ms")
+                             .snapshot();
     for (std::size_t b = 0; b < latency.buckets.size(); ++b) {
       if (b > 0) hist += ",";
       hist += "{\"le_ms\":";
@@ -391,16 +672,20 @@ int main(int argc, char** argv) {
   }
 
   if (!steady_path.empty()) {
-    // Export the programmatic pool counters as a psf.metrics report so CI
-    // can `validate_metrics.py --assert-zero support.pool.misses`. Per-job
-    // registries fragment the macro-level view under serving, but the
-    // BufferPool's own counters are process-wide and registry-independent.
+    // Export the programmatic pool + resilience counters as a psf.metrics
+    // report so CI can `validate_metrics.py --assert-zero
+    // support.pool.misses` (fault-free) or `--assert-positive serve.retries
+    // serve.sheds` (chaos). The BufferPool's own counters are process-wide
+    // and registry-independent; the serve.* values come from the primary
+    // leg's ServerStats so a naive comparison leg cannot pollute them.
     psf::metrics::Registry scratch;
-    scratch.counter("support.pool.misses")
-        .add(steady_misses);
-    scratch.counter("support.pool.hits").add(pool.hits());
-    scratch.counter("serve.jobs_completed")
-        .add(static_cast<std::uint64_t>(jobs) + 1);
+    scratch.counter("support.pool.misses").add(resilient.steady_misses);
+    scratch.counter("support.pool.hits")
+        .add(psf::support::BufferPool::global().hits());
+    scratch.counter("serve.jobs_completed").add(resilient.srv_completed);
+    scratch.counter("serve.retries").add(resilient.srv_retried);
+    scratch.counter("serve.sheds").add(resilient.srv_shed);
+    scratch.counter("serve.expired").add(resilient.srv_expired);
     if (!scratch.write_json(steady_path)) {
       std::fprintf(stderr, "loadgen: cannot write %s\n", steady_path.c_str());
       return 1;
@@ -409,18 +694,40 @@ int main(int argc, char** argv) {
                 steady_path.c_str());
   }
 
-  if (steady_misses != 0) {
+  // --- pass/fail gates ----------------------------------------------------
+  if (!chaos && resilient.steady_misses != 0) {
     std::fprintf(stderr,
                  "loadgen: FAIL — %llu BufferPool misses in the measured "
                  "phase (steady state must be allocation-free)\n",
-                 static_cast<unsigned long long>(steady_misses));
+                 static_cast<unsigned long long>(resilient.steady_misses));
     return 1;
   }
-  if (min_jobs_per_s > 0.0 && jobs_per_s < min_jobs_per_s) {
+  if (min_jobs_per_s > 0.0 && resilient.jobs_per_s < min_jobs_per_s) {
     std::fprintf(stderr,
                  "loadgen: FAIL — %.1f jobs/s is below the %.1f floor\n",
-                 jobs_per_s, min_jobs_per_s);
+                 resilient.jobs_per_s, min_jobs_per_s);
     return 1;
+  }
+  if (min_goodput > 0.0 && resilient.goodput_per_s < min_goodput) {
+    std::fprintf(stderr,
+                 "loadgen: FAIL — goodput %.1f/s is below the %.1f floor\n",
+                 resilient.goodput_per_s, min_goodput);
+    return 1;
+  }
+  if (compare_naive) {
+    if (resilient.goodput_per_s <= naive.goodput_per_s) {
+      std::fprintf(stderr,
+                   "loadgen: FAIL — resilient goodput %.1f/s does not beat "
+                   "naive fast-fail %.1f/s under plan \"%s\"\n",
+                   resilient.goodput_per_s, naive.goodput_per_s,
+                   chaos_spec.c_str());
+      return 1;
+    }
+    std::printf("loadgen: resilient goodput %.1f/s beats naive %.1f/s "
+                "(+%.0f%%)\n",
+                resilient.goodput_per_s, naive.goodput_per_s,
+                (resilient.goodput_per_s / naive.goodput_per_s - 1.0) *
+                    100.0);
   }
   if (watchdog != nullptr) {
     const std::string report = watchdog->report_json();

@@ -28,6 +28,14 @@ columns (loadgen reports them separately from run time since the serve
 histograms split admission-to-dispatch from dispatch-to-done) against the
 same --latency-threshold: a scheduling regression that leaves run time flat
 but parks jobs in the queue is caught on its own column.
+--check-goodput compares the goodput_jobs_per_s column (loadgen rows:
+jobs completed within their nominal deadline per second) against the
+baseline with --goodput-threshold, the allowed DROP in percent. Goodput is
+host-dependent like wall latency, so the default is very loose (the
+committed baseline was captured on a fast bare-metal host); the point of
+the gate is catching a serving-layer change that collapses goodput — e.g.
+shedding everything or retrying into the deadline — not a 2x-slower CI
+runner.
 Latencies are wall-clock and host-dependent, so the load-smoke CI job uses
 generous margins; the hard guarantees there are the jobs/sec floor and the
 zero-pool-miss assertion, which loadgen enforces itself.
@@ -37,6 +45,7 @@ Usage:
                            [--check-wall] [--wall-threshold PCT]
                            [--check-latency] [--latency-threshold PCT]
                            [--check-queue-wait] [--max-p99-ms MS]
+                           [--check-goodput] [--goodput-threshold PCT]
                            [--assert-faster FAST:SLOW]...
 """
 
@@ -81,6 +90,26 @@ def check_latency_column(
     return text
 
 
+def check_goodput_column(
+    name: str, base_row: dict, new_row: dict,
+    threshold_pct: float, failures: list
+) -> str:
+    base_gp = base_row.get("goodput_jobs_per_s")
+    new_gp = new_row.get("goodput_jobs_per_s")
+    if base_gp is None or new_gp is None or base_gp <= 0:
+        return ""
+    # Goodput is higher-is-better: the delta that matters is the drop.
+    drop_pct = (base_gp - new_gp) / base_gp * 100.0
+    text = f"  goodput {base_gp:8.1f} -> {new_gp:8.1f}/s ({-drop_pct:+.1f}%)"
+    if drop_pct > threshold_pct:
+        failures.append(
+            f"{name}: goodput {base_gp:.4g}/s -> {new_gp:.4g}/s "
+            f"(-{drop_pct:.1f}%, goodput threshold {threshold_pct}%)"
+        )
+        text += "  GOODPUT-REGRESSED"
+    return text
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline report")
@@ -122,6 +151,20 @@ def main() -> int:
         action="store_true",
         help="also compare the queue_p50_ms/queue_p99_ms queue-wait columns "
         "(loadgen rows) against --latency-threshold",
+    )
+    parser.add_argument(
+        "--check-goodput",
+        action="store_true",
+        help="also compare the goodput_jobs_per_s column (loadgen rows) "
+        "against --goodput-threshold",
+    )
+    parser.add_argument(
+        "--goodput-threshold",
+        type=float,
+        default=95.0,
+        help="allowed goodput DROP in percent with --check-goodput "
+        "(default 95: goodput is host-dependent and the baseline host is "
+        "much faster than CI; the gate catches collapses, not slowdowns)",
     )
     parser.add_argument(
         "--max-p99-ms",
@@ -203,6 +246,9 @@ def main() -> int:
                 latency += check_latency_column(
                     name, column, base_row, new_row,
                     args.latency_threshold, failures)
+        if args.check_goodput:
+            latency += check_goodput_column(
+                name, base_row, new_row, args.goodput_threshold, failures)
         print(f"  {name:32s} {base_vtime:12.6g} -> {new_vtime:12.6g} "
               f"({delta_pct:+.2f}%){format_wall(base_wall, new_wall)}"
               f"{latency}{marker}")

@@ -152,6 +152,117 @@ Status parse_msg_clause(std::string_view body, std::string_view clause,
   return Status::ok();
 }
 
+/// Iterate `body` as comma-separated key=value pairs, calling
+/// `on_pair(key, value)` for each; on_pair returns false for an unknown key.
+template <typename Fn>
+Status parse_kv_options(std::string_view body, std::string_view clause,
+                        const char* what, Fn&& on_pair) {
+  std::string_view rest = body;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view pair = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid_argument(clause_error(
+          clause, (std::string(what) + " options must be key=value").c_str()));
+    }
+    const int verdict = on_pair(pair.substr(0, eq), pair.substr(eq + 1));
+    if (verdict < 0) {
+      return Status::invalid_argument(
+          clause_error(clause, (std::string("unknown ") + what +
+                                " option").c_str()));
+    }
+    if (verdict == 0) {
+      return Status::invalid_argument(
+          clause_error(clause, (std::string("malformed ") + what +
+                                " option value").c_str()));
+    }
+  }
+  return Status::ok();
+}
+
+Status parse_job_fail_clause(std::string_view body, std::string_view clause,
+                             JobFailSpec& spec, bool& has) {
+  if (has) {
+    return Status::invalid_argument(
+        clause_error(clause, "duplicate job_fail clause"));
+  }
+  bool saw_p = false;
+  PSF_RETURN_IF_ERROR(parse_kv_options(
+      body, clause, "job_fail",
+      [&](std::string_view key, std::string_view value) -> int {
+        if (key == "p") {
+          saw_p = true;
+          return parse_double(value, spec.p) ? 1 : 0;
+        }
+        if (key == "seed") return parse_u64(value, spec.seed) ? 1 : 0;
+        return -1;
+      }));
+  if (!saw_p || spec.p < 0.0 || spec.p >= 1.0) {
+    return Status::invalid_argument(
+        clause_error(clause, "job_fail needs p in [0, 1)"));
+  }
+  has = true;
+  return Status::ok();
+}
+
+Status parse_runner_stall_clause(std::string_view body,
+                                 std::string_view clause,
+                                 RunnerStallSpec& spec, bool& has) {
+  if (has) {
+    return Status::invalid_argument(
+        clause_error(clause, "duplicate runner_stall clause"));
+  }
+  bool saw_ms = false;
+  PSF_RETURN_IF_ERROR(parse_kv_options(
+      body, clause, "runner_stall",
+      [&](std::string_view key, std::string_view value) -> int {
+        if (key == "ms") {
+          saw_ms = true;
+          return parse_int(value, spec.ms) && spec.ms >= 1 ? 1 : 0;
+        }
+        if (key == "p") return parse_double(value, spec.p) ? 1 : 0;
+        if (key == "seed") return parse_u64(value, spec.seed) ? 1 : 0;
+        return -1;
+      }));
+  if (!saw_ms) {
+    return Status::invalid_argument(
+        clause_error(clause, "runner_stall needs ms=N with N >= 1"));
+  }
+  if (spec.p < 0.0 || spec.p > 1.0) {
+    return Status::invalid_argument(
+        clause_error(clause, "runner_stall p must lie in [0, 1]"));
+  }
+  has = true;
+  return Status::ok();
+}
+
+Status parse_submit_burst_clause(std::string_view body,
+                                 std::string_view clause,
+                                 SubmitBurstSpec& spec, bool& has) {
+  if (has) {
+    return Status::invalid_argument(
+        clause_error(clause, "duplicate submit_burst clause"));
+  }
+  PSF_RETURN_IF_ERROR(parse_kv_options(
+      body, clause, "submit_burst",
+      [&](std::string_view key, std::string_view value) -> int {
+        if (key == "every") return parse_int(value, spec.every) ? 1 : 0;
+        if (key == "count") return parse_int(value, spec.count) ? 1 : 0;
+        if (key == "priority") return parse_int(value, spec.priority) ? 1 : 0;
+        return -1;
+      }));
+  if (spec.every < 1 || spec.count < 1) {
+    return Status::invalid_argument(clause_error(
+        clause, "submit_burst needs every=K and count=B, both >= 1"));
+  }
+  has = true;
+  return Status::ok();
+}
+
 Status parse_rank_clause(std::string_view body, std::string_view clause,
                          std::vector<RankFault>& out) {
   // <R>@iter=N | <R>@vtime=X
@@ -210,9 +321,20 @@ StatusOr<FaultPlan> FaultPlan::parse(std::string_view spec) {
       status = parse_msg_clause(body, clause, plan.msg_, plan.has_msg_);
     } else if (kind == "rank") {
       status = parse_rank_clause(body, clause, plan.rank_faults_);
+    } else if (kind == "job_fail") {
+      status = parse_job_fail_clause(body, clause, plan.job_fail_,
+                                     plan.has_job_fail_);
+    } else if (kind == "runner_stall") {
+      status = parse_runner_stall_clause(body, clause, plan.runner_stall_,
+                                         plan.has_runner_stall_);
+    } else if (kind == "submit_burst") {
+      status = parse_submit_burst_clause(body, clause, plan.submit_burst_,
+                                         plan.has_submit_burst_);
     } else {
-      status = Status::invalid_argument(clause_error(
-          clause, "unknown fault class (want device, msg_drop, or rank)"));
+      status = Status::invalid_argument(
+          clause_error(clause,
+                       "unknown fault class (want device, msg_drop, rank, "
+                       "job_fail, runner_stall, or submit_burst)"));
     }
     PSF_RETURN_IF_ERROR(status);
   }

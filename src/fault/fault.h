@@ -26,6 +26,26 @@
 //       receive deadline on every blocking receive (a hang detector; 0 =
 //       disabled).
 //
+//   job_fail:p=F[,seed=S]
+//       Serving chaos (ServerOptions::chaos_plan): with probability p a
+//       dispatched job attempt fails before its body runs, surfacing a
+//       retryable kUnavailable. Draws are keyed by (admission seq, attempt)
+//       so the injected sequence is identical across runs and executor
+//       widths regardless of runner interleaving.
+//
+//   runner_stall:ms=N[,p=F][,seed=S]
+//       Serving chaos: with probability p (default 1) the runner stalls N
+//       wall-clock milliseconds after dispatching a job, before its body
+//       runs — models a slow/overloaded worker. The stall lands in the
+//       job's run_wall_s, pushing it toward its deadline; vtime is never
+//       affected. Same (seq, attempt) keying as job_fail.
+//
+//   submit_burst:every=K,count=B[,priority=P]
+//       Serving chaos, interpreted CLIENT-side (bench/loadgen --chaos):
+//       after every K-th measured submission the client injects B extra
+//       jobs at priority P (default 0) to force queue pressure and load
+//       shedding. Server-side clauses ignore it.
+//
 //   rank:<R>@iter=N  |  rank:<R>@vtime=X
 //       Rank failure for the iterative runtimes (GReduction, Stencil):
 //       rank R is "killed" at the first iteration boundary at (or, for
@@ -113,6 +133,29 @@ struct RankFault {
   double vtime = -1.0; ///< or: at the first boundary where now() >= vtime
 };
 
+/// Serving chaos: fail a dispatched job attempt with probability p before
+/// its body runs (surfaced as retryable kUnavailable).
+struct JobFailSpec {
+  double p = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Serving chaos: stall the runner `ms` wall milliseconds after dispatch
+/// with probability p, before the job body runs.
+struct RunnerStallSpec {
+  int ms = 0;
+  double p = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Serving chaos, client-side: after every K-th measured submission the
+/// load generator injects `count` extra jobs at `priority`.
+struct SubmitBurstSpec {
+  int every = 0;   ///< burst after every K-th submission; 0 = never
+  int count = 0;   ///< jobs per burst
+  int priority = 0;
+};
+
 /// A parsed, validated fault plan. Immutable after parse().
 class FaultPlan {
  public:
@@ -122,7 +165,8 @@ class FaultPlan {
   static support::StatusOr<FaultPlan> parse(std::string_view spec);
 
   [[nodiscard]] bool empty() const noexcept {
-    return device_faults_.empty() && !has_msg_ && rank_faults_.empty();
+    return device_faults_.empty() && !has_msg_ && rank_faults_.empty() &&
+           !has_job_fail_ && !has_runner_stall_ && !has_submit_burst_;
   }
 
   [[nodiscard]] const std::vector<DeviceFault>& device_faults() const noexcept {
@@ -141,6 +185,22 @@ class FaultPlan {
     return !rank_faults_.empty();
   }
 
+  /// Serving-chaos parameters, or nullptr when the plan has none.
+  [[nodiscard]] const JobFailSpec* job_fail() const noexcept {
+    return has_job_fail_ ? &job_fail_ : nullptr;
+  }
+  [[nodiscard]] const RunnerStallSpec* runner_stall() const noexcept {
+    return has_runner_stall_ ? &runner_stall_ : nullptr;
+  }
+  [[nodiscard]] const SubmitBurstSpec* submit_burst() const noexcept {
+    return has_submit_burst_ ? &submit_burst_ : nullptr;
+  }
+  /// True when any server-side chaos clause (job_fail / runner_stall) is
+  /// armed — Server consults this to skip the injection path entirely.
+  [[nodiscard]] bool has_server_chaos() const noexcept {
+    return has_job_fail_ || has_runner_stall_;
+  }
+
   /// The device fault due for (rank, device name) at `iteration`, or nullptr.
   [[nodiscard]] const DeviceFault* device_fault_due(int rank,
                                                     std::string_view device,
@@ -151,6 +211,12 @@ class FaultPlan {
   MsgFaultSpec msg_;
   bool has_msg_ = false;
   std::vector<RankFault> rank_faults_;
+  JobFailSpec job_fail_;
+  bool has_job_fail_ = false;
+  RunnerStallSpec runner_stall_;
+  bool has_runner_stall_ = false;
+  SubmitBurstSpec submit_burst_;
+  bool has_submit_burst_ = false;
 };
 
 /// Process-wide log of injected fault events, keyed by rank. Disabled by

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -89,6 +90,44 @@ class JobContext {
                                       std::to_string(id_) + ") cancelled");
   }
 
+  /// Arm the job's wall-clock deadline (set by the Server from
+  /// JobSpec::deadline_ms at admission). Zero time_point = no deadline.
+  void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
+    deadline_tp_ = tp;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
+  /// OK while the deadline (if any) has not passed, kDeadlineExceeded once
+  /// it has. Job bodies poll this at phase boundaries the same way they
+  /// poll check_cancelled(); the Server maps the resulting error to
+  /// JobState::kExpired.
+  [[nodiscard]] support::Status check_deadline() const {
+    if (!has_deadline() ||
+        std::chrono::steady_clock::now() < deadline_tp_) {
+      return support::Status::ok();
+    }
+    return support::Status::deadline_exceeded(
+        "job \"" + name_ + "\" (#" + std::to_string(id_) +
+        ") exceeded its deadline");
+  }
+  /// Combined cooperative check: cancellation first (an explicit cancel
+  /// beats a deadline that lapsed in the same window), then the deadline.
+  [[nodiscard]] support::Status check() const {
+    PSF_RETURN_IF_ERROR(check_cancelled());
+    return check_deadline();
+  }
+
+  /// 1-based attempt number, maintained by the Server's retry machinery
+  /// (1 = first dispatch). Metrics and traces read it to label attempts.
+  void set_attempt(int attempt) noexcept {
+    attempt_.store(attempt, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int attempt() const noexcept {
+    return attempt_.load(std::memory_order_relaxed);
+  }
+
   /// The job context installed on the calling thread (by JobScope, possibly
   /// propagated through executor task submission), or nullptr outside any
   /// job.
@@ -105,6 +144,12 @@ class JobContext {
   std::unique_ptr<timemodel::TraceRecorder> trace_;
   exec::ThreadPool* shared_executor_ = nullptr;
   std::atomic<bool> cancel_requested_{false};
+  // Written once (under the server mutex at admission) before any reader
+  // thread can observe has_deadline_ == true; the release/acquire pair on
+  // the flag publishes the time_point.
+  std::chrono::steady_clock::time_point deadline_tp_{};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<int> attempt_{1};
 };
 
 /// RAII: route the calling thread's metrics, fault events and

@@ -21,9 +21,9 @@ pattern::EnvOptions base_env(JobContext& context,
 JobFn kmeans(apps::kmeans::Params params, WorkloadOptions workload) {
   return [params, workload = std::move(workload)](
              JobContext& ctx) -> support::StatusOr<double> {
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     const auto points = apps::kmeans::generate_points(params);
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     minimpi::World world(workload.ranks);
     const pattern::EnvOptions env = base_env(ctx, workload);
     double vtime = 0.0;
@@ -33,7 +33,7 @@ JobFn kmeans(apps::kmeans::Params params, WorkloadOptions workload) {
               apps::kmeans::run_framework(comm, env, params, points);
           if (comm.rank() == 0) vtime = result.vtime;
         }));
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     return vtime;
   };
 }
@@ -41,9 +41,9 @@ JobFn kmeans(apps::kmeans::Params params, WorkloadOptions workload) {
 JobFn sobel(apps::sobel::Params params, WorkloadOptions workload) {
   return [params, workload = std::move(workload)](
              JobContext& ctx) -> support::StatusOr<double> {
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     const auto image = apps::sobel::generate_image(params);
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     minimpi::World world(workload.ranks);
     const pattern::EnvOptions env = base_env(ctx, workload);
     double vtime = 0.0;
@@ -53,7 +53,7 @@ JobFn sobel(apps::sobel::Params params, WorkloadOptions workload) {
               apps::sobel::run_framework(comm, env, params, image);
           if (comm.rank() == 0) vtime = result.vtime;
         }));
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     return vtime;
   };
 }
@@ -61,9 +61,9 @@ JobFn sobel(apps::sobel::Params params, WorkloadOptions workload) {
 JobFn heat3d(apps::heat3d::Params params, WorkloadOptions workload) {
   return [params, workload = std::move(workload)](
              JobContext& ctx) -> support::StatusOr<double> {
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     const auto field = apps::heat3d::generate_field(params);
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     minimpi::World world(workload.ranks);
     const pattern::EnvOptions env = base_env(ctx, workload);
     double vtime = 0.0;
@@ -73,7 +73,7 @@ JobFn heat3d(apps::heat3d::Params params, WorkloadOptions workload) {
               apps::heat3d::run_framework(comm, env, params, field);
           if (comm.rank() == 0) vtime = result.vtime;
         }));
-    PSF_RETURN_IF_ERROR(ctx.check_cancelled());
+    PSF_RETURN_IF_ERROR(ctx.check());
     return vtime;
   };
 }

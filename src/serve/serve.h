@@ -11,7 +11,8 @@
 // on the same worker threads.
 //
 // Lifecycle:  submit() -> [admission control] -> queued -> running ->
-//             done | failed | cancelled
+//             done | failed | cancelled | expired
+//             (retryable failures loop running -> backoff -> queued)
 //
 // Admission control bounds the QUEUED depth (running jobs do not count):
 // when `queue_depth` jobs are already waiting, submit() returns
@@ -19,12 +20,34 @@
 // is strict priority (higher first), FIFO within a priority level —
 // deterministic for a fixed submission sequence once started.
 //
+// Resilience layer (docs/RESILIENCE.md "Serving resilience"):
+//   * Deadlines — JobSpec::with_deadline_ms / with_queue_ttl_ms. Expired
+//     queued jobs are shed at dispatch without running (JobState::kExpired);
+//     running jobs observe the deadline cooperatively via
+//     JobContext::check_deadline().
+//   * Retry — JobSpec::with_retry(RetryPolicy): retryable failures
+//     (kUnavailable, kDeviceLost) re-enqueue at original priority after a
+//     seeded exponential backoff with jitter, bounded by max_attempts and
+//     a per-server retry-token budget.
+//   * Load shedding — ServerOptions::shed_watermark: past the watermark,
+//     submit() sheds the lowest-priority queued victims instead of
+//     rejecting higher-priority work; a hard-full queue rejects with
+//     kUnavailable plus a retry-after hint.
+//   * Circuit breaker — ServerOptions::breaker: a job name whose recent
+//     failure rate crosses the threshold is fast-failed at submit()
+//     (kUnavailable) until a cooldown passes and a half-open probe
+//     succeeds.
+//   * Chaos — ServerOptions::chaos_plan arms seeded server-side fault
+//     injection (job_fail / runner_stall clauses, src/fault/fault.h): same
+//     plan + seed => same shed/retry/breach sequence every run.
+//
 // Virtual times are unaffected by serving: a job's vtime depends only on
 // its own workload and options (the executor changes wall clock, never the
 // time model), so a job run through a Server matches the same run on the
 // single-job CLI bit for bit.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -37,6 +60,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "serve/job_context.h"
 #include "support/error.h"
 #include "support/metrics.h"
@@ -49,8 +73,10 @@ enum class JobState : std::uint8_t {
   kQueued,
   kRunning,
   kDone,       ///< fn returned OK; JobResult::vtime holds its virtual time
-  kFailed,     ///< fn returned a non-cancellation error or threw
-  kCancelled,  ///< cancelled while queued, or fn honoured request_cancel()
+  kFailed,     ///< fn returned a non-cancellation error or threw, retries
+               ///< exhausted, or the job was shed under overload
+  kCancelled,  ///< cancelled while queued, in backoff, or cooperatively
+  kExpired,    ///< deadline / queue TTL passed before or during execution
 };
 
 [[nodiscard]] constexpr std::string_view to_string(JobState state) noexcept {
@@ -60,6 +86,7 @@ enum class JobState : std::uint8_t {
     case JobState::kDone: return "DONE";
     case JobState::kFailed: return "FAILED";
     case JobState::kCancelled: return "CANCELLED";
+    case JobState::kExpired: return "EXPIRED";
   }
   return "UNKNOWN";
 }
@@ -70,11 +97,57 @@ enum class JobState : std::uint8_t {
 /// (code kCancelled) to acknowledge cooperative cancellation.
 using JobFn = std::function<support::StatusOr<double>(JobContext&)>;
 
+/// Automatic-retry policy for one job. Defaults mean "no retry".
+/// Backoff for the attempt that just failed (1-based `a`) is
+///   base_backoff_ms * 2^(a-1), capped at max_backoff_ms,
+/// scaled by a jitter factor in [1 - jitter/2, 1 + jitter/2) drawn from a
+/// splitmix64 stream seeded by (jitter_seed, admission seq, attempt) — the
+/// whole retry schedule is deterministic for a fixed submission sequence.
+/// Retries also draw from a per-SERVER token budget: every admission adds
+/// `budget_ratio` tokens and each retry consumes one, so retries cannot
+/// exceed that fraction of offered load during a sustained outage.
+struct RetryPolicy {
+  int max_attempts = 1;         ///< total attempts (1 = no retry)
+  double base_backoff_ms = 1.0; ///< first retry delay before jitter
+  double max_backoff_ms = 1000.0;
+  double jitter = 0.5;          ///< full jitter width as a fraction
+  double budget_ratio = 0.2;    ///< server tokens accrued per admission
+  std::uint64_t jitter_seed = 1;
+
+  RetryPolicy& with_max_attempts(int value) {
+    max_attempts = value;
+    return *this;
+  }
+  RetryPolicy& with_base_backoff_ms(double value) {
+    base_backoff_ms = value;
+    return *this;
+  }
+  RetryPolicy& with_max_backoff_ms(double value) {
+    max_backoff_ms = value;
+    return *this;
+  }
+  RetryPolicy& with_jitter(double value) {
+    jitter = value;
+    return *this;
+  }
+  RetryPolicy& with_budget_ratio(double value) {
+    budget_ratio = value;
+    return *this;
+  }
+  RetryPolicy& with_jitter_seed(std::uint64_t value) {
+    jitter_seed = value;
+    return *this;
+  }
+};
+
 /// What to run and how urgently.
 struct JobSpec {
   std::string name = "job";  ///< label for logs, stats and traces
   int priority = 0;          ///< higher runs first; FIFO within a level
   bool record_trace = false; ///< allocate a per-job TraceRecorder
+  int deadline_ms = 0;       ///< wall-clock budget from admission; 0 = none
+  int queue_ttl_ms = 0;      ///< max wall time spent QUEUED; 0 = none
+  RetryPolicy retry;         ///< automatic-retry policy (default: none)
   JobFn fn;                  ///< required
 
   JobSpec& with_name(std::string value) {
@@ -89,6 +162,18 @@ struct JobSpec {
     record_trace = value;
     return *this;
   }
+  JobSpec& with_deadline_ms(int value) {
+    deadline_ms = value;
+    return *this;
+  }
+  JobSpec& with_queue_ttl_ms(int value) {
+    queue_ttl_ms = value;
+    return *this;
+  }
+  JobSpec& with_retry(RetryPolicy value) {
+    retry = value;
+    return *this;
+  }
   JobSpec& with_fn(JobFn value) {
     fn = std::move(value);
     return *this;
@@ -100,8 +185,10 @@ struct JobResult {
   JobState state = JobState::kQueued;
   support::Status status;    ///< OK for kDone; the error otherwise
   double vtime = 0.0;        ///< virtual seconds (kDone only)
-  double queue_wall_s = 0.0; ///< wall time from admission to dispatch
-  double run_wall_s = 0.0;   ///< wall time from dispatch to terminal state
+  double queue_wall_s = 0.0; ///< wall time from admission to LAST dispatch
+  double run_wall_s = 0.0;   ///< wall time from last dispatch to terminal
+  int attempts = 0;          ///< dispatches STARTED (0 = never dispatched,
+                             ///< e.g. cancelled or expired while queued)
 };
 
 namespace detail {
@@ -157,6 +244,34 @@ struct ServerOptions {
   /// Tests use this to make dispatch order independent of submission
   /// timing.
   bool start_paused = false;
+  /// Queue depth past which submit() sheds the lowest-priority queued
+  /// victims (kUnavailable) to make room for higher-priority work, and a
+  /// hard-full queue rejects with kUnavailable + retry-after instead of
+  /// kResourceExhausted. 0 disables shedding (legacy behaviour).
+  std::size_t shed_watermark = 0;
+  /// Retry-after hint (milliseconds) embedded in overload/breaker
+  /// rejections. Fixed, not load-derived, so rejection text stays
+  /// deterministic.
+  int retry_after_hint_ms = 5;
+  /// Serving chaos plan (fault-plan grammar, job_fail / runner_stall
+  /// clauses). Parsed at construction; malformed plans are a programming
+  /// error (validate with fault::FaultPlan::parse first in tools).
+  std::string chaos_plan;
+
+  /// Per-job-name circuit breaker: once `window`-windowed terminal
+  /// outcomes show a failure rate >= failure_threshold (with at least
+  /// min_samples outcomes seen), submissions of that name fast-fail with
+  /// kUnavailable until cooldown_ms passes; then one half-open probe is
+  /// admitted and its outcome closes or re-opens the breaker. Cancelled
+  /// and expired jobs never count as breaker failures.
+  struct BreakerPolicy {
+    bool enabled = false;
+    std::size_t window = 16;       ///< sliding outcome window per name
+    std::size_t min_samples = 8;   ///< outcomes required before tripping
+    double failure_threshold = 0.5;
+    int cooldown_ms = 250;
+  };
+  BreakerPolicy breaker;
 
   ServerOptions& with_workers(int value) {
     workers = value;
@@ -174,17 +289,39 @@ struct ServerOptions {
     start_paused = value;
     return *this;
   }
+  ServerOptions& with_shed_watermark(std::size_t value) {
+    shed_watermark = value;
+    return *this;
+  }
+  ServerOptions& with_retry_after_hint_ms(int value) {
+    retry_after_hint_ms = value;
+    return *this;
+  }
+  ServerOptions& with_chaos_plan(std::string value) {
+    chaos_plan = std::move(value);
+    return *this;
+  }
+  ServerOptions& with_breaker(BreakerPolicy value) {
+    breaker = value;
+    return *this;
+  }
 };
 
 /// Monotonic server counters plus an instantaneous queue/running view.
 struct ServerStats {
   std::uint64_t submitted = 0;  ///< accepted by admission control
-  std::uint64_t rejected = 0;   ///< refused by admission control
+  std::uint64_t rejected = 0;   ///< refused by admission control (incl.
+                                ///< overload and breaker fast-fails)
   std::uint64_t completed = 0;  ///< reached kDone
-  std::uint64_t failed = 0;     ///< reached kFailed
+  std::uint64_t failed = 0;     ///< reached kFailed (not counting sheds)
   std::uint64_t cancelled = 0;  ///< reached kCancelled
+  std::uint64_t expired = 0;    ///< reached kExpired (deadline / TTL)
+  std::uint64_t retried = 0;    ///< retry attempts scheduled
+  std::uint64_t shed = 0;       ///< queued victims shed under overload
+  std::uint64_t breaker_open = 0; ///< closed->open breaker transitions
   std::size_t queued = 0;       ///< currently waiting
   std::size_t running = 0;      ///< currently executing
+  std::size_t backoff = 0;      ///< currently waiting out a retry backoff
 };
 
 /// The job server. Construction spawns the runner threads and the shared
@@ -199,16 +336,20 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Admit a job. Fails with kInvalidArgument (no fn), kFailedPrecondition
-  /// (server shut down) or kResourceExhausted (queue full). On success the
-  /// job owns a fresh JobContext wired to the shared executor.
+  /// (server shut down), kResourceExhausted (queue full, shedding
+  /// disabled) or kUnavailable (hard-full with shedding enabled, or the
+  /// job name's circuit breaker is open — both carry a retry-after hint).
+  /// On success the job owns a fresh JobContext wired to the shared
+  /// executor.
   support::StatusOr<JobHandle> submit(JobSpec spec);
 
   /// Release a paused server's runners. Idempotent; a server constructed
   /// with start_paused = false is born started.
   void start();
 
-  /// Block until no job is queued or running. Starts a paused server
-  /// first (otherwise queued work could never drain).
+  /// Block until no job is queued, waiting out a retry backoff, or
+  /// running. Starts a paused server first (otherwise queued work could
+  /// never drain).
   void drain();
 
   /// Stop admitting, drain every queued job (they still run to a terminal
@@ -232,29 +373,67 @@ class Server {
 
  private:
   friend class JobHandle;
+  friend struct detail::Job;
 
-  /// Dispatch key: (-priority, admission sequence) — map order is highest
-  /// priority first, FIFO within a level.
+  /// Dispatch key: (-priority, enqueue sequence) — map order is highest
+  /// priority first, FIFO within a level. A retried job re-enqueues with a
+  /// fresh sequence (back of its priority level).
   using QueueKey = std::pair<long long, std::uint64_t>;
+
+  /// Per-job-name circuit-breaker record (guarded by mutex_).
+  struct Breaker {
+    enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    std::vector<bool> window;  ///< ring of recent outcomes (true = failure)
+    std::size_t window_next = 0;
+    std::size_t samples = 0;
+    std::size_t failures = 0;
+    std::chrono::steady_clock::time_point opened_tp{};
+    bool probe_in_flight = false;
+  };
 
   void runner_loop();
   void run_job(const std::shared_ptr<detail::Job>& job);
   void finish_job(const std::shared_ptr<detail::Job>& job, JobState state,
-                  support::Status status, double vtime);
+                  support::Status status, double vtime, bool shed = false);
   bool cancel_job(const std::shared_ptr<detail::Job>& job);
   void note_runner_idle();
+  /// True when the failure was retryable and a backoff retry was scheduled.
+  bool maybe_schedule_retry(const std::shared_ptr<detail::Job>& job,
+                            const support::Status& failure);
+  /// Move due (or, when shutting down, all) backoff entries back into the
+  /// dispatch queue. Caller holds mutex_.
+  void promote_due_backoff_locked(std::chrono::steady_clock::time_point now);
+  /// Breaker submit-side gate; caller holds mutex_. Returns OK to admit.
+  support::Status breaker_admit_locked(const std::string& name, bool& probe);
+  /// Breaker outcome recording; caller holds mutex_.
+  void breaker_record_locked(const std::shared_ptr<detail::Job>& job,
+                             bool failure);
+  [[nodiscard]] bool idle_locked() const noexcept {
+    return queue_.empty() && backoff_.empty() && running_ == 0;
+  }
 
   ServerOptions options_;
+  fault::FaultPlan chaos_;        ///< parsed options_.chaos_plan
+  bool chaos_armed_ = false;      ///< chaos_.has_server_chaos()
   exec::ThreadPool pool_;
 
   mutable std::mutex mutex_;
   std::condition_variable dispatch_cv_;  ///< runners wait for work here
   std::condition_variable idle_cv_;      ///< drain() waits here
   std::map<QueueKey, std::shared_ptr<detail::Job>> queue_;
+  /// Jobs waiting out a retry backoff, keyed by (release time, admission
+  /// seq); runners promote due entries before dispatching.
+  std::map<std::pair<std::chrono::steady_clock::time_point, std::uint64_t>,
+           std::shared_ptr<detail::Job>>
+      backoff_;
+  std::map<std::string, Breaker> breakers_;
+  double retry_tokens_ = 0.0;  ///< per-server retry budget (see RetryPolicy)
   bool started_ = false;
   bool shutting_down_ = false;
   std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;    ///< admission seqs — key chaos/jitter draws
+  std::uint64_t next_order_ = 0;  ///< queue-ordering seqs (also re-enqueues)
   std::size_t running_ = 0;
 
   std::uint64_t submitted_ = 0;
@@ -262,6 +441,10 @@ class Server {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t breaker_open_ = 0;
 
   // Serving instruments live in the PROCESS-GLOBAL registry (not per-job):
   // queue wait and dispatch latency describe the server, and finish_job
@@ -270,6 +453,8 @@ class Server {
   metrics::Histogram* queue_wait_ms_hist_;
   metrics::Histogram* run_ms_hist_;
   metrics::Histogram* latency_ms_hist_;
+  metrics::Histogram* backoff_ms_hist_;
+  metrics::Histogram* attempts_hist_;
   metrics::Gauge* queue_depth_gauge_;
 
   std::vector<std::thread> runners_;

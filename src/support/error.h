@@ -51,8 +51,11 @@ enum class ErrorCode : std::uint8_t {
   kUnimplemented,     ///< feature not supported by this runtime
   kInternal,          ///< framework bug surfaced as recoverable error
   kDeviceLost,        ///< simulated accelerator died mid-run (fault plan)
-  kDeadlineExceeded,  ///< blocking receive timed out (recv_deadline)
+  kDeadlineExceeded,  ///< blocking receive timed out (recv_deadline), or a
+                      ///< served job missed its deadline / queue TTL
   kCancelled,         ///< job cancelled before or during execution (serve)
+  kUnavailable,       ///< transiently unserviceable: load shed, breaker open,
+                      ///< or injected chaos — safe to retry after backoff
 };
 
 /// Human-readable name for an ErrorCode.
@@ -68,8 +71,28 @@ constexpr std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kDeviceLost: return "DEVICE_LOST";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+/// Inverse of to_string(ErrorCode): the code whose name matches `name`, or
+/// nullopt for anything unrecognised (including "UNKNOWN"). Tools use this
+/// to round-trip codes through logs and JSON; the round-trip test keeps the
+/// two tables in sync when codes are added.
+constexpr std::optional<ErrorCode> parse_error_code(
+    std::string_view name) noexcept {
+  for (const ErrorCode code : {
+           ErrorCode::kOk, ErrorCode::kInvalidArgument,
+           ErrorCode::kFailedPrecondition, ErrorCode::kOutOfRange,
+           ErrorCode::kResourceExhausted, ErrorCode::kUnimplemented,
+           ErrorCode::kInternal, ErrorCode::kDeviceLost,
+           ErrorCode::kDeadlineExceeded, ErrorCode::kCancelled,
+           ErrorCode::kUnavailable,
+       }) {
+    if (to_string(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 /// Lightweight status value: an ErrorCode plus a message.
@@ -107,6 +130,9 @@ class [[nodiscard]] Status {
   }
   static Status cancelled(std::string msg) {
     return {ErrorCode::kCancelled, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {ErrorCode::kUnavailable, std::move(msg)};
   }
 
   [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }

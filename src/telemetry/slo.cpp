@@ -30,6 +30,10 @@ std::string_view expand_alias(std::string_view selector) {
   if (selector == "max_latency_ms") return "serve.latency_ms.max";
   if (selector == "queue_depth") return "serve.queue_depth";
   if (selector == "pool_misses") return "support.pool.misses";
+  if (selector == "retries") return "serve.retries";
+  if (selector == "sheds") return "serve.sheds";
+  if (selector == "expired") return "serve.expired";
+  if (selector == "breaker_open") return "serve.breaker_open";
   return selector;
 }
 

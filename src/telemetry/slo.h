@@ -22,6 +22,10 @@
 //   max_latency_ms  -> serve.latency_ms.max
 //   queue_depth     -> serve.queue_depth        (gauge)
 //   pool_misses     -> support.pool.misses      (counter since start)
+//   retries         -> serve.retries            (counter since start)
+//   sheds           -> serve.sheds              (counter since start)
+//   expired         -> serve.expired            (counter since start)
+//   breaker_open    -> serve.breaker_open       (counter since start)
 //
 // A rule whose metric is absent from a snapshot (or whose histogram is
 // still empty) is skipped for that snapshot — "no data" is not a breach.

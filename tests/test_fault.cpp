@@ -72,6 +72,29 @@ TEST(FaultPlan, RejectsBadProbabilityAndUnknownClause) {
   EXPECT_FALSE(fault::FaultPlan::parse("rank:0@vtime=-2").is_ok());
 }
 
+TEST(FaultPlan, ServingClausesCoexistWithLegacyOnes) {
+  // One plan can drive SPMD fault tolerance and serving chaos at once:
+  // the legacy device/msg/rank clauses and the serving job_fail /
+  // runner_stall / submit_burst clauses parse side by side.
+  auto plan = fault::FaultPlan::parse(
+      "device:1.gpu0@iter=3;msg_drop:p=0.01,seed=42;rank:2@vtime=1.5;"
+      "job_fail:p=0.1,seed=7;runner_stall:ms=2,p=0.5;"
+      "submit_burst:every=5,count=3");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().message();
+  const auto& value = plan.value();
+  EXPECT_EQ(value.device_faults().size(), 1u);
+  EXPECT_NE(value.msg(), nullptr);
+  EXPECT_EQ(value.rank_faults().size(), 1u);
+  ASSERT_NE(value.job_fail(), nullptr);
+  EXPECT_DOUBLE_EQ(value.job_fail()->p, 0.1);
+  ASSERT_NE(value.runner_stall(), nullptr);
+  EXPECT_EQ(value.runner_stall()->ms, 2);
+  ASSERT_NE(value.submit_burst(), nullptr);
+  EXPECT_EQ(value.submit_burst()->priority, 0) << "priority defaults to 0";
+  EXPECT_TRUE(value.has_server_chaos());
+  EXPECT_FALSE(value.empty());
+}
+
 TEST(FaultPlan, EmptySpecParsesToEmptyPlan) {
   auto plan = fault::FaultPlan::parse("  ");
   ASSERT_TRUE(plan.is_ok());

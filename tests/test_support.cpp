@@ -41,10 +41,41 @@ TEST(Status, AllCodesHaveNames) {
        {ErrorCode::kOk, ErrorCode::kInvalidArgument,
         ErrorCode::kFailedPrecondition, ErrorCode::kOutOfRange,
         ErrorCode::kResourceExhausted, ErrorCode::kUnimplemented,
-        ErrorCode::kInternal}) {
+        ErrorCode::kInternal, ErrorCode::kDeviceLost,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kCancelled,
+        ErrorCode::kUnavailable}) {
     EXPECT_FALSE(to_string(code).empty());
     EXPECT_NE(to_string(code), "UNKNOWN");
   }
+}
+
+TEST(Status, ErrorCodeNamesRoundTrip) {
+  // parse_error_code(to_string(code)) == code for every code, so tools can
+  // accept code names in configs and reproduce them in reports.
+  for (auto code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument,
+        ErrorCode::kFailedPrecondition, ErrorCode::kOutOfRange,
+        ErrorCode::kResourceExhausted, ErrorCode::kUnimplemented,
+        ErrorCode::kInternal, ErrorCode::kDeviceLost,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kCancelled,
+        ErrorCode::kUnavailable}) {
+    const auto parsed = parse_error_code(to_string(code));
+    ASSERT_TRUE(parsed.has_value()) << to_string(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("NOT_A_CODE").has_value());
+  EXPECT_FALSE(parse_error_code("").has_value());
+  EXPECT_FALSE(parse_error_code("unavailable").has_value())
+      << "names are case-sensitive, matching to_string output exactly";
+}
+
+TEST(Status, UnavailableFactory) {
+  const Status status = Status::unavailable("shed under overload");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(to_string(status.code()), "UNAVAILABLE");
+  EXPECT_NE(status.to_string().find("shed under overload"),
+            std::string::npos);
 }
 
 TEST(StatusOr, HoldsValue) {

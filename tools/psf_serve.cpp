@@ -2,6 +2,7 @@
 //
 // Usage:
 //   psf-serve [--workers N] [--queue-depth N] [--threads N]
+//             [--shed-watermark N] [--chaos PLAN]
 //             [--metrics-dir DIR] [--trace-dir DIR]
 //             [--script FILE | --demo N]
 //
@@ -10,6 +11,7 @@
 //
 //   kmeans [points=N] [clusters=K] [iters=I] [seed=S]
 //          [ranks=R] [gpus=G] [priority=P] [trace] [fault=SPEC]
+//          [deadline=MS] [ttl=MS] [retries=N] [backoff=MS]
 //   sobel  [height=H] [width=W] [iters=I] [ranks=R] [gpus=G] ...
 //   heat3d [nx=N] [ny=N] [nz=N] [iters=I] [ranks=R] [gpus=G] ...
 //   wait <ID|all>      block until the job(s) finish, print the outcome
@@ -20,10 +22,17 @@
 //   quit               drain and exit
 //
 // Each job prints `job <ID> submitted` on admission; `wait` prints
-// `job <ID> DONE vtime=... queue_ms=... run_ms=...` (or FAILED/CANCELLED).
+// `job <ID> DONE vtime=... queue_ms=... run_ms=... attempts=N` (or
+// FAILED/CANCELLED/EXPIRED). deadline=/ttl= arm the serving deadline and
+// queue TTL; retries=/backoff= arm automatic retry (see docs/RESILIENCE.md).
+// --chaos arms a server-side chaos plan (job_fail/runner_stall clauses).
 // With --metrics-dir the job's private metrics registry is written to
 // DIR/job-<ID>.json when waited on; --trace-dir does the same for Chrome
 // traces of jobs submitted with `trace`.
+//
+// On exit the CLI prints a terminal-state summary table and returns
+// non-zero when any scripted job ended FAILED or EXPIRED — a failed job
+// can no longer green a CI script silently.
 //
 // --demo N is a self-driving smoke mode: N mixed kmeans/sobel jobs plus a
 // background heat3d, drain, print stats, exit non-zero unless everything
@@ -41,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "serve/jobs.h"
 #include "serve/serve.h"
 
@@ -50,16 +60,51 @@ using psf::serve::JobHandle;
 using psf::serve::JobResult;
 using psf::serve::JobSpec;
 using psf::serve::JobState;
+using psf::serve::RetryPolicy;
 using psf::serve::Server;
 using psf::serve::ServerOptions;
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue-depth N] [--threads N]\n"
+               "          [--shed-watermark N] [--chaos PLAN]\n"
                "          [--metrics-dir DIR] [--trace-dir DIR]\n"
                "          [--script FILE | --demo N]\n",
                argv0);
 }
+
+/// Tally of reported terminal states, for the exit-time summary table.
+struct Tally {
+  int done = 0;
+  int failed = 0;
+  int cancelled = 0;
+  int expired = 0;
+
+  void count(JobState state) {
+    switch (state) {
+      case JobState::kDone: ++done; break;
+      case JobState::kFailed: ++failed; break;
+      case JobState::kCancelled: ++cancelled; break;
+      case JobState::kExpired: ++expired; break;
+      case JobState::kQueued:
+      case JobState::kRunning: break;  // wait() never returns these
+    }
+  }
+
+  void print_summary() const {
+    std::printf("summary:\n");
+    std::printf("  %-10s %5s\n", "state", "jobs");
+    std::printf("  %-10s %5d\n", "DONE", done);
+    std::printf("  %-10s %5d\n", "FAILED", failed);
+    std::printf("  %-10s %5d\n", "CANCELLED", cancelled);
+    std::printf("  %-10s %5d\n", "EXPIRED", expired);
+  }
+
+  /// FAILED/EXPIRED jobs fail the session; cancellation is operator intent.
+  [[nodiscard]] int exit_code() const {
+    return failed > 0 || expired > 0 ? 1 : 0;
+  }
+};
 
 /// "key=value" tokens of a job command; bare words map to "word" -> "".
 std::map<std::string, std::string> parse_kv(std::istringstream& in) {
@@ -94,10 +139,12 @@ void report(std::uint64_t id, const PendingJob& job, const JobResult& result,
   std::printf("job %llu %s", static_cast<unsigned long long>(id),
               std::string(to_string(result.state)).c_str());
   if (result.state == JobState::kDone) {
-    std::printf(" vtime=%.9g queue_ms=%.3f run_ms=%.3f", result.vtime,
-                result.queue_wall_s * 1e3, result.run_wall_s * 1e3);
+    std::printf(" vtime=%.9g queue_ms=%.3f run_ms=%.3f attempts=%d",
+                result.vtime, result.queue_wall_s * 1e3,
+                result.run_wall_s * 1e3, result.attempts);
   } else if (!result.status.is_ok()) {
-    std::printf(" (%s)", result.status.to_string().c_str());
+    std::printf(" attempts=%d (%s)", result.attempts,
+                result.status.to_string().c_str());
   }
   std::printf("\n");
   if (!metrics_dir.empty()) {
@@ -120,13 +167,19 @@ void report(std::uint64_t id, const PendingJob& job, const JobResult& result,
 void print_stats(const Server& server) {
   const auto stats = server.stats();
   std::printf("stats submitted=%llu rejected=%llu completed=%llu "
-              "failed=%llu cancelled=%llu queued=%zu running=%zu\n",
+              "failed=%llu cancelled=%llu expired=%llu retried=%llu "
+              "shed=%llu breaker_open=%llu queued=%zu running=%zu "
+              "backoff=%zu\n",
               static_cast<unsigned long long>(stats.submitted),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.failed),
               static_cast<unsigned long long>(stats.cancelled),
-              stats.queued, stats.running);
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.retried),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.breaker_open),
+              stats.queued, stats.running, stats.backoff);
 }
 
 int run_demo(Server& server, int jobs) {
@@ -215,6 +268,10 @@ int main(int argc, char** argv) {
       options.queue_depth = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       options.executor_threads = std::atoi(next());
+    } else if (arg == "--shed-watermark") {
+      options.shed_watermark = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--chaos") {
+      options.chaos_plan = next();
     } else if (arg == "--metrics-dir") {
       metrics_dir = next();
     } else if (arg == "--trace-dir") {
@@ -243,6 +300,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!options.chaos_plan.empty()) {
+    // Validate up front for a friendly diagnostic: the Server treats a
+    // malformed plan as a programming error (PSF_CHECK).
+    const auto parsed = psf::fault::FaultPlan::parse(options.chaos_plan);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "psf-serve: --chaos: %s\n",
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+  }
+
   Server server(options);
   if (demo_jobs >= 0) return run_demo(server, demo_jobs);
 
@@ -257,6 +325,7 @@ int main(int argc, char** argv) {
   std::istream& in = script.empty() ? std::cin : script_file;
 
   std::map<std::uint64_t, PendingJob> pending;
+  Tally tally;
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream tokens(line);
@@ -279,7 +348,9 @@ int main(int argc, char** argv) {
       tokens >> which;
       if (which == "all" || which.empty()) {
         for (auto& [id, job] : pending) {
-          report(id, job, job.handle.wait(), metrics_dir, trace_dir);
+          const JobResult result = job.handle.wait();
+          tally.count(result.state);
+          report(id, job, result, metrics_dir, trace_dir);
         }
         pending.clear();
       } else {
@@ -290,8 +361,9 @@ int main(int argc, char** argv) {
                        which.c_str());
           continue;
         }
-        report(id, it->second, it->second.handle.wait(), metrics_dir,
-               trace_dir);
+        const JobResult result = it->second.handle.wait();
+        tally.count(result.state);
+        report(id, it->second, result, metrics_dir, trace_dir);
         pending.erase(it);
       }
       continue;
@@ -328,6 +400,22 @@ int main(int argc, char** argv) {
         std::strtoll(kv.count("priority") ? kv.at("priority").c_str() : "0",
                      nullptr, 10));
     spec.record_trace = kv.count("trace") > 0;
+    spec.deadline_ms = static_cast<int>(get_u64(kv, "deadline", 0));
+    spec.queue_ttl_ms = static_cast<int>(get_u64(kv, "ttl", 0));
+    if (kv.count("retries") > 0 || kv.count("backoff") > 0) {
+      RetryPolicy retry;
+      retry.max_attempts =
+          static_cast<int>(get_u64(kv, "retries", 2));  // retries => 2 tries
+      retry.base_backoff_ms =
+          static_cast<double>(get_u64(kv, "backoff", 1));
+      // The server-wide anti-amplification budget (0.2 tokens/admission)
+      // is sized for loadgen-scale traffic; in a scripted session it
+      // would silently defeat an explicit retries= request (one job
+      // accrues 0.2 tokens — never enough for a single retry). Accrue
+      // enough per admission to cover this job's own retries.
+      retry.budget_ratio = static_cast<double>(retry.max_attempts);
+      spec.retry = retry;
+    }
     if (command == "kmeans") {
       psf::apps::kmeans::Params params;
       params.num_points = get_u64(kv, "points", 2000);
@@ -364,8 +452,11 @@ int main(int argc, char** argv) {
 
   // Implicit `wait all` on EOF/quit so scripts cannot lose results.
   for (auto& [id, job] : pending) {
-    report(id, job, job.handle.wait(), metrics_dir, trace_dir);
+    const JobResult result = job.handle.wait();
+    tally.count(result.state);
+    report(id, job, result, metrics_dir, trace_dir);
   }
   server.shutdown();
-  return 0;
+  tally.print_summary();
+  return tally.exit_code();
 }
