@@ -27,24 +27,31 @@ struct Job {
         fn(std::move(spec.fn)),
         context(id_in, std::move(spec.name), spec.record_trace),
         server(owner),
+        queue_ttl_ms(spec.queue_ttl_ms),
         submit_tp(std::chrono::steady_clock::now()) {
-    // Dispatch-time expiry: the tighter of the overall deadline and the
-    // queue TTL, measured from admission. The cooperative in-flight check
-    // (JobContext::check_deadline) sees the deadline only — TTL bounds
-    // QUEUED time, not execution.
-    int budget_ms = 0;
-    if (spec.deadline_ms > 0) budget_ms = spec.deadline_ms;
-    if (spec.queue_ttl_ms > 0) {
-      budget_ms = budget_ms > 0 ? std::min(budget_ms, spec.queue_ttl_ms)
-                                : spec.queue_ttl_ms;
-    }
-    if (budget_ms > 0) {
-      has_expire = true;
-      expire_tp = submit_tp + std::chrono::milliseconds(budget_ms);
-    }
     if (spec.deadline_ms > 0) {
-      context.set_deadline(submit_tp +
-                           std::chrono::milliseconds(spec.deadline_ms));
+      has_deadline = true;
+      deadline_tp = submit_tp + std::chrono::milliseconds(spec.deadline_ms);
+      context.set_deadline(deadline_tp);
+    }
+    arm_expiry(submit_tp);
+  }
+
+  /// Recompute the dispatch-time expiry for a (re-)enqueue at
+  /// `enqueue_tp`: the tighter of the absolute deadline (fixed at
+  /// admission; also the cooperative in-flight check) and this queued
+  /// period's TTL. The TTL re-arms on every entry into the queue —
+  /// admission and each promotion out of retry backoff — so it bounds
+  /// wall time spent QUEUED, not runs or backoffs. Written under the
+  /// server's mutex_ once the job is shared.
+  void arm_expiry(std::chrono::steady_clock::time_point enqueue_tp) {
+    has_expire = has_deadline || queue_ttl_ms > 0;
+    if (!has_expire) return;
+    expire_tp = std::chrono::steady_clock::time_point::max();
+    if (has_deadline) expire_tp = deadline_tp;
+    if (queue_ttl_ms > 0) {
+      expire_tp = std::min(
+          expire_tp, enqueue_tp + std::chrono::milliseconds(queue_ttl_ms));
     }
   }
 
@@ -56,7 +63,10 @@ struct Job {
   JobFn fn;
   JobContext context;
   Server* const server;
+  const int queue_ttl_ms;
   const std::chrono::steady_clock::time_point submit_tp;
+  std::chrono::steady_clock::time_point deadline_tp{};
+  bool has_deadline = false;
   std::chrono::steady_clock::time_point expire_tp{};
   bool has_expire = false;
 
@@ -207,6 +217,7 @@ support::StatusOr<JobHandle> Server::submit(JobSpec spec) {
   }
   std::shared_ptr<Job> job;
   std::vector<std::shared_ptr<Job>> victims;
+  support::Status rejection;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) {
@@ -226,75 +237,89 @@ support::StatusOr<JobHandle> Server::submit(JobSpec spec) {
     if (shedding && queue_.size() >= options_.shed_watermark) {
       // Past the watermark: make room by shedding strictly-lower-priority
       // queued victims — lowest priority first, expiring-soonest first
-      // within a level, newest submission breaking ties. Victims finish
-      // outside the lock below.
-      while (queue_.size() >= options_.shed_watermark) {
-        auto victim = queue_.end();
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-          const Job& cand = *it->second;
-          if (cand.priority >= spec.priority) continue;
-          if (victim == queue_.end()) {
-            victim = it;
-            continue;
-          }
-          const Job& best = *victim->second;
-          if (cand.priority != best.priority) {
-            if (cand.priority < best.priority) victim = it;
-            continue;
-          }
-          const auto cand_expire =
-              cand.has_expire ? cand.expire_tp
-                              : std::chrono::steady_clock::time_point::max();
-          const auto best_expire =
-              best.has_expire ? best.expire_tp
-                              : std::chrono::steady_clock::time_point::max();
-          if (cand_expire != best_expire) {
-            if (cand_expire < best_expire) victim = it;
-            continue;
-          }
-          if (cand.seq > best.seq) victim = it;
-        }
-        if (victim == queue_.end()) break;  // nothing lower-priority left
-        victims.push_back(victim->second);
-        queue_.erase(victim);
+      // within a level, newest submission breaking ties. Lower-priority
+      // entries are a contiguous suffix of the priority-ordered queue, so
+      // one scan collects every candidate and one sort ranks them —
+      // O(k log k) on the hot submit path instead of a scan per victim,
+      // which went quadratic under exactly the overload this path
+      // handles. Victims finish outside the lock below.
+      const std::size_t need = queue_.size() - options_.shed_watermark + 1;
+      std::vector<decltype(queue_)::iterator> candidates;
+      for (auto it = queue_.lower_bound(
+               QueueKey{-static_cast<long long>(spec.priority) + 1, 0});
+           it != queue_.end(); ++it) {
+        candidates.push_back(it);
       }
-      if (!victims.empty()) {
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  const Job& ca = *a->second;
+                  const Job& cb = *b->second;
+                  if (ca.priority != cb.priority) {
+                    return ca.priority < cb.priority;
+                  }
+                  const auto ea =
+                      ca.has_expire
+                          ? ca.expire_tp
+                          : std::chrono::steady_clock::time_point::max();
+                  const auto eb =
+                      cb.has_expire
+                          ? cb.expire_tp
+                          : std::chrono::steady_clock::time_point::max();
+                  if (ea != eb) return ea < eb;
+                  return ca.seq > cb.seq;
+                });
+      const std::size_t take = std::min(need, candidates.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        victims.push_back(candidates[i]->second);
+        queue_.erase(candidates[i]);
+      }
+      if (take > 0) {
         queue_depth_gauge_->set(static_cast<double>(queue_.size()));
       }
     }
     if (queue_.size() >= options_.queue_depth) {
       ++rejected_;
       PSF_METRIC_ADD("serve.jobs_rejected", 1);
+      // This admission may have claimed the half-open probe slot before
+      // losing to the queue bound. Release it, or no probe ever reports
+      // an outcome and the name fast-fails "probe in flight" forever.
+      if (probe) breaker_release_probe_locked(spec.name);
+      // No early return: backoff promotions can push the queue past
+      // queue_depth, so a rejection can follow a partial shed — the
+      // already-erased victims below still need their terminal state.
       if (shedding) {
-        return support::Status::unavailable(
+        rejection = support::Status::unavailable(
             "overloaded: " + std::to_string(queue_.size()) +
             " jobs queued and none lower-priority to shed; retry after " +
             std::to_string(options_.retry_after_hint_ms) + "ms");
+      } else {
+        rejection = support::Status::resource_exhausted(
+            "admission control: " + std::to_string(queue_.size()) +
+            " jobs already queued (queue_depth = " +
+            std::to_string(options_.queue_depth) + "); retry later");
       }
-      return support::Status::resource_exhausted(
-          "admission control: " + std::to_string(queue_.size()) +
-          " jobs already queued (queue_depth = " +
-          std::to_string(options_.queue_depth) + "); retry later");
+    } else {
+      // The admission seq (next_seq_) keys chaos and jitter draws, so it
+      // must be a pure function of submission order; queue-ordering seqs
+      // come from a separate counter (next_order_) because retry
+      // re-enqueues also consume one and their timing is not
+      // deterministic.
+      job = std::make_shared<Job>(next_id_++, next_seq_++, std::move(spec),
+                                  this);
+      job->context.set_shared_executor(&pool_);
+      job->breaker_probe = probe;
+      job->queue_key =
+          QueueKey{-static_cast<long long>(job->priority), next_order_++};
+      queue_.emplace(job->queue_key, job);
+      ++submitted_;
+      // Every admission accrues retry budget; the cap bounds burst
+      // retries after a long healthy stretch.
+      retry_tokens_ =
+          std::min(retry_tokens_ + job->retry.budget_ratio,
+                   static_cast<double>(std::max<std::size_t>(
+                       options_.queue_depth, 1)));
+      queue_depth_gauge_->set(static_cast<double>(queue_.size()));
     }
-    // The admission seq (next_seq_) keys chaos and jitter draws, so it must
-    // be a pure function of submission order; queue-ordering seqs come from
-    // a separate counter (next_order_) because retry re-enqueues also
-    // consume one and their timing is not deterministic.
-    job = std::make_shared<Job>(next_id_++, next_seq_++, std::move(spec),
-                                this);
-    job->context.set_shared_executor(&pool_);
-    job->breaker_probe = probe;
-    job->queue_key =
-        QueueKey{-static_cast<long long>(job->priority), next_order_++};
-    queue_.emplace(job->queue_key, job);
-    ++submitted_;
-    // Every admission accrues retry budget; the cap bounds burst retries
-    // after a long healthy stretch.
-    retry_tokens_ =
-        std::min(retry_tokens_ + job->retry.budget_ratio,
-                 static_cast<double>(std::max<std::size_t>(
-                     options_.queue_depth, 1)));
-    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
   }
   for (const auto& victim : victims) {
     finish_job(victim, JobState::kFailed,
@@ -305,6 +330,7 @@ support::StatusOr<JobHandle> Server::submit(JobSpec spec) {
                    std::to_string(options_.retry_after_hint_ms) + "ms"),
                0.0, /*shed=*/true);
   }
+  if (!rejection.is_ok()) return rejection;
   PSF_METRIC_ADD("serve.jobs_submitted", 1);
   dispatch_cv_.notify_one();
   return JobHandle(job);
@@ -393,6 +419,9 @@ void Server::promote_due_backoff_locked(
     if (!shutting_down_ && it->first.first > now) break;
     std::shared_ptr<Job> job = std::move(it->second);
     backoff_.erase(it);
+    // Re-entering the queue starts a fresh TTL period (the absolute
+    // deadline component of expire_tp is unaffected).
+    job->arm_expiry(now);
     job->queue_key =
         QueueKey{-static_cast<long long>(job->priority), next_order_++};
     queue_.emplace(job->queue_key, job);
@@ -536,9 +565,10 @@ bool Server::maybe_schedule_retry(const std::shared_ptr<Job>& job,
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::milli>(backoff_ms));
-  if (job->has_expire && release_tp >= job->expire_tp) {
-    // The backoff alone would overrun the deadline — expire now instead of
-    // parking a doomed job.
+  if (job->has_deadline && release_tp >= job->deadline_tp) {
+    // The backoff alone would overrun the absolute deadline — expire now
+    // instead of parking a doomed job. (The queue TTL is no obstacle: it
+    // re-arms when the retry re-enters the queue.)
     finish_job(job, JobState::kExpired,
                support::Status::deadline_exceeded(
                    "job \"" + job->name + "\" retry backoff (" +
@@ -547,23 +577,43 @@ bool Server::maybe_schedule_retry(const std::shared_ptr<Job>& job,
                0.0);
     return true;  // handled: terminal state reached, no kFailed fallback
   }
+  bool cancelled = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) return false;
-    if (retry_tokens_ < 1.0) {
-      PSF_LOG(kWarn, "serve")
-          << "job \"" << job->name << "\" (#" << job->id
-          << ") retry budget exhausted after attempt " << attempt << ": "
-          << failure.to_string();
-      return false;
+    if (job->context.cancel_requested()) {
+      // A cancel raced with this failing attempt: cancellation wins, so
+      // finish kCancelled (outside the lock) instead of parking a
+      // logically-cancelled job whose backoff drain() would wait out.
+      // Checked under mutex_: a concurrent cancel_job either set the
+      // flag before this point or finds the job in backoff_ and clears
+      // the pending retry itself.
+      cancelled = true;
+    } else {
+      if (retry_tokens_ < 1.0) {
+        PSF_LOG(kWarn, "serve")
+            << "job \"" << job->name << "\" (#" << job->id
+            << ") retry budget exhausted after attempt " << attempt << ": "
+            << failure.to_string();
+        return false;
+      }
+      retry_tokens_ -= 1.0;
+      ++retried_;
+      {
+        std::lock_guard<std::mutex> guard(job->mutex);
+        job->state = JobState::kQueued;
+      }
+      backoff_.emplace(std::make_pair(release_tp, job->seq), job);
     }
-    retry_tokens_ -= 1.0;
-    ++retried_;
-    {
-      std::lock_guard<std::mutex> guard(job->mutex);
-      job->state = JobState::kQueued;
-    }
-    backoff_.emplace(std::make_pair(release_tp, job->seq), job);
+  }
+  if (cancelled) {
+    finish_job(job, JobState::kCancelled,
+               support::Status::cancelled(
+                   "job \"" + job->name +
+                   "\" cancelled during a retryable failure (" +
+                   failure.message() + ")"),
+               0.0);
+    return true;  // handled: terminal state reached, no kFailed fallback
   }
   backoff_ms_hist_->record(backoff_ms);
   PSF_METRIC_ADD("serve.retries", 1);
@@ -625,11 +675,7 @@ void Server::finish_job(const std::shared_ptr<Job>& job, JobState state,
         // The probe ended without a health verdict (shed, cancelled, or
         // expired). Release the probe slot so the breaker cannot wedge
         // half-open; the next submission becomes the new probe.
-        auto it = breakers_.find(job->name);
-        if (it != breakers_.end() &&
-            it->second.state == Breaker::State::kHalfOpen) {
-          it->second.probe_in_flight = false;
-        }
+        breaker_release_probe_locked(job->name);
       }
     }
   }
@@ -687,6 +733,14 @@ support::Status Server::breaker_admit_locked(const std::string& name,
           std::to_string(options_.retry_after_hint_ms) + "ms");
   }
   return support::Status::ok();
+}
+
+void Server::breaker_release_probe_locked(const std::string& name) {
+  auto it = breakers_.find(name);
+  if (it != breakers_.end() &&
+      it->second.state == Breaker::State::kHalfOpen) {
+    it->second.probe_in_flight = false;
+  }
 }
 
 void Server::breaker_record_locked(const std::shared_ptr<Job>& job,

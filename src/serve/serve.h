@@ -146,7 +146,10 @@ struct JobSpec {
   int priority = 0;          ///< higher runs first; FIFO within a level
   bool record_trace = false; ///< allocate a per-job TraceRecorder
   int deadline_ms = 0;       ///< wall-clock budget from admission; 0 = none
-  int queue_ttl_ms = 0;      ///< max wall time spent QUEUED; 0 = none
+  int queue_ttl_ms = 0;      ///< max wall time spent QUEUED, re-armed each
+                             ///< time the job (re-)enters the queue, so a
+                             ///< retried job gets a fresh TTL per queued
+                             ///< period; 0 = none
   RetryPolicy retry;         ///< automatic-retry policy (default: none)
   JobFn fn;                  ///< required
 
@@ -406,6 +409,11 @@ class Server {
   void promote_due_backoff_locked(std::chrono::steady_clock::time_point now);
   /// Breaker submit-side gate; caller holds mutex_. Returns OK to admit.
   support::Status breaker_admit_locked(const std::string& name, bool& probe);
+  /// Return the half-open probe slot for `name` without recording an
+  /// outcome (the probe was rejected downstream or ended with no health
+  /// verdict); the next submission becomes the new probe. Caller holds
+  /// mutex_.
+  void breaker_release_probe_locked(const std::string& name);
   /// Breaker outcome recording; caller holds mutex_.
   void breaker_record_locked(const std::shared_ptr<detail::Job>& job,
                              bool failure);

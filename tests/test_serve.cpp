@@ -453,6 +453,30 @@ TEST(ServeDeadline, QueueTtlExpiresAtDispatch) {
   EXPECT_FALSE(ran.load());
 }
 
+TEST(ServeDeadline, QueueTtlReArmsPerQueuedPeriodAcrossRetries) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  std::atomic<int> calls{0};
+  // TTL (150ms) < backoff (500ms): if the TTL were measured from
+  // admission, the retry could never dispatch. It bounds each QUEUED
+  // period instead, re-arming when the retry re-enters the queue.
+  auto handle = server.submit(
+      JobSpec{}
+          .with_name("ttl-retry")
+          .with_queue_ttl_ms(150)
+          .with_retry(RetryPolicy{}
+                          .with_max_attempts(2)
+                          .with_base_backoff_ms(500.0)
+                          .with_jitter(0.0)
+                          .with_budget_ratio(5.0))
+          .with_fn(flaky_job(calls, 2)));
+  ASSERT_TRUE(handle.is_ok());
+  const JobResult result = handle.value().wait();
+  EXPECT_EQ(result.state, JobState::kDone) << result.status.to_string();
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(server.stats().retried, 1u);
+  EXPECT_EQ(server.stats().expired, 0u);
+}
+
 TEST(ServeDeadline, RunningJobObservesDeadlineCooperatively) {
   Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
   auto handle = server.submit(
@@ -544,6 +568,43 @@ TEST(ServeRetry, CancelDuringBackoffWins) {
   EXPECT_EQ(server.stats().cancelled, 1u);
 }
 
+TEST(ServeRetry, CancelDuringFailingAttemptSkipsBackoff) {
+  Server server(ServerOptions{}.with_workers(1).with_executor_threads(1));
+  std::atomic<bool> in_body{false};
+  auto handle = server.submit(
+      JobSpec{}
+          .with_name("racing")
+          .with_retry(RetryPolicy{}
+                          .with_max_attempts(3)
+                          .with_base_backoff_ms(60000.0)  // parks ~1 min
+                          .with_jitter(0.0)
+                          .with_budget_ratio(5.0))
+          .with_fn([&in_body](JobContext& ctx) -> support::StatusOr<double> {
+            in_body.store(true);
+            // Fail retryably only once the cancel has landed, modelling a
+            // cancel racing the failing attempt.
+            while (!ctx.cancel_requested()) {
+              std::this_thread::sleep_for(milliseconds(1));
+            }
+            return support::Status::unavailable("failing as cancel lands");
+          }));
+  ASSERT_TRUE(handle.is_ok());
+  while (!in_body.load()) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(handle.value().cancel());
+  const JobResult result = handle.value().wait();
+  EXPECT_EQ(result.state, JobState::kCancelled);
+  EXPECT_EQ(result.status.code(), support::ErrorCode::kCancelled);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(server.stats().backoff, 0u)
+      << "a cancelled job must not park in retry backoff";
+  EXPECT_EQ(server.stats().retried, 0u);
+  // drain() must return promptly — nothing is waiting out a minute.
+  server.drain();
+  EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
 // --- load shedding -----------------------------------------------------------
 
 TEST(ServeShed, WatermarkShedsLowestPriority) {
@@ -575,6 +636,41 @@ TEST(ServeShed, WatermarkShedsLowestPriority) {
   EXPECT_EQ(low1.value().wait().state, JobState::kDone);
   EXPECT_EQ(high.value().wait().state, JobState::kDone);
   EXPECT_EQ(server.stats().failed, 0u) << "sheds are not counted as failures";
+}
+
+TEST(ServeShed, ShedsMultipleVictimsLowestPriorityFirst) {
+  Server server(ServerOptions{}
+                    .with_workers(1)
+                    .with_executor_threads(1)
+                    .with_queue_depth(100)
+                    .with_shed_watermark(2)
+                    .with_start_paused());
+  auto mid = server.submit(
+      JobSpec{}.with_name("mid").with_priority(0).with_fn(trivial_job()));
+  auto low1 = server.submit(
+      JobSpec{}.with_name("low1").with_priority(-1).with_fn(trivial_job()));
+  // At the watermark with nothing strictly below priority -2: the queue
+  // grows past the watermark instead of shedding.
+  auto low2 = server.submit(
+      JobSpec{}.with_name("low2").with_priority(-2).with_fn(trivial_job()));
+  ASSERT_TRUE(mid.is_ok());
+  ASSERT_TRUE(low1.is_ok());
+  ASSERT_TRUE(low2.is_ok());
+  // Three queued, watermark 2: the high-priority submission must shed TWO
+  // victims in one admission, lowest priority first (low2, then low1).
+  auto high = server.submit(
+      JobSpec{}.with_name("high").with_priority(5).with_fn(trivial_job()));
+  ASSERT_TRUE(high.is_ok());
+  for (const auto& victim : {&low2, &low1}) {
+    const JobResult shed = victim->value().wait();
+    EXPECT_EQ(shed.state, JobState::kFailed);
+    EXPECT_EQ(shed.status.code(), support::ErrorCode::kUnavailable);
+  }
+  EXPECT_EQ(server.stats().shed, 2u);
+  server.drain();
+  EXPECT_EQ(mid.value().wait().state, JobState::kDone)
+      << "the not-lowest victim candidate must survive";
+  EXPECT_EQ(high.value().wait().state, JobState::kDone);
 }
 
 TEST(ServeShed, HardFullRejectsWithRetryAfterWhenSheddingEnabled) {
@@ -673,6 +769,74 @@ TEST(ServeBreaker, OpensHalfOpensCloses) {
     EXPECT_EQ(closed.value().wait().state, JobState::kDone)
         << "executor_threads=" << executor_threads;
   }
+}
+
+TEST(ServeBreaker, ProbeSlotReleasedWhenAdmissionRejectsProbe) {
+  ServerOptions::BreakerPolicy policy;
+  policy.enabled = true;
+  policy.window = 2;
+  policy.min_samples = 2;
+  policy.failure_threshold = 0.5;
+  policy.cooldown_ms = 20;
+  Server server(ServerOptions{}
+                    .with_workers(1)
+                    .with_executor_threads(1)
+                    .with_queue_depth(1)
+                    .with_breaker(policy));
+  for (int i = 0; i < 2; ++i) {
+    auto failing = server.submit(JobSpec{}.with_name("flaky").with_fn(
+        [](JobContext&) -> support::StatusOr<double> {
+          return support::Status::internal("synthetic failure");
+        }));
+    ASSERT_TRUE(failing.is_ok()) << "i=" << i;
+    EXPECT_EQ(failing.value().wait().state, JobState::kFailed);
+  }
+  ASSERT_EQ(server.stats().breaker_open, 1u);
+
+  // Occupy the single runner and fill the one-deep queue with another
+  // name, so the post-cooldown probe admission loses to the queue bound.
+  std::atomic<bool> blocker_running{false};
+  std::atomic<bool> release{false};
+  auto blocker = server.submit(JobSpec{}.with_name("blocker").with_fn(
+      [&blocker_running, &release](JobContext&) -> support::StatusOr<double> {
+        blocker_running.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(milliseconds(1));
+        }
+        return 1.0;
+      }));
+  ASSERT_TRUE(blocker.is_ok());
+  // Wait for the blocker BODY (stats().running can still read the
+  // previous job's slot before its runner goes idle): only once the
+  // blocker has left the queue is the one-deep queue free for the filler.
+  while (!blocker_running.load()) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  auto filler =
+      server.submit(JobSpec{}.with_name("filler").with_fn(trivial_job()));
+  if (!filler.is_ok()) release.store(true);  // don't hang shutdown on failure
+  ASSERT_TRUE(filler.is_ok()) << filler.status().to_string();
+  std::this_thread::sleep_for(milliseconds(30));  // cooldown elapses
+  auto rejected =
+      server.submit(JobSpec{}.with_name("flaky").with_fn(trivial_job()));
+  ASSERT_FALSE(rejected.is_ok()) << "queue bound must reject the probe";
+  EXPECT_EQ(rejected.status().code(),
+            support::ErrorCode::kResourceExhausted);
+
+  // The rejected admission must have returned the half-open probe slot:
+  // once the queue drains, the next submission of the name becomes the
+  // new probe and the breaker recovers (it used to wedge on "probe in
+  // flight" until server restart).
+  release.store(true);
+  server.drain();
+  auto probe =
+      server.submit(JobSpec{}.with_name("flaky").with_fn(trivial_job()));
+  ASSERT_TRUE(probe.is_ok()) << probe.status().to_string();
+  EXPECT_EQ(probe.value().wait().state, JobState::kDone);
+  auto closed =
+      server.submit(JobSpec{}.with_name("flaky").with_fn(trivial_job()));
+  ASSERT_TRUE(closed.is_ok()) << "successful probe must close the breaker";
+  EXPECT_EQ(closed.value().wait().state, JobState::kDone);
 }
 
 // --- drain vs concurrency ----------------------------------------------------
